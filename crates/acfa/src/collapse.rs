@@ -1,0 +1,295 @@
+//! The **Collapse** procedure (§5): weak bisimulation minimization of
+//! an abstract reachability graph.
+//!
+//! Collapse takes an ARG (materialized as an [`Acfa`] whose location
+//! labels are already projected onto the global predicates) and
+//! returns its weak bisimilarity quotient together with the map `μ`
+//! from input locations to quotient locations.
+//!
+//! * Observables: the (global) region label and the atomicity flag.
+//! * Actions: the havoc sets on edges; edges that havoc nothing are
+//!   silent (τ).
+//! * Per the paper, an intra-class edge with a nonempty havoc set
+//!   becomes a self loop on the quotient class, and parallel edges
+//!   between the same pair of classes merge by unioning their havoc
+//!   sets (havocking more variables only adds behaviors, so both
+//!   transformations over-approximate).
+
+use crate::acfa::{Acfa, AcfaEdge, AcfaLocId};
+use circ_ir::Var;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Output of [`collapse`].
+#[derive(Debug, Clone)]
+pub struct CollapseResult {
+    /// The quotient ACFA.
+    pub acfa: Acfa,
+    /// `map[i]` is the quotient location of input location `i`.
+    pub map: Vec<AcfaLocId>,
+}
+
+/// One weak-transition signature entry: `None` marks a silent move.
+type SigEntry = (Option<BTreeSet<Var>>, u32);
+
+/// Computes the weak bisimilarity quotient of `g`.
+pub fn collapse(g: &Acfa) -> CollapseResult {
+    let n = g.num_locs();
+    let tau: Vec<BTreeSet<AcfaLocId>> = g.locs().map(|q| g.tau_reach(q)).collect();
+
+    // Initial partition: by (region, atomic).
+    let mut block: Vec<u32> = vec![0; n];
+    {
+        let mut key_to_block: BTreeMap<(Vec<u8>, bool), u32> = BTreeMap::new();
+        for q in g.locs() {
+            // Use the Display form of the region as a stable partition
+            // key (regions are kept sorted, so equality is syntactic).
+            let key = (format!("{}", g.region(q)).into_bytes(), g.is_atomic(q));
+            let next = key_to_block.len() as u32;
+            let b = *key_to_block.entry(key).or_insert(next);
+            block[q.index()] = b;
+        }
+    }
+
+    // Refine until stable.
+    loop {
+        let mut key_to_block: BTreeMap<(u32, BTreeSet<SigEntry>), u32> = BTreeMap::new();
+        let mut new_block = vec![0u32; n];
+        for q in g.locs() {
+            let sig = signature(g, &tau, &block, q);
+            let key = (block[q.index()], sig);
+            let next = key_to_block.len() as u32;
+            new_block[q.index()] = *key_to_block.entry(key).or_insert(next);
+        }
+        let stable = same_partition(&block, &new_block);
+        block = new_block;
+        if stable {
+            break;
+        }
+    }
+
+    // Renumber so the entry's class is location 0.
+    let entry_block = block[g.entry().index()];
+    let mut renum: BTreeMap<u32, u32> = BTreeMap::new();
+    renum.insert(entry_block, 0);
+    for &b in &block {
+        let next = renum.len() as u32;
+        renum.entry(b).or_insert(next);
+    }
+    let num_blocks = renum.len();
+    let map: Vec<AcfaLocId> = block.iter().map(|b| AcfaLocId(renum[b])).collect();
+
+    // Representative label/atomicity per class (all members agree).
+    let mut regions = vec![None; num_blocks];
+    let mut atomic = vec![false; num_blocks];
+    for q in g.locs() {
+        let b = map[q.index()].index();
+        if regions[b].is_none() {
+            regions[b] = Some(g.region(q).clone());
+            atomic[b] = g.is_atomic(q);
+        }
+    }
+    let regions: Vec<_> = regions.into_iter().map(Option::unwrap).collect();
+
+    // Quotient edges: merge per (src class, dst class) by unioning
+    // havocs; drop silent intra-class edges.
+    let mut edge_map: BTreeMap<(u32, u32), BTreeSet<Var>> = BTreeMap::new();
+    for e in g.edges() {
+        let bs = map[e.src.index()];
+        let bd = map[e.dst.index()];
+        if bs == bd && e.havoc.is_empty() {
+            continue;
+        }
+        edge_map
+            .entry((bs.0, bd.0))
+            .or_default()
+            .extend(e.havoc.iter().copied());
+    }
+    let edges: Vec<AcfaEdge> = edge_map
+        .into_iter()
+        .map(|((s, d), havoc)| AcfaEdge { src: AcfaLocId(s), havoc, dst: AcfaLocId(d) })
+        .collect();
+
+    CollapseResult { acfa: Acfa::from_parts(regions, atomic, edges), map }
+}
+
+fn signature(
+    g: &Acfa,
+    tau: &[BTreeSet<AcfaLocId>],
+    block: &[u32],
+    q: AcfaLocId,
+) -> BTreeSet<SigEntry> {
+    let mut sig = BTreeSet::new();
+    let my_block = block[q.index()];
+    for &s1 in &tau[q.index()] {
+        // Silent weak moves to other classes.
+        if block[s1.index()] != my_block {
+            sig.insert((None, block[s1.index()]));
+        }
+        for e in g.out_edges(s1) {
+            if e.havoc.is_empty() {
+                continue; // covered by the τ-closure above
+            }
+            for &s2 in &tau[e.dst.index()] {
+                sig.insert((Some(e.havoc.clone()), block[s2.index()]));
+            }
+        }
+    }
+    sig
+}
+
+/// Do two block assignments induce the same partition?
+fn same_partition(a: &[u32], b: &[u32]) -> bool {
+    let mut fwd: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut bwd: BTreeMap<u32, u32> = BTreeMap::new();
+    for (&x, &y) in a.iter().zip(b) {
+        if *fwd.entry(x).or_insert(y) != y || *bwd.entry(y).or_insert(x) != x {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::{Cube, PredIx, Region};
+
+    fn v(n: u32) -> Var {
+        Var::from_raw(n)
+    }
+
+    fn edge(s: u32, havoc: &[u32], d: u32) -> AcfaEdge {
+        AcfaEdge {
+            src: AcfaLocId(s),
+            havoc: havoc.iter().map(|x| v(*x)).collect(),
+            dst: AcfaLocId(d),
+        }
+    }
+
+    #[test]
+    fn tau_chain_collapses_to_point() {
+        // 0 -τ-> 1 -τ-> 2, all labels true: one class, no edges.
+        let regions = vec![Region::full(0); 3];
+        let g = Acfa::from_parts(
+            regions,
+            vec![false; 3],
+            vec![edge(0, &[], 1), edge(1, &[], 2)],
+        );
+        let r = collapse(&g);
+        assert_eq!(r.acfa.num_locs(), 1);
+        assert!(r.acfa.edges().is_empty());
+        assert!(r.map.iter().all(|m| *m == AcfaLocId(0)));
+    }
+
+    #[test]
+    fn labels_prevent_collapse() {
+        // 0 -τ-> 1 with different labels: two classes, one τ edge.
+        let p0 = Region::of_cube(Cube::top(1).with(PredIx(0), true));
+        let g = Acfa::from_parts(
+            vec![Region::full(1), p0],
+            vec![false; 2],
+            vec![edge(0, &[], 1)],
+        );
+        let r = collapse(&g);
+        assert_eq!(r.acfa.num_locs(), 2);
+        assert_eq!(r.acfa.edges().len(), 1);
+        assert!(r.acfa.edges()[0].havoc.is_empty());
+    }
+
+    #[test]
+    fn atomicity_prevents_collapse() {
+        let regions = vec![Region::full(0); 2];
+        let g = Acfa::from_parts(regions, vec![false, true], vec![edge(0, &[], 1)]);
+        let r = collapse(&g);
+        assert_eq!(r.acfa.num_locs(), 2);
+        assert!(r.acfa.is_atomic(AcfaLocId(1)));
+        assert!(!r.acfa.is_atomic(AcfaLocId(0)));
+    }
+
+    #[test]
+    fn havoc_capability_prevents_collapse() {
+        // 0 -τ-> 1, 1 -{x}-> 0: location 1 can havoc x, 0 can too via
+        // τ to 1 — weak moves make them bisimilar! Both have weak
+        // {x}-move to class of 0. They merge, and the {x} edge becomes
+        // a self loop.
+        let regions = vec![Region::full(0); 2];
+        let g = Acfa::from_parts(
+            regions,
+            vec![false; 2],
+            vec![edge(0, &[], 1), edge(1, &[0], 0)],
+        );
+        let r = collapse(&g);
+        assert_eq!(r.acfa.num_locs(), 1);
+        assert_eq!(r.acfa.edges().len(), 1);
+        let e = &r.acfa.edges()[0];
+        assert_eq!(e.src, e.dst);
+        assert!(e.havoc.contains(&v(0)));
+    }
+
+    #[test]
+    fn distinct_havoc_sets_distinguish() {
+        // 0 -{x}-> 0 and 1 -{y}-> 1 reached by 0 -τ->1 … but τ gives 0
+        // the weak {y} move too, while 1 lacks {x}: split remains.
+        let regions = vec![Region::full(0); 2];
+        let g = Acfa::from_parts(
+            regions,
+            vec![false; 2],
+            vec![edge(0, &[0], 0), edge(0, &[], 1), edge(1, &[1], 1)],
+        );
+        let r = collapse(&g);
+        assert_eq!(r.acfa.num_locs(), 2);
+    }
+
+    #[test]
+    fn figure2_shape_three_classes() {
+        // A loop shaped like the paper's G1/A1 (iteration 1, Figure 2):
+        // plain-true labels, an atomic segment that havocs state, then
+        // a segment that havocs {x, state}; minimization keeps three
+        // classes: I (idle), II (atomic, writes state), III (writes
+        // x and state).
+        //
+        //   0 -τ-> 1*  (enter atomic)
+        //   1* -{state}-> 2   (set state)
+        //   2 -{x}-> 3        (write x)
+        //   3 -{state}-> 0    (reset state)
+        let regions = vec![Region::full(0); 4];
+        let atomic = vec![false, true, false, false];
+        let g = Acfa::from_parts(
+            regions,
+            atomic,
+            vec![
+                edge(0, &[], 1),
+                edge(1, &[1], 2),
+                edge(2, &[0], 3),
+                edge(3, &[1], 0),
+            ],
+        );
+        let r = collapse(&g);
+        // 0 and neither of 2,3 merge: 2 has weak {x} move, 3 has weak
+        // {state} move to class(0), 0 has only τ to atomic... classes:
+        // {0}, {1}, {2}, {3} minus any merges. 3 -{state}->0 vs 1
+        // -{state}->2 differ by target class; expect 4 or fewer but
+        // at least: atomic 1 separate, and a class that can write x.
+        assert!(r.acfa.num_locs() >= 3);
+        let xvar = v(0);
+        let writers: Vec<_> =
+            r.acfa.locs().filter(|q| r.acfa.writes_at(*q, xvar)).collect();
+        assert_eq!(writers.len(), 1, "exactly one class may write x");
+    }
+
+    #[test]
+    fn map_is_consistent_with_quotient() {
+        let regions = vec![Region::full(0); 3];
+        let g = Acfa::from_parts(
+            regions,
+            vec![false; 3],
+            vec![edge(0, &[0], 1), edge(1, &[0], 2), edge(2, &[0], 0)],
+        );
+        let r = collapse(&g);
+        assert_eq!(r.map.len(), 3);
+        assert_eq!(r.map[0], r.acfa.entry());
+        for m in &r.map {
+            assert!(m.index() < r.acfa.num_locs());
+        }
+    }
+}

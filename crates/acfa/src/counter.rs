@@ -1,0 +1,285 @@
+//! Counter abstraction of unboundedly many context threads (§2.3,
+//! §3.4 item 3).
+//!
+//! A context state maps each ACFA location to the number of abstract
+//! threads sitting there, counted exactly up to a parameter `k` and
+//! collapsed to ω beyond: `α_k(j) = j` if `j ≤ k`, else ω, with the
+//! saturating arithmetic `k+1 = ω`, `ω+1 = ω`, `ω−1 = ω`.
+
+use crate::acfa::{Acfa, AcfaLocId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A counter value in `{0, …, k, ω}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CVal {
+    /// An exact count (`≤ k` by construction).
+    Fin(u32),
+    /// "Arbitrarily many".
+    Omega,
+}
+
+impl CVal {
+    /// `self + 1` under the abstraction with parameter `k`.
+    pub fn inc(self, k: u32) -> CVal {
+        match self {
+            CVal::Fin(j) if j < k => CVal::Fin(j + 1),
+            _ => CVal::Omega,
+        }
+    }
+
+    /// `self − 1` (`ω − 1 = ω`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Fin(0)` — callers must check positivity first.
+    pub fn dec(self) -> CVal {
+        match self {
+            CVal::Fin(0) => panic!("decrement of zero counter"),
+            CVal::Fin(j) => CVal::Fin(j - 1),
+            CVal::Omega => CVal::Omega,
+        }
+    }
+
+    /// Is the count at least `n`? (ω ≥ anything.)
+    pub fn at_least(self, n: u32) -> bool {
+        match self {
+            CVal::Fin(j) => j >= n,
+            CVal::Omega => true,
+        }
+    }
+
+    /// Is the count nonzero?
+    pub fn positive(self) -> bool {
+        self.at_least(1)
+    }
+}
+
+impl fmt::Display for CVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CVal::Fin(j) => write!(f, "{j}"),
+            CVal::Omega => write!(f, "ω"),
+        }
+    }
+}
+
+/// An abstract context state `G : Q → {0..k, ω}`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContextState {
+    counts: Vec<CVal>,
+}
+
+impl ContextState {
+    /// The initial context: `init` threads at the ACFA start location,
+    /// zero elsewhere. CIRC proper uses `init = ω`; the ω-CIRC
+    /// optimization uses `init = Fin(k)`.
+    pub fn initial(acfa: &Acfa, init: CVal) -> ContextState {
+        let mut counts = vec![CVal::Fin(0); acfa.num_locs()];
+        counts[acfa.entry().index()] = init;
+        ContextState { counts }
+    }
+
+    /// The count at location `q`.
+    pub fn count(&self, q: AcfaLocId) -> CVal {
+        self.counts[q.index()]
+    }
+
+    /// Number of location slots.
+    pub fn width(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Locations with a positive count.
+    pub fn occupied(&self) -> impl Iterator<Item = AcfaLocId> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.positive())
+            .map(|(i, _)| AcfaLocId(i as u32))
+    }
+
+    /// The successor context after one abstract thread moves
+    /// `src → dst` (counter semantics of §3.4): `G'(src) = G(src)−1`,
+    /// `G'(dst) = α_k(G(dst)+1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no thread occupies `src`.
+    pub fn step(&self, src: AcfaLocId, dst: AcfaLocId, k: u32) -> ContextState {
+        let mut counts = self.counts.clone();
+        if src == dst {
+            return ContextState { counts };
+        }
+        counts[src.index()] = counts[src.index()].dec();
+        counts[dst.index()] = counts[dst.index()].inc(k);
+        ContextState { counts }
+    }
+
+    /// The occupied *atomic* locations, given the ACFA.
+    pub fn atomic_occupied<'a>(
+        &'a self,
+        acfa: &'a Acfa,
+    ) -> impl Iterator<Item = AcfaLocId> + 'a {
+        self.occupied().filter(|q| acfa.is_atomic(*q))
+    }
+}
+
+impl fmt::Display for ContextState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Reachable context states of the ACFA running *alone* (no main
+/// thread), under the atomic-scheduling rule. Data constraints on the
+/// location labels are ignored, which only adds states — a sound
+/// over-approximation for the ω-check of ∞-CIRC (§5).
+pub fn context_reach(acfa: &Acfa, k: u32, init: CVal) -> BTreeSet<ContextState> {
+    context_reach_with(acfa, k, init, &mut |_| true)
+}
+
+/// Like [`context_reach`], but a configuration is explored only when
+/// `consistent` accepts it — callers pass a label-consistency oracle
+/// (the conjunction of the occupied locations' regions must be
+/// satisfiable), which is what makes the ω-goodness check of ∞-CIRC
+/// precise enough to conclude.
+pub fn context_reach_with(
+    acfa: &Acfa,
+    k: u32,
+    init: CVal,
+    consistent: &mut dyn FnMut(&ContextState) -> bool,
+) -> BTreeSet<ContextState> {
+    let mut seen: BTreeSet<ContextState> = BTreeSet::new();
+    let first = ContextState::initial(acfa, init);
+    if !consistent(&first) {
+        return seen;
+    }
+    let mut stack = vec![first.clone()];
+    seen.insert(first);
+    while let Some(g) = stack.pop() {
+        let atomic: Vec<AcfaLocId> = g.atomic_occupied(acfa).collect();
+        let movable: Vec<AcfaLocId> = match atomic.len() {
+            0 => g.occupied().collect(),
+            1 => atomic,
+            _ => Vec::new(), // unreachable with a non-atomic entry
+        };
+        for src in movable {
+            for e in acfa.out_edges(src) {
+                let next = g.step(src, e.dst, k);
+                if !seen.contains(&next) && consistent(&next) {
+                    seen.insert(next.clone());
+                    stack.push(next);
+                }
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acfa::AcfaEdge;
+    use crate::cube::Region;
+    use std::collections::BTreeSet as Set;
+
+    #[test]
+    fn cval_arithmetic() {
+        let k = 2;
+        assert_eq!(CVal::Fin(0).inc(k), CVal::Fin(1));
+        assert_eq!(CVal::Fin(2).inc(k), CVal::Omega);
+        assert_eq!(CVal::Omega.inc(k), CVal::Omega);
+        assert_eq!(CVal::Fin(2).dec(), CVal::Fin(1));
+        assert_eq!(CVal::Omega.dec(), CVal::Omega);
+        assert!(CVal::Omega.at_least(1_000_000));
+        assert!(!CVal::Fin(1).at_least(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "decrement of zero")]
+    fn dec_zero_panics() {
+        let _ = CVal::Fin(0).dec();
+    }
+
+    fn ring(n: u32) -> Acfa {
+        // a ring 0 -> 1 -> ... -> n-1 -> 0 with τ edges
+        let regions = vec![Region::full(0); n as usize];
+        let atomic = vec![false; n as usize];
+        let edges = (0..n)
+            .map(|i| AcfaEdge {
+                src: AcfaLocId(i),
+                havoc: Set::new(),
+                dst: AcfaLocId((i + 1) % n),
+            })
+            .collect();
+        Acfa::from_parts(regions, atomic, edges)
+    }
+
+    #[test]
+    fn step_moves_counts() {
+        let a = ring(3);
+        let g = ContextState::initial(&a, CVal::Fin(2));
+        let g2 = g.step(AcfaLocId(0), AcfaLocId(1), 2);
+        assert_eq!(g2.count(AcfaLocId(0)), CVal::Fin(1));
+        assert_eq!(g2.count(AcfaLocId(1)), CVal::Fin(1));
+        // omega stays omega on both inc and dec
+        let g = ContextState::initial(&a, CVal::Omega);
+        let g2 = g.step(AcfaLocId(0), AcfaLocId(1), 1);
+        assert_eq!(g2.count(AcfaLocId(0)), CVal::Omega);
+        assert_eq!(g2.count(AcfaLocId(1)), CVal::Fin(1));
+    }
+
+    #[test]
+    fn context_reach_finite_threads() {
+        // 2 threads on a 3-ring with k = 2: counts are exact, total
+        // always 2: C(2 + 3 - 1, 2) = 6 configurations... all
+        // distributions of 2 tokens over 3 slots = 6.
+        let a = ring(3);
+        let reach = context_reach(&a, 2, CVal::Fin(2));
+        assert_eq!(reach.len(), 6);
+    }
+
+    #[test]
+    fn context_reach_omega() {
+        // ω threads on a 2-ring with k = 1: counts in {0,1,ω} per
+        // slot; from [ω 0]: moving yields ω/[1→ω] patterns; the set
+        // stays small and every state keeps slot 0 at ω (ω−1 = ω).
+        let a = ring(2);
+        let reach = context_reach(&a, 1, CVal::Omega);
+        assert!(reach.iter().all(|g| g.count(AcfaLocId(0)) == CVal::Omega));
+        // states: [ω 0], [ω 1], [ω ω]
+        assert_eq!(reach.len(), 3);
+    }
+
+    #[test]
+    fn atomic_scheduling_in_context_reach() {
+        // 0 -τ-> 1(atomic) -τ-> 0; with 2 threads, at most one can be
+        // at the atomic location, and while one is there the other
+        // cannot move: no state [0 2].
+        let regions = vec![Region::full(0); 2];
+        let edges = vec![
+            AcfaEdge { src: AcfaLocId(0), havoc: Set::new(), dst: AcfaLocId(1) },
+            AcfaEdge { src: AcfaLocId(1), havoc: Set::new(), dst: AcfaLocId(0) },
+        ];
+        let a = Acfa::from_parts(regions, vec![false, true], edges);
+        let reach = context_reach(&a, 2, CVal::Fin(2));
+        assert!(reach
+            .iter()
+            .all(|g| !g.count(AcfaLocId(1)).at_least(2)));
+    }
+
+    #[test]
+    fn self_loop_step_is_identity() {
+        let a = ring(2);
+        let g = ContextState::initial(&a, CVal::Fin(1));
+        assert_eq!(g.step(AcfaLocId(0), AcfaLocId(0), 5), g);
+    }
+}

@@ -1,0 +1,387 @@
+//! Cubes and regions: the cartesian predicate-abstraction domain.
+//!
+//! A [`Cube`] is a partial truth assignment to an (externally owned)
+//! indexed set of predicates `P = {p₀, …, p_{n−1}}`; it denotes the
+//! conjunction of its assigned literals. A [`Region`] is a finite
+//! union (disjunction) of cubes. ACFA location labels, ARG location
+//! labels, and the data part of abstract thread states all live in
+//! this domain.
+//!
+//! All operations here are syntactic; semantic questions (does this
+//! cube imply that predicate?) go through the SMT layer in
+//! `circ-core`.
+
+use std::fmt;
+
+/// Index of a predicate in the checker's current predicate set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredIx(pub u32);
+
+impl PredIx {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PredIx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A partial assignment of truth values to predicates, denoting the
+/// conjunction of its assigned literals ([`None`] = unconstrained).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    vals: Vec<Option<bool>>,
+}
+
+impl Cube {
+    /// The unconstrained cube (`true`) over `n` predicates.
+    pub fn top(n: usize) -> Cube {
+        Cube { vals: vec![None; n] }
+    }
+
+    /// Number of predicate slots.
+    pub fn width(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The value assigned to predicate `i`.
+    pub fn get(&self, i: PredIx) -> Option<bool> {
+        self.vals[i.index()]
+    }
+
+    /// Assigns predicate `i`.
+    pub fn set(&mut self, i: PredIx, v: bool) {
+        self.vals[i.index()] = Some(v);
+    }
+
+    /// Clears predicate `i` (makes it unconstrained).
+    pub fn clear(&mut self, i: PredIx) {
+        self.vals[i.index()] = None;
+    }
+
+    /// Returns a copy with `i` assigned to `v`.
+    pub fn with(&self, i: PredIx, v: bool) -> Cube {
+        let mut c = self.clone();
+        c.set(i, v);
+        c
+    }
+
+    /// Iterates over the assigned literals `(index, value)`.
+    pub fn literals(&self) -> impl Iterator<Item = (PredIx, bool)> + '_ {
+        self.vals
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|b| (PredIx(i as u32), b)))
+    }
+
+    /// Number of assigned literals.
+    pub fn num_literals(&self) -> usize {
+        self.vals.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// True if no predicate is assigned (denotes `true`).
+    pub fn is_top(&self) -> bool {
+        self.vals.iter().all(Option::is_none)
+    }
+
+    /// Syntactic subsumption: `self ⊑ other` — every literal of
+    /// `other` is assigned identically in `self`, hence the state set
+    /// of `self` is contained in that of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn subsumed_by(&self, other: &Cube) -> bool {
+        assert_eq!(self.width(), other.width(), "cube widths differ");
+        other
+            .literals()
+            .all(|(i, v)| self.get(i) == Some(v))
+    }
+
+    /// Conjunction of two cubes; `None` if they assign some predicate
+    /// opposite values (empty intersection, syntactically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn meet(&self, other: &Cube) -> Option<Cube> {
+        assert_eq!(self.width(), other.width(), "cube widths differ");
+        let mut out = self.clone();
+        for (i, v) in other.literals() {
+            match out.get(i) {
+                None => out.set(i, v),
+                Some(w) if w == v => {}
+                Some(_) => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// Drops every literal whose predicate is not in `keep` (indexed
+    /// by predicate slot). Used to project a cube onto the global
+    /// predicates, and to havoc variables (drop affected predicates).
+    pub fn project(&self, keep: &impl Fn(PredIx) -> bool) -> Cube {
+        let mut out = self.clone();
+        for i in 0..self.vals.len() {
+            let ix = PredIx(i as u32);
+            if out.get(ix).is_some() && !keep(ix) {
+                out.clear(ix);
+            }
+        }
+        out
+    }
+
+    /// Grows the cube to `n` slots (new predicates unconstrained).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is smaller than the current width.
+    pub fn widen_to(&self, n: usize) -> Cube {
+        assert!(n >= self.width(), "cannot shrink a cube");
+        let mut vals = self.vals.clone();
+        vals.resize(n, None);
+        Cube { vals }
+    }
+
+    /// Renders the cube with a predicate naming function.
+    pub fn display_with(&self, name: &impl Fn(PredIx) -> String) -> String {
+        if self.is_top() {
+            return "true".to_string();
+        }
+        let mut parts = Vec::new();
+        for (i, v) in self.literals() {
+            if v {
+                parts.push(name(i));
+            } else {
+                parts.push(format!("!({})", name(i)));
+            }
+        }
+        parts.join(" & ")
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_with(&|i| format!("{i}")))
+    }
+}
+
+/// A finite union of cubes, kept irredundant under syntactic
+/// subsumption.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Region {
+    cubes: Vec<Cube>,
+}
+
+impl Region {
+    /// The empty region (`false`).
+    pub fn empty() -> Region {
+        Region::default()
+    }
+
+    /// The full region (`true`) over `n` predicates.
+    pub fn full(n: usize) -> Region {
+        Region { cubes: vec![Cube::top(n)] }
+    }
+
+    /// A region of a single cube.
+    pub fn of_cube(c: Cube) -> Region {
+        Region { cubes: vec![c] }
+    }
+
+    /// The member cubes.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// True if the region denotes `false`.
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Adds a cube, pruning syntactically subsumed members. Returns
+    /// `true` if the region grew (the cube was not already covered).
+    pub fn add(&mut self, c: Cube) -> bool {
+        if self.cubes.iter().any(|have| c.subsumed_by(have)) {
+            return false;
+        }
+        self.cubes.retain(|have| !have.subsumed_by(&c));
+        self.cubes.push(c);
+        self.cubes.sort();
+        true
+    }
+
+    /// Union with another region.
+    pub fn union(&mut self, other: &Region) {
+        for c in &other.cubes {
+            self.add(c.clone());
+        }
+    }
+
+    /// Syntactic containment of a cube: some member subsumes it.
+    pub fn covers_cube(&self, c: &Cube) -> bool {
+        self.cubes.iter().any(|have| c.subsumed_by(have))
+    }
+
+    /// Syntactic containment `self ⊆ other`: every member cube of
+    /// `self` is subsumed by some member of `other`. (Sound but
+    /// incomplete — a cube can be semantically covered by a union
+    /// without being subsumed by a single member.)
+    pub fn contained_in(&self, other: &Region) -> bool {
+        self.cubes.iter().all(|c| other.covers_cube(c))
+    }
+
+    /// Applies [`Cube::project`] to every member.
+    pub fn project(&self, keep: &impl Fn(PredIx) -> bool) -> Region {
+        let mut out = Region::empty();
+        for c in &self.cubes {
+            out.add(c.project(keep));
+        }
+        out
+    }
+
+    /// Pairwise meet of two regions (DNF conjunction).
+    pub fn meet(&self, other: &Region) -> Region {
+        let mut out = Region::empty();
+        for a in &self.cubes {
+            for b in &other.cubes {
+                if let Some(m) = a.meet(b) {
+                    out.add(m);
+                }
+            }
+        }
+        out
+    }
+
+    /// Grows every member to width `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is smaller than a member's width.
+    pub fn widen_to(&self, n: usize) -> Region {
+        Region { cubes: self.cubes.iter().map(|c| c.widen_to(n)).collect() }
+    }
+
+    /// Renders the region with a predicate naming function.
+    pub fn display_with(&self, name: &impl Fn(PredIx) -> String) -> String {
+        if self.is_empty() {
+            return "false".to_string();
+        }
+        self.cubes
+            .iter()
+            .map(|c| c.display_with(name))
+            .collect::<Vec<_>>()
+            .join("  |  ")
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_with(&|i| format!("{i}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PredIx {
+        PredIx(i)
+    }
+
+    #[test]
+    fn cube_subsumption() {
+        let top = Cube::top(3);
+        let c1 = top.with(p(0), true);
+        let c2 = c1.with(p(1), false);
+        assert!(c1.subsumed_by(&top));
+        assert!(c2.subsumed_by(&c1));
+        assert!(!c1.subsumed_by(&c2));
+        assert!(c2.subsumed_by(&c2));
+        // conflicting literal blocks subsumption
+        let c3 = top.with(p(0), false);
+        assert!(!c3.subsumed_by(&c1));
+    }
+
+    #[test]
+    fn cube_meet() {
+        let top = Cube::top(2);
+        let a = top.with(p(0), true);
+        let b = top.with(p(1), false);
+        let m = a.meet(&b).unwrap();
+        assert_eq!(m.get(p(0)), Some(true));
+        assert_eq!(m.get(p(1)), Some(false));
+        // conflict
+        assert!(a.meet(&top.with(p(0), false)).is_none());
+    }
+
+    #[test]
+    fn cube_project_drops_literals() {
+        let c = Cube::top(3).with(p(0), true).with(p(2), false);
+        let q = c.project(&|i| i != p(2));
+        assert_eq!(q.get(p(0)), Some(true));
+        assert_eq!(q.get(p(2)), None);
+    }
+
+    #[test]
+    fn cube_widen() {
+        let c = Cube::top(2).with(p(1), true);
+        let w = c.widen_to(4);
+        assert_eq!(w.width(), 4);
+        assert_eq!(w.get(p(1)), Some(true));
+        assert_eq!(w.get(p(3)), None);
+    }
+
+    #[test]
+    fn region_add_prunes_subsumed() {
+        let top = Cube::top(2);
+        let strong = top.with(p(0), true).with(p(1), true);
+        let weak = top.with(p(0), true);
+        let mut r = Region::empty();
+        assert!(r.add(strong.clone()));
+        assert!(r.add(weak.clone()));
+        // weak subsumes strong: only weak remains
+        assert_eq!(r.cubes().len(), 1);
+        assert_eq!(r.cubes()[0], weak);
+        // adding strong again is a no-op
+        assert!(!r.add(strong));
+    }
+
+    #[test]
+    fn region_containment() {
+        let top = Cube::top(2);
+        let a = Region::of_cube(top.with(p(0), true));
+        let full = Region::full(2);
+        assert!(a.contained_in(&full));
+        assert!(!full.contained_in(&a));
+        assert!(Region::empty().contained_in(&a));
+        assert!(!a.contained_in(&Region::empty()));
+    }
+
+    #[test]
+    fn region_meet_dnf() {
+        let top = Cube::top(2);
+        let mut left = Region::empty();
+        left.add(top.with(p(0), true));
+        left.add(top.with(p(0), false));
+        let right = Region::of_cube(top.with(p(1), true));
+        let m = left.meet(&right);
+        assert_eq!(m.cubes().len(), 2);
+        assert!(m.cubes().iter().all(|c| c.get(p(1)) == Some(true)));
+    }
+
+    #[test]
+    fn region_display() {
+        let top = Cube::top(2);
+        let mut r = Region::empty();
+        r.add(top.with(p(0), true));
+        let s = r.display_with(&|_| "state = 0".to_string());
+        assert_eq!(s, "state = 0");
+        assert_eq!(Region::empty().display_with(&|_| String::new()), "false");
+        assert_eq!(Region::full(2).display_with(&|_| String::new()), "true");
+    }
+}

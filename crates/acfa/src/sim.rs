@@ -1,0 +1,225 @@
+//! The **CheckSim** procedure: weak simulation between ACFAs (§4.2).
+//!
+//! `check_sim(g, a)` decides whether `a` *weakly simulates* `g`
+//! (written `g ⪯ a`): the greatest relation such that `q ⪯ p`
+//! requires
+//!
+//! 1. `region(q) ⊆ region(p)` and equal atomicity flags,
+//! 2. every silent move `q -∅→ q'` is matched by some `p'' ∈ τ*(p)`
+//!    with `q' ⪯ p''`,
+//! 3. every observable move `q -Y→ q'` (Y ≠ ∅) is matched by a weak
+//!    move `p ⇒Y'⇒ p''` (τ\* then one `Y'`-edge then τ\*) with
+//!    `Y ⊆ Y'` and `q' ⪯ p''`.
+//!
+//! The havoc-set inclusion `Y ⊆ Y'` follows the paper: an edge that
+//! havocs more variables exhibits a superset of behaviors.
+//!
+//! This check discharges the *guarantee* step of the circular
+//! assume–guarantee argument: if the abstract reachability graph of
+//! the main thread (in context `A^∞`) is simulated by `A`, then `A`
+//! soundly over-approximates every thread.
+
+use crate::acfa::{Acfa, AcfaLocId};
+use circ_ir::Var;
+use std::collections::BTreeSet;
+
+/// Decides `g ⪯ a` using syntactic region containment (every cube of
+/// the left region subsumed by some cube of the right). See
+/// [`check_sim_with`] for a semantic containment oracle.
+pub fn check_sim(g: &Acfa, a: &Acfa) -> bool {
+    check_sim_with(g, a, &mut |x, y| x.contained_in(y))
+}
+
+/// Decides `g ⪯ a` (see module docs) with a caller-supplied region
+/// containment test (e.g. an SMT-backed semantic check). Both
+/// automata must label their regions over the same predicate
+/// indexing.
+pub fn check_sim_with(
+    g: &Acfa,
+    a: &Acfa,
+    contains: &mut dyn FnMut(&crate::cube::Region, &crate::cube::Region) -> bool,
+) -> bool {
+    let ng = g.num_locs();
+    let na = a.num_locs();
+
+    // Weak observable moves of `a`: (Y', destination) pairs.
+    let a_tau: Vec<BTreeSet<AcfaLocId>> = a.locs().map(|p| a.tau_reach(p)).collect();
+    let mut weak: Vec<Vec<(BTreeSet<Var>, AcfaLocId)>> = vec![Vec::new(); na];
+    for p in a.locs() {
+        let mut set: BTreeSet<(BTreeSet<Var>, AcfaLocId)> = BTreeSet::new();
+        for &p1 in &a_tau[p.index()] {
+            for e in a.out_edges(p1) {
+                if e.havoc.is_empty() {
+                    continue;
+                }
+                for &p2 in &a_tau[e.dst.index()] {
+                    set.insert((e.havoc.clone(), p2));
+                }
+            }
+        }
+        weak[p.index()] = set.into_iter().collect();
+    }
+
+    // Greatest fixpoint: start from the label condition, prune.
+    let mut rel = vec![vec![false; na]; ng];
+    for q in g.locs() {
+        for p in a.locs() {
+            rel[q.index()][p.index()] = g.is_atomic(q) == a.is_atomic(p)
+                && contains(g.region(q), a.region(p));
+        }
+    }
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for q in g.locs() {
+            for p in a.locs() {
+                if !rel[q.index()][p.index()] {
+                    continue;
+                }
+                let ok = g.out_edges(q).all(|e| {
+                    // A havoc edge may rewrite the old values, so any
+                    // weak Y′-move with Y ⊆ Y′ matches — including
+                    // Y = ∅ (the paper's condition (2) does not
+                    // special-case silent moves). Silent moves may
+                    // additionally be matched by staying put (weak
+                    // simulation).
+                    let by_weak_move = weak[p.index()].iter().any(|(y, p2)| {
+                        e.havoc.is_subset(y) && rel[e.dst.index()][p2.index()]
+                    });
+                    let by_stutter = e.havoc.is_empty()
+                        && a_tau[p.index()]
+                            .iter()
+                            .any(|p2| rel[e.dst.index()][p2.index()]);
+                    by_weak_move || by_stutter
+                });
+                if !ok {
+                    rel[q.index()][p.index()] = false;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    rel[g.entry().index()][a.entry().index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acfa::AcfaEdge;
+    use crate::collapse::collapse;
+    use crate::cube::{Cube, PredIx, Region};
+
+    fn v(n: u32) -> Var {
+        Var::from_raw(n)
+    }
+
+    fn edge(s: u32, havoc: &[u32], d: u32) -> AcfaEdge {
+        AcfaEdge {
+            src: AcfaLocId(s),
+            havoc: havoc.iter().map(|x| v(*x)).collect(),
+            dst: AcfaLocId(d),
+        }
+    }
+
+    fn plain(n_locs: usize, edges: Vec<AcfaEdge>) -> Acfa {
+        Acfa::from_parts(vec![Region::full(0); n_locs], vec![false; n_locs], edges)
+    }
+
+    #[test]
+    fn empty_acfa_simulates_itself_only() {
+        let empty = Acfa::empty(0);
+        assert!(check_sim(&empty, &empty));
+        // a one-step writer is NOT simulated by the empty context
+        let writer = plain(2, vec![edge(0, &[0], 1)]);
+        assert!(!check_sim(&writer, &empty));
+        // but the empty context is simulated by the writer
+        assert!(check_sim(&empty, &writer));
+    }
+
+    #[test]
+    fn havoc_superset_simulates() {
+        // g: 0 -{x}-> 1 ; a: 0 -{x,y}-> 1 — a simulates g, not vice
+        // versa.
+        let g = plain(2, vec![edge(0, &[0], 1)]);
+        let a = plain(2, vec![edge(0, &[0, 1], 1)]);
+        assert!(check_sim(&g, &a));
+        assert!(!check_sim(&a, &g));
+    }
+
+    #[test]
+    fn weak_matching_through_tau() {
+        // g: 0 -{x}-> 1 ; a: 0 -τ-> 1 -{x}-> 2 — weakly simulates.
+        let g = plain(2, vec![edge(0, &[0], 1)]);
+        let a = plain(3, vec![edge(0, &[], 1), edge(1, &[0], 2)]);
+        assert!(check_sim(&g, &a));
+    }
+
+    #[test]
+    fn tau_moves_matched_by_staying() {
+        // g: 0 -τ-> 1 -{x}-> 0 ; a: single loc with {x} self loop.
+        let g = plain(2, vec![edge(0, &[], 1), edge(1, &[0], 0)]);
+        let a = plain(1, vec![edge(0, &[0], 0)]);
+        assert!(check_sim(&g, &a));
+    }
+
+    #[test]
+    fn labels_block_simulation() {
+        // g's target location allows p0 true or false, a's insists on
+        // p0 true: containment fails on the false branch.
+        let top = Region::full(1);
+        let p0_true = Region::of_cube(Cube::top(1).with(PredIx(0), true));
+        let g = Acfa::from_parts(
+            vec![top.clone(), top.clone()],
+            vec![false; 2],
+            vec![edge(0, &[0], 1)],
+        );
+        let a = Acfa::from_parts(
+            vec![top, p0_true],
+            vec![false; 2],
+            vec![edge(0, &[0], 1)],
+        );
+        assert!(!check_sim(&g, &a));
+        assert!(check_sim(&a, &g));
+    }
+
+    #[test]
+    fn atomicity_must_match() {
+        let g = Acfa::from_parts(
+            vec![Region::full(0); 2],
+            vec![false, true],
+            vec![edge(0, &[0], 1)],
+        );
+        let a = plain(2, vec![edge(0, &[0], 1)]);
+        assert!(!check_sim(&g, &a));
+        assert!(check_sim(&g, &g));
+    }
+
+    #[test]
+    fn collapse_quotient_simulates_original() {
+        // The quotient of any graph must simulate it (the guarantee
+        // CIRC relies on when it reuses the minimized ARG as context).
+        let g = plain(
+            4,
+            vec![
+                edge(0, &[], 1),
+                edge(1, &[1], 2),
+                edge(2, &[0], 3),
+                edge(3, &[1], 0),
+            ],
+        );
+        let q = collapse(&g);
+        assert!(check_sim(&g, &q.acfa), "quotient must simulate the original");
+    }
+
+    #[test]
+    fn cycle_vs_finite_unrolling() {
+        // A two-step unrolling of a loop is simulated by the loop.
+        let unrolled = plain(3, vec![edge(0, &[0], 1), edge(1, &[0], 2)]);
+        let looped = plain(1, vec![edge(0, &[0], 0)]);
+        assert!(check_sim(&unrolled, &looped));
+        // The loop is not simulated by the (terminating) unrolling.
+        assert!(!check_sim(&looped, &unrolled));
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based validation of the control-abstraction machinery:
+//! the weak-bisimulation quotient must always simulate the original
+//! automaton (the invariant CIRC's guarantee step relies on), be
+//! idempotent, and the cube/region lattice operations must respect
+//! their semantic contracts.
+
+use circ_acfa::{check_sim, collapse, Acfa, AcfaEdge, AcfaLocId, Cube, PredIx, Region};
+use circ_ir::Var;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const NPREDS: usize = 2;
+const NVARS: u32 = 2;
+
+fn cube_strategy() -> impl Strategy<Value = Cube> {
+    proptest::collection::vec(proptest::option::of(any::<bool>()), NPREDS).prop_map(|vals| {
+        let mut c = Cube::top(NPREDS);
+        for (i, v) in vals.into_iter().enumerate() {
+            if let Some(b) = v {
+                c.set(PredIx(i as u32), b);
+            }
+        }
+        c
+    })
+}
+
+fn region_strategy() -> impl Strategy<Value = Region> {
+    proptest::collection::vec(cube_strategy(), 1..3).prop_map(|cubes| {
+        let mut r = Region::empty();
+        for c in cubes {
+            r.add(c);
+        }
+        r
+    })
+}
+
+#[derive(Debug, Clone)]
+struct RawEdge {
+    src: u32,
+    dst: u32,
+    havoc_mask: u32,
+}
+
+fn acfa_strategy() -> impl Strategy<Value = Acfa> {
+    (2u32..6)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec(region_strategy(), n as usize),
+                proptest::collection::vec(any::<bool>(), n as usize),
+                proptest::collection::vec(
+                    (0..n, 0..n, 0u32..(1 << NVARS)).prop_map(|(src, dst, havoc_mask)| RawEdge {
+                        src,
+                        dst,
+                        havoc_mask,
+                    }),
+                    1..8,
+                ),
+            )
+        })
+        .prop_map(|(n, regions, mut atomic, raw_edges)| {
+            let _ = n;
+            atomic[0] = false; // entry stays non-atomic
+            let edges = raw_edges
+                .into_iter()
+                .map(|e| AcfaEdge {
+                    src: AcfaLocId(e.src),
+                    havoc: (0..NVARS)
+                        .filter(|i| e.havoc_mask & (1 << i) != 0)
+                        .map(Var::from_raw)
+                        .collect::<BTreeSet<_>>(),
+                    dst: AcfaLocId(e.dst),
+                })
+                .collect();
+            Acfa::from_parts(regions, atomic, edges)
+        })
+}
+
+/// Semantic state set of a cube over boolean predicate valuations.
+fn cube_admits(c: &Cube, valuation: u32) -> bool {
+    c.literals().all(|(i, v)| ((valuation >> i.0) & 1 == 1) == v)
+}
+
+fn region_admits(r: &Region, valuation: u32) -> bool {
+    r.cubes().iter().any(|c| cube_admits(c, valuation))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, .. ProptestConfig::default() })]
+
+    #[test]
+    fn quotient_simulates_original(g in acfa_strategy()) {
+        let q = collapse(&g);
+        prop_assert!(
+            check_sim(&g, &q.acfa),
+            "the collapse quotient must weakly simulate its input"
+        );
+        prop_assert!(q.acfa.num_locs() <= g.num_locs());
+        prop_assert_eq!(q.map.len(), g.num_locs());
+        prop_assert_eq!(q.map[g.entry().index()], q.acfa.entry());
+    }
+
+    #[test]
+    fn collapse_is_idempotent(g in acfa_strategy()) {
+        let once = collapse(&g);
+        let twice = collapse(&once.acfa);
+        prop_assert_eq!(
+            once.acfa.num_locs(),
+            twice.acfa.num_locs(),
+            "a quotient must be its own quotient"
+        );
+    }
+
+    #[test]
+    fn simulation_is_reflexive(g in acfa_strategy()) {
+        prop_assert!(check_sim(&g, &g));
+    }
+
+    #[test]
+    fn cube_meet_is_intersection(a in cube_strategy(), b in cube_strategy()) {
+        for valuation in 0..(1u32 << NPREDS) {
+            let both = cube_admits(&a, valuation) && cube_admits(&b, valuation);
+            match a.meet(&b) {
+                Some(m) => prop_assert_eq!(cube_admits(&m, valuation), both),
+                None => prop_assert!(!both, "meet said empty but {valuation:b} is in both"),
+            }
+        }
+    }
+
+    #[test]
+    fn cube_subsumption_is_containment(a in cube_strategy(), b in cube_strategy()) {
+        if a.subsumed_by(&b) {
+            for valuation in 0..(1u32 << NPREDS) {
+                if cube_admits(&a, valuation) {
+                    prop_assert!(cube_admits(&b, valuation));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_union_and_containment(r1 in region_strategy(), r2 in region_strategy()) {
+        let mut u = r1.clone();
+        u.union(&r2);
+        for valuation in 0..(1u32 << NPREDS) {
+            prop_assert_eq!(
+                region_admits(&u, valuation),
+                region_admits(&r1, valuation) || region_admits(&r2, valuation)
+            );
+        }
+        // syntactic containment implies semantic containment
+        if r1.contained_in(&r2) {
+            for valuation in 0..(1u32 << NPREDS) {
+                if region_admits(&r1, valuation) {
+                    prop_assert!(region_admits(&r2, valuation));
+                }
+            }
+        }
+        // both operands are contained in the union
+        prop_assert!(r1.contained_in(&u));
+        prop_assert!(r2.contained_in(&u));
+    }
+
+    #[test]
+    fn region_meet_is_intersection(r1 in region_strategy(), r2 in region_strategy()) {
+        let m = r1.meet(&r2);
+        for valuation in 0..(1u32 << NPREDS) {
+            prop_assert_eq!(
+                region_admits(&m, valuation),
+                region_admits(&r1, valuation) && region_admits(&r2, valuation)
+            );
+        }
+    }
+
+    #[test]
+    fn region_project_weakens(r in region_strategy(), keep_mask in 0u32..(1 << NPREDS)) {
+        let p = r.project(&|i| keep_mask & (1 << i.0) != 0);
+        for valuation in 0..(1u32 << NPREDS) {
+            if region_admits(&r, valuation) {
+                prop_assert!(region_admits(&p, valuation), "projection must over-approximate");
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The flow-based static race checker (nesC-compiler style).
+//!
+//! The nesC compiler's analysis (§6 of the CIRC paper): find every
+//! global variable that can be accessed concurrently (here: *every*
+//! global of a symmetric unbounded-thread program is), and require
+//! each of its accesses to occur within an atomic section. No data
+//! flow, no path sensitivity — the check is sound but flags every
+//! state-variable synchronization idiom.
+
+use circ_ir::{Cfa, Edge, Var};
+use std::collections::BTreeSet;
+
+/// One flagged access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowFinding {
+    /// The variable with a potentially racy access.
+    pub var: Var,
+    /// Index of the offending edge in the CFA.
+    pub edge_index: usize,
+    /// Whether the offending access is a write.
+    pub is_write: bool,
+}
+
+/// Result of [`flow_check`].
+#[derive(Debug, Clone, Default)]
+pub struct FlowReport {
+    /// All findings, in edge order.
+    pub findings: Vec<FlowFinding>,
+}
+
+impl FlowReport {
+    /// The distinct flagged variables.
+    pub fn flagged_vars(&self) -> BTreeSet<Var> {
+        self.findings.iter().map(|f| f.var).collect()
+    }
+
+    /// Whether `v` was flagged.
+    pub fn flags(&self, v: Var) -> bool {
+        self.findings.iter().any(|f| f.var == v)
+    }
+}
+
+/// Is this edge "inside" an atomic section for protection purposes?
+/// An access is protected when the edge starts at an atomic location
+/// or enters one (the first operation of an `atomic` block executes
+/// while the thread is still at the non-atomic entry).
+fn edge_atomic(cfa: &Cfa, e: &Edge) -> bool {
+    cfa.is_atomic(e.src) || cfa.is_atomic(e.dst)
+}
+
+/// Runs the flow-based analysis on a thread template. A global is
+/// *shared-mutable* when some edge writes it; every read or write of
+/// a shared-mutable global outside an atomic section is reported.
+pub fn flow_check(cfa: &Cfa) -> FlowReport {
+    // globals written anywhere
+    let written: BTreeSet<Var> = cfa
+        .edges()
+        .iter()
+        .filter_map(|e| e.op.written())
+        .filter(|v| cfa.is_global(*v))
+        .collect();
+    let mut report = FlowReport::default();
+    for (ix, e) in cfa.edges().iter().enumerate() {
+        if edge_atomic(cfa, e) {
+            continue;
+        }
+        if let Some(w) = e.op.written() {
+            if written.contains(&w) {
+                report.findings.push(FlowFinding { var: w, edge_index: ix, is_write: true });
+            }
+        }
+        for r in e.op.reads() {
+            if cfa.is_global(r) && written.contains(&r) {
+                report.findings.push(FlowFinding { var: r, edge_index: ix, is_write: false });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circ_ir::{figure1_cfa, CfaBuilder, Expr, Op};
+
+    #[test]
+    fn figure1_false_positive() {
+        // The paper's safe test-and-set idiom: the flow baseline
+        // flags x (and state) because the final accesses happen
+        // outside the atomic block.
+        let cfa = figure1_cfa();
+        let x = cfa.var_by_name("x").unwrap();
+        let report = flow_check(&cfa);
+        assert!(report.flags(x), "flow baseline must false-positive on x");
+    }
+
+    #[test]
+    fn atomic_only_accesses_pass() {
+        let mut b = CfaBuilder::new("ok");
+        let g = b.global("g");
+        let l1 = b.fresh_loc();
+        let l2 = b.fresh_loc();
+        b.edge(b.entry(), Op::skip(), l1);
+        b.mark_atomic(l1);
+        b.edge(l1, Op::assign(g, Expr::var(g) + Expr::int(1)), l2);
+        b.mark_atomic(l2);
+        let l3 = b.fresh_loc();
+        b.edge(l2, Op::skip(), l3);
+        b.edge(l3, Op::skip(), b.entry());
+        let cfa = b.build();
+        let g = cfa.var_by_name("g").unwrap();
+        assert!(!flow_check(&cfa).flags(g));
+    }
+
+    #[test]
+    fn read_only_globals_not_flagged() {
+        let mut b = CfaBuilder::new("ro");
+        let g = b.global("g");
+        let l = b.local("l");
+        let l1 = b.fresh_loc();
+        b.edge(b.entry(), Op::assign(l, Expr::var(g)), l1);
+        let cfa = b.build();
+        let g = cfa.var_by_name("g").unwrap();
+        assert!(!flow_check(&cfa).flags(g), "never-written globals are race-free");
+    }
+
+    #[test]
+    fn locals_never_flagged() {
+        let mut b = CfaBuilder::new("loc");
+        let l = b.local("l");
+        let l1 = b.fresh_loc();
+        b.edge(b.entry(), Op::assign(l, Expr::var(l) + Expr::int(1)), l1);
+        let cfa = b.build();
+        assert!(flow_check(&cfa).findings.is_empty());
+    }
+
+    #[test]
+    fn findings_report_edges_and_kinds() {
+        let cfa = figure1_cfa();
+        let x = cfa.var_by_name("x").unwrap();
+        let report = flow_check(&cfa);
+        let xw: Vec<_> =
+            report.findings.iter().filter(|f| f.var == x && f.is_write).collect();
+        assert_eq!(xw.len(), 1, "one non-atomic write to x (x := x + 1)");
+        let xr: Vec<_> =
+            report.findings.iter().filter(|f| f.var == x && !f.is_write).collect();
+        assert_eq!(xr.len(), 1, "one non-atomic read of x (in x := x + 1)");
+    }
+}

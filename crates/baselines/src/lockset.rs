@@ -1,0 +1,193 @@
+//! The Eraser-style dynamic lockset race detector.
+//!
+//! Eraser's discipline: every shared variable must be consistently
+//! protected by some lock. Per variable, a candidate set `C(v)` of
+//! locks starts full and is intersected with the executing thread's
+//! held locks at each access; a state machine (Virgin → Exclusive →
+//! Shared → Shared-Modified) postpones warnings until the variable is
+//! genuinely shared and written. The only "lock" in NesL programs is
+//! the atomic section, so any state-variable idiom drains `C(v)` and
+//! draws a warning — a false positive whenever the idiom is actually
+//! sound, which is the CIRC paper's motivating observation.
+
+use crate::sched::random_run;
+use circ_ir::{MtProgram, ThreadId, Var};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The Eraser per-variable ownership state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarState {
+    /// Never accessed.
+    Virgin,
+    /// Accessed by a single thread only.
+    Exclusive(ThreadId),
+    /// Read by several threads, never written after sharing.
+    Shared,
+    /// Written while shared: lockset violations are reported.
+    SharedModified,
+}
+
+/// Aggregated result of the dynamic checker.
+#[derive(Debug, Clone, Default)]
+pub struct EraserReport {
+    /// Variables warned about (empty candidate lockset while
+    /// shared-modified).
+    pub flagged: BTreeSet<Var>,
+    /// Final ownership state per observed variable.
+    pub states: BTreeMap<Var, VarState>,
+    /// Total accesses monitored.
+    pub accesses: usize,
+    /// Schedules executed.
+    pub runs: usize,
+}
+
+impl EraserReport {
+    /// Whether `v` drew a warning.
+    pub fn flags(&self, v: Var) -> bool {
+        self.flagged.contains(&v)
+    }
+}
+
+/// The single lock Eraser can see in NesL programs: the atomic
+/// section.
+const ATOMIC_LOCK: u32 = 0;
+
+/// Runs the Eraser algorithm over `runs` random schedules of an
+/// `n_threads` instantiation (`max_steps` steps each; seeds
+/// `seed_base..seed_base + runs`).
+pub fn eraser(
+    program: &MtProgram,
+    n_threads: usize,
+    max_steps: usize,
+    runs: u64,
+    seed_base: u64,
+) -> EraserReport {
+    let cfa = program.cfa();
+    let mut report = EraserReport::default();
+    // Candidate locksets persist across runs (monitoring one logical
+    // program).
+    let mut candidates: BTreeMap<Var, BTreeSet<u32>> = BTreeMap::new();
+    let mut states: BTreeMap<Var, VarState> = BTreeMap::new();
+
+    for run_ix in 0..runs {
+        report.runs += 1;
+        let run = random_run(program, n_threads, max_steps, seed_base + run_ix);
+        for &(t, eid, _) in &run.steps {
+            let edge = cfa.edge(eid);
+            let held: BTreeSet<u32> = if cfa.is_atomic(edge.src) || cfa.is_atomic(edge.dst) {
+                [ATOMIC_LOCK].into()
+            } else {
+                BTreeSet::new()
+            };
+            let mut accesses: Vec<(Var, bool)> = Vec::new();
+            for r in edge.op.reads() {
+                if cfa.is_global(r) {
+                    accesses.push((r, false));
+                }
+            }
+            if let Some(w) = edge.op.written() {
+                if cfa.is_global(w) {
+                    accesses.push((w, true));
+                }
+            }
+            for (v, is_write) in accesses {
+                report.accesses += 1;
+                let state = states.entry(v).or_insert(VarState::Virgin);
+                *state = match (*state, is_write) {
+                    (VarState::Virgin, _) => VarState::Exclusive(t),
+                    (VarState::Exclusive(owner), _) if owner == t => VarState::Exclusive(t),
+                    (VarState::Exclusive(_), false) => VarState::Shared,
+                    (VarState::Exclusive(_), true) => VarState::SharedModified,
+                    (VarState::Shared, false) => VarState::Shared,
+                    (VarState::Shared, true) => VarState::SharedModified,
+                    (VarState::SharedModified, _) => VarState::SharedModified,
+                };
+                // Candidate set maintenance: refined from the second
+                // thread onwards (Eraser's initialization heuristic).
+                match *state {
+                    VarState::Virgin | VarState::Exclusive(_) => {}
+                    _ => {
+                        let c = candidates
+                            .entry(v)
+                            .or_insert_with(|| [ATOMIC_LOCK].into());
+                        *c = c.intersection(&held).copied().collect();
+                        if *state == VarState::SharedModified && c.is_empty() {
+                            report.flagged.insert(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report.states = states;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circ_ir::{figure1_cfa, CfaBuilder, Expr, Op};
+
+    fn fig1() -> MtProgram {
+        let cfa = figure1_cfa();
+        let x = cfa.var_by_name("x").unwrap();
+        MtProgram::new(cfa, x)
+    }
+
+    #[test]
+    fn figure1_false_positive_on_x() {
+        // The program is race-free (CIRC proves it), yet Eraser flags
+        // x: it is written outside any atomic section and no lockset
+        // protects it.
+        let p = fig1();
+        let report = eraser(&p, 3, 400, 10, 7);
+        let x = p.cfa().var_by_name("x").unwrap();
+        assert!(report.flags(x), "Eraser must false-positive on x");
+        assert!(report.accesses > 0);
+    }
+
+    #[test]
+    fn atomic_protected_variable_not_flagged() {
+        let mut b = CfaBuilder::new("ok");
+        let g = b.global("g");
+        let l1 = b.fresh_loc();
+        let l2 = b.fresh_loc();
+        b.edge(b.entry(), Op::skip(), l1);
+        b.mark_atomic(l1);
+        b.edge(l1, Op::assign(g, Expr::var(g) + Expr::int(1)), l2);
+        b.mark_atomic(l2);
+        let l3 = b.fresh_loc();
+        b.edge(l2, Op::skip(), l3);
+        b.edge(l3, Op::skip(), b.entry());
+        let cfa = b.build();
+        let g = cfa.var_by_name("g").unwrap();
+        let p = MtProgram::new(cfa, g);
+        let report = eraser(&p, 3, 400, 10, 3);
+        assert!(!report.flags(g), "consistently atomic accesses stay clean");
+        assert!(matches!(report.states.get(&g), Some(VarState::SharedModified)));
+    }
+
+    #[test]
+    fn single_thread_never_flags() {
+        let p = fig1();
+        let report = eraser(&p, 1, 400, 5, 1);
+        assert!(report.flagged.is_empty(), "exclusive ownership draws no warning");
+    }
+
+    #[test]
+    fn read_shared_variable_not_flagged() {
+        // Globals that are only read stay in Shared.
+        let mut b = CfaBuilder::new("ro");
+        let g = b.global("g");
+        let l = b.local("l");
+        let l1 = b.fresh_loc();
+        b.edge(b.entry(), Op::assign(l, Expr::var(g)), l1);
+        b.edge(l1, Op::skip(), b.entry());
+        let cfa = b.build();
+        let g = cfa.var_by_name("g").unwrap();
+        let p = MtProgram::new(cfa, g);
+        let report = eraser(&p, 3, 300, 5, 1);
+        assert!(!report.flags(g));
+        assert_eq!(report.states.get(&g), Some(&VarState::Shared));
+    }
+}

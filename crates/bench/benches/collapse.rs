@@ -1,0 +1,53 @@
+//! Scaling of the weak-bisimulation quotient (`Collapse`) and the
+//! simulation check (`CheckSim`) — the control-abstraction machinery
+//! that keeps CIRC's context models small (the paper's ACFA column).
+
+use circ_acfa::{check_sim, collapse, Acfa, AcfaEdge, AcfaLocId, Region};
+use circ_ir::Var;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+
+/// A ring of `n` locations where every `period`-th edge havocs a
+/// global: collapses to roughly `period`-many classes.
+fn ring(n: u32, period: u32) -> Acfa {
+    let regions = vec![Region::full(0); n as usize];
+    let atomic = vec![false; n as usize];
+    let edges = (0..n)
+        .map(|i| AcfaEdge {
+            src: AcfaLocId(i),
+            havoc: if i % period == 0 {
+                [Var::from_raw((i / period) % 3)].into()
+            } else {
+                BTreeSet::new()
+            },
+            dst: AcfaLocId((i + 1) % n),
+        })
+        .collect();
+    Acfa::from_parts(regions, atomic, edges)
+}
+
+fn bench_collapse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collapse");
+    for n in [16u32, 64, 256] {
+        let acfa = ring(n, 4);
+        g.bench_with_input(BenchmarkId::new("ring", n), &acfa, |b, acfa| {
+            b.iter(|| collapse(acfa));
+        });
+    }
+    g.finish();
+}
+
+fn bench_checksim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("check_sim");
+    for n in [16u32, 64, 256] {
+        let big = ring(n, 4);
+        let small = collapse(&big).acfa;
+        g.bench_with_input(BenchmarkId::new("ring_vs_quotient", n), &n, |b, _| {
+            b.iter(|| assert!(check_sim(&big, &small)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collapse, bench_checksim);
+criterion_main!(benches);

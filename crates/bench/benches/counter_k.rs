@@ -1,0 +1,49 @@
+//! Cost of the counter abstraction as the parameter `k` grows: the
+//! abstract state space of `(T, k)` blows up with `k`, which is why
+//! CIRC starts at `k = 1` and grows lazily (and why Table 1's
+//! "counter parameter was always 1" matters).
+
+use circ_core::{circ, CircConfig};
+use circ_explicit::{model_check, race_error, FiniteThread, ModelCheck, Transition};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn tas_lock(cs: u32) -> FiniteThread {
+    let mut t = FiniteThread::new(cs + 2, vec![2, 2]);
+    t.add(Transition::new(0, 1).guard(0, 0).update(0, 1));
+    for i in 1..=cs {
+        t.add(Transition::new(i, i + 1).update(1, 1));
+    }
+    t.add(Transition::new(cs + 1, 0).update(0, 0));
+    t
+}
+
+fn bench_explicit_k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("explicit_model_check_vs_k");
+    let t = tas_lock(4);
+    for k in [1u32, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mc = model_check(&t, k, &race_error(&t, 1), 5_000_000);
+                assert!(matches!(mc, ModelCheck::Safe(_)));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_circ_initial_k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("circ_vs_initial_k");
+    g.sample_size(15);
+    let m = circ_nesc::model("test_and_set").unwrap();
+    let program = m.program();
+    for k in [1u32, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let cfg = CircConfig { initial_k: k, ..CircConfig::omega() };
+            b.iter(|| assert!(circ(&program, &cfg).is_safe()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_explicit_k, bench_circ_initial_k);
+criterion_main!(benches);

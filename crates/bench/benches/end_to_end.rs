@@ -1,0 +1,24 @@
+//! End-to-end CIRC verification time per benchmark model — the
+//! reproduction of Table 1's Time column (shape, not absolute values:
+//! the paper ran BLAST + Simplify on 2004 hardware).
+
+use circ_core::{circ, CircConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_time");
+    g.sample_size(20);
+    for m in circ_nesc::models() {
+        let program = m.program();
+        g.bench_function(m.name, |b| {
+            b.iter(|| {
+                let outcome = circ(&program, &CircConfig::omega());
+                assert_eq!(outcome.is_safe(), m.expected_safe, "{}", m.name);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Scaling of Algorithm 6 (Appendix A): verification cost as the
+//! finite-state thread grows, and as the counterexample forces the
+//! counter parameter up.
+
+use circ_explicit::{race_error, verify, CounterState, FiniteThread, Transition, Verdict};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn tas_lock(cs: u32) -> FiniteThread {
+    let mut t = FiniteThread::new(cs + 2, vec![2, 2]);
+    t.add(Transition::new(0, 1).guard(0, 0).update(0, 1));
+    for i in 1..=cs {
+        t.add(Transition::new(i, i + 1).update(1, 1));
+    }
+    t.add(Transition::new(cs + 1, 0).update(0, 0));
+    t
+}
+
+fn gather(m: u32) -> FiniteThread {
+    let mut t = FiniteThread::new(2, vec![m + 1]);
+    for i in 0..m {
+        t.add(Transition::new(0, 1).guard(0, i).update(0, i + 1));
+    }
+    t
+}
+
+fn bench_safe_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm6_safe");
+    for cs in [2u32, 8, 32] {
+        let t = tas_lock(cs);
+        g.bench_with_input(BenchmarkId::new("tas_lock_cs", cs), &t, |b, t| {
+            b.iter(|| {
+                let v = verify(t, &race_error(t, 1), 64, 5_000_000);
+                assert!(matches!(v, Verdict::Safe { .. }));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_k_growth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm6_k_growth");
+    for m in [4u32, 8, 16] {
+        let t = gather(m);
+        let target = m;
+        g.bench_with_input(BenchmarkId::new("gather", m), &t, |b, t| {
+            b.iter(|| {
+                let err = |s: &CounterState| s.globals[0] == target;
+                let v = verify(t, &err, 64, 5_000_000);
+                assert!(matches!(v, Verdict::Unsafe { .. }));
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_safe_scaling, bench_k_growth);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Scaling study (an extension beyond the paper's evaluation): how
+//! verification cost grows with program size, on the token-ring
+//! family — an `n`-phase generalization of the `gRxHeadIndex`
+//! multi-valued-state idiom. Predicate count, ACFA size, and
+//! refinement rounds all grow with `n`.
+
+use circ_core::{circ, CircConfig, CircOutcome};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_token_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("token_ring_phases");
+    g.sample_size(10);
+    for n in [1u32, 2, 3, 4, 5] {
+        let program = circ_nesc::token_ring(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &program, |b, p| {
+            b.iter(|| {
+                let outcome = circ(p, &CircConfig::omega());
+                let CircOutcome::Safe(report) = outcome else {
+                    panic!("token ring {n} must verify");
+                };
+                assert_eq!(report.k, 1);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_token_ring);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Micro-benchmarks of the from-scratch decision-procedure substrate:
+//! the conjunctive LIA solver (satisfiability, unsat cores,
+//! projection), the CDCL SAT core, and the lazy DPLL(T) combination.
+//! These dominate CIRC's inner loops, so their costs set the Time
+//! column of Table 1.
+
+use circ_smt::{lia, sat, Atom, Formula, LinExpr, SVar, Solver};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn v(n: u32) -> SVar {
+    SVar(n)
+}
+
+/// An equality chain x0 = x1 = … = xn ∧ x0 = 0 ∧ xn = 1 (unsat).
+fn eq_chain(n: u32) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    for i in 0..n {
+        atoms.push(Atom::eq(LinExpr::var(v(i)) - LinExpr::var(v(i + 1))));
+    }
+    atoms.push(Atom::eq(LinExpr::var(v(0))));
+    atoms.push(Atom::eq(LinExpr::var(v(n)) - LinExpr::constant(1)));
+    atoms
+}
+
+/// A difference chain x0 ≤ x1 ≤ … ≤ xn ∧ xn ≤ x0 − 1 (unsat via FM).
+fn le_chain(n: u32) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    for i in 0..n {
+        atoms.push(Atom::le(LinExpr::var(v(i)) - LinExpr::var(v(i + 1))));
+    }
+    atoms.push(Atom::le(LinExpr::var(v(n)) - LinExpr::var(v(0)) + LinExpr::constant(1)));
+    atoms
+}
+
+fn bench_lia(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lia");
+    for n in [8u32, 32, 128] {
+        let chain = eq_chain(n);
+        g.bench_with_input(BenchmarkId::new("eq_chain_unsat", n), &chain, |b, chain| {
+            b.iter(|| assert!(!lia::is_sat_conj(chain)));
+        });
+        let les = le_chain(n);
+        g.bench_with_input(BenchmarkId::new("le_chain_unsat", n), &les, |b, les| {
+            b.iter(|| assert!(!lia::is_sat_conj(les)));
+        });
+    }
+    let chain = eq_chain(32);
+    g.bench_function("unsat_core_32", |b| {
+        b.iter(|| lia::unsat_core(&chain));
+    });
+    let les = le_chain(16);
+    let elim: std::collections::BTreeSet<SVar> = (1..16).map(v).collect();
+    g.bench_function("project_16", |b| {
+        b.iter(|| lia::project(&les, &elim));
+    });
+    g.finish();
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat");
+    for holes in [4usize, 5, 6] {
+        g.bench_with_input(BenchmarkId::new("pigeonhole", holes), &holes, |b, &holes| {
+            b.iter(|| {
+                let pigeons = holes + 1;
+                let mut s = sat::CnfSolver::new();
+                let vars: Vec<Vec<sat::BVar>> = (0..pigeons)
+                    .map(|_| (0..holes).map(|_| s.new_var()).collect())
+                    .collect();
+                for p in &vars {
+                    let clause: Vec<sat::Lit> = p.iter().map(|&x| sat::Lit::pos(x)).collect();
+                    s.add_clause(&clause);
+                }
+                for h in 0..holes {
+                    for p1 in 0..pigeons {
+                        for p2 in (p1 + 1)..pigeons {
+                            s.add_clause(&[
+                                sat::Lit::neg(vars[p1][h]),
+                                sat::Lit::neg(vars[p2][h]),
+                            ]);
+                        }
+                    }
+                }
+                assert!(!s.solve());
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_dpllt(c: &mut Criterion) {
+    // (x = 0 ∨ x = 1 ∨ … ∨ x = n) ∧ ⋀ x ≠ i : n theory rounds.
+    let mut g = c.benchmark_group("dpllt");
+    for n in [4i64, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("distinct_rounds", n), &n, |b, &n| {
+            b.iter(|| {
+                let x = LinExpr::var(v(0));
+                let mut f = Formula::fls();
+                for i in 0..=n {
+                    f = f.or(Formula::atom(Atom::eq(x.clone() - LinExpr::constant(i))));
+                }
+                for i in 0..=n {
+                    f = f.and(Formula::atom(Atom::ne(x.clone() - LinExpr::constant(i))));
+                }
+                let mut s = Solver::new();
+                assert!(!s.is_sat(&f));
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lia, bench_sat, bench_dpllt);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Reproduces the paper's §1/§6 comparison claim: lockset-based and
+//! flow-based race checkers **false-positive** on state-variable
+//! synchronization idioms that CIRC proves race-free — and all three
+//! agree on genuinely racy code.
+//!
+//! ```text
+//! cargo run --release -p circ-bench --bin baselines
+//! ```
+
+use circ_baselines::{eraser, flow_check};
+use circ_core::{circ, CircConfig, CircOutcome};
+
+fn main() {
+    println!("Baseline comparison: flow-based (nesC-style) and lockset (Eraser-style)");
+    println!("vs. CIRC, on the benchmark idioms.\n");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>16}",
+        "model", "flow", "lockset", "CIRC", "ground truth"
+    );
+    println!("{:-<24} {:-<10} {:-<10} {:-<10} {:-<16}", "", "", "", "", "");
+
+    let mut false_positives = 0;
+    for m in circ_nesc::models() {
+        let program = m.program();
+        let x = program.race_var();
+
+        let flow = flow_check(program.cfa());
+        let flow_says = if flow.flags(x) { "RACE?" } else { "clean" };
+
+        let dynamic = eraser(&program, 3, 400, 10, 11);
+        let lockset_says = if dynamic.flags(x) { "RACE?" } else { "clean" };
+
+        let circ_outcome = circ(&program, &CircConfig::omega());
+        let circ_says = match &circ_outcome {
+            CircOutcome::Safe(_) => "SAFE",
+            CircOutcome::Unsafe(_) => "RACE",
+            CircOutcome::Unknown(_) => "?",
+        };
+        let truth = if m.expected_safe { "race-free" } else { "has a race" };
+        println!(
+            "{:<24} {:>10} {:>10} {:>10} {:>16}",
+            m.name, flow_says, lockset_says, circ_says, truth
+        );
+        if m.expected_safe && (flow.flags(x) || dynamic.flags(x)) {
+            false_positives += 1;
+        }
+    }
+    println!(
+        "\n{false_positives} safe idiom(s) false-positived by at least one baseline; \
+         CIRC proves each of them race-free."
+    );
+}

@@ -1,0 +1,1 @@
+//! Shared helpers for the CIRC benchmark harness (see the `bin/` targets and `benches/`).

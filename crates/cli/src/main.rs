@@ -1,0 +1,287 @@
+//! `circ` — the command-line race checker.
+//!
+//! ```text
+//! circ check <file.nesl> [--mode circ|omega] [--k N] [--print-acfa] [--trace]
+//! circ compile <file.nesl> [--dot]
+//! circ baselines <file.nesl>
+//! ```
+//!
+//! Exit codes: 0 = all checked variables race-free, 1 = a race was
+//! found, 2 = inconclusive, 64 = usage error, 65 = compile error.
+
+use circ_core::{circ, CircConfig, CircEvent, CircOutcome, Property};
+use circ_ir::{dot, Cfa, MtProgram};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "check" => cmd_check(&args[1..]),
+        "compile" => cmd_compile(&args[1..]),
+        "baselines" => cmd_baselines(&args[1..]),
+        "--help" | "-h" | "help" => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage()
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "circ — race checking by context inference (PLDI 2004 reproduction)\n\n\
+         USAGE:\n  circ check <file.nesl> [--mode circ|omega] [--asserts] [--k N] [--print-acfa] [--trace]\n\
+         \x20 circ compile <file.nesl> [--dot]\n\
+         \x20 circ baselines <file.nesl>\n\n\
+         The input file declares globals, `#race` variables, and one `thread`.\n\
+         `check` proves the absence of data races for UNBOUNDEDLY many copies\n\
+         of the thread, or returns a concrete racy schedule."
+    );
+}
+
+fn usage() -> ExitCode {
+    print_help();
+    ExitCode::from(64)
+}
+
+struct Parsed {
+    source_path: String,
+    mode_omega: bool,
+    asserts: bool,
+    initial_k: u32,
+    print_acfa: bool,
+    trace: bool,
+    dot: bool,
+}
+
+fn parse_flags(args: &[String]) -> Result<Parsed, String> {
+    let mut parsed = Parsed {
+        source_path: String::new(),
+        mode_omega: true,
+        asserts: false,
+        initial_k: 1,
+        print_acfa: false,
+        trace: false,
+        dot: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => match it.next().map(String::as_str) {
+                Some("circ") => parsed.mode_omega = false,
+                Some("omega") => parsed.mode_omega = true,
+                other => return Err(format!("--mode expects circ|omega, got {other:?}")),
+            },
+            "--k" => {
+                let v = it.next().ok_or("--k expects a number")?;
+                parsed.initial_k =
+                    v.parse().map_err(|_| format!("--k expects a number, got `{v}`"))?;
+            }
+            "--asserts" => parsed.asserts = true,
+            "--print-acfa" => parsed.print_acfa = true,
+            "--trace" => parsed.trace = true,
+            "--dot" => parsed.dot = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => {
+                if !parsed.source_path.is_empty() {
+                    return Err("multiple input files".into());
+                }
+                parsed.source_path = path.to_string();
+            }
+        }
+    }
+    if parsed.source_path.is_empty() {
+        return Err("missing input file".into());
+    }
+    Ok(parsed)
+}
+
+fn load(path: &str) -> Result<circ_frontend::Compiled, ExitCode> {
+    let src = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read `{path}`: {e}");
+        ExitCode::from(65)
+    })?;
+    circ_frontend::compile(&src).map_err(|e| {
+        eprintln!("{path}: {e}");
+        ExitCode::from(65)
+    })
+}
+
+/// Substitutes `v<i>` placeholders with source-level variable names.
+fn named(cfa: &Cfa, mut s: String) -> String {
+    // longest index first so `v10` is not mangled by `v1`
+    let mut ixs: Vec<usize> = (0..cfa.vars().len()).collect();
+    ixs.sort_by_key(|i| std::cmp::Reverse(*i));
+    for ix in ixs {
+        s = s.replace(&format!("v{ix}"), &cfa.vars()[ix].name);
+    }
+    s
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let parsed = match parse_flags(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let compiled = match load(&parsed.source_path) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    if compiled.race_vars.is_empty() {
+        eprintln!("{}: no `#race` directive — nothing to check", parsed.source_path);
+        return ExitCode::from(65);
+    }
+    let cfg = CircConfig {
+        omega_mode: parsed.mode_omega,
+        initial_k: parsed.initial_k,
+        property: if parsed.asserts { Property::Assertions } else { Property::Race },
+        ..CircConfig::default()
+    };
+    let mut worst = ExitCode::SUCCESS;
+    let vars: Vec<_> = if parsed.asserts {
+        compiled.race_vars[..1].to_vec() // property is program-wide
+    } else {
+        compiled.race_vars.clone()
+    };
+    for &var in &vars {
+        let program = MtProgram::new(compiled.cfa.clone(), var);
+        let vname = compiled.cfa.var_name(var).to_string();
+        let outcome = circ(&program, &cfg);
+        if parsed.trace {
+            for e in &outcome.log().events {
+                match e {
+                    CircEvent::OuterStart { preds, k } => {
+                        eprintln!("[{vname}] round: P = {{{}}}, k = {k}", preds.join(", "))
+                    }
+                    CircEvent::ReachDone { arg_locs, .. } => {
+                        eprintln!("[{vname}]   reach ok, ARG {arg_locs} locations")
+                    }
+                    CircEvent::SimChecked { holds } => {
+                        eprintln!("[{vname}]   guarantee: {holds}")
+                    }
+                    CircEvent::Collapsed { size, .. } => {
+                        eprintln!("[{vname}]   collapsed to {size} locations")
+                    }
+                    CircEvent::AbstractRace { trace_len } => {
+                        eprintln!("[{vname}]   abstract race ({trace_len} steps)")
+                    }
+                    CircEvent::Refined { verdict, .. } => {
+                        eprintln!("[{vname}]   refine: {verdict}")
+                    }
+                    CircEvent::OmegaCheck { good } => {
+                        eprintln!("[{vname}]   ω-check: {good}")
+                    }
+                }
+            }
+        }
+        match outcome {
+            CircOutcome::Safe(report) => {
+                let what = if parsed.asserts { "assertions hold" } else { "race-free" };
+                println!(
+                    "{vname}: SAFE — {what} for any number of threads \
+                     ({} predicates, {}-location context, k = {}, {:.2?})",
+                    report.preds.len(),
+                    report.acfa.num_locs(),
+                    report.k,
+                    report.stats.elapsed
+                );
+                if parsed.print_acfa {
+                    let preds = report.preds.clone();
+                    let text = report.acfa.display_with(
+                        &|i| named(&compiled.cfa, format!("{}", preds[i.index()])),
+                        &|v| compiled.cfa.var_name(v).to_string(),
+                    );
+                    println!("{text}");
+                }
+            }
+            CircOutcome::Unsafe(report) => {
+                println!(
+                    "{vname}: RACE — {} threads, {} steps (replay validated: {})",
+                    report.cex.n_threads,
+                    report.cex.steps.len(),
+                    report.cex.replay_ok
+                );
+                for (i, (tid, eid, _)) in report.cex.steps.iter().enumerate() {
+                    let op = named(&compiled.cfa, format!("{}", compiled.cfa.edge(*eid).op));
+                    println!("  {i:>3}. T{tid}  {op}");
+                }
+                worst = ExitCode::from(1);
+            }
+            CircOutcome::Unknown(report) => {
+                println!("{vname}: INCONCLUSIVE — {:?}", report.reason);
+                if worst == ExitCode::SUCCESS {
+                    worst = ExitCode::from(2);
+                }
+            }
+        }
+    }
+    worst
+}
+
+fn cmd_compile(args: &[String]) -> ExitCode {
+    let parsed = match parse_flags(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let compiled = match load(&parsed.source_path) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    if parsed.dot {
+        print!("{}", dot::cfa_to_dot(&compiled.cfa));
+    } else {
+        print!("{}", dot::cfa_to_text(&compiled.cfa));
+        println!(
+            "race variables: {}",
+            compiled
+                .race_vars
+                .iter()
+                .map(|v| compiled.cfa.var_name(*v))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_baselines(args: &[String]) -> ExitCode {
+    let parsed = match parse_flags(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let compiled = match load(&parsed.source_path) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let flow = circ_baselines::flow_check(&compiled.cfa);
+    for &var in &compiled.race_vars {
+        let vname = compiled.cfa.var_name(var);
+        println!(
+            "flow-based:  {vname}: {}",
+            if flow.flags(var) { "POTENTIAL RACE" } else { "clean" }
+        );
+        let program = MtProgram::new(compiled.cfa.clone(), var);
+        let dynamic = circ_baselines::eraser(&program, 3, 500, 10, 7);
+        println!(
+            "lockset:     {vname}: {} ({} accesses monitored)",
+            if dynamic.flags(var) { "POTENTIAL RACE" } else { "clean" },
+            dynamic.accesses
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,495 @@
+//! The predicate-abstraction engine: cartesian abstract post-images
+//! for thread operations (assign/assume) and context operations
+//! (havoc into a labeled ACFA location), per §3.4.
+//!
+//! Abstract data states are [`Cube`]s over the current [`PredSet`].
+//! Each post-image question is answered with entailment queries to
+//! the `circ-smt` layer:
+//!
+//! * `post_assign`: for every predicate `p`, does
+//!   `cube ∧ x′ = e ⊨ p′` (assign true) or `⊨ ¬p′` (assign false)?
+//! * `post_assume`: is `cube ∧ b` satisfiable, and which predicates
+//!   does it decide?
+//! * `post_context`: drop predicates touched by the havoc set, meet
+//!   with the target location's label, discard unsatisfiable cubes.
+//!
+//! Results are memoized per `(cube, operation)` — the same abstract
+//! states recur across the many reachability runs of CIRC's nested
+//! loops.
+
+use crate::preds::PredSet;
+use circ_acfa::{Cube, PredIx, Region};
+use circ_ir::{BoolExpr, Cfa, EdgeId, Expr, Op, Var};
+use circ_smt::{lia, translate, Atom, Formula, LinExpr, SVar, Solver};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Pre-state instance of a program variable.
+fn pre(v: Var) -> SVar {
+    SVar(v.index() as u32 * 2)
+}
+
+/// Post-state instance of a program variable.
+fn post(v: Var) -> SVar {
+    SVar(v.index() as u32 * 2 + 1)
+}
+
+/// The abstraction context: CFA + predicate set + solver + caches.
+pub struct AbsCtx {
+    cfa: Arc<Cfa>,
+    preds: PredSet,
+    solver: Solver,
+    /// Pre-translated atoms per predicate (pre-state instance); `None`
+    /// if the predicate falls outside linear arithmetic.
+    pred_atoms: Vec<Option<Atom>>,
+    assign_cache: HashMap<(Cube, EdgeId), Cube>,
+    assume_cache: HashMap<(Cube, EdgeId), Option<Cube>>,
+    context_cache: HashMap<(Cube, BTreeSet<Var>, Region), Vec<Cube>>,
+    nondet_counter: u32,
+}
+
+impl AbsCtx {
+    /// Creates an abstraction context for a CFA and predicate set.
+    pub fn new(cfa: Arc<Cfa>, preds: PredSet) -> AbsCtx {
+        let pred_atoms = preds
+            .indices()
+            .map(|i| translate::atom_of_pred(preds.pred(i), &mut pre).ok())
+            .collect();
+        AbsCtx {
+            cfa,
+            preds,
+            solver: Solver::new(),
+            pred_atoms,
+            assign_cache: HashMap::new(),
+            assume_cache: HashMap::new(),
+            context_cache: HashMap::new(),
+            nondet_counter: 0,
+        }
+    }
+
+    /// The predicate set.
+    pub fn preds(&self) -> &PredSet {
+        &self.preds
+    }
+
+    /// The CFA.
+    pub fn cfa(&self) -> &Cfa {
+        &self.cfa
+    }
+
+    /// Number of SMT queries issued so far (for stats/benches).
+    pub fn num_queries(&self) -> u64 {
+        self.solver.num_queries()
+    }
+
+    /// The abstraction of the initial state (all variables zero):
+    /// every predicate is decided exactly by evaluation.
+    pub fn initial_cube(&self) -> Cube {
+        let mut c = Cube::top(self.preds.len());
+        for i in self.preds.indices() {
+            // nondet cannot occur in predicates; eval on the all-zero
+            // state decides each one.
+            let val = self.preds.pred(i).eval(&|_| 0);
+            c.set(i, val);
+        }
+        c
+    }
+
+    /// The conjunction of a cube's literals as pre-state atoms
+    /// (predicates outside the linear fragment are skipped — a sound
+    /// weakening).
+    pub fn cube_atoms(&self, cube: &Cube) -> Vec<Atom> {
+        let mut out = Vec::new();
+        for (i, v) in cube.literals() {
+            if let Some(a) = &self.pred_atoms[i.index()] {
+                out.push(if v { a.clone() } else { a.negate() });
+            }
+        }
+        out
+    }
+
+    /// Is the cube satisfiable?
+    pub fn cube_sat(&mut self, cube: &Cube) -> bool {
+        lia::is_sat_conj(&self.cube_atoms(cube))
+    }
+
+    /// Abstract post for a main-thread edge; `None` when the edge is
+    /// not enabled from the cube (assume guard unsatisfiable).
+    pub fn post_edge(&mut self, cube: &Cube, edge_id: EdgeId) -> Option<Cube> {
+        let edge = self.cfa.edge(edge_id).clone();
+        match &edge.op {
+            Op::Assign(x, e) => {
+                if let Some(hit) = self.assign_cache.get(&(cube.clone(), edge_id)) {
+                    return Some(hit.clone());
+                }
+                let result = self.post_assign(cube, *x, e);
+                self.assign_cache.insert((cube.clone(), edge_id), result.clone());
+                Some(result)
+            }
+            Op::Assume(b) => {
+                if let Some(hit) = self.assume_cache.get(&(cube.clone(), edge_id)) {
+                    return hit.clone();
+                }
+                let result = self.post_assume(cube, b);
+                self.assume_cache.insert((cube.clone(), edge_id), result.clone());
+                result
+            }
+        }
+    }
+
+    /// Cartesian abstract strongest post of `x := e`.
+    fn post_assign(&mut self, cube: &Cube, x: Var, e: &Expr) -> Cube {
+        let mut premises = self.cube_atoms(cube);
+        // Tie the post-state copy of x to e when e is deterministic
+        // and linear; otherwise leave x′ unconstrained (sound).
+        let rhs = if e.has_nondet() {
+            None
+        } else {
+            translate::lin_of_expr(e, &mut pre).ok()
+        };
+        if let Some(rhs) = rhs {
+            premises.push(Atom::eq(LinExpr::var(post(x)) - rhs));
+        }
+        let mut out = Cube::top(self.preds.len());
+        for i in self.preds.indices() {
+            if !self.preds.mentions(i, x) {
+                // Untouched predicate: frame rule for decided ones;
+                // undecided ones may still follow from the *pre* facts
+                // (cubes are not deductively closed), so ask.
+                if let Some(v) = cube.get(i) {
+                    out.set(i, v);
+                    continue;
+                }
+                if let Some(p_atom) = &self.pred_atoms[i.index()] {
+                    if lia::entails(&premises, p_atom) {
+                        out.set(i, true);
+                    } else if lia::entails(&premises, &p_atom.negate()) {
+                        out.set(i, false);
+                    }
+                }
+                continue;
+            }
+            // Translate p with x ↦ x′.
+            let Ok(p_atom) = translate::atom_of_pred(self.preds.pred(i), &mut |v| {
+                if v == x {
+                    post(v)
+                } else {
+                    pre(v)
+                }
+            }) else {
+                continue;
+            };
+            if lia::entails(&premises, &p_atom) {
+                out.set(i, true);
+            } else if lia::entails(&premises, &p_atom.negate()) {
+                out.set(i, false);
+            }
+        }
+        out
+    }
+
+    /// Cartesian abstract post of `assume b`; `None` if blocked.
+    fn post_assume(&mut self, cube: &Cube, b: &BoolExpr) -> Option<Cube> {
+        self.nondet_counter = 0;
+        let cube_f = Formula::conj(self.cube_atoms(cube).into_iter().map(Formula::atom));
+        let guard = translate::formula_of_bool(b, &mut pre)
+            .expect("assume guards are deterministic and linear by construction");
+        let pre_f = cube_f.and(guard);
+        if !self.solver.is_sat(&pre_f) {
+            return None;
+        }
+        let mut out = Cube::top(self.preds.len());
+        for i in self.preds.indices() {
+            if let Some(v) = cube.get(i) {
+                // Already decided; assumes never change data.
+                out.set(i, v);
+                continue;
+            }
+            let Some(p_atom) = self.pred_atoms[i.index()].clone() else {
+                continue;
+            };
+            if self.solver.entails(&pre_f, &Formula::atom(p_atom.clone())) {
+                out.set(i, true);
+            } else if self.solver.entails(&pre_f, &Formula::atom(p_atom.negate())) {
+                out.set(i, false);
+            }
+        }
+        Some(out)
+    }
+
+    /// Abstract post of a context move: havoc `Y`, land in a location
+    /// labeled `target`. Returns the (possibly several) successor
+    /// cubes — one per satisfiable meet with a target cube.
+    pub fn post_context(
+        &mut self,
+        cube: &Cube,
+        havoc: &BTreeSet<Var>,
+        target: &Region,
+    ) -> Vec<Cube> {
+        let key = (cube.clone(), havoc.clone(), target.clone());
+        if let Some(hit) = self.context_cache.get(&key) {
+            return hit.clone();
+        }
+        let projected = cube.project(&|i| {
+            !self.preds.pred_vars(i).iter().any(|v| havoc.contains(v))
+        });
+        let mut out = Vec::new();
+        for t in target.cubes() {
+            let t = t.widen_to(self.preds.len());
+            if let Some(m) = projected.meet(&t) {
+                if self.cube_sat(&m) && !out.contains(&m) {
+                    out.push(m);
+                }
+            }
+        }
+        self.context_cache.insert(key, out.clone());
+        out
+    }
+
+    /// Does the cube (as a state set) entail predicate `i`?
+    pub fn cube_entails(&mut self, cube: &Cube, i: PredIx) -> bool {
+        match &self.pred_atoms[i.index()] {
+            Some(a) => lia::entails(&self.cube_atoms(cube), a),
+            None => false,
+        }
+    }
+
+    /// The cube as a formula over pre-state solver variables.
+    pub fn cube_formula(&self, cube: &Cube) -> Formula {
+        Formula::conj(self.cube_atoms(cube).into_iter().map(Formula::atom))
+    }
+
+    /// The region (union of cubes) as a formula.
+    pub fn region_formula(&self, region: &Region) -> Formula {
+        Formula::disj(region.cubes().iter().map(|c| self.cube_formula(c)))
+    }
+
+    /// Semantic region containment `a ⊆ b` (an SMT validity check,
+    /// complete where the syntactic cube subsumption of
+    /// [`Region::contained_in`] is only sufficient).
+    pub fn region_contained(&mut self, a: &Region, b: &Region) -> bool {
+        if a.contained_in(b) {
+            return true; // fast syntactic path
+        }
+        // The conclusion side must translate exactly, or the
+        // entailment check would be unsound; fall back to the (already
+        // failed) syntactic answer in that case.
+        let b_exact = b.cubes().iter().all(|c| {
+            c.literals().all(|(i, _)| self.pred_atoms[i.index()].is_some())
+        });
+        if !b_exact {
+            return false;
+        }
+        let fa = self.region_formula(a);
+        let fb = self.region_formula(b);
+        self.solver.entails(&fa, &fb)
+    }
+}
+
+impl std::fmt::Debug for AbsCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AbsCtx")
+            .field("preds", &self.preds.len())
+            .field("queries", &self.solver.num_queries())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circ_ir::{figure1_cfa, Pred};
+
+    /// Figure-1 CFA with the paper's four discovered predicates.
+    fn fig1_ctx() -> (Arc<Cfa>, AbsCtx) {
+        let cfa = Arc::new(figure1_cfa());
+        let x = cfa.var_by_name("x").unwrap();
+        let _ = x;
+        let state = cfa.var_by_name("state").unwrap();
+        let old = cfa.var_by_name("old").unwrap();
+        let preds = PredSet::from_preds(
+            &cfa,
+            [
+                Pred::eq(Expr::var(old), Expr::var(state)), // p0: old = state
+                Pred::eq(Expr::var(old), Expr::int(0)),     // p1: old = 0
+                Pred::eq(Expr::var(state), Expr::int(0)),   // p2: state = 0
+                Pred::eq(Expr::var(state), Expr::int(1)),   // p3: state = 1
+            ],
+        );
+        let ctx = AbsCtx::new(Arc::clone(&cfa), preds);
+        (cfa, ctx)
+    }
+
+    fn p(i: u32) -> PredIx {
+        PredIx(i)
+    }
+
+    #[test]
+    fn initial_cube_exact_on_zeros() {
+        let (_, mut ctx) = fig1_ctx();
+        let c = ctx.initial_cube();
+        // zeros: old = state ✓, old = 0 ✓, state = 0 ✓, state = 1 ✗
+        assert_eq!(c.get(p(0)), Some(true));
+        assert_eq!(c.get(p(1)), Some(true));
+        assert_eq!(c.get(p(2)), Some(true));
+        assert_eq!(c.get(p(3)), Some(false));
+        assert!(ctx.cube_sat(&c));
+    }
+
+    #[test]
+    fn post_assign_old_from_state() {
+        // From `true`, old := state decides old = state (and the
+        // relational consequence is available later).
+        let (cfa, mut ctx) = fig1_ctx();
+        let top = Cube::top(4);
+        // edge 0 is 1 -> 2 : old := state
+        let e0 = cfa.out_edges(cfa.entry())[0];
+        let post = ctx.post_edge(&top, e0).unwrap();
+        assert_eq!(post.get(p(0)), Some(true), "old = state must hold");
+        assert_eq!(post.get(p(1)), None, "old = 0 unknown");
+    }
+
+    #[test]
+    fn post_assume_derives_relational_facts() {
+        // cube: old = state; assume [state = 0] ⇒ old = 0 derived.
+        let (cfa, mut ctx) = fig1_ctx();
+        let cube = Cube::top(4).with(p(0), true);
+        // find the edge with op [state = 0]
+        let guard_edge = cfa
+            .edges()
+            .iter()
+            .enumerate()
+            .find(|(_, e)| matches!(&e.op, Op::Assume(b) if format!("{b}").contains("= 0")))
+            .map(|(i, _)| EdgeId::from_raw(i as u32))
+            .unwrap();
+        let post = ctx.post_edge(&cube, guard_edge).unwrap();
+        assert_eq!(post.get(p(2)), Some(true), "state = 0 assumed");
+        assert_eq!(post.get(p(1)), Some(true), "old = 0 follows from old = state ∧ state = 0");
+    }
+
+    #[test]
+    fn post_assume_blocks_on_contradiction() {
+        // cube: state = 1; assume [state = 0] is disabled.
+        let (cfa, mut ctx) = fig1_ctx();
+        let cube = Cube::top(4).with(p(3), true).with(p(2), false);
+        let guard_edge = cfa
+            .edges()
+            .iter()
+            .enumerate()
+            .find(|(_, e)| {
+                matches!(&e.op, Op::Assume(b) if format!("{b}") == "v1 = 0")
+            })
+            .map(|(i, _)| EdgeId::from_raw(i as u32))
+            .unwrap();
+        assert_eq!(ctx.post_edge(&cube, guard_edge), None);
+    }
+
+    #[test]
+    fn post_assign_constant_decides_everything() {
+        // state := 1 from any cube decides state = 1 and ¬(state = 0),
+        // and old = state becomes whatever old was... unknown here.
+        let (cfa, mut ctx) = fig1_ctx();
+        let top = Cube::top(4);
+        let e = cfa
+            .edges()
+            .iter()
+            .enumerate()
+            .find(|(_, e)| matches!(&e.op, Op::Assign(_, Expr::Int(1))))
+            .map(|(i, _)| EdgeId::from_raw(i as u32))
+            .unwrap();
+        let post = ctx.post_edge(&top, e).unwrap();
+        assert_eq!(post.get(p(3)), Some(true));
+        assert_eq!(post.get(p(2)), Some(false));
+        assert_eq!(post.get(p(0)), None);
+    }
+
+    #[test]
+    fn post_assign_tracks_relation_through_update() {
+        // cube: old = state ∧ state = 0; state := 1 ⇒ old = 0,
+        // state = 1, ¬(state = 0), ¬(old = state).
+        let (cfa, mut ctx) = fig1_ctx();
+        let cube = Cube::top(4).with(p(0), true).with(p(2), true);
+        let e = cfa
+            .edges()
+            .iter()
+            .enumerate()
+            .find(|(_, e)| matches!(&e.op, Op::Assign(_, Expr::Int(1))))
+            .map(|(i, _)| EdgeId::from_raw(i as u32))
+            .unwrap();
+        let post = ctx.post_edge(&cube, e).unwrap();
+        assert_eq!(post.get(p(1)), Some(true), "old = 0 survives the state update");
+        assert_eq!(post.get(p(3)), Some(true));
+        assert_eq!(post.get(p(2)), Some(false));
+        assert_eq!(post.get(p(0)), Some(false), "old = 0 ∧ state = 1 ⇒ old ≠ state");
+    }
+
+    #[test]
+    fn post_context_havoc_drops_and_meets() {
+        let (_, mut ctx) = fig1_ctx();
+        let cfa = ctx.cfa().clone();
+        let state = cfa.var_by_name("state").unwrap();
+        // cube: state = 0 ∧ old = 0; context havocs state into a
+        // location labeled state = 1.
+        let cube = Cube::top(4).with(p(2), true).with(p(1), true);
+        let target = Region::of_cube(Cube::top(4).with(p(3), true));
+        let havoc: BTreeSet<Var> = [state].into();
+        let out = ctx.post_context(&cube, &havoc, &target);
+        assert_eq!(out.len(), 1);
+        let c = &out[0];
+        assert_eq!(c.get(p(1)), Some(true), "old = 0 survives (old not havocked)");
+        assert_eq!(c.get(p(3)), Some(true), "target label state = 1 imposed");
+        assert_eq!(c.get(p(2)), None, "state = 0 dropped by havoc");
+        assert_eq!(c.get(p(0)), None, "old = state dropped (mentions state)");
+    }
+
+    #[test]
+    fn post_context_discards_contradictory_meets() {
+        let (_, mut ctx) = fig1_ctx();
+        // cube asserts state = 1 and target insists state = 1 is
+        // false, havocking nothing: contradictory meet discarded.
+        let cube = Cube::top(4).with(p(3), true);
+        let target = Region::of_cube(Cube::top(4).with(p(3), false));
+        let out = ctx.post_context(&cube, &BTreeSet::new(), &target);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn post_context_semantic_contradiction_filtered() {
+        let (_, mut ctx) = fig1_ctx();
+        // cube: state = 0 (p2 true); target label: state = 1 (p3
+        // true); no havoc. Syntactic meet succeeds (different
+        // predicates) but the SAT filter kills it.
+        let cube = Cube::top(4).with(p(2), true);
+        let target = Region::of_cube(Cube::top(4).with(p(3), true));
+        let out = ctx.post_context(&cube, &BTreeSet::new(), &target);
+        assert!(out.is_empty(), "state = 0 ∧ state = 1 must be filtered semantically");
+    }
+
+    #[test]
+    fn nondet_assignment_leaves_pred_unknown() {
+        let mut b = circ_ir::CfaBuilder::new("t");
+        let g = b.global("g");
+        let l1 = b.fresh_loc();
+        b.edge(b.entry(), Op::assign(g, Expr::Nondet), l1);
+        let cfa = Arc::new(b.build());
+        let preds =
+            PredSet::from_preds(&cfa, [Pred::eq(Expr::var(g), Expr::int(0))]);
+        let mut ctx = AbsCtx::new(Arc::clone(&cfa), preds);
+        let init = ctx.initial_cube();
+        assert_eq!(init.get(p(0)), Some(true));
+        let post = ctx.post_edge(&init, EdgeId::from_raw(0)).unwrap();
+        assert_eq!(post.get(p(0)), None, "nondet write forgets g = 0");
+    }
+
+    #[test]
+    fn caching_stable_results() {
+        let (cfa, mut ctx) = fig1_ctx();
+        let top = Cube::top(4);
+        let e0 = cfa.out_edges(cfa.entry())[0];
+        let a = ctx.post_edge(&top, e0);
+        let q1 = ctx.num_queries();
+        let b = ctx.post_edge(&top, e0);
+        assert_eq!(a, b);
+        assert_eq!(ctx.num_queries(), q1, "second call must hit the cache");
+    }
+}

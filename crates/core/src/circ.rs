@@ -1,0 +1,505 @@
+//! The **CIRC** inference algorithm (Algorithm 5) and its **ω-CIRC**
+//! optimization (§5).
+//!
+//! The outer loop owns the abstraction parameters `(P, k)`; the inner
+//! loop alternates the circular assume–guarantee obligations:
+//!
+//! ```text
+//! A := empty context
+//! repeat
+//!     G := ReachAndBuild((C, P), (A, k))      -- assume A, check races
+//!     if G ⪯ A: return Safe                    -- guarantee holds
+//!     (A, μ) := Collapse(G)                    -- weaken the context
+//! until an abstract race is found
+//! -- Refine: real race ⇒ Unsafe; spurious ⇒ grow P or k, restart
+//! ```
+//!
+//! ω-CIRC runs reachability with *exactly* `k` context threads
+//! (`G₀(q₀) = k` instead of ω) and, once the simulation check
+//! succeeds, discharges the unbounded case with the per-transition
+//! *goodness* check of §5: every environment transition enabled in
+//! some reachable counter configuration must map each ARG region back
+//! into itself. If goodness fails, `k` grows and the search restarts.
+
+use crate::abs::AbsCtx;
+use crate::preds::PredSet;
+use crate::reach::{reach_and_build, Property, ReachError};
+use crate::refine::{refine, Concretizer, ConcreteCex, RefineDetail, RefineOutcome};
+use circ_acfa::{check_sim_with, collapse, context_reach_with, Acfa, CVal, ContextState, Region};
+use circ_ir::{MtProgram, Pred};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Tuning knobs for [`circ`].
+#[derive(Debug, Clone)]
+pub struct CircConfig {
+    /// Seed predicates (default none — CEGAR discovers the rest).
+    pub initial_preds: Vec<Pred>,
+    /// Initial counter parameter (the paper's experiments use 1).
+    pub initial_k: u32,
+    /// Run the ω-CIRC optimization (exactly-k reachability plus the
+    /// goodness check) instead of plain CIRC (ω-initialized context).
+    pub omega_mode: bool,
+    /// Bound on outer (refinement) iterations.
+    pub max_outer: usize,
+    /// Bound on inner (assume–guarantee) iterations per outer round.
+    pub max_inner: usize,
+    /// Abstract-state budget per reachability run.
+    pub max_states: usize,
+    /// Minimize ARGs into weak-bisimilarity quotients before using
+    /// them as contexts (`Collapse`). Disabling this uses the raw ARG
+    /// as the context model — sound, but contexts stay large; exposed
+    /// for the ablation bench.
+    pub minimize: bool,
+    /// The safety property to check (default: race freedom).
+    pub property: Property,
+}
+
+impl Default for CircConfig {
+    fn default() -> CircConfig {
+        CircConfig {
+            initial_preds: Vec::new(),
+            initial_k: 1,
+            omega_mode: false,
+            max_outer: 40,
+            max_inner: 40,
+            max_states: 500_000,
+            minimize: true,
+            property: Property::Race,
+        }
+    }
+}
+
+impl CircConfig {
+    /// The ω-CIRC configuration (the paper's faster variant).
+    pub fn omega() -> CircConfig {
+        CircConfig { omega_mode: true, ..CircConfig::default() }
+    }
+}
+
+/// One logged event of a CIRC run (the raw material for regenerating
+/// the paper's Figures 2–5).
+#[derive(Debug, Clone)]
+pub enum CircEvent {
+    /// An outer round began with these parameters.
+    OuterStart {
+        /// Current predicates, rendered with variable names.
+        preds: Vec<String>,
+        /// Current counter parameter.
+        k: u32,
+    },
+    /// A reachability run finished without finding a race.
+    ReachDone {
+        /// The ARG exported as an ACFA (rendered).
+        arg: String,
+        /// Number of ARG locations.
+        arg_locs: usize,
+    },
+    /// The guarantee check was attempted.
+    SimChecked {
+        /// Whether `G ⪯ A` held.
+        holds: bool,
+    },
+    /// The ARG was minimized into a new context ACFA.
+    Collapsed {
+        /// The quotient (rendered).
+        acfa: String,
+        /// Its size.
+        size: usize,
+    },
+    /// An abstract race was found.
+    AbstractRace {
+        /// Length of the abstract trace.
+        trace_len: usize,
+    },
+    /// Refinement analyzed the trace.
+    Refined {
+        /// What refinement decided, rendered.
+        verdict: String,
+        /// The concrete interleaving / trace formula / mined preds.
+        detail: RefineDetail,
+    },
+    /// The ω-goodness check ran (ω-CIRC only).
+    OmegaCheck {
+        /// Whether every enabled environment transition was good.
+        good: bool,
+    },
+}
+
+/// The full log of a run.
+#[derive(Debug, Clone, Default)]
+pub struct CircLog {
+    /// Events in order.
+    pub events: Vec<CircEvent>,
+}
+
+/// Statistics of a run.
+#[derive(Debug, Clone, Default)]
+pub struct CircStats {
+    /// Outer (refinement) rounds executed.
+    pub outer_iterations: usize,
+    /// Total reachability runs.
+    pub reach_runs: usize,
+    /// Total SMT queries.
+    pub smt_queries: u64,
+    /// Wall-clock of the whole run.
+    pub elapsed: std::time::Duration,
+}
+
+/// A successful safety proof.
+#[derive(Debug, Clone)]
+pub struct SafeReport {
+    /// The final context ACFA (the inferred context model).
+    pub acfa: Acfa,
+    /// The discovered predicates.
+    pub preds: Vec<Pred>,
+    /// The final counter parameter.
+    pub k: u32,
+    /// Run log.
+    pub log: CircLog,
+    /// Run statistics.
+    pub stats: CircStats,
+}
+
+/// A genuine race.
+#[derive(Debug, Clone)]
+pub struct UnsafeReport {
+    /// The concrete interleaved error trace.
+    pub cex: ConcreteCex,
+    /// Predicates discovered before the race was confirmed.
+    pub preds: Vec<Pred>,
+    /// The counter parameter at the time.
+    pub k: u32,
+    /// Run log.
+    pub log: CircLog,
+    /// Run statistics.
+    pub stats: CircStats,
+}
+
+/// Why a run gave up.
+#[derive(Debug, Clone)]
+pub enum UnknownReason {
+    /// The abstract state budget was exhausted.
+    StateLimit(usize),
+    /// The iteration bounds were exhausted.
+    IterationLimit,
+    /// Refinement could not make progress.
+    Stuck(String),
+}
+
+/// An inconclusive run.
+#[derive(Debug, Clone)]
+pub struct UnknownReport {
+    /// Why.
+    pub reason: UnknownReason,
+    /// Run log.
+    pub log: CircLog,
+    /// Run statistics.
+    pub stats: CircStats,
+}
+
+/// The result of [`circ`].
+#[derive(Debug, Clone)]
+pub enum CircOutcome {
+    /// The program is race-free on the checked variable (Theorem 1/2).
+    Safe(SafeReport),
+    /// A genuine race with a concrete schedule.
+    Unsafe(UnsafeReport),
+    /// Gave up within the configured bounds.
+    Unknown(UnknownReport),
+}
+
+impl CircOutcome {
+    /// True for [`CircOutcome::Safe`].
+    pub fn is_safe(&self) -> bool {
+        matches!(self, CircOutcome::Safe(_))
+    }
+
+    /// True for [`CircOutcome::Unsafe`].
+    pub fn is_unsafe(&self) -> bool {
+        matches!(self, CircOutcome::Unsafe(_))
+    }
+
+    /// The log of the run, whatever the verdict.
+    pub fn log(&self) -> &CircLog {
+        match self {
+            CircOutcome::Safe(r) => &r.log,
+            CircOutcome::Unsafe(r) => &r.log,
+            CircOutcome::Unknown(r) => &r.log,
+        }
+    }
+}
+
+/// Checks the symmetric multithreaded program `program.cfa()^∞` for
+/// races on `program.race_var()` by context inference.
+pub fn circ(program: &MtProgram, config: &CircConfig) -> CircOutcome {
+    let start = Instant::now();
+    let cfa = program.cfa_arc();
+    let mut preds = PredSet::from_preds(&cfa, config.initial_preds.iter().cloned());
+    let mut k = config.initial_k;
+    let mut log = CircLog::default();
+    let mut stats = CircStats::default();
+
+    let pred_strings = |p: &PredSet| -> Vec<String> {
+        p.indices().map(|i| p.display_pred(&cfa, i)).collect()
+    };
+    let acfa_render = |a: &Acfa, p: &PredSet| -> String {
+        a.display_with(&|i| p.display_pred(&cfa, i), &|v| cfa.var_name(v).to_string())
+    };
+
+    for _outer in 0..config.max_outer {
+        stats.outer_iterations += 1;
+        log.events.push(CircEvent::OuterStart { preds: pred_strings(&preds), k });
+        let mut abs = AbsCtx::new(cfa.clone(), preds.clone());
+        let mut acfa = Acfa::empty(preds.len());
+        let mut concretizer: Option<Concretizer> = None;
+
+        // The inner assume–guarantee loop.
+        let mut restart_outer = false;
+        for _inner in 0..config.max_inner {
+            stats.reach_runs += 1;
+            let init = if config.omega_mode { CVal::Fin(k) } else { CVal::Omega };
+            match reach_and_build(
+                &mut abs,
+                program,
+                &acfa,
+                k,
+                init,
+                config.max_states,
+                config.property,
+            ) {
+                Err(ReachError::StateLimit(n)) => {
+                    stats.smt_queries = abs.num_queries();
+                    stats.elapsed = start.elapsed();
+                    return CircOutcome::Unknown(UnknownReport {
+                        reason: UnknownReason::StateLimit(n),
+                        log,
+                        stats,
+                    });
+                }
+                Err(ReachError::Race(cex)) => {
+                    log.events.push(CircEvent::AbstractRace { trace_len: cex.steps.len() });
+                    let (outcome, detail) =
+                        refine(program, &acfa, &cex, concretizer.as_ref(), abs.preds(), config.property);
+                    let verdict = match &outcome {
+                        RefineOutcome::Real(_) => "real race".to_string(),
+                        RefineOutcome::NewPreds(ps) => format!("{} new predicate(s)", ps.len()),
+                        RefineOutcome::IncrementK => format!("increment k to {}", k + 1),
+                        RefineOutcome::Stuck(m) => format!("stuck: {m}"),
+                    };
+                    log.events.push(CircEvent::Refined { verdict, detail });
+                    stats.smt_queries = abs.num_queries();
+                    match outcome {
+                        RefineOutcome::Real(ccex) => {
+                            stats.elapsed = start.elapsed();
+                            return CircOutcome::Unsafe(UnsafeReport {
+                                cex: ccex,
+                                preds: preds.preds().to_vec(),
+                                k,
+                                log,
+                                stats,
+                            });
+                        }
+                        RefineOutcome::NewPreds(ps) => {
+                            for p in ps {
+                                preds.insert(&cfa, p);
+                            }
+                            restart_outer = true;
+                            break;
+                        }
+                        RefineOutcome::IncrementK => {
+                            k += 1;
+                            restart_outer = true;
+                            break;
+                        }
+                        RefineOutcome::Stuck(msg) => {
+                            stats.elapsed = start.elapsed();
+                            return CircOutcome::Unknown(UnknownReport {
+                                reason: UnknownReason::Stuck(msg),
+                                log,
+                                stats,
+                            });
+                        }
+                    }
+                }
+                Ok(arg) => {
+                    let exported = arg.export(&cfa, abs.preds());
+                    log.events.push(CircEvent::ReachDone {
+                        arg: acfa_render(&exported.acfa, &preds),
+                        arg_locs: exported.acfa.num_locs(),
+                    });
+                    let holds = check_sim_with(&exported.acfa, &acfa, &mut |x, y| {
+                        abs.region_contained(x, y)
+                    });
+                    log.events.push(CircEvent::SimChecked { holds });
+                    if holds {
+                        // Guarantee discharged. In ω-mode, the
+                        // unbounded case needs the goodness check.
+                        let collapsed = maybe_collapse(&exported.acfa, config.minimize);
+                        if config.omega_mode {
+                            let good = omega_good(&mut abs, &exported.acfa, &collapsed, k);
+                            log.events.push(CircEvent::OmegaCheck { good });
+                            if !good {
+                                k += 1;
+                                restart_outer = true;
+                                break;
+                            }
+                        }
+                        stats.smt_queries = abs.num_queries();
+                        stats.elapsed = start.elapsed();
+                        return CircOutcome::Safe(SafeReport {
+                            acfa,
+                            preds: preds.preds().to_vec(),
+                            k,
+                            log,
+                            stats,
+                        });
+                    }
+                    let collapsed = maybe_collapse(&exported.acfa, config.minimize);
+                    log.events.push(CircEvent::Collapsed {
+                        acfa: acfa_render(&collapsed.acfa, &preds),
+                        size: collapsed.acfa.num_locs(),
+                    });
+                    concretizer = Some(Concretizer::new(&arg, &exported, &collapsed));
+                    acfa = collapsed.acfa.clone();
+                }
+            }
+        }
+        if !restart_outer {
+            // Inner loop exhausted without converging.
+            stats.elapsed = start.elapsed();
+            return CircOutcome::Unknown(UnknownReport {
+                reason: UnknownReason::IterationLimit,
+                log,
+                stats,
+            });
+        }
+    }
+    stats.elapsed = start.elapsed();
+    CircOutcome::Unknown(UnknownReport { reason: UnknownReason::IterationLimit, log, stats })
+}
+
+/// Collapses the exported ARG into its weak-bisimilarity quotient, or
+/// wraps it identically when minimization is disabled (ablation mode).
+fn maybe_collapse(acfa: &Acfa, minimize: bool) -> circ_acfa::CollapseResult {
+    if minimize {
+        collapse(acfa)
+    } else {
+        circ_acfa::CollapseResult {
+            acfa: acfa.clone(),
+            map: (0..acfa.num_locs() as u32).map(circ_acfa::AcfaLocId).collect(),
+        }
+    }
+}
+
+/// The ω-goodness check of §5: with `R` the counter configurations the
+/// environment alone can reach, every `A`-transition `q′ -Y→ q″`
+/// enabled at some ARG location's class must map that location's
+/// region back into itself: `(∃Y. r(n)) ∧ r(q″) ⊆ r(n)`.
+fn omega_good(
+    abs: &mut AbsCtx,
+    g: &Acfa,
+    collapsed: &circ_acfa::CollapseResult,
+    k: u32,
+) -> bool {
+    let a = &collapsed.acfa;
+    // Environment reachability must respect label consistency (the
+    // conjunction of the occupied locations' regions), otherwise the
+    // enabledness test below over-approximates so coarsely that the
+    // goodness check can never conclude (e.g. it would consider two
+    // threads simultaneously inside the test-and-set critical region).
+    let reach: BTreeSet<ContextState> = context_reach_with(a, k, CVal::Omega, &mut |cfg| {
+        config_consistent(abs, a, cfg)
+    });
+    for n in g.locs() {
+        let q = collapsed.map[n.index()];
+        if a.is_atomic(q) {
+            // The main-thread surrogate occupies an atomic location:
+            // scheduling gives it exclusive control, so no environment
+            // transition can interleave here.
+            continue;
+        }
+        for e in a.edges() {
+            // Enabledness per §5: some reachable configuration has a
+            // thread at e.src to fire it *and* a distinct thread at q
+            // (the class the main-thread surrogate occupies) — and the
+            // atomic-scheduling rule must allow a thread at e.src to
+            // move (no atomic class other than e.src is occupied).
+            let enabled = reach.iter().any(|cfg| {
+                let placed = if q == e.src {
+                    cfg.count(e.src).at_least(2)
+                } else {
+                    cfg.count(e.src).positive() && cfg.count(q).positive()
+                };
+                placed
+                    && cfg
+                        .atomic_occupied(a)
+                        .all(|atomic_loc| atomic_loc == e.src)
+            });
+            if !enabled {
+                continue;
+            }
+            // goodness: (∃Y. r(n)) ∧ r(e.dst) ⊆ r(n)
+            let preds = abs.preds();
+            let keep = |i: circ_acfa::PredIx| {
+                !preds.pred_vars(i).iter().any(|v| e.havoc.contains(v))
+            };
+            let projected = g.region(n).project(&keep);
+            let result = projected.meet(a.region(e.dst));
+            // Discard semantically empty cubes before the containment
+            // test.
+            let mut filtered = circ_acfa::Region::empty();
+            for c in result.cubes() {
+                if abs.cube_sat(c) {
+                    filtered.add(c.clone());
+                }
+            }
+            if !abs.region_contained(&filtered, g.region(n)) {
+                if std::env::var_os("CIRC_DEBUG_OMEGA").is_some() {
+                    eprintln!(
+                        "omega_good fails: n={n} (class {q}, label {}) edge {}(label {})-{:?}->{}(label {}) \
+                         r(n)={} result={}",
+                        a.region(q),
+                        e.src,
+                        a.region(e.src),
+                        e.havoc,
+                        e.dst,
+                        a.region(e.dst),
+                        g.region(n),
+                        filtered
+                    );
+                    let witness = reach.iter().find(|cfg| {
+                        if q == e.src {
+                            cfg.count(e.src).at_least(2)
+                        } else {
+                            cfg.count(e.src).positive() && cfg.count(q).positive()
+                        }
+                    });
+                    eprintln!("  enabling cfg: {witness:?}");
+                }
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Is the conjunction of the occupied locations' labels satisfiable?
+fn config_consistent(abs: &mut AbsCtx, a: &Acfa, cfg: &ContextState) -> bool {
+    let mut acc: Option<Region> = None;
+    for n in cfg.occupied() {
+        let r = a.region(n);
+        let next = match acc {
+            None => r.clone(),
+            Some(have) => have.meet(r),
+        };
+        if next.is_empty() {
+            return false;
+        }
+        acc = Some(next);
+    }
+    match acc {
+        None => true,
+        Some(r) => r.cubes().iter().any(|c| abs.cube_sat(c)),
+    }
+}

@@ -1,0 +1,167 @@
+//! The refinable predicate set `P` of the abstraction.
+
+use circ_ir::{Cfa, Pred, Var};
+use circ_acfa::PredIx;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An indexed, duplicate-free set of abstraction predicates over the
+/// program variables. Grows monotonically during refinement; indices
+/// are stable, so cubes widen rather than re-index.
+#[derive(Debug, Clone, Default)]
+pub struct PredSet {
+    preds: Vec<Pred>,
+    vars: Vec<BTreeSet<Var>>,
+    global_only: Vec<bool>,
+}
+
+impl PredSet {
+    /// An empty predicate set.
+    pub fn new() -> PredSet {
+        PredSet::default()
+    }
+
+    /// Builds a set from initial predicates (deduplicated modulo
+    /// mirroring).
+    pub fn from_preds(cfa: &Cfa, preds: impl IntoIterator<Item = Pred>) -> PredSet {
+        let mut s = PredSet::new();
+        for p in preds {
+            s.insert(cfa, p);
+        }
+        s
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// The predicate at index `i`.
+    pub fn pred(&self, i: PredIx) -> &Pred {
+        &self.preds[i.index()]
+    }
+
+    /// All predicates in index order.
+    pub fn preds(&self) -> &[Pred] {
+        &self.preds
+    }
+
+    /// Iterator over indices.
+    pub fn indices(&self) -> impl Iterator<Item = PredIx> {
+        (0..self.preds.len() as u32).map(PredIx)
+    }
+
+    /// The variables of predicate `i`.
+    pub fn pred_vars(&self, i: PredIx) -> &BTreeSet<Var> {
+        &self.vars[i.index()]
+    }
+
+    /// Whether predicate `i` mentions only global variables (such
+    /// predicates survive the projection onto ACFA labels).
+    pub fn is_global_only(&self, i: PredIx) -> bool {
+        self.global_only[i.index()]
+    }
+
+    /// Whether predicate `i` mentions variable `v`.
+    pub fn mentions(&self, i: PredIx, v: Var) -> bool {
+        self.vars[i.index()].contains(&v)
+    }
+
+    /// Inserts a predicate (canonicalized); returns its index and
+    /// whether it was new.
+    pub fn insert(&mut self, cfa: &Cfa, p: Pred) -> (PredIx, bool) {
+        let canon = p.canonical();
+        if let Some(pos) = self.preds.iter().position(|q| *q == canon) {
+            return (PredIx(pos as u32), false);
+        }
+        let ix = PredIx(self.preds.len() as u32);
+        let vars = canon.vars();
+        let global_only = vars.iter().all(|v| cfa.is_global(*v));
+        self.preds.push(canon);
+        self.vars.push(vars);
+        self.global_only.push(global_only);
+        (ix, true)
+    }
+
+    /// Renders predicate `i` with the CFA's variable names.
+    pub fn display_pred(&self, cfa: &Cfa, i: PredIx) -> String {
+        let mut s = format!("{}", self.pred(i));
+        // longest index first so `v10` is not mangled by `v1`
+        for ix in (0..cfa.vars().len()).rev() {
+            s = s.replace(&format!("v{ix}"), &cfa.vars()[ix].name);
+        }
+        s
+    }
+}
+
+impl fmt::Display for PredSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.preds.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circ_ir::{CfaBuilder, CmpOp, Expr, Op};
+
+    fn test_cfa() -> Cfa {
+        let mut b = CfaBuilder::new("t");
+        let g = b.global("g");
+        let l = b.local("l");
+        let e = b.fresh_loc();
+        b.edge(b.entry(), Op::assign(g, Expr::var(l)), e);
+        b.build()
+    }
+
+    #[test]
+    fn insert_dedups_mirrored() {
+        let cfa = test_cfa();
+        let g = cfa.var_by_name("g").unwrap();
+        let l = cfa.var_by_name("l").unwrap();
+        let mut s = PredSet::new();
+        let (i1, new1) = s.insert(&cfa, Pred::eq(Expr::var(g), Expr::var(l)));
+        let (i2, new2) = s.insert(&cfa, Pred::eq(Expr::var(l), Expr::var(g)));
+        assert!(new1);
+        assert!(!new2);
+        assert_eq!(i1, i2);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn global_only_classification() {
+        let cfa = test_cfa();
+        let g = cfa.var_by_name("g").unwrap();
+        let l = cfa.var_by_name("l").unwrap();
+        let mut s = PredSet::new();
+        let (gi, _) = s.insert(&cfa, Pred::eq(Expr::var(g), Expr::int(0)));
+        let (li, _) = s.insert(&cfa, Pred::eq(Expr::var(g), Expr::var(l)));
+        assert!(s.is_global_only(gi));
+        assert!(!s.is_global_only(li));
+        assert!(s.mentions(li, l));
+        assert!(!s.mentions(gi, l));
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let cfa = test_cfa();
+        let g = cfa.var_by_name("g").unwrap();
+        let mut s = PredSet::new();
+        let (i, _) = s.insert(&cfa, Pred::new(Expr::var(g), CmpOp::Ge, Expr::int(1)));
+        // predicates are stored canonically; mirrored forms compare equal
+        let shown = s.display_pred(&cfa, i);
+        assert!(shown == "g >= 1" || shown == "1 <= g", "got {shown}");
+    }
+}

@@ -1,0 +1,430 @@
+//! `ReachAndBuild` (Algorithm 1): worklist reachability over the
+//! abstract multithreaded program `((C, P), (A, k))`, checking for
+//! race states and simultaneously constructing the abstract
+//! reachability graph.
+
+use crate::abs::AbsCtx;
+use crate::arg::{Arg, StateEdgeKind};
+use circ_acfa::{Acfa, AcfaLocId, CVal, ContextState, Cube};
+use circ_ir::{EdgeId, Loc, MtProgram};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// An abstract program state: main-thread location and cube, plus the
+/// counter-abstracted context.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AbsState {
+    /// Main thread control location.
+    pub pc: Loc,
+    /// Main thread data cube.
+    pub cube: Cube,
+    /// Context counters.
+    pub ctx: ContextState,
+}
+
+/// One step of an abstract error trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOp {
+    /// The main thread takes a CFA edge.
+    Main(EdgeId),
+    /// A context thread at the given ACFA location takes the ACFA
+    /// edge with the given index (into [`Acfa::edges`]).
+    Ctx {
+        /// Source abstract location.
+        src: AcfaLocId,
+        /// Index into the ACFA's edge table.
+        edge_ix: usize,
+    },
+}
+
+/// Which safety property a run checks. The paper's focus is race
+/// freedom (§4.1), but the method applies to any safety property
+/// (§1); assertion reachability is the natural second instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Property {
+    /// No data race on the program's race variable.
+    #[default]
+    Race,
+    /// No thread reaches an error location (a failed `assert`).
+    Assertions,
+}
+
+/// How the abstract race manifests (§4.1, specialized to a symmetric
+/// program: the context never reads).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbstractRace {
+    /// The main thread has an enabled access and a context thread an
+    /// enabled write.
+    MainAndContext {
+        /// Whether the main thread's access is a write.
+        main_writes: bool,
+        /// The context location with the enabled write.
+        ctx_loc: AcfaLocId,
+    },
+    /// Two context threads have enabled writes.
+    TwoContexts {
+        /// A location with an enabled write.
+        first: AcfaLocId,
+        /// A second such location (may equal `first` when its counter
+        /// is at least two).
+        second: AcfaLocId,
+    },
+}
+
+/// The violation found at the end of an abstract trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbstractError {
+    /// A race state (§4.1).
+    Race(AbstractRace),
+    /// The main thread reached an error location.
+    Assertion,
+}
+
+/// An abstract counterexample: the error state and the interleaved
+/// abstract trace reaching it.
+#[derive(Debug, Clone)]
+pub struct AbstractCex {
+    /// `(state before the step, the step)` in execution order.
+    pub steps: Vec<(AbsState, TraceOp)>,
+    /// The error state reached.
+    pub final_state: AbsState,
+    /// What was violated.
+    pub error: AbstractError,
+}
+
+/// Why `ReachAndBuild` did not return an ARG.
+#[derive(Debug, Clone)]
+pub enum ReachError {
+    /// A reachable abstract race state (Algorithm 1's exception).
+    Race(Box<AbstractCex>),
+    /// Exceeded the state budget.
+    StateLimit(usize),
+}
+
+/// Runs abstract reachability of the main thread against the context
+/// `(acfa, k)` with `init` threads at the context's start location
+/// (`ω` for CIRC, `Fin(k)` for the ω-CIRC optimization). On success
+/// returns the ARG; on a reachable race, the abstract counterexample.
+///
+/// # Errors
+///
+/// [`ReachError::Race`] carries the abstract trace;
+/// [`ReachError::StateLimit`] reports the budget.
+pub fn reach_and_build(
+    abs: &mut AbsCtx,
+    program: &MtProgram,
+    acfa: &Acfa,
+    k: u32,
+    init: CVal,
+    max_states: usize,
+    property: Property,
+) -> Result<Arg, ReachError> {
+    let cfa = program.cfa_arc();
+    let x = program.race_var();
+
+    let init_state = AbsState {
+        pc: cfa.entry(),
+        cube: abs.initial_cube(),
+        ctx: ContextState::initial(acfa, init),
+    };
+
+    let mut arg = Arg::new();
+    arg.set_entry(&cfa, (init_state.pc, init_state.cube.clone()));
+
+    let mut states: Vec<AbsState> = vec![init_state.clone()];
+    let mut index: HashMap<AbsState, usize> = HashMap::new();
+    index.insert(init_state, 0);
+    let mut parent: Vec<Option<(usize, TraceOp)>> = vec![None];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(0);
+
+    while let Some(six) = queue.pop_front() {
+        let s = states[six].clone();
+
+        // Error check on the dequeued state.
+        let error = match property {
+            Property::Race => race_at(&s, program, acfa, x).map(AbstractError::Race),
+            Property::Assertions => {
+                cfa.is_error(s.pc).then_some(AbstractError::Assertion)
+            }
+        };
+        if let Some(error) = error {
+            let steps = rebuild_trace(&states, &parent, six);
+            return Err(ReachError::Race(Box::new(AbstractCex {
+                steps,
+                final_state: s,
+                error,
+            })));
+        }
+
+        if states.len() >= max_states {
+            return Err(ReachError::StateLimit(max_states));
+        }
+
+        // Enabled operations under the atomic-scheduling rule: collect
+        // the set AL of occupied atomic locations (main's included).
+        let main_atomic = cfa.is_atomic(s.pc);
+        let ctx_atomic: Vec<AcfaLocId> = s.ctx.atomic_occupied(acfa).collect();
+        let al_count = ctx_atomic.len() + usize::from(main_atomic);
+        let (main_enabled, ctx_enabled_locs): (bool, Vec<AcfaLocId>) = match al_count {
+            0 => (true, s.ctx.occupied().collect()),
+            1 if main_atomic => (true, Vec::new()),
+            1 => (false, ctx_atomic),
+            _ => (false, Vec::new()),
+        };
+
+        let push_succ = |states: &mut Vec<AbsState>,
+                             index: &mut HashMap<AbsState, usize>,
+                             parent: &mut Vec<Option<(usize, TraceOp)>>,
+                             queue: &mut VecDeque<usize>,
+                             succ: AbsState,
+                             op: TraceOp| {
+            if let Some(&_existing) = index.get(&succ) {
+                return;
+            }
+            let ix = states.len();
+            states.push(succ.clone());
+            index.insert(succ, ix);
+            parent.push(Some((six, op)));
+            queue.push_back(ix);
+        };
+
+        if main_enabled {
+            for &eid in cfa.out_edges(s.pc) {
+                if let Some(cube2) = abs.post_edge(&s.cube, eid) {
+                    let dst = cfa.edge(eid).dst;
+                    arg.connect(
+                        &cfa,
+                        &(s.pc, s.cube.clone()),
+                        StateEdgeKind::MainOp(eid),
+                        &(dst, cube2.clone()),
+                    );
+                    let succ = AbsState { pc: dst, cube: cube2, ctx: s.ctx.clone() };
+                    push_succ(&mut states, &mut index, &mut parent, &mut queue, succ, TraceOp::Main(eid));
+                }
+            }
+        }
+        for n in ctx_enabled_locs {
+            for (eix, edge) in acfa
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.src == n)
+            {
+                // The successor cube conjoins the *target* location's
+                // label (the `sp` of §3.3). We deliberately do not
+                // conjoin the labels of the other occupied locations:
+                // during inference those labels are unproven
+                // assumptions, and pruning on them can silently
+                // suppress exactly the context behaviors the guarantee
+                // check would need to see (a self-fulfilling context).
+                // Target-only conjunction is the conservative reading.
+                let cubes = abs.post_context(&s.cube, &edge.havoc, acfa.region(edge.dst));
+                let ctx2 = s.ctx.step(n, edge.dst, k);
+                for cube2 in cubes {
+                    arg.connect(
+                        &cfa,
+                        &(s.pc, s.cube.clone()),
+                        StateEdgeKind::Context(edge.havoc.clone()),
+                        &(s.pc, cube2.clone()),
+                    );
+                    let succ = AbsState { pc: s.pc, cube: cube2, ctx: ctx2.clone() };
+                    push_succ(
+                        &mut states,
+                        &mut index,
+                        &mut parent,
+                        &mut queue,
+                        succ,
+                        TraceOp::Ctx { src: n, edge_ix: eix },
+                    );
+                }
+            }
+        }
+    }
+
+    Ok(arg)
+}
+
+/// The race condition of §4.1 on one abstract state.
+fn race_at(
+    s: &AbsState,
+    program: &MtProgram,
+    acfa: &Acfa,
+    x: circ_ir::Var,
+) -> Option<AbstractRace> {
+    let cfa = program.cfa();
+    if cfa.is_atomic(s.pc) || s.ctx.atomic_occupied(acfa).next().is_some() {
+        return None;
+    }
+    let writers: Vec<AcfaLocId> =
+        s.ctx.occupied().filter(|n| acfa.writes_at(*n, x)).collect();
+    // Two context writers: two distinct write-capable locations, or
+    // one such location holding at least two threads.
+    if writers.len() >= 2 {
+        return Some(AbstractRace::TwoContexts { first: writers[0], second: writers[1] });
+    }
+    if let Some(&n) = writers.first() {
+        if s.ctx.count(n).at_least(2) {
+            return Some(AbstractRace::TwoContexts { first: n, second: n });
+        }
+        let main_writes = cfa.writes_at(s.pc).contains(&x);
+        let main_reads = cfa.reads_at(s.pc).contains(&x);
+        if main_writes || main_reads {
+            return Some(AbstractRace::MainAndContext { main_writes, ctx_loc: n });
+        }
+    }
+    None
+}
+
+fn rebuild_trace(
+    states: &[AbsState],
+    parent: &[Option<(usize, TraceOp)>],
+    mut ix: usize,
+) -> Vec<(AbsState, TraceOp)> {
+    let mut rev = Vec::new();
+    while let Some((p, op)) = &parent[ix] {
+        rev.push((states[*p].clone(), op.clone()));
+        ix = *p;
+    }
+    rev.reverse();
+    rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abs::AbsCtx;
+    use crate::preds::PredSet;
+    use circ_acfa::AcfaEdge;
+    use circ_acfa::Region;
+    use circ_ir::{figure1_cfa, Expr, Pred};
+    use std::collections::BTreeSet;
+
+    fn fig1_program() -> MtProgram {
+        let cfa = figure1_cfa();
+        let x = cfa.var_by_name("x").unwrap();
+        MtProgram::new(cfa, x)
+    }
+
+    #[test]
+    fn empty_context_is_race_free() {
+        // With the do-nothing context, a single thread cannot race.
+        let program = fig1_program();
+        let mut abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
+        let acfa = Acfa::empty(0);
+        let result = reach_and_build(&mut abs, &program, &acfa, 1, CVal::Omega, 10_000, Property::Race);
+        let arg = result.expect("no race without a context");
+        assert!(arg.num_locs() >= 1);
+    }
+
+    /// A context that may write `x` from its start location — every
+    /// state with the main thread near `x` becomes a race.
+    fn writer_context(program: &MtProgram) -> Acfa {
+        let x = program.race_var();
+        Acfa::from_parts(
+            vec![Region::full(0); 2],
+            vec![false, false],
+            vec![AcfaEdge {
+                src: AcfaLocId(0),
+                havoc: [x].into(),
+                dst: AcfaLocId(1),
+            }],
+        )
+    }
+
+    #[test]
+    fn writer_context_produces_race_trace() {
+        let program = fig1_program();
+        let mut abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
+        let acfa = writer_context(&program);
+        let result = reach_and_build(&mut abs, &program, &acfa, 1, CVal::Omega, 10_000, Property::Race);
+        match result {
+            Err(ReachError::Race(cex)) => {
+                // With ω threads at the writer location, two context
+                // threads race immediately: the shortest abstract
+                // trace is empty (race at the initial state).
+                assert!(matches!(cex.error, AbstractError::Race(AbstractRace::TwoContexts { .. })));
+                assert!(cex.steps.is_empty());
+            }
+            other => panic!("expected race, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_writer_thread_races_with_main() {
+        // One context thread (k = 1, init Fin(1)): no two-context
+        // race; main must walk to an x-access location first.
+        let program = fig1_program();
+        let mut abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
+        let acfa = writer_context(&program);
+        let result = reach_and_build(&mut abs, &program, &acfa, 1, CVal::Fin(1), 10_000, Property::Race);
+        match result {
+            Err(ReachError::Race(cex)) => {
+                assert!(matches!(cex.error, AbstractError::Race(AbstractRace::MainAndContext { .. })));
+                assert!(!cex.steps.is_empty(), "main must move to reach x");
+                // trace must be replayable: every step's state differs
+                for w in cex.steps.windows(2) {
+                    assert_ne!(w[0].0, w[1].0);
+                }
+            }
+            other => panic!("expected race, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn atomic_context_location_blocks_main() {
+        // Context: start -τ-> atomic location with an x-writing edge
+        // back. While a context thread sits in the atomic location the
+        // main thread may not move, and no race is flagged there.
+        let program = fig1_program();
+        let x = program.race_var();
+        let acfa = Acfa::from_parts(
+            vec![Region::full(0); 2],
+            vec![false, true],
+            vec![
+                AcfaEdge { src: AcfaLocId(0), havoc: BTreeSet::new(), dst: AcfaLocId(1) },
+                AcfaEdge { src: AcfaLocId(1), havoc: [x].into(), dst: AcfaLocId(0) },
+            ],
+        );
+        let mut abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
+        // k=1 with a single context thread: the only writer is inside
+        // the atomic location, so no race state is schedulable…
+        let result = reach_and_build(&mut abs, &program, &acfa, 1, CVal::Fin(1), 50_000, Property::Race);
+        assert!(result.is_ok(), "atomic write-back context cannot race with one thread");
+    }
+
+    #[test]
+    fn state_limit_reported() {
+        let program = fig1_program();
+        let mut abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
+        let acfa = Acfa::empty(0);
+        let result = reach_and_build(&mut abs, &program, &acfa, 1, CVal::Omega, 2, Property::Race);
+        assert!(matches!(result, Err(ReachError::StateLimit(2))));
+    }
+
+    #[test]
+    fn predicates_prune_infeasible_branches() {
+        // With the four figure-1 predicates and the empty context, the
+        // reach set stays finite and never enables [old = 0] after
+        // seeing state ≠ 0 in the atomic block.
+        let program = fig1_program();
+        let cfa = program.cfa();
+        let state = cfa.var_by_name("state").unwrap();
+        let old = cfa.var_by_name("old").unwrap();
+        let preds = PredSet::from_preds(
+            cfa,
+            [
+                Pred::eq(Expr::var(old), Expr::var(state)),
+                Pred::eq(Expr::var(old), Expr::int(0)),
+                Pred::eq(Expr::var(state), Expr::int(0)),
+                Pred::eq(Expr::var(state), Expr::int(1)),
+            ],
+        );
+        let mut abs = AbsCtx::new(program.cfa_arc(), preds);
+        let acfa = Acfa::empty(4);
+        let arg = reach_and_build(&mut abs, &program, &acfa, 1, CVal::Omega, 10_000, Property::Race)
+            .expect("single thread is race-free");
+        // the ARG covers at most one abstract state per (loc, cube)
+        assert!(arg.num_locs() <= 12, "ARG stays small: got {}", arg.num_locs());
+    }
+}

@@ -1,0 +1,177 @@
+//! End-to-end tests of the CIRC driver on the paper's running example
+//! and on buggy variants — the assume/guarantee loop, refinement, and
+//! the ω-CIRC optimization all exercised through the public API.
+
+use circ_core::{circ, CircConfig, CircEvent, CircOutcome};
+use circ_ir::{figure1_cfa, BoolExpr, CfaBuilder, Expr, Interp, MtProgram, Op};
+
+fn fig1_program() -> MtProgram {
+    let cfa = figure1_cfa();
+    let x = cfa.var_by_name("x").unwrap();
+    MtProgram::new(cfa, x)
+}
+
+/// Figure 1 with the atomic marks removed: the test-and-set is racy.
+fn broken_fig1() -> MtProgram {
+    let mut b = CfaBuilder::new("broken");
+    let x = b.global("x");
+    let state = b.global("state");
+    let old = b.local("old");
+    let l1 = b.entry();
+    let l2 = b.fresh_loc();
+    let l3 = b.fresh_loc();
+    let l5 = b.fresh_loc();
+    let l6 = b.fresh_loc();
+    let l7 = b.fresh_loc();
+    b.edge(l1, Op::assign(old, Expr::var(state)), l2);
+    b.edge(l2, Op::assume(BoolExpr::eq(Expr::var(state), Expr::int(0))), l3);
+    b.edge(l3, Op::assign(state, Expr::int(1)), l5);
+    b.edge(l2, Op::assume(BoolExpr::ne(Expr::var(state), Expr::int(0))), l5);
+    b.edge(l5, Op::assume(BoolExpr::eq(Expr::var(old), Expr::int(0))), l6);
+    b.edge(l5, Op::assume(BoolExpr::ne(Expr::var(old), Expr::int(0))), l1);
+    b.edge(l6, Op::assign(x, Expr::var(x) + Expr::int(1)), l7);
+    b.edge(l7, Op::assign(state, Expr::int(0)), l1);
+    let cfa = b.build();
+    let x = cfa.var_by_name("x").unwrap();
+    MtProgram::new(cfa, x)
+}
+
+#[test]
+fn circ_proves_figure1_safe() {
+    let outcome = circ(&fig1_program(), &CircConfig::default());
+    let CircOutcome::Safe(report) = outcome else {
+        panic!("expected Safe, got {outcome:?}");
+    };
+    // The paper's run discovers old=state, old=0, state=0, state=1.
+    assert!(report.preds.len() >= 2, "needs discovered predicates: {:?}", report.preds);
+    assert!(report.preds.len() <= 10, "predicate count stays small");
+    assert_eq!(report.k, 1, "counter parameter 1 suffices (Table 1)");
+    // the final context model is small
+    assert!(report.acfa.num_locs() <= 16);
+}
+
+#[test]
+fn omega_circ_proves_figure1_safe() {
+    let outcome = circ(&fig1_program(), &CircConfig::omega());
+    let CircOutcome::Safe(report) = outcome else {
+        panic!("expected Safe, got {outcome:?}");
+    };
+    assert!(report.log.events.iter().any(|e| matches!(
+        e,
+        CircEvent::OmegaCheck { good: true }
+    )));
+}
+
+#[test]
+fn circ_finds_race_in_broken_variant() {
+    let outcome = circ(&broken_fig1(), &CircConfig::default());
+    let CircOutcome::Unsafe(report) = outcome else {
+        panic!("expected Unsafe, got {outcome:?}");
+    };
+    assert!(report.cex.replay_ok, "counterexample must replay concretely");
+    assert!(report.cex.n_threads >= 2);
+    // replay it here too, independently
+    let program = broken_fig1();
+    let interp = Interp::new(program, report.cex.n_threads);
+    let mut s = interp.initial();
+    for &(tag, eid, nd) in &report.cex.steps {
+        s = interp.step(
+            &s,
+            circ_ir::SchedChoice { thread: circ_ir::ThreadId(tag as u32), edge: eid, nondet: nd },
+        );
+    }
+    assert!(interp.race(&s).is_some(), "schedule must end in a race state");
+}
+
+#[test]
+fn omega_circ_finds_race_in_broken_variant() {
+    let outcome = circ(&broken_fig1(), &CircConfig::omega());
+    assert!(outcome.is_unsafe(), "ω-CIRC must also find the race: {outcome:?}");
+}
+
+/// A trivially safe program: x only ever written inside atomic blocks.
+#[test]
+fn atomic_protected_variable_is_safe_without_predicates() {
+    let mut b = CfaBuilder::new("atomic_only");
+    let x = b.global("x");
+    let l1 = b.entry();
+    let l2 = b.fresh_loc();
+    let l3 = b.fresh_loc();
+    b.edge(l1, Op::skip(), l2);
+    b.mark_atomic(l2);
+    b.edge(l2, Op::assign(x, Expr::var(x) + Expr::int(1)), l3);
+    // hmm: l2 atomic means the write happens from an atomic location.
+    b.edge(l3, Op::skip(), l1);
+    let cfa = b.build();
+    let x = cfa.var_by_name("x").unwrap();
+    let program = MtProgram::new(cfa, x);
+    let outcome = circ(&program, &CircConfig::default());
+    let CircOutcome::Safe(report) = outcome else {
+        panic!("expected Safe, got {outcome:?}");
+    };
+    assert!(report.preds.is_empty(), "no predicates needed: {:?}", report.preds);
+}
+
+/// Unprotected concurrent increments: racy, found quickly.
+#[test]
+fn unprotected_counter_is_unsafe() {
+    let mut b = CfaBuilder::new("counter");
+    let x = b.global("x");
+    let l1 = b.entry();
+    let l2 = b.fresh_loc();
+    b.edge(l1, Op::assign(x, Expr::var(x) + Expr::int(1)), l2);
+    b.edge(l2, Op::skip(), l1);
+    let cfa = b.build();
+    let x = cfa.var_by_name("x").unwrap();
+    let program = MtProgram::new(cfa, x);
+    let outcome = circ(&program, &CircConfig::default());
+    let CircOutcome::Unsafe(report) = outcome else {
+        panic!("expected Unsafe, got {outcome:?}");
+    };
+    assert!(report.cex.replay_ok);
+}
+
+#[test]
+fn log_records_iterations() {
+    let outcome = circ(&fig1_program(), &CircConfig::default());
+    let log = outcome.log();
+    let outer_starts = log
+        .events
+        .iter()
+        .filter(|e| matches!(e, CircEvent::OuterStart { .. }))
+        .count();
+    assert!(outer_starts >= 2, "figure 1 needs refinement rounds");
+    assert!(log
+        .events
+        .iter()
+        .any(|e| matches!(e, CircEvent::Refined { .. })));
+    assert!(log
+        .events
+        .iter()
+        .any(|e| matches!(e, CircEvent::SimChecked { holds: true })));
+}
+
+#[test]
+fn no_minimize_ablation_still_verifies() {
+    // Disabling Collapse keeps the checker sound (the raw ARG is used
+    // as the context); contexts are larger but figure 1 still proves.
+    let cfg = CircConfig { minimize: false, ..CircConfig::default() };
+    let outcome = circ(&fig1_program(), &cfg);
+    let CircOutcome::Safe(report) = outcome else {
+        panic!("expected Safe without minimization, got {outcome:?}");
+    };
+    // and the context is larger than the minimized one
+    let minimized = match circ(&fig1_program(), &CircConfig::default()) {
+        CircOutcome::Safe(r) => r.acfa.num_locs(),
+        other => panic!("{other:?}"),
+    };
+    assert!(
+        report.acfa.num_locs() >= minimized,
+        "raw ARG context ({}) should not be smaller than the quotient ({minimized})",
+        report.acfa.num_locs()
+    );
+
+    // the racy variant is still caught
+    let outcome = circ(&broken_fig1(), &cfg);
+    assert!(outcome.is_unsafe(), "{outcome:?}");
+}

@@ -1,0 +1,131 @@
+//! Abstract syntax of NesL.
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An arithmetic expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable reference.
+    Var(String, Pos),
+    /// `a + b`
+    Add(Box<Expr>, Box<Expr>),
+    /// `a - b`
+    Sub(Box<Expr>, Box<Expr>),
+    /// `a * b`
+    Mul(Box<Expr>, Box<Expr>),
+    /// `nondet()`
+    Nondet,
+}
+
+/// A boolean expression (condition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BExpr {
+    /// `true` / `false`
+    Const(bool),
+    /// Comparison `a op b` with op one of `== != < <= > >=`.
+    Cmp(circ_ir::CmpOp, Expr, Expr),
+    /// `!b`
+    Not(Box<BExpr>),
+    /// `a && b`
+    And(Box<BExpr>, Box<BExpr>),
+    /// `a || b`
+    Or(Box<BExpr>, Box<BExpr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `local int x;` — declares a thread-local (or
+    /// function-local) variable.
+    LocalDecl(String, Pos),
+    /// `x = e;`
+    Assign(String, Expr, Pos),
+    /// `x = f(args);` or `f(args);` (target `None`).
+    Call {
+        /// Assignment target for the return value, if any.
+        target: Option<String>,
+        /// Callee name.
+        callee: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Call-site position.
+        pos: Pos,
+    },
+    /// `if (b) { … } else { … }` (missing else = empty block).
+    If(BExpr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (b) { … }`
+    While(BExpr, Vec<Stmt>),
+    /// `loop { … }` — an infinite loop (exit via `break`).
+    Loop(Vec<Stmt>),
+    /// `break;`
+    Break(Pos),
+    /// `atomic { … }`
+    Atomic(Vec<Stmt>, Pos),
+    /// `skip;`
+    Skip,
+    /// `assume(b);` — blocks unless `b` holds.
+    Assume(BExpr),
+    /// `assert(b);` — jumps to the error location unless `b` holds.
+    Assert(BExpr),
+    /// `return e;` / `return;` — only inside functions.
+    Return(Option<Expr>, Pos),
+}
+
+/// A function definition (always inlined during lowering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Definition position.
+    pub pos: Pos,
+}
+
+/// The thread template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadDef {
+    /// Thread name (becomes the CFA name).
+    pub name: String,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Definition position.
+    pub pos: Pos,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// `global int x;`
+    Global(String, Pos),
+    /// `#race x;`
+    Race(String, Pos),
+    /// Function definition.
+    Fn(FnDef),
+    /// Thread definition.
+    Thread(ThreadDef),
+}
+
+/// A parsed program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}

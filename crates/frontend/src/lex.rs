@@ -1,0 +1,270 @@
+//! Lexer for NesL.
+
+use crate::ast::Pos;
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Keyword (`global`, `int`, `thread`, `fn`, `local`, `if`,
+    /// `else`, `while`, `loop`, `atomic`, `skip`, `assume`, `assert`,
+    /// `nondet`, `break`, `return`, `true`, `false`).
+    Keyword(&'static str),
+    /// `#race` directive.
+    RaceDirective,
+    /// Single punctuation: `( ) { } ; , = + - * ! < >`.
+    Punct(char),
+    /// Two-char operator: `== != <= >= && ||`.
+    Op2(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(n) => write!(f, "integer `{n}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::RaceDirective => write!(f, "`#race`"),
+            TokenKind::Punct(c) => write!(f, "`{c}`"),
+            TokenKind::Op2(s) => write!(f, "`{s}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// Start position.
+    pub pos: Pos,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// Where it happened.
+    pub pos: Pos,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const KEYWORDS: &[&str] = &[
+    "global", "int", "thread", "fn", "local", "if", "else", "while", "loop", "atomic", "skip",
+    "assume", "assert", "nondet", "break", "return", "true", "false",
+];
+
+/// Tokenizes NesL source. `//` line comments and `/* */` block
+/// comments are skipped.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unknown characters, malformed numbers,
+/// or unterminated block comments.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        let pos = Pos { line, col };
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '/' {
+            while i < chars.len() && chars[i] != '\n' {
+                bump!();
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+            bump!();
+            bump!();
+            loop {
+                if i + 1 >= chars.len() {
+                    return Err(LexError { message: "unterminated block comment".into(), pos });
+                }
+                if chars[i] == '*' && chars[i + 1] == '/' {
+                    bump!();
+                    bump!();
+                    break;
+                }
+                bump!();
+            }
+            continue;
+        }
+        if c == '#' {
+            // Only the #race directive starts with '#'.
+            let start = i;
+            bump!();
+            while i < chars.len() && chars[i].is_ascii_alphabetic() {
+                bump!();
+            }
+            let word: String = chars[start..i].iter().collect();
+            if word == "#race" {
+                out.push(Token { kind: TokenKind::RaceDirective, pos });
+                continue;
+            }
+            return Err(LexError { message: format!("unknown directive `{word}`"), pos });
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                bump!();
+            }
+            let word: String = chars[start..i].iter().collect();
+            match KEYWORDS.iter().find(|k| **k == word) {
+                Some(k) => out.push(Token { kind: TokenKind::Keyword(k), pos }),
+                None => out.push(Token { kind: TokenKind::Ident(word), pos }),
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                bump!();
+            }
+            let word: String = chars[start..i].iter().collect();
+            let n: i64 = word
+                .parse()
+                .map_err(|_| LexError { message: format!("integer `{word}` out of range"), pos })?;
+            out.push(Token { kind: TokenKind::Int(n), pos });
+            continue;
+        }
+        // Two-char operators first.
+        if i + 1 < chars.len() {
+            let two: String = chars[i..i + 2].iter().collect();
+            let op2 = match two.as_str() {
+                "==" => Some("=="),
+                "!=" => Some("!="),
+                "<=" => Some("<="),
+                ">=" => Some(">="),
+                "&&" => Some("&&"),
+                "||" => Some("||"),
+                _ => None,
+            };
+            if let Some(op) = op2 {
+                bump!();
+                bump!();
+                out.push(Token { kind: TokenKind::Op2(op), pos });
+                continue;
+            }
+        }
+        match c {
+            '(' | ')' | '{' | '}' | ';' | ',' | '=' | '+' | '-' | '*' | '!' | '<' | '>' => {
+                bump!();
+                out.push(Token { kind: TokenKind::Punct(c), pos });
+            }
+            _ => {
+                return Err(LexError { message: format!("unexpected character `{c}`"), pos });
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, pos: Pos { line, col } });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let ks = kinds("global int foo;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword("global"),
+                TokenKind::Keyword("int"),
+                TokenKind::Ident("foo".into()),
+                TokenKind::Punct(';'),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_two_char_before_one() {
+        let ks = kinds("a == b != c <= d >= e && f || !g = h < i > j");
+        assert!(ks.contains(&TokenKind::Op2("==")));
+        assert!(ks.contains(&TokenKind::Op2("!=")));
+        assert!(ks.contains(&TokenKind::Op2("<=")));
+        assert!(ks.contains(&TokenKind::Op2(">=")));
+        assert!(ks.contains(&TokenKind::Op2("&&")));
+        assert!(ks.contains(&TokenKind::Op2("||")));
+        assert!(ks.contains(&TokenKind::Punct('=')));
+        assert!(ks.contains(&TokenKind::Punct('<')));
+        assert!(ks.contains(&TokenKind::Punct('>')));
+        assert!(ks.contains(&TokenKind::Punct('!')));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("a // comment\n /* block\n comment */ b");
+        assert_eq!(
+            ks,
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn race_directive() {
+        let ks = kinds("#race x;");
+        assert_eq!(ks[0], TokenKind::RaceDirective);
+        assert_eq!(ks[1], TokenKind::Ident("x".into()));
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unknown_char_errors() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("#bogus x;").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        let ks = kinds("x = 42;");
+        assert!(ks.contains(&TokenKind::Int(42)));
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! NesL: a small concurrent imperative language, lowered to the CFA
+//! model of `circ-ir`.
+//!
+//! The CIRC paper runs on nesC programs compiled to C and modeled as
+//! CFAs with atomic sections (§6). This crate plays the role of that
+//! frontend: it parses a C-like surface syntax with `atomic` blocks,
+//! inlines (non-recursive) functions, and lowers structured control
+//! flow to a [`circ_ir::Cfa`].
+//!
+//! # Language
+//!
+//! ```text
+//! global int state;            // shared variables (initially 0)
+//! #race x;                     // variable(s) to check for races
+//!
+//! fn grab() {                  // functions, inlined at call sites
+//!   atomic {
+//!     old = state;
+//!     if (state == 0) { state = 1; }
+//!   }
+//! }
+//!
+//! thread worker {              // the (symmetric) thread template
+//!   local int old;
+//!   loop {
+//!     grab();
+//!     if (old == 0) { x = x + 1; state = 0; }
+//!   }
+//! }
+//! ```
+//!
+//! Statements: assignment, `if`/`else`, `while`, `loop`, `break`,
+//! `atomic { … }`, `skip;`, `assume(b);`, function calls (optionally
+//! `x = f(args);`), `return e;` inside functions. Expressions use
+//! `+ - *` and `nondet()`; conditions use comparisons, `&& || !`.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!   global int x;
+//!   #race x;
+//!   thread t { loop { atomic { x = x + 1; } } }
+//! "#;
+//! let compiled = circ_frontend::compile(src)?;
+//! assert_eq!(compiled.cfa.name(), "t");
+//! assert_eq!(compiled.race_vars.len(), 1);
+//! # Ok::<(), circ_frontend::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod lex;
+mod parse;
+mod lower;
+
+pub use ast::{BExpr, Expr, FnDef, Item, Program, Stmt, ThreadDef};
+pub use lex::{LexError, Token, TokenKind};
+pub use lower::{CompileError, Compiled};
+pub use parse::ParseError;
+
+/// Compiles NesL source to a CFA plus race-check annotations.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] describing the first lexical, syntactic,
+/// or semantic problem (with line/column positions).
+pub fn compile(src: &str) -> Result<Compiled, CompileError> {
+    let tokens = lex::lex(src).map_err(CompileError::Lex)?;
+    let program = parse::parse(&tokens).map_err(CompileError::Parse)?;
+    lower::lower(&program)
+}

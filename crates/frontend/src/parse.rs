@@ -1,0 +1,540 @@
+//! Recursive-descent parser for NesL.
+
+use crate::ast::*;
+use crate::lex::{Token, TokenKind};
+use circ_ir::CmpOp;
+use std::fmt;
+
+/// A syntax error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Where it happened.
+    pub pos: Pos,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a token stream (as produced by [`crate::lex::lex`]) into a
+/// [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on the first syntax error.
+pub fn parse(tokens: &[Token]) -> Result<Program, ParseError> {
+    let mut p = Parser { tokens, ix: 0 };
+    p.program()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    ix: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.ix]
+    }
+
+    fn pos(&self) -> Pos {
+        self.peek().pos
+    }
+
+    fn advance(&mut self) -> &Token {
+        let t = &self.tokens[self.ix];
+        if self.ix + 1 < self.tokens.len() {
+            self.ix += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), pos: self.pos() })
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        if self.peek().kind == TokenKind::Punct(c) {
+            self.advance();
+            Ok(())
+        } else {
+            self.err(format!("expected `{c}`, found {}", self.peek().kind))
+        }
+    }
+
+    fn expect_keyword(&mut self, k: &'static str) -> Result<(), ParseError> {
+        if self.peek().kind == TokenKind::Keyword(k) {
+            self.advance();
+            Ok(())
+        } else {
+            self.err(format!("expected `{k}`, found {}", self.peek().kind))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Pos), ParseError> {
+        let pos = self.pos();
+        match self.peek().kind.clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok((s, pos))
+            }
+            k => self.err(format!("expected identifier, found {k}")),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek().kind == TokenKind::Punct(c) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, k: &'static str) -> bool {
+        if self.peek().kind == TokenKind::Keyword(k) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut items = Vec::new();
+        while self.peek().kind != TokenKind::Eof {
+            items.push(self.item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn item(&mut self) -> Result<Item, ParseError> {
+        let pos = self.pos();
+        match &self.peek().kind {
+            TokenKind::Keyword("global") => {
+                self.advance();
+                self.expect_keyword("int")?;
+                let (name, _) = self.expect_ident()?;
+                self.expect_punct(';')?;
+                Ok(Item::Global(name, pos))
+            }
+            TokenKind::RaceDirective => {
+                self.advance();
+                let (name, _) = self.expect_ident()?;
+                self.expect_punct(';')?;
+                Ok(Item::Race(name, pos))
+            }
+            TokenKind::Keyword("fn") => {
+                self.advance();
+                let (name, _) = self.expect_ident()?;
+                self.expect_punct('(')?;
+                let mut params = Vec::new();
+                if !self.eat_punct(')') {
+                    loop {
+                        let (p, _) = self.expect_ident()?;
+                        params.push(p);
+                        if self.eat_punct(')') {
+                            break;
+                        }
+                        self.expect_punct(',')?;
+                    }
+                }
+                let body = self.block()?;
+                Ok(Item::Fn(FnDef { name, params, body, pos }))
+            }
+            TokenKind::Keyword("thread") => {
+                self.advance();
+                let (name, _) = self.expect_ident()?;
+                let body = self.block()?;
+                Ok(Item::Thread(ThreadDef { name, body, pos }))
+            }
+            k => self.err(format!(
+                "expected `global`, `#race`, `fn`, or `thread`, found {k}"
+            )),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct('{')?;
+        let mut out = Vec::new();
+        while !self.eat_punct('}') {
+            if self.peek().kind == TokenKind::Eof {
+                return self.err("unexpected end of input inside block");
+            }
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.pos();
+        match self.peek().kind.clone() {
+            TokenKind::Keyword("local") => {
+                self.advance();
+                self.expect_keyword("int")?;
+                let (name, npos) = self.expect_ident()?;
+                self.expect_punct(';')?;
+                Ok(Stmt::LocalDecl(name, npos))
+            }
+            TokenKind::Keyword("skip") => {
+                self.advance();
+                self.expect_punct(';')?;
+                Ok(Stmt::Skip)
+            }
+            TokenKind::Keyword("break") => {
+                self.advance();
+                self.expect_punct(';')?;
+                Ok(Stmt::Break(pos))
+            }
+            TokenKind::Keyword("return") => {
+                self.advance();
+                if self.eat_punct(';') {
+                    Ok(Stmt::Return(None, pos))
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(';')?;
+                    Ok(Stmt::Return(Some(e), pos))
+                }
+            }
+            TokenKind::Keyword("assume") => {
+                self.advance();
+                self.expect_punct('(')?;
+                let b = self.bexpr()?;
+                self.expect_punct(')')?;
+                self.expect_punct(';')?;
+                Ok(Stmt::Assume(b))
+            }
+            TokenKind::Keyword("assert") => {
+                self.advance();
+                self.expect_punct('(')?;
+                let b = self.bexpr()?;
+                self.expect_punct(')')?;
+                self.expect_punct(';')?;
+                Ok(Stmt::Assert(b))
+            }
+            TokenKind::Keyword("if") => {
+                self.advance();
+                self.expect_punct('(')?;
+                let b = self.bexpr()?;
+                self.expect_punct(')')?;
+                let then = self.block()?;
+                let els = if self.eat_keyword("else") {
+                    if self.peek().kind == TokenKind::Keyword("if") {
+                        vec![self.stmt()?] // else-if chain
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(b, then, els))
+            }
+            TokenKind::Keyword("while") => {
+                self.advance();
+                self.expect_punct('(')?;
+                let b = self.bexpr()?;
+                self.expect_punct(')')?;
+                let body = self.block()?;
+                Ok(Stmt::While(b, body))
+            }
+            TokenKind::Keyword("loop") => {
+                self.advance();
+                let body = self.block()?;
+                Ok(Stmt::Loop(body))
+            }
+            TokenKind::Keyword("atomic") => {
+                self.advance();
+                let body = self.block()?;
+                Ok(Stmt::Atomic(body, pos))
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                if self.eat_punct('(') {
+                    // call statement: f(args);
+                    let args = self.call_args()?;
+                    self.expect_punct(';')?;
+                    return Ok(Stmt::Call { target: None, callee: name, args, pos });
+                }
+                self.expect_punct('=')?;
+                // `x = f(args);` needs two-token lookahead.
+                if let TokenKind::Ident(callee) = self.peek().kind.clone() {
+                    if self.tokens.get(self.ix + 1).map(|t| &t.kind) == Some(&TokenKind::Punct('('))
+                    {
+                        self.advance(); // callee
+                        self.advance(); // '('
+                        let args = self.call_args()?;
+                        self.expect_punct(';')?;
+                        return Ok(Stmt::Call { target: Some(name), callee, args, pos });
+                    }
+                }
+                let e = self.expr()?;
+                self.expect_punct(';')?;
+                Ok(Stmt::Assign(name, e, pos))
+            }
+            k => self.err(format!("expected a statement, found {k}")),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut args = Vec::new();
+        if self.eat_punct(')') {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            if self.eat_punct(')') {
+                return Ok(args);
+            }
+            self.expect_punct(',')?;
+        }
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.term()?;
+        loop {
+            if self.eat_punct('+') {
+                e = Expr::Add(Box::new(e), Box::new(self.term()?));
+            } else if self.eat_punct('-') {
+                e = Expr::Sub(Box::new(e), Box::new(self.term()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.factor()?;
+        while self.eat_punct('*') {
+            e = Expr::Mul(Box::new(e), Box::new(self.factor()?));
+        }
+        Ok(e)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        match self.peek().kind.clone() {
+            TokenKind::Int(n) => {
+                self.advance();
+                Ok(Expr::Int(n))
+            }
+            TokenKind::Punct('-') => {
+                self.advance();
+                let e = self.factor()?;
+                Ok(Expr::Sub(Box::new(Expr::Int(0)), Box::new(e)))
+            }
+            TokenKind::Keyword("nondet") => {
+                self.advance();
+                self.expect_punct('(')?;
+                self.expect_punct(')')?;
+                Ok(Expr::Nondet)
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(Expr::Var(name, pos))
+            }
+            TokenKind::Punct('(') => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect_punct(')')?;
+                Ok(e)
+            }
+            k => self.err(format!("expected an expression, found {k}")),
+        }
+    }
+
+    // ---- boolean expressions ----
+
+    fn bexpr(&mut self) -> Result<BExpr, ParseError> {
+        let mut e = self.band()?;
+        while self.peek().kind == TokenKind::Op2("||") {
+            self.advance();
+            e = BExpr::Or(Box::new(e), Box::new(self.band()?));
+        }
+        Ok(e)
+    }
+
+    fn band(&mut self) -> Result<BExpr, ParseError> {
+        let mut e = self.bprimary()?;
+        while self.peek().kind == TokenKind::Op2("&&") {
+            self.advance();
+            e = BExpr::And(Box::new(e), Box::new(self.bprimary()?));
+        }
+        Ok(e)
+    }
+
+    fn bprimary(&mut self) -> Result<BExpr, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Punct('!') => {
+                self.advance();
+                Ok(BExpr::Not(Box::new(self.bprimary()?)))
+            }
+            TokenKind::Keyword("true") => {
+                self.advance();
+                Ok(BExpr::Const(true))
+            }
+            TokenKind::Keyword("false") => {
+                self.advance();
+                Ok(BExpr::Const(false))
+            }
+            TokenKind::Punct('(') => {
+                // Ambiguous: parenthesized boolean (`(a < b) && c`) or
+                // parenthesized arithmetic (`(a + b) < c`). Try the
+                // boolean reading with backtracking; require that it
+                // is not followed by an operator that would indicate
+                // an arithmetic context.
+                let save = self.ix;
+                self.advance();
+                if let Ok(inner) = self.bexpr() {
+                    if self.peek().kind == TokenKind::Punct(')') {
+                        let after = self.tokens.get(self.ix + 1).map(|t| t.kind.clone());
+                        let arith_follow = matches!(
+                            after,
+                            Some(TokenKind::Punct('+' | '-' | '*' | '<' | '>'))
+                                | Some(TokenKind::Op2("==" | "!=" | "<=" | ">="))
+                        );
+                        if !arith_follow {
+                            self.advance(); // ')'
+                            return Ok(inner);
+                        }
+                    }
+                }
+                self.ix = save;
+                self.comparison()
+            }
+            _ => self.comparison(),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<BExpr, ParseError> {
+        let l = self.expr()?;
+        let op = match self.peek().kind.clone() {
+            TokenKind::Op2("==") => CmpOp::Eq,
+            TokenKind::Op2("!=") => CmpOp::Ne,
+            TokenKind::Op2("<=") => CmpOp::Le,
+            TokenKind::Op2(">=") => CmpOp::Ge,
+            TokenKind::Punct('<') => CmpOp::Lt,
+            TokenKind::Punct('>') => CmpOp::Gt,
+            k => return self.err(format!("expected a comparison operator, found {k}")),
+        };
+        self.advance();
+        let r = self.expr()?;
+        Ok(BExpr::Cmp(op, l, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parse_globals_and_race() {
+        let p = parse_src("global int x; #race x; thread t { skip; }");
+        assert_eq!(p.items.len(), 3);
+        assert!(matches!(&p.items[0], Item::Global(n, _) if n == "x"));
+        assert!(matches!(&p.items[1], Item::Race(n, _) if n == "x"));
+        assert!(matches!(&p.items[2], Item::Thread(_)));
+    }
+
+    #[test]
+    fn parse_figure1_shape() {
+        let src = r#"
+            global int x; global int state; #race x;
+            thread t {
+              local int old;
+              loop {
+                atomic {
+                  old = state;
+                  if (state == 0) { state = 1; }
+                }
+                if (old == 0) { x = x + 1; state = 0; }
+              }
+            }
+        "#;
+        let p = parse_src(src);
+        let Item::Thread(t) = &p.items[3] else { panic!("expected thread") };
+        assert_eq!(t.name, "t");
+        assert_eq!(t.body.len(), 2); // local decl + loop
+    }
+
+    #[test]
+    fn parse_calls() {
+        let src = r#"
+            fn f(a, b) { return a + b; }
+            thread t { local int r; r = f(1, 2); f(r); }
+        "#;
+        let p = parse_src(src);
+        let Item::Thread(t) = &p.items[1] else { panic!() };
+        assert!(matches!(&t.body[1], Stmt::Call { target: Some(r), callee, args, .. }
+            if r == "r" && callee == "f" && args.len() == 2));
+        assert!(matches!(&t.body[2], Stmt::Call { target: None, .. }));
+    }
+
+    #[test]
+    fn parse_precedence() {
+        let p = parse_src("thread t { x = 1 + 2 * 3; }");
+        let Item::Thread(t) = &p.items[0] else { panic!() };
+        let Stmt::Assign(_, e, _) = &t.body[0] else { panic!() };
+        // 1 + (2 * 3)
+        assert!(matches!(e, Expr::Add(_, rhs) if matches!(**rhs, Expr::Mul(_, _))));
+    }
+
+    #[test]
+    fn parse_boolean_paren_ambiguity() {
+        // parenthesized arithmetic on the left of a comparison
+        let p = parse_src("thread t { if ((x + 1) < 2) { skip; } }");
+        let Item::Thread(t) = &p.items[0] else { panic!() };
+        assert!(matches!(&t.body[0], Stmt::If(BExpr::Cmp(circ_ir::CmpOp::Lt, _, _), _, _)));
+        // parenthesized boolean and conjunction
+        let p = parse_src("thread t { if ((x == 1) && y == 2) { skip; } }");
+        let Item::Thread(t) = &p.items[0] else { panic!() };
+        assert!(matches!(&t.body[0], Stmt::If(BExpr::And(_, _), _, _)));
+    }
+
+    #[test]
+    fn parse_else_if_chain() {
+        let p = parse_src("thread t { if (x == 0) { skip; } else if (x == 1) { skip; } else { skip; } }");
+        let Item::Thread(t) = &p.items[0] else { panic!() };
+        let Stmt::If(_, _, els) = &t.body[0] else { panic!() };
+        assert_eq!(els.len(), 1);
+        assert!(matches!(&els[0], Stmt::If(_, _, _)));
+    }
+
+    #[test]
+    fn parse_unary_minus_and_nondet() {
+        let p = parse_src("thread t { x = -3 + nondet(); }");
+        let Item::Thread(t) = &p.items[0] else { panic!() };
+        let Stmt::Assign(_, e, _) = &t.body[0] else { panic!() };
+        assert!(matches!(e, Expr::Add(l, r)
+            if matches!(**l, Expr::Sub(_, _)) && matches!(**r, Expr::Nondet)));
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        let err = parse(&lex("thread t { x = ; }").unwrap()).unwrap_err();
+        assert_eq!(err.pos.line, 1);
+        assert!(err.message.contains("expression"));
+        assert!(parse(&lex("thread t { if x { } }").unwrap()).is_err());
+        assert!(parse(&lex("global x;").unwrap()).is_err());
+    }
+
+    #[test]
+    fn parse_while_break_assume() {
+        let p = parse_src("thread t { while (x < 10) { x = x + 1; break; } assume(x > 0); }");
+        let Item::Thread(t) = &p.items[0] else { panic!() };
+        assert!(matches!(&t.body[0], Stmt::While(_, b) if b.len() == 2));
+        assert!(matches!(&t.body[1], Stmt::Assume(_)));
+    }
+}

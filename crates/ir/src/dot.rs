@@ -1,0 +1,80 @@
+//! Graphviz and ASCII rendering of CFAs, used by the figure
+//! regeneration binaries (`circ-bench`) and handy when debugging.
+
+use crate::cfa::Cfa;
+use std::fmt::Write as _;
+
+/// Renders a CFA in Graphviz `dot` syntax. Atomic locations are drawn
+/// with a doubled border, mirroring the `*` marks of Figure 1.
+pub fn cfa_to_dot(cfa: &Cfa) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", cfa.name());
+    let _ = writeln!(s, "  rankdir=TB; node [shape=circle];");
+    for l in cfa.locs() {
+        let shape = if cfa.is_atomic(l) { "doublecircle" } else { "circle" };
+        let _ = writeln!(s, "  n{} [label=\"{}\", shape={}];", l.index(), cfa.loc_label(l), shape);
+    }
+    let _ = writeln!(s, "  init [shape=point]; init -> n{};", cfa.entry().index());
+    for e in cfa.edges() {
+        let label = format!("{}", e.op).replace('"', "\\\"");
+        let _ = writeln!(s, "  n{} -> n{} [label=\"{}\"];", e.src.index(), e.dst.index(), label);
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Renders a CFA as an indented ASCII adjacency listing.
+pub fn cfa_to_text(cfa: &Cfa) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "CFA `{}` ({} locations, {} edges)", cfa.name(), cfa.num_locs(), cfa.edges().len());
+    let _ = writeln!(
+        s,
+        "  globals: {}",
+        cfa.globals().iter().map(|v| cfa.var_name(*v)).collect::<Vec<_>>().join(", ")
+    );
+    let _ = writeln!(
+        s,
+        "  locals:  {}",
+        cfa.locals().iter().map(|v| cfa.var_name(*v)).collect::<Vec<_>>().join(", ")
+    );
+    for l in cfa.locs() {
+        let star = if cfa.is_atomic(l) { "*" } else { " " };
+        let entry = if l == cfa.entry() { " (entry)" } else { "" };
+        let _ = writeln!(s, "  {}{}{}", cfa.loc_label(l), star, entry);
+        for &eid in cfa.out_edges(l) {
+            let e = cfa.edge(eid);
+            let mut op = format!("{}", e.op);
+            // print variable names instead of raw indices (longest
+            // index first so `v10` is not mangled by `v1`)
+            for ix in (0..cfa.vars().len()).rev() {
+                op = op.replace(&format!("v{ix}"), &cfa.vars()[ix].name);
+            }
+            let _ = writeln!(s, "    --[{}]--> {}", op, cfa.loc_label(e.dst));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfa::figure1_cfa;
+
+    #[test]
+    fn dot_output_contains_all_edges() {
+        let cfa = figure1_cfa();
+        let dot = cfa_to_dot(&cfa);
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches("->").count(), cfa.edges().len() + 1); // +1 for init
+        assert!(dot.contains("doublecircle")); // atomic marks present
+    }
+
+    #[test]
+    fn text_output_uses_variable_names() {
+        let cfa = figure1_cfa();
+        let txt = cfa_to_text(&cfa);
+        assert!(txt.contains("state"));
+        assert!(txt.contains("old := state") || txt.contains("old := state"));
+        assert!(txt.contains("(entry)"));
+    }
+}

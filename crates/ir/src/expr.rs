@@ -1,0 +1,590 @@
+//! Integer expressions, atomic predicates, and boolean expressions.
+//!
+//! The paper's `Exp.X` is the set of arithmetic expressions over the
+//! variables `X`, and `Pred.X` the set of arithmetic comparisons
+//! (§3.2). We additionally provide [`Expr::Nondet`] — a
+//! non-deterministic integer — which the frontend uses to model
+//! hardware input (e.g. an interrupt status register); semantically it
+//! is an unconstrained havoc of the assigned variable.
+
+use crate::cfa::Var;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops;
+
+/// A binary arithmetic operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BinOp {
+    /// Addition `+`.
+    Add,
+    /// Subtraction `-`.
+    Sub,
+    /// Multiplication `*`. The verifier requires at least one operand
+    /// to be a constant (linear arithmetic); the concrete interpreter
+    /// evaluates arbitrary products.
+    Mul,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinOp::Add => write!(f, "+"),
+            BinOp::Sub => write!(f, "-"),
+            BinOp::Mul => write!(f, "*"),
+        }
+    }
+}
+
+/// An integer expression over program variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Expr {
+    /// An integer literal.
+    Int(i64),
+    /// A program variable.
+    Var(Var),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// A non-deterministically chosen integer (models external input).
+    Nondet,
+}
+
+impl Expr {
+    /// An integer literal expression.
+    pub fn int(n: i64) -> Expr {
+        Expr::Int(n)
+    }
+
+    /// A variable reference expression.
+    pub fn var(v: Var) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// Collects every variable occurring in the expression.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    pub(crate) fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Expr::Int(_) | Expr::Nondet => {}
+            Expr::Var(v) => {
+                out.insert(*v);
+            }
+            Expr::Bin(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// True if the expression contains a [`Expr::Nondet`] leaf.
+    pub fn has_nondet(&self) -> bool {
+        match self {
+            Expr::Nondet => true,
+            Expr::Int(_) | Expr::Var(_) => false,
+            Expr::Bin(_, a, b) => a.has_nondet() || b.has_nondet(),
+        }
+    }
+
+    /// True if the expression is linear: products have a constant
+    /// operand (after constant folding of that operand is *not*
+    /// attempted — one side must be syntactically an integer literal).
+    pub fn is_linear(&self) -> bool {
+        match self {
+            Expr::Int(_) | Expr::Var(_) | Expr::Nondet => true,
+            Expr::Bin(BinOp::Mul, a, b) => {
+                (matches!(**a, Expr::Int(_)) || matches!(**b, Expr::Int(_)))
+                    && a.is_linear()
+                    && b.is_linear()
+            }
+            Expr::Bin(_, a, b) => a.is_linear() && b.is_linear(),
+        }
+    }
+
+    /// Substitutes `repl` for every occurrence of variable `v`.
+    pub fn subst(&self, v: Var, repl: &Expr) -> Expr {
+        match self {
+            Expr::Int(_) | Expr::Nondet => self.clone(),
+            Expr::Var(w) => {
+                if *w == v {
+                    repl.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                Expr::Bin(*op, Box::new(a.subst(v, repl)), Box::new(b.subst(v, repl)))
+            }
+        }
+    }
+
+    /// Evaluates a nondet-free expression under `lookup`, using
+    /// wrapping `i64` arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression contains [`Expr::Nondet`]; the
+    /// interpreter resolves nondeterminism before evaluation.
+    pub fn eval(&self, lookup: &impl Fn(Var) -> i64) -> i64 {
+        match self {
+            Expr::Int(n) => *n,
+            Expr::Var(v) => lookup(*v),
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (a.eval(lookup), b.eval(lookup));
+                match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                }
+            }
+            Expr::Nondet => panic!("cannot evaluate nondet expression"),
+        }
+    }
+}
+
+impl ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(n: i64) -> Expr {
+        Expr::Int(n)
+    }
+}
+
+impl From<Var> for Expr {
+    fn from(v: Var) -> Expr {
+        Expr::Var(v)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(n) => write!(f, "{n}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Nondet => write!(f, "nondet()"),
+        }
+    }
+}
+
+/// A comparison operator between integer expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The comparison satisfied exactly when `self` is not.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Evaluates the comparison on concrete integers.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An atomic predicate: a single comparison between expressions.
+///
+/// This is the currency of predicate abstraction — the sets `P` that
+/// CIRC refines are sets of `Pred`s.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pred {
+    /// Left-hand expression.
+    pub lhs: Expr,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand expression.
+    pub rhs: Expr,
+}
+
+impl Pred {
+    /// Constructs a predicate `lhs op rhs`.
+    pub fn new(lhs: Expr, op: CmpOp, rhs: Expr) -> Pred {
+        Pred { lhs, op, rhs }
+    }
+
+    /// `lhs = rhs`.
+    pub fn eq(lhs: Expr, rhs: Expr) -> Pred {
+        Pred::new(lhs, CmpOp::Eq, rhs)
+    }
+
+    /// The predicate true exactly when `self` is false.
+    pub fn negate(&self) -> Pred {
+        Pred::new(self.lhs.clone(), self.op.negate(), self.rhs.clone())
+    }
+
+    /// Collects every variable in the predicate.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = self.lhs.vars();
+        self.rhs.collect_vars(&mut out);
+        out
+    }
+
+    /// Substitutes `repl` for `v` on both sides.
+    pub fn subst(&self, v: Var, repl: &Expr) -> Pred {
+        Pred::new(self.lhs.subst(v, repl), self.op, self.rhs.subst(v, repl))
+    }
+
+    /// Evaluates the predicate on a concrete state.
+    pub fn eval(&self, lookup: &impl Fn(Var) -> i64) -> bool {
+        self.op.eval(self.lhs.eval(lookup), self.rhs.eval(lookup))
+    }
+
+    /// A canonical form that identifies `a = b` with `b = a` (and the
+    /// mirrored forms of the other comparisons), used to deduplicate
+    /// mined predicates.
+    pub fn canonical(&self) -> Pred {
+        let mirrored = match self.op {
+            CmpOp::Eq => Some(CmpOp::Eq),
+            CmpOp::Ne => Some(CmpOp::Ne),
+            CmpOp::Lt => Some(CmpOp::Gt),
+            CmpOp::Le => Some(CmpOp::Ge),
+            CmpOp::Gt => Some(CmpOp::Lt),
+            CmpOp::Ge => Some(CmpOp::Le),
+        };
+        match mirrored {
+            Some(m) if (self.rhs.clone(), self.op) < (self.lhs.clone(), m) => {
+                Pred::new(self.rhs.clone(), m, self.lhs.clone())
+            }
+            _ => self.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// A boolean expression: positive/negative combinations of atomic
+/// predicates. Assume edges carry a `BoolExpr`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BoolExpr {
+    /// Constant truth value.
+    Const(bool),
+    /// An atomic comparison.
+    Atom(Pred),
+    /// Negation.
+    Not(Box<BoolExpr>),
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// The constant `true`.
+    pub fn tru() -> BoolExpr {
+        BoolExpr::Const(true)
+    }
+
+    /// The constant `false`.
+    pub fn fls() -> BoolExpr {
+        BoolExpr::Const(false)
+    }
+
+    /// An atomic predicate.
+    pub fn atom(p: Pred) -> BoolExpr {
+        BoolExpr::Atom(p)
+    }
+
+    /// `a = b` as a boolean expression.
+    pub fn eq(a: Expr, b: Expr) -> BoolExpr {
+        BoolExpr::Atom(Pred::new(a, CmpOp::Eq, b))
+    }
+
+    /// `a != b`.
+    pub fn ne(a: Expr, b: Expr) -> BoolExpr {
+        BoolExpr::Atom(Pred::new(a, CmpOp::Ne, b))
+    }
+
+    /// `a < b`.
+    pub fn lt(a: Expr, b: Expr) -> BoolExpr {
+        BoolExpr::Atom(Pred::new(a, CmpOp::Lt, b))
+    }
+
+    /// `a <= b`.
+    pub fn le(a: Expr, b: Expr) -> BoolExpr {
+        BoolExpr::Atom(Pred::new(a, CmpOp::Le, b))
+    }
+
+    /// `a > b`.
+    pub fn gt(a: Expr, b: Expr) -> BoolExpr {
+        BoolExpr::Atom(Pred::new(a, CmpOp::Gt, b))
+    }
+
+    /// `a >= b`.
+    pub fn ge(a: Expr, b: Expr) -> BoolExpr {
+        BoolExpr::Atom(Pred::new(a, CmpOp::Ge, b))
+    }
+
+    /// Conjunction (consumes both operands).
+    pub fn and(self, rhs: BoolExpr) -> BoolExpr {
+        match (&self, &rhs) {
+            (BoolExpr::Const(true), _) => rhs,
+            (_, BoolExpr::Const(true)) => self,
+            (BoolExpr::Const(false), _) | (_, BoolExpr::Const(false)) => BoolExpr::fls(),
+            _ => BoolExpr::And(Box::new(self), Box::new(rhs)),
+        }
+    }
+
+    /// Disjunction (consumes both operands).
+    pub fn or(self, rhs: BoolExpr) -> BoolExpr {
+        match (&self, &rhs) {
+            (BoolExpr::Const(false), _) => rhs,
+            (_, BoolExpr::Const(false)) => self,
+            (BoolExpr::Const(true), _) | (_, BoolExpr::Const(true)) => BoolExpr::tru(),
+            _ => BoolExpr::Or(Box::new(self), Box::new(rhs)),
+        }
+    }
+
+    /// Negation (consumes the operand).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> BoolExpr {
+        match self {
+            BoolExpr::Const(b) => BoolExpr::Const(!b),
+            BoolExpr::Not(inner) => *inner,
+            other => BoolExpr::Not(Box::new(other)),
+        }
+    }
+
+    /// Collects every variable in the expression.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    pub(crate) fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            BoolExpr::Const(_) => {}
+            BoolExpr::Atom(p) => {
+                p.lhs.collect_vars(out);
+                p.rhs.collect_vars(out);
+            }
+            BoolExpr::Not(a) => a.collect_vars(out),
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Collects the atomic predicates of the expression.
+    pub fn atoms(&self) -> Vec<Pred> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut Vec<Pred>) {
+        match self {
+            BoolExpr::Const(_) => {}
+            BoolExpr::Atom(p) => out.push(p.clone()),
+            BoolExpr::Not(a) => a.collect_atoms(out),
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                a.collect_atoms(out);
+                b.collect_atoms(out);
+            }
+        }
+    }
+
+    /// Substitutes `repl` for `v` throughout.
+    pub fn subst(&self, v: Var, repl: &Expr) -> BoolExpr {
+        match self {
+            BoolExpr::Const(_) => self.clone(),
+            BoolExpr::Atom(p) => BoolExpr::Atom(p.subst(v, repl)),
+            BoolExpr::Not(a) => BoolExpr::Not(Box::new(a.subst(v, repl))),
+            BoolExpr::And(a, b) => {
+                BoolExpr::And(Box::new(a.subst(v, repl)), Box::new(b.subst(v, repl)))
+            }
+            BoolExpr::Or(a, b) => {
+                BoolExpr::Or(Box::new(a.subst(v, repl)), Box::new(b.subst(v, repl)))
+            }
+        }
+    }
+
+    /// Evaluates the expression on a concrete state.
+    pub fn eval(&self, lookup: &impl Fn(Var) -> i64) -> bool {
+        match self {
+            BoolExpr::Const(b) => *b,
+            BoolExpr::Atom(p) => p.eval(lookup),
+            BoolExpr::Not(a) => !a.eval(lookup),
+            BoolExpr::And(a, b) => a.eval(lookup) && b.eval(lookup),
+            BoolExpr::Or(a, b) => a.eval(lookup) || b.eval(lookup),
+        }
+    }
+}
+
+impl From<Pred> for BoolExpr {
+    fn from(p: Pred) -> BoolExpr {
+        BoolExpr::Atom(p)
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::Const(b) => write!(f, "{b}"),
+            BoolExpr::Atom(p) => write!(f, "{p}"),
+            BoolExpr::Not(a) => write!(f, "!({a})"),
+            BoolExpr::And(a, b) => write!(f, "({a} && {b})"),
+            BoolExpr::Or(a, b) => write!(f, "({a} || {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfa::Var;
+
+    fn v(n: u32) -> Var {
+        Var::from_raw(n)
+    }
+
+    #[test]
+    fn expr_eval_arithmetic() {
+        let e = (Expr::var(v(0)) + Expr::int(3)) * Expr::int(2);
+        let val = e.eval(&|_| 5);
+        assert_eq!(val, 16);
+    }
+
+    #[test]
+    fn expr_vars_collects_all() {
+        let e = Expr::var(v(0)) + Expr::var(v(2)) * Expr::int(4);
+        let vars = e.vars();
+        assert!(vars.contains(&v(0)));
+        assert!(vars.contains(&v(2)));
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn expr_subst_replaces_only_target() {
+        let e = Expr::var(v(0)) + Expr::var(v(1));
+        let s = e.subst(v(0), &Expr::int(7));
+        assert_eq!(s.eval(&|_| 1), 8);
+    }
+
+    #[test]
+    fn expr_linear_check() {
+        assert!((Expr::var(v(0)) * Expr::int(3)).is_linear());
+        assert!(!(Expr::var(v(0)) * Expr::var(v(1))).is_linear());
+    }
+
+    #[test]
+    fn cmp_negate_roundtrip() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.negate().negate(), op);
+            // negation is semantic complement
+            for (a, b) in [(0, 0), (1, 2), (2, 1)] {
+                assert_eq!(op.eval(a, b), !op.negate().eval(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn pred_negate_eval() {
+        let p = Pred::new(Expr::var(v(0)), CmpOp::Lt, Expr::int(5));
+        assert!(p.eval(&|_| 3));
+        assert!(!p.negate().eval(&|_| 3));
+    }
+
+    #[test]
+    fn bool_expr_simplifying_constructors() {
+        let t = BoolExpr::tru();
+        let a = BoolExpr::eq(Expr::var(v(0)), Expr::int(0));
+        assert_eq!(t.clone().and(a.clone()), a);
+        assert_eq!(BoolExpr::fls().or(a.clone()), a);
+        assert_eq!(a.clone().and(BoolExpr::fls()), BoolExpr::fls());
+        assert_eq!(a.clone().not().not(), a);
+    }
+
+    #[test]
+    fn bool_expr_eval() {
+        let e = BoolExpr::eq(Expr::var(v(0)), Expr::int(1))
+            .and(BoolExpr::lt(Expr::var(v(1)), Expr::int(10)).not());
+        // v0 = 1, v1 = 12: (1=1) && !(12<10) = true
+        let val = e.eval(&|x| if x == v(0) { 1 } else { 12 });
+        assert!(val);
+    }
+
+    #[test]
+    fn pred_canonical_identifies_mirrored() {
+        let p = Pred::new(Expr::var(v(1)), CmpOp::Eq, Expr::var(v(0)));
+        let q = Pred::new(Expr::var(v(0)), CmpOp::Eq, Expr::var(v(1)));
+        assert_eq!(p.canonical(), q.canonical());
+        let lt = Pred::new(Expr::var(v(1)), CmpOp::Lt, Expr::var(v(0)));
+        let gt = Pred::new(Expr::var(v(0)), CmpOp::Gt, Expr::var(v(1)));
+        assert_eq!(lt.canonical(), gt.canonical());
+    }
+
+    #[test]
+    fn nondet_detection() {
+        assert!((Expr::Nondet + Expr::int(1)).has_nondet());
+        assert!(!Expr::var(v(0)).has_nondet());
+    }
+}

@@ -1,0 +1,52 @@
+//! Core intermediate representation for the CIRC race checker.
+//!
+//! This crate defines the program model of *"Race Checking by Context
+//! Inference"* (Henzinger, Jhala, Majumdar; PLDI 2004), §3:
+//!
+//! * integer [`Expr`]essions and boolean [`BoolExpr`]essions / atomic
+//!   [`Pred`]icates over program [`Var`]iables,
+//! * [`Op`]erations — assignments `x := e` and assumes `asm [p]` — that
+//!   label the edges of a [`Cfa`] (control flow automaton) with
+//!   distinguished *atomic* locations,
+//! * symmetric multithreaded programs [`MtProgram`] (`C^∞` in the
+//!   paper: arbitrarily many copies of one CFA), and
+//! * the concrete small-step semantics ([`interp`]) together with the
+//!   race-state definition of §4.1.
+//!
+//! Downstream crates build the abstract semantics on top of this IR:
+//! `circ-acfa` defines abstract threads, `circ-core` the CIRC
+//! inference algorithm itself.
+//!
+//! # Example
+//!
+//! ```
+//! use circ_ir::{CfaBuilder, Expr, BoolExpr, Op};
+//!
+//! // A tiny thread:   0: x := x + 1;  1: assume x > 0;  2: done
+//! let mut b = CfaBuilder::new("tick");
+//! let x = b.global("x");
+//! let l0 = b.entry();
+//! let l1 = b.fresh_loc();
+//! let l2 = b.fresh_loc();
+//! b.edge(l0, Op::assign(x, Expr::var(x) + Expr::int(1)), l1);
+//! b.edge(l1, Op::assume(BoolExpr::gt(Expr::var(x), Expr::int(0))), l2);
+//! let cfa = b.build();
+//! assert_eq!(cfa.num_locs(), 3);
+//! assert!(cfa.writes_at(l0).contains(&x));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod expr;
+mod cfa;
+mod program;
+pub mod interp;
+pub mod dot;
+
+pub use expr::{BinOp, BoolExpr, CmpOp, Expr, Pred};
+pub use cfa::{
+    figure1_cfa, AccessKind, Cfa, CfaBuilder, Edge, EdgeId, Loc, Op, Var, VarInfo, VarKind,
+};
+pub use program::{MtProgram, ThreadId};
+pub use interp::{ConcreteState, Interp, RaceWitness, SchedChoice};

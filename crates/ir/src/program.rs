@@ -1,0 +1,105 @@
+//! Multithreaded programs.
+//!
+//! The paper analyzes *symmetric* multithreaded programs `C^∞`: an
+//! arbitrary number of threads all running the same CFA `C` (§3.2).
+//! [`MtProgram`] captures a symmetric program together with the race
+//! variable under scrutiny; the concrete interpreter instantiates it
+//! with a finite number of threads, while CIRC reasons about the
+//! unbounded instantiation.
+
+use crate::cfa::{Cfa, Var};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies one thread of a finite instantiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A symmetric multithreaded program: arbitrarily many copies of one
+/// CFA, plus the global variable to check for races.
+#[derive(Debug, Clone)]
+pub struct MtProgram {
+    cfa: Arc<Cfa>,
+    race_var: Var,
+}
+
+impl MtProgram {
+    /// Creates a program from a CFA and the global race variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `race_var` is not a global of `cfa`.
+    pub fn new(cfa: Cfa, race_var: Var) -> MtProgram {
+        assert!(
+            cfa.is_global(race_var),
+            "race variable {race_var} must be global"
+        );
+        MtProgram { cfa: Arc::new(cfa), race_var }
+    }
+
+    /// The thread template.
+    pub fn cfa(&self) -> &Cfa {
+        &self.cfa
+    }
+
+    /// Shared handle to the thread template.
+    pub fn cfa_arc(&self) -> Arc<Cfa> {
+        Arc::clone(&self.cfa)
+    }
+
+    /// The variable checked for races.
+    pub fn race_var(&self) -> Var {
+        self.race_var
+    }
+
+    /// Same program, different race variable.
+    pub fn with_race_var(&self, v: Var) -> MtProgram {
+        assert!(self.cfa.is_global(v), "race variable {v} must be global");
+        MtProgram { cfa: Arc::clone(&self.cfa), race_var: v }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfa::figure1_cfa;
+
+    #[test]
+    fn program_holds_race_var() {
+        let cfa = figure1_cfa();
+        let x = cfa.var_by_name("x").unwrap();
+        let p = MtProgram::new(cfa, x);
+        assert_eq!(p.race_var(), x);
+        assert_eq!(p.cfa().name(), "test_and_set");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be global")]
+    fn local_race_var_rejected() {
+        let cfa = figure1_cfa();
+        let old = cfa.var_by_name("old").unwrap();
+        let _ = MtProgram::new(cfa, old);
+    }
+
+    #[test]
+    fn switch_race_var() {
+        let cfa = figure1_cfa();
+        let x = cfa.var_by_name("x").unwrap();
+        let state = cfa.var_by_name("state").unwrap();
+        let p = MtProgram::new(cfa, x).with_race_var(state);
+        assert_eq!(p.race_var(), state);
+    }
+}

@@ -1,0 +1,389 @@
+//! TinyOS-style benchmark models for the CIRC evaluation (§6).
+//!
+//! The paper's experiments run on nesC applications (secureTosBase,
+//! surge, sense) whose sources we cannot ship; what the evaluation
+//! actually exercises is a small set of *synchronization idioms*, one
+//! per protected variable of Table 1. This crate reproduces each
+//! idiom as a NesL program at the same structural shape:
+//!
+//! | idiom | Table 1 rows | model |
+//! |---|---|---|
+//! | test-and-set state flag (§2, Fig. 1) | `gTxByteCnt` | [`TEST_AND_SET`] |
+//! | same flag guarding two variables | `gTxRunningCRC` | [`RUNNING_CRC`] |
+//! | conditional locking through a function's return value | `gTxState` | [`CONDITIONAL_LOCK`] |
+//! | multi-valued state machine | `gRxHeadIndex` | [`MULTI_STATE`] |
+//! | accesses only inside `atomic` | `gTxProto` | [`ATOMIC_ONLY`] |
+//! | task-only accesses (run-to-completion mutex) | `gRxTailIndex` | [`TASK_ONLY`] |
+//! | split-phase interrupt enable/disable | `rec_ptr` | [`SPLIT_PHASE`] |
+//! | interrupt bit combined with a state variable | `tosPort` | [`INTERRUPT_STATE`] |
+//!
+//! Each safe model has a `_BUGGY` sibling with the synchronization
+//! subtly broken (the atomicity removed, the handshake reordered —
+//! the kind of bug the paper reports finding in `secureTosBase` and
+//! `sense` before the code was fixed); CIRC must return a concrete
+//! race schedule on those.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use circ_frontend::{compile, CompileError, Compiled};
+use circ_ir::MtProgram;
+
+/// The paper's reported numbers for one Table 1 row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperRow {
+    /// Application name as in Table 1.
+    pub app: &'static str,
+    /// Variable name as in Table 1.
+    pub variable: &'static str,
+    /// Predicates CIRC discovered in the paper.
+    pub preds: u32,
+    /// Final ACFA size in the paper.
+    pub acfa: u32,
+    /// Wall-clock in the paper (2 GHz IBM T30).
+    pub time: &'static str,
+}
+
+/// One benchmark model.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// Short identifier.
+    pub name: &'static str,
+    /// NesL source text.
+    pub source: &'static str,
+    /// Whether the model is race-free.
+    pub expected_safe: bool,
+    /// Table 1 rows this idiom backs (empty for buggy variants).
+    pub paper_rows: &'static [PaperRow],
+}
+
+impl Model {
+    /// Compiles the model to a CFA plus race annotation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend errors (none expected: sources are fixed).
+    pub fn compile(&self) -> Result<Compiled, CompileError> {
+        compile(self.source)
+    }
+
+    /// Compiles and wraps into a checkable program (first `#race`
+    /// variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model source does not compile or lacks a
+    /// `#race` directive — a bug in this crate, not in callers.
+    pub fn program(&self) -> MtProgram {
+        let compiled = self.compile().expect("benchmark model must compile");
+        let var = *compiled.race_vars.first().expect("model declares #race");
+        MtProgram::new(compiled.cfa, var)
+    }
+}
+
+/// The §2 / Figure 1 test-and-set idiom (`gTxByteCnt`).
+pub const TEST_AND_SET: &str = include_str!("../models/test_and_set.nesl");
+/// The same flag protecting two counters (`gTxRunningCRC`).
+pub const RUNNING_CRC: &str = include_str!("../models/running_crc.nesl");
+/// Conditional locking: the lock is taken inside a function and the
+/// caller branches on its return value (`gTxState`).
+pub const CONDITIONAL_LOCK: &str = include_str!("../models/conditional_lock.nesl");
+/// A multi-valued mode variable cycling through fill/drain phases
+/// (`gRxHeadIndex`).
+pub const MULTI_STATE: &str = include_str!("../models/multi_state.nesl");
+/// All accesses inside `atomic` — trivially safe (`gTxProto`).
+pub const ATOMIC_ONLY: &str = include_str!("../models/atomic_only.nesl");
+/// Task-only accesses under a run-to-completion task mutex
+/// (`gRxTailIndex`).
+pub const TASK_ONLY: &str = include_str!("../models/task_only.nesl");
+/// Split-phase interrupt handshake (`rec_ptr` in surge).
+pub const SPLIT_PHASE: &str = include_str!("../models/split_phase.nesl");
+/// Interrupt bit combined with a state variable (`tosPort` in sense).
+pub const INTERRUPT_STATE: &str = include_str!("../models/interrupt_state.nesl");
+
+/// Bounded-retry locking (a `while`/`break` variant of conditional
+/// locking; extra coverage beyond Table 1).
+pub const RETRY_LOCK: &str = include_str!("../models/retry_lock.nesl");
+
+/// Figure 1 without the atomic block: racy.
+pub const TEST_AND_SET_BUGGY: &str = include_str!("../models/test_and_set_buggy.nesl");
+/// Conditional locking where one access is performed after the lock
+/// is released (the `gTxState` bug the paper reports in
+/// secureTosBase).
+pub const CONDITIONAL_LOCK_BUGGY: &str = include_str!("../models/conditional_lock_buggy.nesl");
+/// The interrupt re-enabled before the protected write finishes (the
+/// `tosPort` bug the paper reports in sense).
+pub const INTERRUPT_STATE_BUGGY: &str = include_str!("../models/interrupt_state_buggy.nesl");
+
+/// All models, safe ones first.
+pub fn models() -> Vec<Model> {
+    vec![
+        Model {
+            name: "test_and_set",
+            source: TEST_AND_SET,
+            expected_safe: true,
+            paper_rows: &[
+                PaperRow {
+                    app: "secureTosBase",
+                    variable: "gTxByteCnt",
+                    preds: 4,
+                    acfa: 13,
+                    time: "1m41s",
+                },
+                PaperRow { app: "surge", variable: "gTxByteCnt", preds: 4, acfa: 15, time: "1m34s" },
+            ],
+        },
+        Model {
+            name: "running_crc",
+            source: RUNNING_CRC,
+            expected_safe: true,
+            paper_rows: &[
+                PaperRow {
+                    app: "secureTosBase",
+                    variable: "gTxRunningCRC",
+                    preds: 4,
+                    acfa: 13,
+                    time: "1m50s",
+                },
+                PaperRow {
+                    app: "surge",
+                    variable: "gTxRunningCRC",
+                    preds: 4,
+                    acfa: 15,
+                    time: "1m45s",
+                },
+            ],
+        },
+        Model {
+            name: "conditional_lock",
+            source: CONDITIONAL_LOCK,
+            expected_safe: true,
+            paper_rows: &[
+                PaperRow {
+                    app: "secureTosBase",
+                    variable: "gTxState",
+                    preds: 11,
+                    acfa: 23,
+                    time: "7m38s",
+                },
+                PaperRow { app: "surge", variable: "gTxState", preds: 11, acfa: 35, time: "9m54s" },
+            ],
+        },
+        Model {
+            name: "multi_state",
+            source: MULTI_STATE,
+            expected_safe: true,
+            paper_rows: &[PaperRow {
+                app: "secureTosBase",
+                variable: "gRxHeadIndex",
+                preds: 8,
+                acfa: 64,
+                time: "20m50s",
+            }],
+        },
+        Model {
+            name: "atomic_only",
+            source: ATOMIC_ONLY,
+            expected_safe: true,
+            paper_rows: &[PaperRow {
+                app: "secureTosBase",
+                variable: "gTxProto",
+                preds: 0,
+                acfa: 9,
+                time: "12s",
+            }],
+        },
+        Model {
+            name: "task_only",
+            source: TASK_ONLY,
+            expected_safe: true,
+            paper_rows: &[PaperRow {
+                app: "secureTosBase",
+                variable: "gRxTailIndex",
+                preds: 0,
+                acfa: 5,
+                time: "2s",
+            }],
+        },
+        Model {
+            name: "split_phase",
+            source: SPLIT_PHASE,
+            expected_safe: true,
+            paper_rows: &[PaperRow {
+                app: "surge",
+                variable: "rec_ptr",
+                preds: 4,
+                acfa: 23,
+                time: "1m18s",
+            }],
+        },
+        Model {
+            name: "interrupt_state",
+            source: INTERRUPT_STATE,
+            expected_safe: true,
+            paper_rows: &[PaperRow {
+                app: "sense",
+                variable: "tosPort",
+                preds: 6,
+                acfa: 26,
+                time: "16m25s",
+            }],
+        },
+        Model {
+            name: "retry_lock",
+            source: RETRY_LOCK,
+            expected_safe: true,
+            paper_rows: &[],
+        },
+        Model {
+            name: "test_and_set_buggy",
+            source: TEST_AND_SET_BUGGY,
+            expected_safe: false,
+            paper_rows: &[],
+        },
+        Model {
+            name: "conditional_lock_buggy",
+            source: CONDITIONAL_LOCK_BUGGY,
+            expected_safe: false,
+            paper_rows: &[],
+        },
+        Model {
+            name: "interrupt_state_buggy",
+            source: INTERRUPT_STATE_BUGGY,
+            expected_safe: false,
+            paper_rows: &[],
+        },
+    ]
+}
+
+/// Looks up a model by name.
+pub fn model(name: &str) -> Option<Model> {
+    models().into_iter().find(|m| m.name == name)
+}
+
+/// Generates the NesL source of an `n`-phase token ring: a mode
+/// variable cycles through `2n` values; each odd phase holds the
+/// token and writes the shared variable. A scaling family for the
+/// checker — the proof needs predicates for every mode value, so
+/// predicate count, ACFA size, and time all grow with `n`
+/// (generalizes the `multi_state` idiom; used by the `scaling`
+/// bench).
+///
+/// # Panics
+///
+/// Panics if `phases` is zero.
+pub fn token_ring_source(phases: u32) -> String {
+    assert!(phases > 0, "need at least one phase");
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "global int x;");
+    let _ = writeln!(s, "global int mode;");
+    let _ = writeln!(s, "#race x;");
+    let _ = writeln!(s, "thread ring {{");
+    let _ = writeln!(s, "  local int got;");
+    let _ = writeln!(s, "  loop {{");
+    for i in 0..phases {
+        let grab = 2 * i; // token at rest
+        let hold = 2 * i + 1; // token held by the writer
+        let next = (2 * i + 2) % (2 * phases);
+        let _ = writeln!(s, "    got = 0;");
+        let _ = writeln!(
+            s,
+            "    atomic {{ if (mode == {grab}) {{ mode = {hold}; got = 1; }} }}"
+        );
+        let _ = writeln!(s, "    if (got == 1) {{");
+        let _ = writeln!(s, "      x = x + 1;");
+        let _ = writeln!(s, "      atomic {{ mode = {next}; }}");
+        let _ = writeln!(s, "    }}");
+    }
+    let _ = writeln!(s, "  }}");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Compiles a generated token ring into a checkable program.
+///
+/// # Panics
+///
+/// Panics if `phases` is zero (the generated source always compiles).
+pub fn token_ring(phases: u32) -> MtProgram {
+    let src = token_ring_source(phases);
+    let compiled = compile(&src).expect("generated source compiles");
+    let var = compiled.race_vars[0];
+    MtProgram::new(compiled.cfa, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circ_ir::Interp;
+
+    #[test]
+    fn all_models_compile() {
+        for m in models() {
+            let compiled = m.compile().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            assert!(!compiled.race_vars.is_empty(), "{} lacks #race", m.name);
+        }
+    }
+
+    #[test]
+    fn safe_models_pass_bounded_concrete_exploration() {
+        for m in models().iter().filter(|m| m.expected_safe) {
+            let program = m.program();
+            for n in [2, 3] {
+                let interp = Interp::new(program.clone(), n);
+                assert!(
+                    interp.explore_bounded(300_000, &[0, 1]).is_none(),
+                    "{} races concretely with {n} threads",
+                    m.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buggy_models_race_concretely() {
+        for m in models().iter().filter(|m| !m.expected_safe) {
+            let program = m.program();
+            let interp = Interp::new(program.clone(), 2);
+            assert!(
+                interp.explore_bounded(500_000, &[0, 1]).is_some(),
+                "{} should race with 2 threads",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(model("split_phase").is_some());
+        assert!(model("nope").is_none());
+        assert_eq!(models().len(), 12);
+    }
+
+    #[test]
+    fn token_ring_generates_and_compiles() {
+        for n in 1..=4 {
+            let program = token_ring(n);
+            assert!(program.cfa().num_locs() > (n as usize) * 4);
+        }
+    }
+
+    #[test]
+    fn token_ring_race_free_concretely() {
+        let program = token_ring(2);
+        for threads in [2, 3] {
+            let interp = Interp::new(program.clone(), threads);
+            assert!(
+                interp.explore_bounded(300_000, &[]).is_none(),
+                "token ring races with {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_rows_cover_table1() {
+        let rows: usize = models().iter().map(|m| m.paper_rows.len()).sum();
+        assert_eq!(rows, 11, "Table 1 has 11 rows");
+    }
+}

@@ -1,0 +1,594 @@
+//! A small CDCL SAT solver: two-watched-literal propagation,
+//! first-UIP conflict learning, non-chronological backjumping, and an
+//! activity-based decision heuristic with phase saving.
+//!
+//! The solver is incremental in the simplest sense: clauses may be
+//! added between [`CnfSolver::solve`] calls, which is exactly the
+//! shape lazy DPLL(T) needs (blocking clauses after each theory
+//! conflict).
+
+use std::fmt;
+
+/// A boolean variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BVar(pub u32);
+
+/// A literal: a variable with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: BVar) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: BVar) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// Builds a literal with the given sign (`true` = positive).
+    pub fn new(v: BVar, sign: bool) -> Lit {
+        if sign {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> BVar {
+        BVar(self.0 >> 1)
+    }
+
+    /// True for a positive literal.
+    pub fn sign(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign() {
+            write!(f, "b{}", self.var().0)
+        } else {
+            write!(f, "~b{}", self.var().0)
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Assign {
+    Unassigned,
+    True,
+    False,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+}
+
+/// A CDCL SAT solver over CNF clauses.
+#[derive(Debug, Default)]
+pub struct CnfSolver {
+    clauses: Vec<Clause>,
+    /// `watches[lit]`: clause indices watching `lit`.
+    watches: Vec<Vec<usize>>,
+    assigns: Vec<Assign>,
+    /// Saved phases for decision polarity.
+    phases: Vec<bool>,
+    levels: Vec<u32>,
+    reasons: Vec<Option<usize>>,
+    activity: Vec<f64>,
+    act_inc: f64,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    /// Set when an empty clause was added; the instance is trivially
+    /// unsat.
+    trivially_unsat: bool,
+}
+
+impl CnfSolver {
+    /// An empty solver.
+    pub fn new() -> CnfSolver {
+        CnfSolver { act_inc: 1.0, ..CnfSolver::default() }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> BVar {
+        let v = BVar(self.assigns.len() as u32);
+        self.assigns.push(Assign::Unassigned);
+        self.phases.push(false);
+        self.levels.push(0);
+        self.reasons.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// The value of `v` in the most recent satisfying assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last [`CnfSolver::solve`] did not return `true`
+    /// (the assignment is only total after a SAT answer).
+    pub fn value(&self, v: BVar) -> bool {
+        match self.assigns[v.0 as usize] {
+            Assign::True => true,
+            Assign::False => false,
+            Assign::Unassigned => panic!("variable {v:?} unassigned; call solve() first"),
+        }
+    }
+
+    /// Adds a clause. Duplicate literals are removed; tautologies are
+    /// ignored; the empty clause marks the instance unsat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        for l in lits {
+            assert!((l.var().0 as usize) < self.num_vars(), "unallocated variable in clause");
+        }
+        // Clause database edits happen at decision level 0.
+        self.backtrack_to(0);
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort_unstable();
+        ls.dedup();
+        if ls.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return; // tautology: contains l and ~l
+        }
+        // Drop literals already false at level 0; if one is true at
+        // level 0 the clause is satisfied forever.
+        ls.retain(|l| !(self.lit_value(*l) == Assign::False && self.levels[l.var().0 as usize] == 0));
+        if ls
+            .iter()
+            .any(|l| self.lit_value(*l) == Assign::True && self.levels[l.var().0 as usize] == 0)
+        {
+            return;
+        }
+        match ls.len() {
+            0 => self.trivially_unsat = true,
+            1 => {
+                if self.lit_value(ls[0]) == Assign::Unassigned {
+                    self.enqueue(ls[0], None);
+                }
+                if self.propagate().is_some() {
+                    self.trivially_unsat = true;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watches[ls[0].negate().index()].push(idx);
+                self.watches[ls[1].negate().index()].push(idx);
+                self.clauses.push(Clause { lits: ls, learnt: false });
+            }
+        }
+    }
+
+    /// Decides satisfiability of the current clause set. After `true`,
+    /// [`CnfSolver::value`] reads the model; the solver stays usable
+    /// (more clauses may be added and `solve` called again).
+    pub fn solve(&mut self) -> bool {
+        if self.trivially_unsat {
+            return false;
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.trivially_unsat = true;
+            return false;
+        }
+        loop {
+            match self.propagate() {
+                Some(conflict) => {
+                    if self.decision_level() == 0 {
+                        self.trivially_unsat = true;
+                        return false;
+                    }
+                    let (learnt, backjump) = self.analyze(conflict);
+                    self.backtrack_to(backjump);
+                    self.learn(learnt);
+                    self.act_inc /= 0.95;
+                    if self.act_inc > 1e100 {
+                        for a in &mut self.activity {
+                            *a *= 1e-100;
+                        }
+                        self.act_inc *= 1e-100;
+                    }
+                }
+                None => match self.pick_branch_var() {
+                    None => return true,
+                    Some(v) => {
+                        self.trail_lim.push(self.trail.len());
+                        let lit = Lit::new(v, self.phases[v.0 as usize]);
+                        self.enqueue(lit, None);
+                    }
+                },
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn lit_value(&self, l: Lit) -> Assign {
+        match self.assigns[l.var().0 as usize] {
+            Assign::Unassigned => Assign::Unassigned,
+            Assign::True => {
+                if l.sign() {
+                    Assign::True
+                } else {
+                    Assign::False
+                }
+            }
+            Assign::False => {
+                if l.sign() {
+                    Assign::False
+                } else {
+                    Assign::True
+                }
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<usize>) {
+        debug_assert_eq!(self.lit_value(l), Assign::Unassigned);
+        let v = l.var().0 as usize;
+        self.assigns[v] = if l.sign() { Assign::True } else { Assign::False };
+        self.phases[v] = l.sign();
+        self.levels[v] = self.decision_level();
+        self.reasons[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns a conflicting clause index on
+    /// conflict.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            // Clauses watching ~p must be inspected.
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                // Ensure lits[0] is the other watched literal.
+                let false_lit = p.negate();
+                {
+                    let c = &mut self.clauses[ci];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                }
+                if self.lit_value(self.clauses[ci].lits[0]) == Assign::True {
+                    i += 1;
+                    continue; // clause satisfied
+                }
+                // Find a new literal to watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].lits.len() {
+                    if self.lit_value(self.clauses[ci].lits[k]) != Assign::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        let new_watch = self.clauses[ci].lits[1].negate().index();
+                        self.watches[new_watch].push(ci);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit or conflicting.
+                let first = self.clauses[ci].lits[0];
+                match self.lit_value(first) {
+                    Assign::False => {
+                        self.watches[p.index()] = ws;
+                        self.qhead = self.trail.len();
+                        return Some(ci);
+                    }
+                    Assign::Unassigned => {
+                        self.enqueue(first, Some(ci));
+                        i += 1;
+                    }
+                    Assign::True => unreachable!("handled above"),
+                }
+            }
+            self.watches[p.index()] = ws;
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (with
+    /// the asserting literal first) and the backjump level.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot for asserting literal
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut reason_idx = conflict;
+        let mut trail_ix = self.trail.len();
+        let level = self.decision_level();
+
+        loop {
+            let start = if p.is_none() { 0 } else { 1 };
+            let lits = self.clauses[reason_idx].lits.clone();
+            for &q in &lits[start..] {
+                let v = q.var().0 as usize;
+                if !seen[v] && self.levels[v] > 0 {
+                    seen[v] = true;
+                    self.bump(q.var());
+                    if self.levels[v] == level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk trail backwards to the next marked literal.
+            loop {
+                trail_ix -= 1;
+                let l = self.trail[trail_ix];
+                if seen[l.var().0 as usize] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            reason_idx = self.reasons[p.unwrap().var().0 as usize]
+                .expect("non-decision literal must have a reason");
+        }
+        learnt[0] = p.unwrap().negate();
+
+        let backjump = if learnt.len() == 1 {
+            0
+        } else {
+            // Second-highest level among learnt literals; move that
+            // literal to slot 1 so it is watched.
+            let mut max_ix = 1;
+            for i in 2..learnt.len() {
+                if self.levels[learnt[i].var().0 as usize]
+                    > self.levels[learnt[max_ix].var().0 as usize]
+                {
+                    max_ix = i;
+                }
+            }
+            learnt.swap(1, max_ix);
+            self.levels[learnt[1].var().0 as usize]
+        };
+        (learnt, backjump)
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>) {
+        if learnt.len() == 1 {
+            if self.lit_value(learnt[0]) == Assign::Unassigned {
+                self.enqueue(learnt[0], None);
+            }
+            return;
+        }
+        let idx = self.clauses.len();
+        self.watches[learnt[0].negate().index()].push(idx);
+        self.watches[learnt[1].negate().index()].push(idx);
+        let first = learnt[0];
+        self.clauses.push(Clause { lits: learnt, learnt: true });
+        debug_assert_eq!(self.lit_value(first), Assign::Unassigned);
+        self.enqueue(first, Some(idx));
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                let v = l.var().0 as usize;
+                self.assigns[v] = Assign::Unassigned;
+                self.reasons[v] = None;
+            }
+        }
+        // Everything still on the trail has already been propagated.
+        self.qhead = self.trail.len();
+    }
+
+    fn bump(&mut self, v: BVar) {
+        self.activity[v.0 as usize] += self.act_inc;
+    }
+
+    fn pick_branch_var(&self) -> Option<BVar> {
+        let mut best: Option<BVar> = None;
+        let mut best_act = -1.0;
+        for (ix, a) in self.assigns.iter().enumerate() {
+            if *a == Assign::Unassigned && self.activity[ix] > best_act {
+                best_act = self.activity[ix];
+                best = Some(BVar(ix as u32));
+            }
+        }
+        best
+    }
+
+    /// Number of learnt clauses (for diagnostics and benches).
+    pub fn num_learnt(&self) -> usize {
+        self.clauses.iter().filter(|c| c.learnt).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(solver: &mut CnfSolver, n: usize) -> Vec<BVar> {
+        (0..n).map(|_| solver.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_model() {
+        let mut s = CnfSolver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0])]);
+        s.add_clause(&[Lit::neg(v[1])]);
+        assert!(s.solve());
+        assert!(s.value(v[0]));
+        assert!(!s.value(v[1]));
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = CnfSolver::new();
+        s.add_clause(&[]);
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn contradictory_units_unsat() {
+        let mut s = CnfSolver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[Lit::pos(v[0])]);
+        s.add_clause(&[Lit::neg(v[0])]);
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn tautology_ignored() {
+        let mut s = CnfSolver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[Lit::pos(v[0]), Lit::neg(v[0])]);
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn implication_chain() {
+        // x0 ∧ (x0→x1) ∧ (x1→x2) ∧ (x2→x3): all true
+        let mut s = CnfSolver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause(&[Lit::pos(v[0])]);
+        for i in 0..3 {
+            s.add_clause(&[Lit::neg(v[i]), Lit::pos(v[i + 1])]);
+        }
+        assert!(s.solve());
+        for &x in &v {
+            assert!(s.value(x));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p[i][j]: pigeon i in hole j. 3 pigeons, 2 holes.
+        let mut s = CnfSolver::new();
+        let mut p = [[BVar(0); 2]; 3];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn incremental_blocking_enumerates_models() {
+        // 2 free variables: exactly 4 models; blocking each in turn
+        // must end in unsat after 4 rounds.
+        let mut s = CnfSolver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1]), Lit::neg(v[0])]); // tautology, ignored
+        let mut models = 0;
+        while s.solve() {
+            models += 1;
+            assert!(models <= 4, "more models than possible");
+            let block: Vec<Lit> =
+                v.iter().map(|&x| Lit::new(x, !s.value(x))).collect();
+            s.add_clause(&block);
+        }
+        assert_eq!(models, 4);
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // CNF of x0 ⊕ x1 = 1 and x1 ⊕ x2 = 1
+        let mut s = CnfSolver::new();
+        let v = lits(&mut s, 3);
+        for i in 0..2 {
+            s.add_clause(&[Lit::pos(v[i]), Lit::pos(v[i + 1])]);
+            s.add_clause(&[Lit::neg(v[i]), Lit::neg(v[i + 1])]);
+        }
+        assert!(s.solve());
+        assert_ne!(s.value(v[0]), s.value(v[1]));
+        assert_ne!(s.value(v[1]), s.value(v[2]));
+    }
+
+    /// Brute-force reference check on random small instances.
+    #[test]
+    fn random_instances_match_brute_force() {
+        // Deterministic xorshift so the test is reproducible.
+        let mut seed = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _case in 0..200 {
+            let nvars = 4 + (next() % 3) as usize; // 4..6
+            let nclauses = 6 + (next() % 10) as usize;
+            let mut cls: Vec<Vec<(usize, bool)>> = Vec::new();
+            for _ in 0..nclauses {
+                let len = 1 + (next() % 3) as usize;
+                let mut c = Vec::new();
+                for _ in 0..len {
+                    c.push(((next() % nvars as u64) as usize, next() % 2 == 0));
+                }
+                cls.push(c);
+            }
+            // brute force
+            let mut bf_sat = false;
+            'outer: for m in 0u32..(1 << nvars) {
+                for c in &cls {
+                    if !c.iter().any(|&(v, s)| ((m >> v) & 1 == 1) == s) {
+                        continue 'outer;
+                    }
+                }
+                bf_sat = true;
+                break;
+            }
+            // solver
+            let mut s = CnfSolver::new();
+            let vars = lits(&mut s, nvars);
+            for c in &cls {
+                let lits: Vec<Lit> = c.iter().map(|&(v, sg)| Lit::new(vars[v], sg)).collect();
+                s.add_clause(&lits);
+            }
+            assert_eq!(s.solve(), bf_sat, "mismatch on {cls:?}");
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Translation from `circ-ir` expressions and predicates into solver
+//! terms.
+//!
+//! The mapping from program variables (plus whatever instancing scheme
+//! the caller uses — SSA indices, per-thread copies) to solver
+//! variables is supplied as a closure, so this module stays agnostic
+//! of the caller's naming discipline.
+
+use crate::atom::Atom;
+use crate::formula::Formula;
+use crate::lin::{LinExpr, SVar};
+use circ_ir::{BinOp, BoolExpr, CmpOp, Expr, Pred, Var};
+
+/// Errors from translating IR terms into linear arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// A product of two non-constant expressions.
+    NonLinear,
+    /// `nondet()` occurred where a deterministic term is required;
+    /// callers model nondeterminism with fresh solver variables
+    /// before translating.
+    Nondet,
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateError::NonLinear => write!(f, "non-linear arithmetic is not supported"),
+            TranslateError::Nondet => write!(f, "nondet() must be eliminated before translation"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Translates an IR expression to a linear term, mapping program
+/// variables through `map`.
+///
+/// # Errors
+///
+/// [`TranslateError::NonLinear`] on products of two non-constant
+/// operands; [`TranslateError::Nondet`] on `nondet()`.
+pub fn lin_of_expr(
+    e: &Expr,
+    map: &mut impl FnMut(Var) -> SVar,
+) -> Result<LinExpr, TranslateError> {
+    match e {
+        Expr::Int(n) => Ok(LinExpr::constant(*n)),
+        Expr::Var(v) => Ok(LinExpr::var(map(*v))),
+        Expr::Nondet => Err(TranslateError::Nondet),
+        Expr::Bin(op, a, b) => {
+            let la = lin_of_expr(a, map)?;
+            let lb = lin_of_expr(b, map)?;
+            match op {
+                BinOp::Add => Ok(la + lb),
+                BinOp::Sub => Ok(la - lb),
+                BinOp::Mul => {
+                    if la.is_constant() {
+                        Ok(lb.scale(la.constant_part()))
+                    } else if lb.is_constant() {
+                        Ok(la.scale(lb.constant_part()))
+                    } else {
+                        Err(TranslateError::NonLinear)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Like [`lin_of_expr`], but maps every `nondet()` leaf to the given
+/// solver variable (callers allocate it fresh and leave it
+/// unconstrained). `None` keeps the strict behavior.
+///
+/// # Errors
+///
+/// [`TranslateError::NonLinear`] on products of two non-constant
+/// operands; [`TranslateError::Nondet`] when `nondet` is `None` and a
+/// `nondet()` occurs.
+pub fn lin_of_expr_nd(
+    e: &Expr,
+    map: &mut impl FnMut(Var) -> SVar,
+    nondet: Option<SVar>,
+) -> Result<LinExpr, TranslateError> {
+    match e {
+        Expr::Nondet => nondet.map(LinExpr::var).ok_or(TranslateError::Nondet),
+        Expr::Int(n) => Ok(LinExpr::constant(*n)),
+        Expr::Var(v) => Ok(LinExpr::var(map(*v))),
+        Expr::Bin(op, a, b) => {
+            let la = lin_of_expr_nd(a, map, nondet)?;
+            let lb = lin_of_expr_nd(b, map, nondet)?;
+            match op {
+                BinOp::Add => Ok(la + lb),
+                BinOp::Sub => Ok(la - lb),
+                BinOp::Mul => {
+                    if la.is_constant() {
+                        Ok(lb.scale(la.constant_part()))
+                    } else if lb.is_constant() {
+                        Ok(la.scale(lb.constant_part()))
+                    } else {
+                        Err(TranslateError::NonLinear)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Translates an IR predicate to a normalized atom.
+///
+/// # Errors
+///
+/// Propagates the errors of [`lin_of_expr`].
+pub fn atom_of_pred(
+    p: &Pred,
+    map: &mut impl FnMut(Var) -> SVar,
+) -> Result<Atom, TranslateError> {
+    let l = lin_of_expr(&p.lhs, map)?;
+    let r = lin_of_expr(&p.rhs, map)?;
+    let d = l - r;
+    Ok(match p.op {
+        CmpOp::Eq => Atom::eq(d),
+        CmpOp::Ne => Atom::ne(d),
+        CmpOp::Lt => Atom::lt(d),
+        CmpOp::Le => Atom::le(d),
+        CmpOp::Gt => Atom::gt(d),
+        CmpOp::Ge => Atom::ge(d),
+    })
+}
+
+/// Translates an IR boolean expression to a formula.
+///
+/// # Errors
+///
+/// Propagates the errors of [`lin_of_expr`].
+pub fn formula_of_bool(
+    b: &BoolExpr,
+    map: &mut impl FnMut(Var) -> SVar,
+) -> Result<Formula, TranslateError> {
+    Ok(match b {
+        BoolExpr::Const(v) => Formula::Const(*v),
+        BoolExpr::Atom(p) => Formula::atom(atom_of_pred(p, map)?),
+        BoolExpr::Not(f) => formula_of_bool(f, map)?.not(),
+        BoolExpr::And(a, c) => formula_of_bool(a, map)?.and(formula_of_bool(c, map)?),
+        BoolExpr::Or(a, c) => formula_of_bool(a, map)?.or(formula_of_bool(c, map)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SatResult, Solver};
+
+    fn ident(v: Var) -> SVar {
+        SVar(v.index() as u32)
+    }
+
+    #[test]
+    fn linear_expression_roundtrip() {
+        let x = Var::from_raw(0);
+        let e = Expr::var(x) * Expr::int(3) + Expr::int(2);
+        let lin = lin_of_expr(&e, &mut ident).unwrap();
+        assert_eq!(lin.coeff(SVar(0)), 3);
+        assert_eq!(lin.constant_part(), 2);
+    }
+
+    #[test]
+    fn nonlinear_rejected() {
+        let x = Var::from_raw(0);
+        let e = Expr::var(x) * Expr::var(x);
+        assert_eq!(lin_of_expr(&e, &mut ident), Err(TranslateError::NonLinear));
+        assert_eq!(lin_of_expr(&Expr::Nondet, &mut ident), Err(TranslateError::Nondet));
+    }
+
+    #[test]
+    fn predicate_to_atom_semantics() {
+        // x < y + 1 as an atom, checked against concrete points
+        let (x, y) = (Var::from_raw(0), Var::from_raw(1));
+        let p = Pred::new(Expr::var(x), CmpOp::Lt, Expr::var(y) + Expr::int(1));
+        let a = atom_of_pred(&p, &mut ident).unwrap();
+        for (xv, yv) in [(0i64, 0i64), (1, 0), (0, 5), (3, 3)] {
+            let ir_val = p.eval(&|v| if v == x { xv } else { yv });
+            let smt_val = a.eval(&|s| if s == SVar(0) { xv } else { yv });
+            assert_eq!(ir_val, smt_val, "disagree at ({xv},{yv})");
+        }
+    }
+
+    #[test]
+    fn bool_expr_to_formula_and_solve() {
+        // (old = state) ∧ (state = 0) ∧ (old ≠ 0) — unsat, the
+        // paper's refinement pattern.
+        let (old, state) = (Var::from_raw(0), Var::from_raw(1));
+        let b = BoolExpr::eq(Expr::var(old), Expr::var(state))
+            .and(BoolExpr::eq(Expr::var(state), Expr::int(0)))
+            .and(BoolExpr::ne(Expr::var(old), Expr::int(0)));
+        let f = formula_of_bool(&b, &mut ident).unwrap();
+        let mut s = Solver::new();
+        assert_eq!(s.check(&f), SatResult::Unsat);
+    }
+
+    #[test]
+    fn map_distinguishes_instances() {
+        // Same IR variable can map to different solver variables
+        // (e.g. SSA indices): x@1 = 0 ∧ x@2 = 1 is satisfiable.
+        let x = Var::from_raw(0);
+        let p1 = Pred::eq(Expr::var(x), Expr::int(0));
+        let p2 = Pred::eq(Expr::var(x), Expr::int(1));
+        let a1 = atom_of_pred(&p1, &mut |_| SVar(10)).unwrap();
+        let a2 = atom_of_pred(&p2, &mut |_| SVar(11)).unwrap();
+        assert!(crate::lia::is_sat_conj(&[a1, a2]));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based validation of the decision procedures against
+//! brute-force evaluation on a finite grid of integer points.
+//!
+//! The solver decides satisfiability over **all** integers, so the
+//! grid gives one-sided oracles:
+//!
+//! * a satisfying grid point forces the solver to answer `Sat`;
+//! * every model the solver returns must actually satisfy the input;
+//! * everything entailed/projected must hold at every satisfying grid
+//!   point.
+
+use circ_smt::{lia, Atom, Formula, LinExpr, SVar, SatResult, Solver};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const NVARS: u32 = 3;
+const GRID: std::ops::RangeInclusive<i64> = -4..=4;
+
+fn lin_strategy() -> impl Strategy<Value = LinExpr> {
+    (
+        proptest::collection::vec(-3i64..=3, NVARS as usize),
+        -5i64..=5,
+    )
+        .prop_map(|(coeffs, c)| {
+            let mut e = LinExpr::constant(c);
+            for (i, a) in coeffs.into_iter().enumerate() {
+                e.add_term(SVar(i as u32), a);
+            }
+            e
+        })
+}
+
+fn atom_strategy() -> impl Strategy<Value = Atom> {
+    (lin_strategy(), 0u8..3).prop_map(|(e, rel)| match rel {
+        0 => Atom::eq(e),
+        1 => Atom::le(e),
+        _ => Atom::ne(e),
+    })
+}
+
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let leaf = atom_strategy().prop_map(Formula::atom);
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(Formula::not),
+        ]
+    })
+}
+
+/// Every grid assignment over `NVARS` variables.
+fn grid_points() -> impl Iterator<Item = [i64; 3]> {
+    GRID.flat_map(|a| GRID.flat_map(move |b| GRID.map(move |c| [a, b, c])))
+}
+
+fn eval_at(point: &[i64; 3]) -> impl Fn(SVar) -> i64 + '_ {
+    move |v: SVar| point.get(v.0 as usize).copied().unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn solver_agrees_with_grid(f in formula_strategy()) {
+        let grid_sat = grid_points().any(|p| f.eval(&eval_at(&p)));
+        let mut solver = Solver::new();
+        match solver.check(&f) {
+            SatResult::Sat(model) => {
+                // the returned model must satisfy the formula
+                prop_assert!(f.eval(&|v| model.get(&v).copied().unwrap_or(0)));
+            }
+            SatResult::Unsat => {
+                prop_assert!(!grid_sat, "solver said Unsat but the grid satisfies {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn conj_solver_agrees_with_grid(atoms in proptest::collection::vec(atom_strategy(), 1..6)) {
+        let grid_sat = grid_points().any(|p| atoms.iter().all(|a| a.eval(&eval_at(&p))));
+        match lia::check_conj(&atoms) {
+            lia::ConjResult::Sat(model) => {
+                let assign = |v: SVar| model.get(&v).copied().unwrap_or(0);
+                for a in &atoms {
+                    prop_assert!(a.eval(&assign), "model violates {a}");
+                }
+            }
+            lia::ConjResult::Unsat => {
+                prop_assert!(!grid_sat, "conjunction satisfiable on the grid: {atoms:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsat_core_is_unsat_subset(atoms in proptest::collection::vec(atom_strategy(), 1..6)) {
+        if lia::is_sat_conj(&atoms) {
+            return Ok(());
+        }
+        let core = lia::unsat_core(&atoms);
+        prop_assert!(!core.is_empty());
+        prop_assert!(core.iter().all(|&i| i < atoms.len()));
+        let subset: Vec<Atom> = core.iter().map(|&i| atoms[i].clone()).collect();
+        prop_assert!(!lia::is_sat_conj(&subset), "core must stay unsat");
+    }
+
+    #[test]
+    fn projection_is_implied(
+        atoms in proptest::collection::vec(atom_strategy(), 1..5),
+        elim_mask in 0u32..(1 << NVARS),
+    ) {
+        let elim: BTreeSet<SVar> =
+            (0..NVARS).filter(|i| elim_mask & (1 << i) != 0).map(SVar).collect();
+        let projected = lia::project(&atoms, &elim);
+        // soundness: every grid model of the input satisfies the
+        // projection (∃-elimination only weakens)
+        for p in grid_points() {
+            let assign = eval_at(&p);
+            if atoms.iter().all(|a| a.eval(&assign)) {
+                for q in &projected {
+                    prop_assert!(q.eval(&assign), "projection {q} broken at {p:?}");
+                }
+            }
+        }
+        // the projection must not mention eliminated variables
+        for q in &projected {
+            for v in q.vars() {
+                prop_assert!(!elim.contains(&v), "{q} still mentions {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn atom_negation_is_complement(a in atom_strategy(), p in proptest::array::uniform3(-6i64..=6)) {
+        let assign = eval_at(&p);
+        prop_assert_eq!(a.eval(&assign), !a.negate().eval(&assign));
+    }
+
+    #[test]
+    fn entailment_respects_grid(
+        premises in proptest::collection::vec(atom_strategy(), 1..4),
+        goal in atom_strategy(),
+    ) {
+        if lia::entails(&premises, &goal) {
+            for p in grid_points() {
+                let assign = eval_at(&p);
+                if premises.iter().all(|a| a.eval(&assign)) {
+                    prop_assert!(goal.eval(&assign), "entailment broken at {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nnf_preserves_semantics(f in formula_strategy(), p in proptest::array::uniform3(-4i64..=4)) {
+        let assign = eval_at(&p);
+        prop_assert_eq!(f.eval(&assign), f.to_nnf().eval(&assign));
+    }
+}

@@ -1,0 +1,55 @@
+//! Why path-sensitive verification matters: run the flow-based and
+//! lockset baselines next to CIRC on one state-variable idiom and see
+//! the false positives the paper's introduction describes.
+//!
+//! ```text
+//! cargo run --release -p circ-bench --example compare_checkers
+//! ```
+
+use circ_baselines::{eraser, flow_check};
+use circ_core::{circ, CircConfig, CircOutcome};
+
+fn main() {
+    let model = circ_nesc::model("split_phase").expect("model exists");
+    println!("Program: the split-phase interrupt idiom (surge's rec_ptr):\n");
+    println!("{}\n", model.source.trim());
+
+    let program = model.program();
+    let x = program.race_var();
+    let name = program.cfa().var_name(x).to_string();
+
+    // 1. Flow-based static analysis (nesC compiler style).
+    let flow = flow_check(program.cfa());
+    println!(
+        "flow-based checker:  {} (`{name}` is written outside atomic sections)",
+        if flow.flags(x) { "POTENTIAL RACE — false positive" } else { "clean" }
+    );
+
+    // 2. Dynamic lockset analysis (Eraser style) over random runs.
+    let dynamic = eraser(&program, 3, 500, 10, 2024);
+    println!(
+        "lockset checker:     {} ({} accesses monitored across {} runs)",
+        if dynamic.flags(x) { "POTENTIAL RACE — false positive" } else { "clean" },
+        dynamic.accesses,
+        dynamic.runs
+    );
+
+    // 3. CIRC.
+    match circ(&program, &CircConfig::omega()) {
+        CircOutcome::Safe(r) => println!(
+            "CIRC:                SAFE, proved for every thread count \
+             ({} predicates, {}-location context, {:?})",
+            r.preds.len(),
+            r.acfa.num_locs(),
+            r.stats.elapsed
+        ),
+        other => println!("CIRC:                unexpected {other:?}"),
+    }
+
+    println!(
+        "\nThe interrupt-enable bit and the pending-task flag form a token that\n\
+         only one thread can hold; neither baseline can follow the token, so\n\
+         both must warn. CIRC infers a context model whose location labels\n\
+         carry exactly that invariant."
+    );
+}

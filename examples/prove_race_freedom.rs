@@ -1,0 +1,88 @@
+//! Watch CIRC infer a context model: the full assume–guarantee /
+//! refinement narrative on the paper's Figure 1 example, printed
+//! round by round.
+//!
+//! ```text
+//! cargo run --release -p circ-bench --example prove_race_freedom
+//! ```
+
+use circ_core::{circ, CircConfig, CircEvent, CircOutcome};
+use circ_ir::{figure1_cfa, MtProgram};
+
+fn main() {
+    let cfa = figure1_cfa();
+    let x = cfa.var_by_name("x").unwrap();
+    println!("Goal: prove that unboundedly many copies of the test-and-set");
+    println!("thread never race on `x`.\n");
+
+    let program = MtProgram::new(cfa, x);
+    let outcome = circ(&program, &CircConfig::default());
+
+    for event in &outcome.log().events {
+        match event {
+            CircEvent::OuterStart { preds, k } => {
+                if preds.is_empty() {
+                    println!("▶ start: no predicates, counter parameter k = {k}");
+                } else {
+                    println!("▶ restart with P = {{{}}}, k = {k}", preds.join(", "));
+                }
+            }
+            CircEvent::ReachDone { arg_locs, .. } => {
+                println!("   assume: reachability clean; ARG has {arg_locs} locations");
+            }
+            CircEvent::SimChecked { holds: true } => {
+                println!("   guarantee: the context ACFA simulates the ARG ✓");
+            }
+            CircEvent::SimChecked { holds: false } => {
+                println!("   guarantee fails: the context was too strong — weaken it");
+            }
+            CircEvent::Collapsed { size, .. } => {
+                println!("   collapse: minimized the ARG into a {size}-location context");
+            }
+            CircEvent::AbstractRace { trace_len } => {
+                println!("   abstract race reached after {trace_len} abstract steps");
+            }
+            CircEvent::Refined { verdict, detail } => {
+                println!("   refine: {verdict}");
+                if !detail.mined_preds.is_empty() {
+                    println!(
+                        "           mined from the infeasibility proof: {}",
+                        detail
+                            .mined_preds
+                            .iter()
+                            .map(|p| format!("{p}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                }
+            }
+            CircEvent::OmegaCheck { good } => {
+                println!("   ω-goodness check: {good}");
+            }
+        }
+    }
+
+    match outcome {
+        CircOutcome::Safe(report) => {
+            println!("\n■ SAFE (Theorem 1): races on `x` are impossible for any thread count.");
+            println!("  final context model:\n");
+            let cfa = figure1_cfa();
+            let preds = report.preds.clone();
+            let named = |s: String| {
+                let mut s = s;
+                for (ix, vi) in cfa.vars().iter().enumerate() {
+                    s = s.replace(&format!("v{ix}"), &vi.name);
+                }
+                s
+            };
+            println!(
+                "{}",
+                report.acfa.display_with(
+                    &|i| named(format!("{}", preds[i.index()])),
+                    &|v| cfa.var_name(v).to_string()
+                )
+            );
+        }
+        other => println!("\nunexpected outcome: {other:?}"),
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based cross-validation of the whole checker against the
+//! concrete semantics: on randomly generated thread templates,
+//!
+//! * a `Safe` verdict implies bounded concrete exploration (2 and 3
+//!   threads, exhaustive up to a state budget) finds no race, and
+//! * an `Unsafe` verdict's schedule must replay to a genuine race.
+//!
+//! The generator emits small flag-machine threads — the shape of the
+//! benchmark idioms — so a decent fraction of cases exercise both
+//! verdicts.
+
+use circ_core::{circ, CircConfig, CircOutcome};
+use circ_ir::{BoolExpr, CfaBuilder, Expr, Interp, MtProgram, Op};
+use proptest::prelude::*;
+
+/// Blueprint of one random thread: a loop of "phases"; each phase
+/// optionally guards on a flag value, optionally atomically, then
+/// writes the shared variable and updates the flag.
+#[derive(Debug, Clone)]
+struct Blueprint {
+    phases: Vec<Phase>,
+}
+
+#[derive(Debug, Clone)]
+struct Phase {
+    /// Guard: `Some((flag_value, atomic))` tests `flag == value`
+    /// (and sets it to `set_after`), possibly atomically.
+    guard: Option<(i64, bool)>,
+    /// Value the flag is set to after the guard.
+    set_after: i64,
+    /// Whether this phase writes the race variable.
+    writes_x: bool,
+    /// Value the flag is set to at the end of the phase.
+    reset_to: i64,
+}
+
+fn phase_strategy() -> impl Strategy<Value = Phase> {
+    (
+        proptest::option::of((0i64..2, any::<bool>())),
+        0i64..2,
+        any::<bool>(),
+        0i64..2,
+    )
+        .prop_map(|(guard, set_after, writes_x, reset_to)| Phase {
+            guard,
+            set_after,
+            writes_x,
+            reset_to,
+        })
+}
+
+fn blueprint_strategy() -> impl Strategy<Value = Blueprint> {
+    proptest::collection::vec(phase_strategy(), 1..3)
+        .prop_map(|phases| Blueprint { phases })
+}
+
+fn build(bp: &Blueprint) -> MtProgram {
+    let mut b = CfaBuilder::new("random");
+    let x = b.global("x");
+    let flag = b.global("flag");
+    let mut cur = b.entry();
+    for phase in &bp.phases {
+        if let Some((val, atomic)) = phase.guard {
+            // optional atomic test-and-set of the flag
+            let enter = b.fresh_loc();
+            b.edge(cur, Op::skip(), enter);
+            let took = b.fresh_loc();
+            let skipped = b.fresh_loc();
+            b.edge(
+                enter,
+                Op::assume(BoolExpr::eq(Expr::var(flag), Expr::int(val))),
+                took,
+            );
+            b.edge(
+                enter,
+                Op::assume(BoolExpr::ne(Expr::var(flag), Expr::int(val))),
+                skipped,
+            );
+            let set = b.fresh_loc();
+            b.edge(took, Op::assign(flag, Expr::int(phase.set_after)), set);
+            if atomic {
+                b.mark_atomic(enter);
+                b.mark_atomic(took);
+                b.mark_atomic(skipped);
+            }
+            let join = b.fresh_loc();
+            b.edge(skipped, Op::skip(), join);
+            // the guarded body
+            let mut body = set;
+            if phase.writes_x {
+                let after = b.fresh_loc();
+                b.edge(body, Op::assign(x, Expr::var(x) + Expr::int(1)), after);
+                body = after;
+            }
+            let done = b.fresh_loc();
+            b.edge(body, Op::assign(flag, Expr::int(phase.reset_to)), done);
+            b.edge(done, Op::skip(), join);
+            cur = join;
+        } else if phase.writes_x {
+            let after = b.fresh_loc();
+            b.edge(cur, Op::assign(x, Expr::var(x) + Expr::int(1)), after);
+            cur = after;
+        }
+    }
+    // loop back
+    b.edge(cur, Op::skip(), b.entry());
+    let cfa = b.build();
+    let x = cfa.var_by_name("x").unwrap();
+    MtProgram::new(cfa, x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn circ_verdicts_agree_with_concrete_semantics(bp in blueprint_strategy()) {
+        let program = build(&bp);
+        let cfg = CircConfig {
+            max_outer: 12,
+            max_inner: 12,
+            max_states: 60_000,
+            ..CircConfig::omega()
+        };
+        match circ(&program, &cfg) {
+            CircOutcome::Safe(_) => {
+                // exhaustive concrete exploration must agree
+                for n in [2usize, 3] {
+                    let interp = Interp::new(program.clone(), n);
+                    prop_assert!(
+                        interp.explore_bounded(150_000, &[]).is_none(),
+                        "CIRC said Safe but {n}-thread exploration races: {bp:?}"
+                    );
+                }
+            }
+            CircOutcome::Unsafe(report) => {
+                prop_assert!(
+                    report.cex.replay_ok,
+                    "Unsafe verdict must come with a replayable schedule: {bp:?}"
+                );
+            }
+            CircOutcome::Unknown(_) => {
+                // Bounded resources: inconclusive runs are acceptable
+                // for random inputs, never wrong.
+            }
+        }
+    }
+}
+
+#[test]
+fn handwritten_edge_cases() {
+    // Thread that never touches x: trivially safe.
+    let mut b = CfaBuilder::new("idle");
+    let x = b.global("x");
+    let l = b.fresh_loc();
+    b.edge(b.entry(), Op::skip(), l);
+    b.edge(l, Op::skip(), b.entry());
+    let cfa = b.build();
+    let program = MtProgram::new(cfa, x);
+    assert!(circ(&program, &CircConfig::omega()).is_safe());
+
+    // Thread that only reads x: reads alone never race.
+    let mut b = CfaBuilder::new("reader");
+    let x = b.global("x");
+    let tmp = b.local("tmp");
+    let l = b.fresh_loc();
+    b.edge(b.entry(), Op::assign(tmp, Expr::var(x)), l);
+    b.edge(l, Op::skip(), b.entry());
+    let cfa = b.build();
+    let x = cfa.var_by_name("x").unwrap();
+    let program = MtProgram::new(cfa, x);
+    assert!(circ(&program, &CircConfig::omega()).is_safe());
+
+    // One unprotected write: two copies race.
+    let mut b = CfaBuilder::new("writer");
+    let x = b.global("x");
+    let l = b.fresh_loc();
+    b.edge(b.entry(), Op::assign(x, Expr::int(1)), l);
+    b.edge(l, Op::skip(), b.entry());
+    let cfa = b.build();
+    let x = cfa.var_by_name("x").unwrap();
+    let program = MtProgram::new(cfa, x);
+    let outcome = circ(&program, &CircConfig::omega());
+    let CircOutcome::Unsafe(r) = outcome else { panic!("expected Unsafe, got {outcome:?}") };
+    assert!(r.cex.replay_ok);
+}
