@@ -72,11 +72,7 @@ impl Acfa {
     ///
     /// Panics if `regions` is empty, lengths mismatch, or an edge
     /// endpoint is out of range.
-    pub fn from_parts(
-        regions: Vec<Region>,
-        atomic: Vec<bool>,
-        edges: Vec<AcfaEdge>,
-    ) -> Acfa {
+    pub fn from_parts(regions: Vec<Region>, atomic: Vec<bool>, edges: Vec<AcfaEdge>) -> Acfa {
         assert!(!regions.is_empty(), "an ACFA needs at least the start location");
         assert_eq!(regions.len(), atomic.len(), "regions/atomic length mismatch");
         let n = regions.len();
@@ -161,11 +157,7 @@ impl Acfa {
         for q in self.locs() {
             let star = if self.is_atomic(q) { "*" } else { " " };
             let entry = if q == self.entry() { " (start)" } else { "" };
-            let _ = writeln!(
-                s,
-                "  {q}{star}{entry}  [{}]",
-                self.region(q).display_with(pred_name)
-            );
+            let _ = writeln!(s, "  {q}{star}{entry}  [{}]", self.region(q).display_with(pred_name));
             for e in self.out_edges(q) {
                 let havoc: Vec<String> = e.havoc.iter().map(|v| var_name(*v)).collect();
                 let _ = writeln!(s, "    --havoc{{{}}}--> {}", havoc.join(","), e.dst);
@@ -177,11 +169,7 @@ impl Acfa {
 
 impl fmt::Display for Acfa {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}",
-            self.display_with(&|i| format!("{i}"), &|v| format!("{v}"))
-        )
+        write!(f, "{}", self.display_with(&|i| format!("{i}"), &|v| format!("{v}")))
     }
 }
 

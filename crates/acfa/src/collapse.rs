@@ -26,6 +26,9 @@ pub struct CollapseResult {
     pub acfa: Acfa,
     /// `map[i]` is the quotient location of input location `i`.
     pub map: Vec<AcfaLocId>,
+    /// Partition-refinement iterations until the fixpoint (0 when the
+    /// result was produced without running the refinement loop).
+    pub iterations: usize,
 }
 
 /// One weak-transition signature entry: `None` marks a silent move.
@@ -51,7 +54,9 @@ pub fn collapse(g: &Acfa) -> CollapseResult {
     }
 
     // Refine until stable.
+    let mut iterations = 0usize;
     loop {
+        iterations += 1;
         let mut key_to_block: BTreeMap<(u32, BTreeSet<SigEntry>), u32> = BTreeMap::new();
         let mut new_block = vec![0u32; n];
         for q in g.locs() {
@@ -99,17 +104,14 @@ pub fn collapse(g: &Acfa) -> CollapseResult {
         if bs == bd && e.havoc.is_empty() {
             continue;
         }
-        edge_map
-            .entry((bs.0, bd.0))
-            .or_default()
-            .extend(e.havoc.iter().copied());
+        edge_map.entry((bs.0, bd.0)).or_default().extend(e.havoc.iter().copied());
     }
     let edges: Vec<AcfaEdge> = edge_map
         .into_iter()
         .map(|((s, d), havoc)| AcfaEdge { src: AcfaLocId(s), havoc, dst: AcfaLocId(d) })
         .collect();
 
-    CollapseResult { acfa: Acfa::from_parts(regions, atomic, edges), map }
+    CollapseResult { acfa: Acfa::from_parts(regions, atomic, edges), map, iterations }
 }
 
 fn signature(
@@ -170,11 +172,7 @@ mod tests {
     fn tau_chain_collapses_to_point() {
         // 0 -τ-> 1 -τ-> 2, all labels true: one class, no edges.
         let regions = vec![Region::full(0); 3];
-        let g = Acfa::from_parts(
-            regions,
-            vec![false; 3],
-            vec![edge(0, &[], 1), edge(1, &[], 2)],
-        );
+        let g = Acfa::from_parts(regions, vec![false; 3], vec![edge(0, &[], 1), edge(1, &[], 2)]);
         let r = collapse(&g);
         assert_eq!(r.acfa.num_locs(), 1);
         assert!(r.acfa.edges().is_empty());
@@ -185,11 +183,7 @@ mod tests {
     fn labels_prevent_collapse() {
         // 0 -τ-> 1 with different labels: two classes, one τ edge.
         let p0 = Region::of_cube(Cube::top(1).with(PredIx(0), true));
-        let g = Acfa::from_parts(
-            vec![Region::full(1), p0],
-            vec![false; 2],
-            vec![edge(0, &[], 1)],
-        );
+        let g = Acfa::from_parts(vec![Region::full(1), p0], vec![false; 2], vec![edge(0, &[], 1)]);
         let r = collapse(&g);
         assert_eq!(r.acfa.num_locs(), 2);
         assert_eq!(r.acfa.edges().len(), 1);
@@ -213,11 +207,7 @@ mod tests {
         // {x}-move to class of 0. They merge, and the {x} edge becomes
         // a self loop.
         let regions = vec![Region::full(0); 2];
-        let g = Acfa::from_parts(
-            regions,
-            vec![false; 2],
-            vec![edge(0, &[], 1), edge(1, &[0], 0)],
-        );
+        let g = Acfa::from_parts(regions, vec![false; 2], vec![edge(0, &[], 1), edge(1, &[0], 0)]);
         let r = collapse(&g);
         assert_eq!(r.acfa.num_locs(), 1);
         assert_eq!(r.acfa.edges().len(), 1);
@@ -257,12 +247,7 @@ mod tests {
         let g = Acfa::from_parts(
             regions,
             atomic,
-            vec![
-                edge(0, &[], 1),
-                edge(1, &[1], 2),
-                edge(2, &[0], 3),
-                edge(3, &[1], 0),
-            ],
+            vec![edge(0, &[], 1), edge(1, &[1], 2), edge(2, &[0], 3), edge(3, &[1], 0)],
         );
         let r = collapse(&g);
         // 0 and neither of 2,3 merge: 2 has weak {x} move, 3 has weak
@@ -272,8 +257,7 @@ mod tests {
         // at least: atomic 1 separate, and a class that can write x.
         assert!(r.acfa.num_locs() >= 3);
         let xvar = v(0);
-        let writers: Vec<_> =
-            r.acfa.locs().filter(|q| r.acfa.writes_at(*q, xvar)).collect();
+        let writers: Vec<_> = r.acfa.locs().filter(|q| r.acfa.writes_at(*q, xvar)).collect();
         assert_eq!(writers.len(), 1, "exactly one class may write x");
     }
 

@@ -117,10 +117,7 @@ impl ContextState {
     }
 
     /// The occupied *atomic* locations, given the ACFA.
-    pub fn atomic_occupied<'a>(
-        &'a self,
-        acfa: &'a Acfa,
-    ) -> impl Iterator<Item = AcfaLocId> + 'a {
+    pub fn atomic_occupied<'a>(&'a self, acfa: &'a Acfa) -> impl Iterator<Item = AcfaLocId> + 'a {
         self.occupied().filter(|q| acfa.is_atomic(*q))
     }
 }
@@ -214,11 +211,7 @@ mod tests {
         let regions = vec![Region::full(0); n as usize];
         let atomic = vec![false; n as usize];
         let edges = (0..n)
-            .map(|i| AcfaEdge {
-                src: AcfaLocId(i),
-                havoc: Set::new(),
-                dst: AcfaLocId((i + 1) % n),
-            })
+            .map(|i| AcfaEdge { src: AcfaLocId(i), havoc: Set::new(), dst: AcfaLocId((i + 1) % n) })
             .collect();
         Acfa::from_parts(regions, atomic, edges)
     }
@@ -271,9 +264,7 @@ mod tests {
         ];
         let a = Acfa::from_parts(regions, vec![false, true], edges);
         let reach = context_reach(&a, 2, CVal::Fin(2));
-        assert!(reach
-            .iter()
-            .all(|g| !g.count(AcfaLocId(1)).at_least(2)));
+        assert!(reach.iter().all(|g| !g.count(AcfaLocId(1)).at_least(2)));
     }
 
     #[test]

@@ -72,10 +72,7 @@ impl Cube {
 
     /// Iterates over the assigned literals `(index, value)`.
     pub fn literals(&self) -> impl Iterator<Item = (PredIx, bool)> + '_ {
-        self.vals
-            .iter()
-            .enumerate()
-            .filter_map(|(i, v)| v.map(|b| (PredIx(i as u32), b)))
+        self.vals.iter().enumerate().filter_map(|(i, v)| v.map(|b| (PredIx(i as u32), b)))
     }
 
     /// Number of assigned literals.
@@ -97,9 +94,7 @@ impl Cube {
     /// Panics if the widths differ.
     pub fn subsumed_by(&self, other: &Cube) -> bool {
         assert_eq!(self.width(), other.width(), "cube widths differ");
-        other
-            .literals()
-            .all(|(i, v)| self.get(i) == Some(v))
+        other.literals().all(|(i, v)| self.get(i) == Some(v))
     }
 
     /// Conjunction of two cubes; `None` if they assign some predicate
@@ -271,11 +266,7 @@ impl Region {
         if self.is_empty() {
             return "false".to_string();
         }
-        self.cubes
-            .iter()
-            .map(|c| c.display_with(name))
-            .collect::<Vec<_>>()
-            .join("  |  ")
+        self.cubes.iter().map(|c| c.display_with(name)).collect::<Vec<_>>().join("  |  ")
     }
 }
 

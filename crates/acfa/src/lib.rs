@@ -23,14 +23,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod cube;
 mod acfa;
-mod counter;
 mod collapse;
+mod counter;
+mod cube;
 mod sim;
 
 pub use acfa::{Acfa, AcfaEdge, AcfaLocId};
 pub use collapse::{collapse, CollapseResult};
 pub use counter::{context_reach, context_reach_with, CVal, ContextState};
 pub use cube::{Cube, PredIx, Region};
-pub use sim::{check_sim, check_sim_with};
+pub use sim::{check_sim, check_sim_counting, check_sim_with};

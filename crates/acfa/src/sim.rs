@@ -39,6 +39,18 @@ pub fn check_sim_with(
     a: &Acfa,
     contains: &mut dyn FnMut(&crate::cube::Region, &crate::cube::Region) -> bool,
 ) -> bool {
+    check_sim_counting(g, a, contains).0
+}
+
+/// [`check_sim_with`], additionally reporting the number of
+/// `(g-location, a-location)` pairs examined across all fixpoint
+/// passes — the work metric CIRC's statistics track.
+pub fn check_sim_counting(
+    g: &Acfa,
+    a: &Acfa,
+    contains: &mut dyn FnMut(&crate::cube::Region, &crate::cube::Region) -> bool,
+) -> (bool, u64) {
+    let mut pairs: u64 = 0;
     let ng = g.num_locs();
     let na = a.num_locs();
 
@@ -64,8 +76,9 @@ pub fn check_sim_with(
     let mut rel = vec![vec![false; na]; ng];
     for q in g.locs() {
         for p in a.locs() {
-            rel[q.index()][p.index()] = g.is_atomic(q) == a.is_atomic(p)
-                && contains(g.region(q), a.region(p));
+            pairs += 1;
+            rel[q.index()][p.index()] =
+                g.is_atomic(q) == a.is_atomic(p) && contains(g.region(q), a.region(p));
         }
     }
 
@@ -77,6 +90,7 @@ pub fn check_sim_with(
                 if !rel[q.index()][p.index()] {
                     continue;
                 }
+                pairs += 1;
                 let ok = g.out_edges(q).all(|e| {
                     // A havoc edge may rewrite the old values, so any
                     // weak Y′-move with Y ⊆ Y′ matches — including
@@ -84,13 +98,11 @@ pub fn check_sim_with(
                     // special-case silent moves). Silent moves may
                     // additionally be matched by staying put (weak
                     // simulation).
-                    let by_weak_move = weak[p.index()].iter().any(|(y, p2)| {
-                        e.havoc.is_subset(y) && rel[e.dst.index()][p2.index()]
-                    });
+                    let by_weak_move = weak[p.index()]
+                        .iter()
+                        .any(|(y, p2)| e.havoc.is_subset(y) && rel[e.dst.index()][p2.index()]);
                     let by_stutter = e.havoc.is_empty()
-                        && a_tau[p.index()]
-                            .iter()
-                            .any(|p2| rel[e.dst.index()][p2.index()]);
+                        && a_tau[p.index()].iter().any(|p2| rel[e.dst.index()][p2.index()]);
                     by_weak_move || by_stutter
                 });
                 if !ok {
@@ -101,7 +113,7 @@ pub fn check_sim_with(
         }
     }
 
-    rel[g.entry().index()][a.entry().index()]
+    (rel[g.entry().index()][a.entry().index()], pairs)
 }
 
 #[cfg(test)]
@@ -175,22 +187,15 @@ mod tests {
             vec![false; 2],
             vec![edge(0, &[0], 1)],
         );
-        let a = Acfa::from_parts(
-            vec![top, p0_true],
-            vec![false; 2],
-            vec![edge(0, &[0], 1)],
-        );
+        let a = Acfa::from_parts(vec![top, p0_true], vec![false; 2], vec![edge(0, &[0], 1)]);
         assert!(!check_sim(&g, &a));
         assert!(check_sim(&a, &g));
     }
 
     #[test]
     fn atomicity_must_match() {
-        let g = Acfa::from_parts(
-            vec![Region::full(0); 2],
-            vec![false, true],
-            vec![edge(0, &[0], 1)],
-        );
+        let g =
+            Acfa::from_parts(vec![Region::full(0); 2], vec![false, true], vec![edge(0, &[0], 1)]);
         let a = plain(2, vec![edge(0, &[0], 1)]);
         assert!(!check_sim(&g, &a));
         assert!(check_sim(&g, &g));
@@ -200,15 +205,8 @@ mod tests {
     fn collapse_quotient_simulates_original() {
         // The quotient of any graph must simulate it (the guarantee
         // CIRC relies on when it reuses the minimized ARG as context).
-        let g = plain(
-            4,
-            vec![
-                edge(0, &[], 1),
-                edge(1, &[1], 2),
-                edge(2, &[0], 3),
-                edge(3, &[1], 0),
-            ],
-        );
+        let g =
+            plain(4, vec![edge(0, &[], 1), edge(1, &[1], 2), edge(2, &[0], 3), edge(3, &[1], 0)]);
         let q = collapse(&g);
         assert!(check_sim(&g, &q.acfa), "quotient must simulate the original");
     }

@@ -1,79 +1,62 @@
-//! Property-based validation of the control-abstraction machinery:
-//! the weak-bisimulation quotient must always simulate the original
+//! Randomized validation of the control-abstraction machinery: the
+//! weak-bisimulation quotient must always simulate the original
 //! automaton (the invariant CIRC's guarantee step relies on), be
 //! idempotent, and the cube/region lattice operations must respect
 //! their semantic contracts.
+//!
+//! Inputs are drawn from a deterministic seeded generator so failures
+//! reproduce exactly; each assertion message carries the case index.
 
 use circ_acfa::{check_sim, collapse, Acfa, AcfaEdge, AcfaLocId, Cube, PredIx, Region};
 use circ_ir::Var;
-use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::BTreeSet;
 
 const NPREDS: usize = 2;
 const NVARS: u32 = 2;
+const CASES: usize = 96;
 
-fn cube_strategy() -> impl Strategy<Value = Cube> {
-    proptest::collection::vec(proptest::option::of(any::<bool>()), NPREDS).prop_map(|vals| {
-        let mut c = Cube::top(NPREDS);
-        for (i, v) in vals.into_iter().enumerate() {
-            if let Some(b) = v {
-                c.set(PredIx(i as u32), b);
+fn gen_cube(rng: &mut StdRng) -> Cube {
+    let mut c = Cube::top(NPREDS);
+    for i in 0..NPREDS {
+        match rng.gen_range(0u32..3) {
+            0 => {}
+            1 => c.set(PredIx(i as u32), false),
+            _ => c.set(PredIx(i as u32), true),
+        }
+    }
+    c
+}
+
+fn gen_region(rng: &mut StdRng) -> Region {
+    let mut r = Region::empty();
+    for _ in 0..rng.gen_range(1usize..3) {
+        r.add(gen_cube(rng));
+    }
+    r
+}
+
+fn gen_acfa(rng: &mut StdRng) -> Acfa {
+    let n = rng.gen_range(2u32..6);
+    let regions = (0..n).map(|_| gen_region(rng)).collect();
+    let mut atomic: Vec<bool> = (0..n).map(|_| rng.gen_bool_uniform()).collect();
+    atomic[0] = false; // entry stays non-atomic
+    let edges = (0..rng.gen_range(1usize..8))
+        .map(|_| {
+            let src = rng.gen_range(0..n);
+            let dst = rng.gen_range(0..n);
+            let havoc_mask = rng.gen_range(0u32..(1 << NVARS));
+            AcfaEdge {
+                src: AcfaLocId(src),
+                havoc: (0..NVARS)
+                    .filter(|i| havoc_mask & (1 << i) != 0)
+                    .map(Var::from_raw)
+                    .collect::<BTreeSet<_>>(),
+                dst: AcfaLocId(dst),
             }
-        }
-        c
-    })
-}
-
-fn region_strategy() -> impl Strategy<Value = Region> {
-    proptest::collection::vec(cube_strategy(), 1..3).prop_map(|cubes| {
-        let mut r = Region::empty();
-        for c in cubes {
-            r.add(c);
-        }
-        r
-    })
-}
-
-#[derive(Debug, Clone)]
-struct RawEdge {
-    src: u32,
-    dst: u32,
-    havoc_mask: u32,
-}
-
-fn acfa_strategy() -> impl Strategy<Value = Acfa> {
-    (2u32..6)
-        .prop_flat_map(|n| {
-            (
-                Just(n),
-                proptest::collection::vec(region_strategy(), n as usize),
-                proptest::collection::vec(any::<bool>(), n as usize),
-                proptest::collection::vec(
-                    (0..n, 0..n, 0u32..(1 << NVARS)).prop_map(|(src, dst, havoc_mask)| RawEdge {
-                        src,
-                        dst,
-                        havoc_mask,
-                    }),
-                    1..8,
-                ),
-            )
         })
-        .prop_map(|(n, regions, mut atomic, raw_edges)| {
-            let _ = n;
-            atomic[0] = false; // entry stays non-atomic
-            let edges = raw_edges
-                .into_iter()
-                .map(|e| AcfaEdge {
-                    src: AcfaLocId(e.src),
-                    havoc: (0..NVARS)
-                        .filter(|i| e.havoc_mask & (1 << i) != 0)
-                        .map(Var::from_raw)
-                        .collect::<BTreeSet<_>>(),
-                    dst: AcfaLocId(e.dst),
-                })
-                .collect();
-            Acfa::from_parts(regions, atomic, edges)
-        })
+        .collect();
+    Acfa::from_parts(regions, atomic, edges)
 }
 
 /// Semantic state set of a cube over boolean predicate valuations.
@@ -85,99 +68,167 @@ fn region_admits(r: &Region, valuation: u32) -> bool {
     r.cubes().iter().any(|c| cube_admits(c, valuation))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, .. ProptestConfig::default() })]
-
-    #[test]
-    fn quotient_simulates_original(g in acfa_strategy()) {
+#[test]
+fn quotient_simulates_original() {
+    let mut rng = StdRng::seed_from_u64(0xacfa_0001);
+    for case in 0..CASES {
+        let g = gen_acfa(&mut rng);
         let q = collapse(&g);
-        prop_assert!(
+        assert!(
             check_sim(&g, &q.acfa),
-            "the collapse quotient must weakly simulate its input"
+            "case {case}: the collapse quotient must weakly simulate its input: {g:?}"
         );
-        prop_assert!(q.acfa.num_locs() <= g.num_locs());
-        prop_assert_eq!(q.map.len(), g.num_locs());
-        prop_assert_eq!(q.map[g.entry().index()], q.acfa.entry());
+        assert!(q.acfa.num_locs() <= g.num_locs(), "case {case}");
+        assert_eq!(q.map.len(), g.num_locs(), "case {case}");
+        assert_eq!(q.map[g.entry().index()], q.acfa.entry(), "case {case}");
     }
+}
 
-    #[test]
-    fn collapse_is_idempotent(g in acfa_strategy()) {
+/// Shrunk counterexample formerly checked in as a proptest regression
+/// seed: two locations with comparable (but unequal) regions and a
+/// havoc self-loop once collapsed into a quotient that failed to
+/// weakly simulate the input.
+#[test]
+fn quotient_simulates_original_regression() {
+    let mut narrow = Cube::top(NPREDS);
+    narrow.set(PredIx(0), false);
+    let mut r0 = Region::empty();
+    r0.add(Cube::top(NPREDS));
+    let mut r1 = Region::empty();
+    r1.add(narrow);
+    let havoc0: BTreeSet<Var> = [Var::from_raw(0)].into_iter().collect();
+    let g = Acfa::from_parts(
+        vec![r0, r1],
+        vec![false, false],
+        vec![
+            AcfaEdge { src: AcfaLocId(0), havoc: havoc0.clone(), dst: AcfaLocId(1) },
+            AcfaEdge { src: AcfaLocId(0), havoc: BTreeSet::new(), dst: AcfaLocId(1) },
+            AcfaEdge { src: AcfaLocId(1), havoc: havoc0, dst: AcfaLocId(0) },
+        ],
+    );
+    let q = collapse(&g);
+    assert!(check_sim(&g, &q.acfa), "the collapse quotient must weakly simulate its input: {g:?}");
+}
+
+#[test]
+fn collapse_is_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0xacfa_0002);
+    for case in 0..CASES {
+        let g = gen_acfa(&mut rng);
         let once = collapse(&g);
         let twice = collapse(&once.acfa);
-        prop_assert_eq!(
+        assert_eq!(
             once.acfa.num_locs(),
             twice.acfa.num_locs(),
-            "a quotient must be its own quotient"
+            "case {case}: a quotient must be its own quotient: {g:?}"
         );
     }
+}
 
-    #[test]
-    fn simulation_is_reflexive(g in acfa_strategy()) {
-        prop_assert!(check_sim(&g, &g));
+#[test]
+fn simulation_is_reflexive() {
+    let mut rng = StdRng::seed_from_u64(0xacfa_0003);
+    for case in 0..CASES {
+        let g = gen_acfa(&mut rng);
+        assert!(check_sim(&g, &g), "case {case}: {g:?}");
     }
+}
 
-    #[test]
-    fn cube_meet_is_intersection(a in cube_strategy(), b in cube_strategy()) {
+#[test]
+fn cube_meet_is_intersection() {
+    let mut rng = StdRng::seed_from_u64(0xacfa_0004);
+    for case in 0..CASES {
+        let a = gen_cube(&mut rng);
+        let b = gen_cube(&mut rng);
         for valuation in 0..(1u32 << NPREDS) {
             let both = cube_admits(&a, valuation) && cube_admits(&b, valuation);
             match a.meet(&b) {
-                Some(m) => prop_assert_eq!(cube_admits(&m, valuation), both),
-                None => prop_assert!(!both, "meet said empty but {valuation:b} is in both"),
+                Some(m) => assert_eq!(
+                    cube_admits(&m, valuation),
+                    both,
+                    "case {case}: meet of {a} and {b} wrong at {valuation:b}"
+                ),
+                None => assert!(!both, "case {case}: meet said empty but {valuation:b} is in both"),
             }
         }
     }
+}
 
-    #[test]
-    fn cube_subsumption_is_containment(a in cube_strategy(), b in cube_strategy()) {
+#[test]
+fn cube_subsumption_is_containment() {
+    let mut rng = StdRng::seed_from_u64(0xacfa_0005);
+    for case in 0..CASES {
+        let a = gen_cube(&mut rng);
+        let b = gen_cube(&mut rng);
         if a.subsumed_by(&b) {
             for valuation in 0..(1u32 << NPREDS) {
                 if cube_admits(&a, valuation) {
-                    prop_assert!(cube_admits(&b, valuation));
+                    assert!(cube_admits(&b, valuation), "case {case}: {a} ⊑ {b}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn region_union_and_containment(r1 in region_strategy(), r2 in region_strategy()) {
+#[test]
+fn region_union_and_containment() {
+    let mut rng = StdRng::seed_from_u64(0xacfa_0006);
+    for case in 0..CASES {
+        let r1 = gen_region(&mut rng);
+        let r2 = gen_region(&mut rng);
         let mut u = r1.clone();
         u.union(&r2);
         for valuation in 0..(1u32 << NPREDS) {
-            prop_assert_eq!(
+            assert_eq!(
                 region_admits(&u, valuation),
-                region_admits(&r1, valuation) || region_admits(&r2, valuation)
+                region_admits(&r1, valuation) || region_admits(&r2, valuation),
+                "case {case}"
             );
         }
         // syntactic containment implies semantic containment
         if r1.contained_in(&r2) {
             for valuation in 0..(1u32 << NPREDS) {
                 if region_admits(&r1, valuation) {
-                    prop_assert!(region_admits(&r2, valuation));
+                    assert!(region_admits(&r2, valuation), "case {case}");
                 }
             }
         }
         // both operands are contained in the union
-        prop_assert!(r1.contained_in(&u));
-        prop_assert!(r2.contained_in(&u));
+        assert!(r1.contained_in(&u), "case {case}");
+        assert!(r2.contained_in(&u), "case {case}");
     }
+}
 
-    #[test]
-    fn region_meet_is_intersection(r1 in region_strategy(), r2 in region_strategy()) {
+#[test]
+fn region_meet_is_intersection() {
+    let mut rng = StdRng::seed_from_u64(0xacfa_0007);
+    for case in 0..CASES {
+        let r1 = gen_region(&mut rng);
+        let r2 = gen_region(&mut rng);
         let m = r1.meet(&r2);
         for valuation in 0..(1u32 << NPREDS) {
-            prop_assert_eq!(
+            assert_eq!(
                 region_admits(&m, valuation),
-                region_admits(&r1, valuation) && region_admits(&r2, valuation)
+                region_admits(&r1, valuation) && region_admits(&r2, valuation),
+                "case {case}"
             );
         }
     }
+}
 
-    #[test]
-    fn region_project_weakens(r in region_strategy(), keep_mask in 0u32..(1 << NPREDS)) {
+#[test]
+fn region_project_weakens() {
+    let mut rng = StdRng::seed_from_u64(0xacfa_0008);
+    for case in 0..CASES {
+        let r = gen_region(&mut rng);
+        let keep_mask = rng.gen_range(0u32..(1 << NPREDS));
         let p = r.project(&|i| keep_mask & (1 << i.0) != 0);
         for valuation in 0..(1u32 << NPREDS) {
             if region_admits(&r, valuation) {
-                prop_assert!(region_admits(&p, valuation), "projection must over-approximate");
+                assert!(
+                    region_admits(&p, valuation),
+                    "case {case}: projection must over-approximate"
+                );
             }
         }
     }

@@ -53,12 +53,8 @@ fn edge_atomic(cfa: &Cfa, e: &Edge) -> bool {
 /// a shared-mutable global outside an atomic section is reported.
 pub fn flow_check(cfa: &Cfa) -> FlowReport {
     // globals written anywhere
-    let written: BTreeSet<Var> = cfa
-        .edges()
-        .iter()
-        .filter_map(|e| e.op.written())
-        .filter(|v| cfa.is_global(*v))
-        .collect();
+    let written: BTreeSet<Var> =
+        cfa.edges().iter().filter_map(|e| e.op.written()).filter(|v| cfa.is_global(*v)).collect();
     let mut report = FlowReport::default();
     for (ix, e) in cfa.edges().iter().enumerate() {
         if edge_atomic(cfa, e) {
@@ -139,11 +135,9 @@ mod tests {
         let cfa = figure1_cfa();
         let x = cfa.var_by_name("x").unwrap();
         let report = flow_check(&cfa);
-        let xw: Vec<_> =
-            report.findings.iter().filter(|f| f.var == x && f.is_write).collect();
+        let xw: Vec<_> = report.findings.iter().filter(|f| f.var == x && f.is_write).collect();
         assert_eq!(xw.len(), 1, "one non-atomic write to x (x := x + 1)");
-        let xr: Vec<_> =
-            report.findings.iter().filter(|f| f.var == x && !f.is_write).collect();
+        let xr: Vec<_> = report.findings.iter().filter(|f| f.var == x && !f.is_write).collect();
         assert_eq!(xr.len(), 1, "one non-atomic read of x (in x := x + 1)");
     }
 }

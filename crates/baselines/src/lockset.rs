@@ -107,9 +107,7 @@ pub fn eraser(
                 match *state {
                     VarState::Virgin | VarState::Exclusive(_) => {}
                     _ => {
-                        let c = candidates
-                            .entry(v)
-                            .or_insert_with(|| [ATOMIC_LOCK].into());
+                        let c = candidates.entry(v).or_insert_with(|| [ATOMIC_LOCK].into());
                         *c = c.intersection(&held).copied().collect();
                         if *state == VarState::SharedModified && c.is_empty() {
                             report.flagged.insert(v);

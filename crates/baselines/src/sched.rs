@@ -20,12 +20,7 @@ pub struct RunRecord {
 /// instantiation, resolving `nondet()` with small random integers.
 /// Records every visited race state (the dynamic tools' ground
 /// truth).
-pub fn random_run(
-    program: &MtProgram,
-    n_threads: usize,
-    max_steps: usize,
-    seed: u64,
-) -> RunRecord {
+pub fn random_run(program: &MtProgram, n_threads: usize, max_steps: usize, seed: u64) -> RunRecord {
     let interp = Interp::new(program.clone(), n_threads);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut s = interp.initial();

@@ -63,20 +63,17 @@ fn bench_sat(c: &mut Criterion) {
             b.iter(|| {
                 let pigeons = holes + 1;
                 let mut s = sat::CnfSolver::new();
-                let vars: Vec<Vec<sat::BVar>> = (0..pigeons)
-                    .map(|_| (0..holes).map(|_| s.new_var()).collect())
-                    .collect();
+                let vars: Vec<Vec<sat::BVar>> =
+                    (0..pigeons).map(|_| (0..holes).map(|_| s.new_var()).collect()).collect();
                 for p in &vars {
                     let clause: Vec<sat::Lit> = p.iter().map(|&x| sat::Lit::pos(x)).collect();
                     s.add_clause(&clause);
                 }
+                #[allow(clippy::needless_range_loop)] // h indexes two parallel rows
                 for h in 0..holes {
                     for p1 in 0..pigeons {
                         for p2 in (p1 + 1)..pigeons {
-                            s.add_clause(&[
-                                sat::Lit::neg(vars[p1][h]),
-                                sat::Lit::neg(vars[p2][h]),
-                            ]);
+                            s.add_clause(&[sat::Lit::neg(vars[p1][h]), sat::Lit::neg(vars[p2][h])]);
                         }
                     }
                 }

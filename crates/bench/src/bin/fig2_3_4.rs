@@ -37,7 +37,11 @@ fn main() {
             CircEvent::SimChecked { holds } => {
                 println!(
                     "guarantee check G ⪯ A: {}",
-                    if *holds { "HOLDS — context model is sound" } else { "fails — weaken the context" }
+                    if *holds {
+                        "HOLDS — context model is sound"
+                    } else {
+                        "fails — weaken the context"
+                    }
                 );
             }
             CircEvent::Collapsed { acfa, size } => {

@@ -3,7 +3,8 @@
 use circ_core::{circ, CircConfig, CircEvent, CircOutcome};
 
 fn main() {
-    let m = circ_nesc::model(&std::env::args().nth(2).unwrap_or_else(|| "split_phase".into())).unwrap();
+    let m =
+        circ_nesc::model(&std::env::args().nth(2).unwrap_or_else(|| "split_phase".into())).unwrap();
     let program = m.program();
     let mode = std::env::args().nth(1).unwrap_or_default();
     let cfg = if mode == "omega" { CircConfig::omega() } else { CircConfig::default() };
@@ -11,7 +12,9 @@ fn main() {
     for e in &outcome.log().events {
         match e {
             CircEvent::OuterStart { preds, k } => println!("== OUTER preds={preds:?} k={k}"),
-            CircEvent::ReachDone { arg, arg_locs } => println!("-- reach done ({arg_locs} locs)\n{arg}"),
+            CircEvent::ReachDone { arg, arg_locs } => {
+                println!("-- reach done ({arg_locs} locs)\n{arg}")
+            }
             CircEvent::SimChecked { holds } => println!("-- sim: {holds}"),
             CircEvent::Collapsed { acfa, size } => println!("-- collapsed ({size}):\n{acfa}"),
             CircEvent::AbstractRace { trace_len } => println!("-- ABSTRACT RACE len={trace_len}"),
@@ -26,7 +29,9 @@ fn main() {
     }
     match outcome {
         CircOutcome::Safe(_) => println!("VERDICT SAFE"),
-        CircOutcome::Unsafe(r) => println!("VERDICT UNSAFE replay={} steps={:?}", r.cex.replay_ok, r.cex.steps),
+        CircOutcome::Unsafe(r) => {
+            println!("VERDICT UNSAFE replay={} steps={:?}", r.cex.replay_ok, r.cex.steps)
+        }
         CircOutcome::Unknown(r) => println!("VERDICT UNKNOWN {:?}", r.reason),
     }
 }

@@ -17,12 +17,18 @@ fn main() {
             let verdict = match &outcome {
                 CircOutcome::Safe(r) => format!(
                     "SAFE preds={} acfa={} k={} outer={} reach={} q={}",
-                    r.preds.len(), r.acfa.num_locs(), r.k,
-                    r.stats.outer_iterations, r.stats.reach_runs, r.stats.smt_queries
+                    r.preds.len(),
+                    r.acfa.num_locs(),
+                    r.k,
+                    r.stats.outer_iterations,
+                    r.stats.reach_runs,
+                    r.stats.smt_queries
                 ),
                 CircOutcome::Unsafe(r) => format!(
                     "UNSAFE threads={} steps={} replay={}",
-                    r.cex.n_threads, r.cex.steps.len(), r.cex.replay_ok
+                    r.cex.n_threads,
+                    r.cex.steps.len(),
+                    r.cex.replay_ok
                 ),
                 CircOutcome::Unknown(r) => format!("UNKNOWN {:?}", r.reason),
             };

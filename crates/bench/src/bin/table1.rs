@@ -10,9 +10,56 @@
 //! IBM T30); the comparison is about *shape*: every row proves safe,
 //! the counter parameter is always 1, predicate counts are small, and
 //! ACFAs are an order of magnitude below the CFA size.
+//!
+//! Every row also runs a second time with all caching disabled and the
+//! outcomes are compared — a live check of the cache's equivalence
+//! guarantee. The run writes `BENCH_table1.json` with per-row times
+//! (cached and uncached), pipeline counters, and cache hit rates.
 
-use circ_core::{circ, CircConfig, CircOutcome};
+use circ_core::{circ, circ_with_cache, AbsCache, CircConfig, CircOutcome};
+use std::fmt::Write as _;
 use std::time::Instant;
+
+/// The verdict-relevant content of an outcome: everything except
+/// statistics and timings, which legitimately differ between cached
+/// and uncached runs.
+fn essence(outcome: &CircOutcome) -> String {
+    match outcome {
+        CircOutcome::Safe(r) => {
+            format!("Safe preds={:?} k={} acfa={:?}", r.preds, r.k, r.acfa)
+        }
+        CircOutcome::Unsafe(r) => format!("Unsafe cex={:?} k={}", r.cex, r.k),
+        CircOutcome::Unknown(r) => format!("Unknown reason={:?}", r.reason),
+    }
+}
+
+struct RowRecord {
+    label: String,
+    time_s: f64,
+    uncached_time_s: f64,
+    outcomes_match: bool,
+}
+
+/// Runs one program cached (against the shared cache) and uncached,
+/// returning the cached outcome plus the differential record.
+fn run_both(
+    label: String,
+    program: &circ_ir::MtProgram,
+    cache: &AbsCache,
+) -> (CircOutcome, RowRecord) {
+    let cached_cfg = CircConfig::omega();
+    let t0 = Instant::now();
+    let outcome = circ_with_cache(program, &cached_cfg, cache);
+    let time_s = t0.elapsed().as_secs_f64();
+
+    let uncached_cfg = CircConfig { use_cache: false, ..CircConfig::omega() };
+    let t1 = Instant::now();
+    let uncached = circ(program, &uncached_cfg);
+    let uncached_time_s = t1.elapsed().as_secs_f64();
+
+    let outcomes_match = essence(&outcome) == essence(&uncached);
+    (outcome, RowRecord { label, time_s, uncached_time_s, outcomes_match })
+}
 
 fn main() {
     println!("Table 1 — experimental results with CIRC (ω-CIRC mode)");
@@ -25,13 +72,17 @@ fn main() {
         "{:-<14} {:-<14} | {:-<5} {:-<5} {:-<8} | {:-<5} {:-<5} {:-<5} {:-<10} {:-<9}",
         "", "", "", "", "", "", "", "", "", ""
     );
-    let mut all_safe = true;
+    let cache = AbsCache::new();
+    let mut totals = circ_core::CircStats::default();
+    let mut records: Vec<RowRecord> = Vec::new();
+    let mut injected: Vec<RowRecord> = Vec::new();
+    let mut all_ok = true;
     for m in circ_nesc::models() {
         for row in m.paper_rows {
             let program = m.program();
-            let t0 = Instant::now();
-            let outcome = circ(&program, &CircConfig::omega());
-            let dt = t0.elapsed();
+            let label = format!("{}/{}", row.app, row.variable);
+            let (outcome, record) = run_both(label, &program, &cache);
+            totals.pipeline.add(&outcome.stats().pipeline);
             match outcome {
                 CircOutcome::Safe(r) => {
                     println!(
@@ -44,42 +95,118 @@ fn main() {
                         r.preds.len(),
                         r.acfa.num_locs(),
                         r.k,
-                        format!("{dt:.2?}"),
+                        format!("{:.2?}", std::time::Duration::from_secs_f64(record.time_s)),
                         program.cfa().num_locs(),
                     );
                 }
                 other => {
-                    all_safe = false;
+                    all_ok = false;
                     println!(
                         "{:<14} {:<14} | {:>5} {:>5} {:>8} | UNEXPECTED: {:?}",
                         row.app, row.variable, row.preds, row.acfa, row.time, other
                     );
                 }
             }
+            if !record.outcomes_match {
+                all_ok = false;
+                println!("  !! cached and uncached outcomes differ for {}", record.label);
+            }
+            records.push(record);
         }
     }
     println!("\nInjected-bug variants (not in the paper's table; §6 reports such");
     println!("races being found in secureTosBase and sense before fixes):\n");
     for m in circ_nesc::models().iter().filter(|m| !m.expected_safe) {
         let program = m.program();
-        let t0 = Instant::now();
-        let outcome = circ(&program, &CircConfig::omega());
-        let dt = t0.elapsed();
+        let (outcome, record) = run_both(m.name.to_string(), &program, &cache);
+        totals.pipeline.add(&outcome.stats().pipeline);
         match outcome {
             CircOutcome::Unsafe(r) => println!(
-                "  {:<24} RACE: {} threads, {}-step schedule, concretely replayed: {} ({dt:.2?})",
+                "  {:<24} RACE: {} threads, {}-step schedule, concretely replayed: {} ({:.2?})",
                 m.name,
                 r.cex.n_threads,
                 r.cex.steps.len(),
-                r.cex.replay_ok
+                r.cex.replay_ok,
+                std::time::Duration::from_secs_f64(record.time_s),
             ),
             other => {
-                all_safe = false;
+                all_ok = false;
                 println!("  {:<24} UNEXPECTED: {other:?}", m.name);
             }
         }
+        if !record.outcomes_match {
+            all_ok = false;
+            println!("  !! cached and uncached outcomes differ for {}", record.label);
+        }
+        injected.push(record);
     }
-    if !all_safe {
+
+    let abs = cache.counters();
+    println!("\nPipeline totals (cached runs, shared entailment cache):");
+    print!("{}", totals.pipeline.render_table());
+    println!(
+        "\nShared cache lifetime: {} queries, {} hits / {} misses ({:.1}% hit rate), {} entries",
+        abs.queries,
+        abs.cache_hits,
+        abs.cache_misses,
+        100.0 * abs.hit_rate(),
+        cache.len(),
+    );
+    let cached_total: f64 = records.iter().chain(&injected).map(|r| r.time_s).sum();
+    let uncached_total: f64 = records.iter().chain(&injected).map(|r| r.uncached_time_s).sum();
+    println!(
+        "End-to-end: cached {cached_total:.3}s vs uncached {uncached_total:.3}s, all outcomes match: {}",
+        records.iter().chain(&injected).all(|r| r.outcomes_match)
+    );
+
+    let json = render_json(&records, &injected, &totals, &cache);
+    let out_path = "BENCH_table1.json";
+    match std::fs::write(out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            all_ok = false;
+            eprintln!("cannot write {out_path}: {e}");
+        }
+    }
+
+    if !all_ok {
         std::process::exit(1);
     }
+}
+
+fn render_rows(rows: &[RowRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"label\":{:?},\"time_s\":{:.6},\"uncached_time_s\":{:.6},\"outcomes_match\":{}}}",
+            r.label, r.time_s, r.uncached_time_s, r.outcomes_match
+        );
+    }
+    out.push(']');
+    out
+}
+
+fn render_json(
+    rows: &[RowRecord],
+    injected: &[RowRecord],
+    totals: &circ_core::CircStats,
+    cache: &AbsCache,
+) -> String {
+    let abs = cache.counters();
+    format!(
+        "{{\"rows\":{},\"injected\":{},\"pipeline\":{},\
+         \"cache\":{{\"queries\":{},\"hits\":{},\"misses\":{},\"hit_rate\":{:.6},\"entries\":{}}}}}\n",
+        render_rows(rows),
+        render_rows(injected),
+        totals.pipeline.to_json(),
+        abs.queries,
+        abs.cache_hits,
+        abs.cache_misses,
+        abs.hit_rate(),
+        cache.len(),
+    )
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! circ check <file.nesl> [--mode circ|omega] [--k N] [--print-acfa] [--trace]
+//!                        [--stats [--json]] [--no-cache]
 //! circ compile <file.nesl> [--dot]
 //! circ baselines <file.nesl>
 //! ```
@@ -37,11 +38,16 @@ fn print_help() {
     println!(
         "circ — race checking by context inference (PLDI 2004 reproduction)\n\n\
          USAGE:\n  circ check <file.nesl> [--mode circ|omega] [--asserts] [--k N] [--print-acfa] [--trace]\n\
+         \x20                        [--stats [--json]] [--no-cache]\n\
          \x20 circ compile <file.nesl> [--dot]\n\
          \x20 circ baselines <file.nesl>\n\n\
          The input file declares globals, `#race` variables, and one `thread`.\n\
          `check` proves the absence of data races for UNBOUNDEDLY many copies\n\
-         of the thread, or returns a concrete racy schedule."
+         of the thread, or returns a concrete racy schedule.\n\n\
+         `--stats` prints per-phase counters, cache hit rates, and wall-time\n\
+         spans after each verdict (one JSON line instead with `--json`);\n\
+         `--no-cache` disables the entailment and solver caches (same verdict,\n\
+         useful for timing differentials)."
     );
 }
 
@@ -58,6 +64,9 @@ struct Parsed {
     print_acfa: bool,
     trace: bool,
     dot: bool,
+    stats: bool,
+    stats_json: bool,
+    no_cache: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Parsed, String> {
@@ -69,6 +78,9 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
         print_acfa: false,
         trace: false,
         dot: false,
+        stats: false,
+        stats_json: false,
+        no_cache: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -87,6 +99,9 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
             "--print-acfa" => parsed.print_acfa = true,
             "--trace" => parsed.trace = true,
             "--dot" => parsed.dot = true,
+            "--stats" => parsed.stats = true,
+            "--json" => parsed.stats_json = true,
+            "--no-cache" => parsed.no_cache = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             path => {
                 if !parsed.source_path.is_empty() {
@@ -143,6 +158,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
     let cfg = CircConfig {
         omega_mode: parsed.mode_omega,
         initial_k: parsed.initial_k,
+        use_cache: !parsed.no_cache,
         property: if parsed.asserts { Property::Assertions } else { Property::Race },
         ..CircConfig::default()
     };
@@ -156,6 +172,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
         let program = MtProgram::new(compiled.cfa.clone(), var);
         let vname = compiled.cfa.var_name(var).to_string();
         let outcome = circ(&program, &cfg);
+        let run_stats = outcome.stats().clone();
         if parsed.trace {
             for e in &outcome.log().events {
                 match e {
@@ -221,6 +238,14 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 if worst == ExitCode::SUCCESS {
                     worst = ExitCode::from(2);
                 }
+            }
+        }
+        if parsed.stats {
+            if parsed.stats_json {
+                println!("{}", run_stats.pipeline.to_json());
+            } else {
+                println!("{vname}: statistics ({:.2?} total)", run_stats.elapsed);
+                print!("{}", run_stats.pipeline.render_table());
             }
         }
     }

@@ -17,10 +17,11 @@
 //! states recur across the many reachability runs of CIRC's nested
 //! loops.
 
+use crate::cache::AbsCache;
 use crate::preds::PredSet;
 use circ_acfa::{Cube, PredIx, Region};
 use circ_ir::{BoolExpr, Cfa, EdgeId, Expr, Op, Var};
-use circ_smt::{lia, translate, Atom, Formula, LinExpr, SVar, Solver};
+use circ_smt::{translate, Atom, Formula, LinExpr, SVar, Solver};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -39,6 +40,9 @@ pub struct AbsCtx {
     cfa: Arc<Cfa>,
     preds: PredSet,
     solver: Solver,
+    /// Atom-level entailment memo, shareable across contexts (and
+    /// across whole CIRC runs — its keys survive predicate growth).
+    cache: AbsCache,
     /// Pre-translated atoms per predicate (pre-state instance); `None`
     /// if the predicate falls outside linear arithmetic.
     pred_atoms: Vec<Option<Atom>>,
@@ -49,16 +53,28 @@ pub struct AbsCtx {
 }
 
 impl AbsCtx {
-    /// Creates an abstraction context for a CFA and predicate set.
+    /// Creates an abstraction context for a CFA and predicate set,
+    /// with a private query cache.
     pub fn new(cfa: Arc<Cfa>, preds: PredSet) -> AbsCtx {
+        AbsCtx::with_cache(cfa, preds, AbsCache::new())
+    }
+
+    /// Creates an abstraction context sharing `cache` with other
+    /// contexts. A disabled cache (see [`AbsCache::disabled`]) also
+    /// turns off the solver's formula-level memo, giving a fully
+    /// uncached context for differentials.
+    pub fn with_cache(cfa: Arc<Cfa>, preds: PredSet, cache: AbsCache) -> AbsCtx {
         let pred_atoms = preds
             .indices()
             .map(|i| translate::atom_of_pred(preds.pred(i), &mut pre).ok())
             .collect();
+        let mut solver = Solver::new();
+        solver.set_cache_enabled(cache.is_enabled());
         AbsCtx {
             cfa,
             preds,
-            solver: Solver::new(),
+            solver,
+            cache,
             pred_atoms,
             assign_cache: HashMap::new(),
             assume_cache: HashMap::new(),
@@ -77,9 +93,21 @@ impl AbsCtx {
         &self.cfa
     }
 
-    /// Number of SMT queries issued so far (for stats/benches).
+    /// Number of SMT queries issued so far (for stats/benches):
+    /// formula-level solver queries plus atom-level entailment/sat
+    /// queries routed through the shared cache.
     pub fn num_queries(&self) -> u64 {
-        self.solver.num_queries()
+        self.solver.num_queries() + self.cache.counters().queries
+    }
+
+    /// Counter snapshot of this context's solver handle.
+    pub fn solver_counters(&self) -> circ_stats::SolverCounters {
+        self.solver.counters()
+    }
+
+    /// The shared atom-level cache handle.
+    pub fn cache(&self) -> &AbsCache {
+        &self.cache
     }
 
     /// The abstraction of the initial state (all variables zero):
@@ -110,7 +138,7 @@ impl AbsCtx {
 
     /// Is the cube satisfiable?
     pub fn cube_sat(&mut self, cube: &Cube) -> bool {
-        lia::is_sat_conj(&self.cube_atoms(cube))
+        self.cache.is_sat_conj(&self.cube_atoms(cube))
     }
 
     /// Abstract post for a main-thread edge; `None` when the edge is
@@ -142,11 +170,7 @@ impl AbsCtx {
         let mut premises = self.cube_atoms(cube);
         // Tie the post-state copy of x to e when e is deterministic
         // and linear; otherwise leave x′ unconstrained (sound).
-        let rhs = if e.has_nondet() {
-            None
-        } else {
-            translate::lin_of_expr(e, &mut pre).ok()
-        };
+        let rhs = if e.has_nondet() { None } else { translate::lin_of_expr(e, &mut pre).ok() };
         if let Some(rhs) = rhs {
             premises.push(Atom::eq(LinExpr::var(post(x)) - rhs));
         }
@@ -161,9 +185,9 @@ impl AbsCtx {
                     continue;
                 }
                 if let Some(p_atom) = &self.pred_atoms[i.index()] {
-                    if lia::entails(&premises, p_atom) {
+                    if self.cache.entails(&premises, p_atom) {
                         out.set(i, true);
-                    } else if lia::entails(&premises, &p_atom.negate()) {
+                    } else if self.cache.entails(&premises, &p_atom.negate()) {
                         out.set(i, false);
                     }
                 }
@@ -179,9 +203,9 @@ impl AbsCtx {
             }) else {
                 continue;
             };
-            if lia::entails(&premises, &p_atom) {
+            if self.cache.entails(&premises, &p_atom) {
                 out.set(i, true);
-            } else if lia::entails(&premises, &p_atom.negate()) {
+            } else if self.cache.entails(&premises, &p_atom.negate()) {
                 out.set(i, false);
             }
         }
@@ -230,9 +254,8 @@ impl AbsCtx {
         if let Some(hit) = self.context_cache.get(&key) {
             return hit.clone();
         }
-        let projected = cube.project(&|i| {
-            !self.preds.pred_vars(i).iter().any(|v| havoc.contains(v))
-        });
+        let projected =
+            cube.project(&|i| !self.preds.pred_vars(i).iter().any(|v| havoc.contains(v)));
         let mut out = Vec::new();
         for t in target.cubes() {
             let t = t.widen_to(self.preds.len());
@@ -249,7 +272,7 @@ impl AbsCtx {
     /// Does the cube (as a state set) entail predicate `i`?
     pub fn cube_entails(&mut self, cube: &Cube, i: PredIx) -> bool {
         match &self.pred_atoms[i.index()] {
-            Some(a) => lia::entails(&self.cube_atoms(cube), a),
+            Some(a) => self.cache.entails(&self.cube_atoms(cube), a),
             None => false,
         }
     }
@@ -274,9 +297,10 @@ impl AbsCtx {
         // The conclusion side must translate exactly, or the
         // entailment check would be unsound; fall back to the (already
         // failed) syntactic answer in that case.
-        let b_exact = b.cubes().iter().all(|c| {
-            c.literals().all(|(i, _)| self.pred_atoms[i.index()].is_some())
-        });
+        let b_exact = b
+            .cubes()
+            .iter()
+            .all(|c| c.literals().all(|(i, _)| self.pred_atoms[i.index()].is_some()));
         if !b_exact {
             return false;
         }
@@ -376,9 +400,7 @@ mod tests {
             .edges()
             .iter()
             .enumerate()
-            .find(|(_, e)| {
-                matches!(&e.op, Op::Assume(b) if format!("{b}") == "v1 = 0")
-            })
+            .find(|(_, e)| matches!(&e.op, Op::Assume(b) if format!("{b}") == "v1 = 0"))
             .map(|(i, _)| EdgeId::from_raw(i as u32))
             .unwrap();
         assert_eq!(ctx.post_edge(&cube, guard_edge), None);
@@ -472,13 +494,31 @@ mod tests {
         let l1 = b.fresh_loc();
         b.edge(b.entry(), Op::assign(g, Expr::Nondet), l1);
         let cfa = Arc::new(b.build());
-        let preds =
-            PredSet::from_preds(&cfa, [Pred::eq(Expr::var(g), Expr::int(0))]);
+        let preds = PredSet::from_preds(&cfa, [Pred::eq(Expr::var(g), Expr::int(0))]);
         let mut ctx = AbsCtx::new(Arc::clone(&cfa), preds);
         let init = ctx.initial_cube();
         assert_eq!(init.get(p(0)), Some(true));
         let post = ctx.post_edge(&init, EdgeId::from_raw(0)).unwrap();
         assert_eq!(post.get(p(0)), None, "nondet write forgets g = 0");
+    }
+
+    #[test]
+    fn shared_cache_carries_across_contexts() {
+        let (cfa, mut ctx1) = fig1_ctx();
+        let cache = ctx1.cache().clone();
+        let top = Cube::top(4);
+        let e0 = cfa.out_edges(cfa.entry())[0];
+        let a = ctx1.post_edge(&top, e0);
+        let after_first = cache.counters();
+        assert!(after_first.cache_misses > 0);
+        // A brand-new context over the same predicates re-asks the
+        // same atom-level questions; the shared cache answers them all.
+        let mut ctx2 = AbsCtx::with_cache(Arc::clone(&cfa), ctx1.preds().clone(), cache.clone());
+        let b = ctx2.post_edge(&top, e0);
+        assert_eq!(a, b);
+        let delta = cache.counters().since(&after_first);
+        assert_eq!(delta.cache_misses, 0, "every atom query must hit the shared cache");
+        assert!(delta.cache_hits > 0);
     }
 
     #[test]

@@ -162,11 +162,8 @@ impl Arg {
         // (claiming it otherwise would *restrict* interleavings).
         self.atomic[keep] = self.atomic[keep] && self.atomic[drop];
         // Rebuild the edge existence index with canonical slots.
-        self.edge_index = self
-            .loc_edges
-            .iter()
-            .map(|(s, d, _)| (self.find(*s), self.find(*d)))
-            .collect();
+        self.edge_index =
+            self.loc_edges.iter().map(|(s, d, _)| (self.find(*s), self.find(*d))).collect();
     }
 
     fn add_loc_edge(&mut self, src: usize, dst: usize, havoc: BTreeSet<Var>) {
@@ -200,13 +197,7 @@ impl Arg {
     }
 
     /// Algorithm 2 (`Connect`): records the transition `r --op--> r'`.
-    pub fn connect(
-        &mut self,
-        cfa: &Cfa,
-        r: &ThreadState,
-        kind: StateEdgeKind,
-        r2: &ThreadState,
-    ) {
+    pub fn connect(&mut self, cfa: &Cfa, r: &ThreadState, kind: StateEdgeKind, r2: &ThreadState) {
         let n = self.find_or_create(cfa, r);
         let n2 = self.find_or_create(cfa, r2);
         match &kind {
@@ -251,11 +242,8 @@ impl Arg {
         roots.sort_unstable();
         roots.retain(|&r| r != entry_root);
         roots.insert(0, entry_root);
-        let root_to_id: BTreeMap<usize, AcfaLocId> = roots
-            .iter()
-            .enumerate()
-            .map(|(i, &r)| (r, AcfaLocId(i as u32)))
-            .collect();
+        let root_to_id: BTreeMap<usize, AcfaLocId> =
+            roots.iter().enumerate().map(|(i, &r)| (r, AcfaLocId(i as u32))).collect();
 
         let keep_global = |i: circ_acfa::PredIx| preds.is_global_only(i);
         let regions: Vec<Region> =
@@ -359,9 +347,7 @@ mod tests {
         let old = cfa.var_by_name("old").unwrap();
         let mut arg = Arg::new();
         // cube: state=0 (global pred) ∧ old=0 (local pred)
-        let cube = Cube::top(2)
-            .with(circ_acfa::PredIx(0), true)
-            .with(circ_acfa::PredIx(1), true);
+        let cube = Cube::top(2).with(circ_acfa::PredIx(0), true).with(circ_acfa::PredIx(1), true);
         arg.set_entry(&cfa, st(0, &cube));
         // an assignment to the local `old` then to the global `state`
         arg.connect(&cfa, &st(0, &cube), StateEdgeKind::MainOp(EdgeId::from_raw(0)), &st(1, &cube));

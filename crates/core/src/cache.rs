@@ -1,0 +1,203 @@
+//! The shared entailment cache of the abstraction layer.
+//!
+//! CIRC's dominant cost is cube/predicate entailment queries: every
+//! abstract post-image asks, per predicate, whether the pre-state
+//! facts force it true or false. The per-[`AbsCtx`] post-image memos
+//! (keyed on cubes) die with their context — a fresh `AbsCtx` is
+//! built each outer round because the predicate set grew, and cube
+//! keys are meaningless across predicate numberings.
+//!
+//! [`AbsCache`] memoizes one level lower, on the *concrete LIA atoms*
+//! of each query. Atoms are stable across predicate growth: they are
+//! built over solver variables fixed by the variable numbering of the
+//! CFA (`pre(v) = 2·index`, `post(v) = 2·index + 1`), not by predicate
+//! indices. A key is the canonicalized `(premises, goal)` pair —
+//! premises sorted and deduplicated, every atom sign-normalized via
+//! [`Atom::canonical`] (a semantics-preserving rewrite). Two queries
+//! with the same key are therefore the same logical question, so a
+//! cached answer can never change a [`crate::CircOutcome`]: the LIA
+//! procedure is deterministic and the cache only replays its answers.
+//!
+//! The cache is an `Rc<RefCell<…>>` handle: cloning shares the store,
+//! so one cache can serve every `AbsCtx` of a run — and every run of a
+//! benchmark loop, which is where the CheckSim/ReachAndBuild
+//! alternation re-asks the bulk of its questions.
+//!
+//! [`AbsCtx`]: crate::AbsCtx
+
+use circ_smt::{lia, Atom};
+use circ_stats::AbsCounters;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Canonical form of a premise list: sorted, deduplicated,
+/// sign-normalized atoms.
+fn canon_premises(premises: &[Atom]) -> Vec<Atom> {
+    let mut v: Vec<Atom> = premises.iter().map(Atom::canonical).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entails: HashMap<(Vec<Atom>, Atom), bool>,
+    sat: HashMap<Vec<Atom>, bool>,
+    counters: AbsCounters,
+    enabled: bool,
+}
+
+/// A shareable memo of abstraction-layer LIA queries (see the module
+/// docs for the key discipline). Clones share one store.
+#[derive(Debug, Clone)]
+pub struct AbsCache {
+    inner: Rc<RefCell<CacheInner>>,
+}
+
+impl Default for AbsCache {
+    fn default() -> AbsCache {
+        AbsCache::new()
+    }
+}
+
+impl AbsCache {
+    /// A fresh, enabled cache.
+    pub fn new() -> AbsCache {
+        AbsCache {
+            inner: Rc::new(RefCell::new(CacheInner { enabled: true, ..CacheInner::default() })),
+        }
+    }
+
+    /// A pass-through handle: queries are counted but never memoized.
+    /// Used for the cached-vs-uncached differential.
+    pub fn disabled() -> AbsCache {
+        AbsCache { inner: Rc::new(RefCell::new(CacheInner::default())) }
+    }
+
+    /// Whether this handle memoizes results.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.borrow().enabled
+    }
+
+    /// Does the conjunction of `premises` entail `goal`?
+    pub fn entails(&self, premises: &[Atom], goal: &Atom) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.queries += 1;
+        if !inner.enabled {
+            inner.counters.cache_misses += 1;
+            drop(inner);
+            return lia::entails(premises, goal);
+        }
+        let key = (canon_premises(premises), goal.canonical());
+        if let Some(&hit) = inner.entails.get(&key) {
+            inner.counters.cache_hits += 1;
+            return hit;
+        }
+        inner.counters.cache_misses += 1;
+        // Release the borrow over the (potentially re-entrant-free but
+        // slow) decision procedure.
+        drop(inner);
+        let result = lia::entails(premises, goal);
+        self.inner.borrow_mut().entails.insert(key, result);
+        result
+    }
+
+    /// Is the conjunction of `atoms` satisfiable?
+    pub fn is_sat_conj(&self, atoms: &[Atom]) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.queries += 1;
+        if !inner.enabled {
+            inner.counters.cache_misses += 1;
+            drop(inner);
+            return lia::is_sat_conj(atoms);
+        }
+        let key = canon_premises(atoms);
+        if let Some(&hit) = inner.sat.get(&key) {
+            inner.counters.cache_hits += 1;
+            return hit;
+        }
+        inner.counters.cache_misses += 1;
+        drop(inner);
+        let result = lia::is_sat_conj(atoms);
+        self.inner.borrow_mut().sat.insert(key, result);
+        result
+    }
+
+    /// Snapshot of the cumulative counters (use
+    /// [`AbsCounters::since`] for per-run deltas on a shared cache).
+    pub fn counters(&self) -> AbsCounters {
+        self.inner.borrow().counters
+    }
+
+    /// Number of memoized entries across both maps.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.borrow();
+        inner.entails.len() + inner.sat.len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circ_smt::{LinExpr, SVar};
+
+    fn x() -> LinExpr {
+        LinExpr::var(SVar(0))
+    }
+
+    #[test]
+    fn entailment_is_memoized_and_canonicalized() {
+        let cache = AbsCache::new();
+        // x = 0 ∧ x ≤ 3 ⊨ x ≤ 5
+        let premises = [Atom::eq(x()), Atom::le(x() - LinExpr::constant(3))];
+        let goal = Atom::le(x() - LinExpr::constant(5));
+        assert!(cache.entails(&premises, &goal));
+        // Same question, permuted and duplicated premises: a hit.
+        let permuted = [Atom::le(x() - LinExpr::constant(3)), Atom::eq(x()), Atom::eq(x())];
+        assert!(cache.entails(&permuted, &goal));
+        let c = cache.counters();
+        assert_eq!(c.queries, 2);
+        assert_eq!(c.cache_hits, 1);
+        assert_eq!(c.cache_misses, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn sign_normalization_shares_entries() {
+        let cache = AbsCache::new();
+        // x = 0 and -x = 0 are the same atom up to canonical sign.
+        assert!(cache.is_sat_conj(&[Atom::eq(x())]));
+        assert!(cache.is_sat_conj(&[Atom::eq(-x())]));
+        assert_eq!(cache.counters().cache_hits, 1);
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let a = AbsCache::new();
+        let b = a.clone();
+        assert!(a.is_sat_conj(&[Atom::eq(x())]));
+        assert!(b.is_sat_conj(&[Atom::eq(x())]));
+        assert_eq!(a.counters().cache_hits, 1);
+        assert_eq!(b.counters().cache_hits, 1);
+    }
+
+    #[test]
+    fn disabled_cache_counts_but_never_stores() {
+        let cache = AbsCache::disabled();
+        let premises = [Atom::eq(x())];
+        let goal = Atom::le(x());
+        assert!(cache.entails(&premises, &goal));
+        assert!(cache.entails(&premises, &goal));
+        let c = cache.counters();
+        assert_eq!(c.queries, 2);
+        assert_eq!(c.cache_hits, 0);
+        assert_eq!(c.cache_misses, 2);
+        assert!(cache.is_empty());
+    }
+}

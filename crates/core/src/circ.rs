@@ -22,11 +22,15 @@
 //! into itself. If goodness fails, `k` grows and the search restarts.
 
 use crate::abs::AbsCtx;
+use crate::cache::AbsCache;
 use crate::preds::PredSet;
 use crate::reach::{reach_and_build, Property, ReachError};
-use crate::refine::{refine, Concretizer, ConcreteCex, RefineDetail, RefineOutcome};
-use circ_acfa::{check_sim_with, collapse, context_reach_with, Acfa, CVal, ContextState, Region};
+use crate::refine::{refine, ConcreteCex, Concretizer, RefineDetail, RefineOutcome};
+use circ_acfa::{
+    check_sim_counting, collapse, context_reach_with, Acfa, CVal, ContextState, Region,
+};
 use circ_ir::{MtProgram, Pred};
+use circ_stats::{AbsCounters, PipelineStats};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -51,6 +55,12 @@ pub struct CircConfig {
     /// as the context model — sound, but contexts stay large; exposed
     /// for the ablation bench.
     pub minimize: bool,
+    /// Memoize entailment and solver queries (the atom-level
+    /// [`AbsCache`] plus the solver's formula cache). Caching only
+    /// replays deterministic answers, so disabling it changes timings
+    /// and counters but never the [`CircOutcome`]; exposed for the
+    /// cached-vs-uncached differential.
+    pub use_cache: bool,
     /// The safety property to check (default: race freedom).
     pub property: Property,
 }
@@ -65,6 +75,7 @@ impl Default for CircConfig {
             max_inner: 40,
             max_states: 500_000,
             minimize: true,
+            use_cache: true,
             property: Property::Race,
         }
     }
@@ -140,10 +151,13 @@ pub struct CircStats {
     pub outer_iterations: usize,
     /// Total reachability runs.
     pub reach_runs: usize,
-    /// Total SMT queries.
+    /// Total SMT queries across the whole run: formula-level solver
+    /// queries of every round plus atom-level entailment/sat queries.
     pub smt_queries: u64,
     /// Wall-clock of the whole run.
     pub elapsed: std::time::Duration,
+    /// Per-phase counters, cache statistics, and wall-time spans.
+    pub pipeline: PipelineStats,
 }
 
 /// A successful safety proof.
@@ -228,29 +242,48 @@ impl CircOutcome {
             CircOutcome::Unknown(r) => &r.log,
         }
     }
+
+    /// The statistics of the run, whatever the verdict.
+    pub fn stats(&self) -> &CircStats {
+        match self {
+            CircOutcome::Safe(r) => &r.stats,
+            CircOutcome::Unsafe(r) => &r.stats,
+            CircOutcome::Unknown(r) => &r.stats,
+        }
+    }
 }
 
 /// Checks the symmetric multithreaded program `program.cfa()^∞` for
 /// races on `program.race_var()` by context inference.
 pub fn circ(program: &MtProgram, config: &CircConfig) -> CircOutcome {
+    let cache = if config.use_cache { AbsCache::new() } else { AbsCache::disabled() };
+    circ_with_cache(program, config, &cache)
+}
+
+/// [`circ`] with a caller-supplied [`AbsCache`], so repeated runs (a
+/// benchmark loop, a parameter sweep over the same model) share their
+/// memoized entailment answers. The reported `stats.pipeline.abs`
+/// counters are this run's delta, not the cache's lifetime totals.
+pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCache) -> CircOutcome {
     let start = Instant::now();
     let cfa = program.cfa_arc();
     let mut preds = PredSet::from_preds(&cfa, config.initial_preds.iter().cloned());
     let mut k = config.initial_k;
     let mut log = CircLog::default();
     let mut stats = CircStats::default();
+    let abs_base = cache.counters();
 
-    let pred_strings = |p: &PredSet| -> Vec<String> {
-        p.indices().map(|i| p.display_pred(&cfa, i)).collect()
-    };
+    let pred_strings =
+        |p: &PredSet| -> Vec<String> { p.indices().map(|i| p.display_pred(&cfa, i)).collect() };
     let acfa_render = |a: &Acfa, p: &PredSet| -> String {
         a.display_with(&|i| p.display_pred(&cfa, i), &|v| cfa.var_name(v).to_string())
     };
 
     for _outer in 0..config.max_outer {
         stats.outer_iterations += 1;
+        stats.pipeline.outer_rounds += 1;
         log.events.push(CircEvent::OuterStart { preds: pred_strings(&preds), k });
-        let mut abs = AbsCtx::new(cfa.clone(), preds.clone());
+        let mut abs = AbsCtx::with_cache(cfa.clone(), preds.clone(), cache.clone());
         let mut acfa = Acfa::empty(preds.len());
         let mut concretizer: Option<Concretizer> = None;
 
@@ -258,8 +291,10 @@ pub fn circ(program: &MtProgram, config: &CircConfig) -> CircOutcome {
         let mut restart_outer = false;
         for _inner in 0..config.max_inner {
             stats.reach_runs += 1;
+            stats.pipeline.reach_runs += 1;
             let init = if config.omega_mode { CVal::Fin(k) } else { CVal::Omega };
-            match reach_and_build(
+            let reach_t = Instant::now();
+            let reach_result = reach_and_build(
                 &mut abs,
                 program,
                 &acfa,
@@ -267,10 +302,12 @@ pub fn circ(program: &MtProgram, config: &CircConfig) -> CircOutcome {
                 init,
                 config.max_states,
                 config.property,
-            ) {
+            );
+            stats.pipeline.phases.reach += reach_t.elapsed();
+            match reach_result {
                 Err(ReachError::StateLimit(n)) => {
-                    stats.smt_queries = abs.num_queries();
-                    stats.elapsed = start.elapsed();
+                    stats.pipeline.arg_nodes += n as u64;
+                    seal_stats(&mut stats, Some(&abs), cache, &abs_base, start);
                     return CircOutcome::Unknown(UnknownReport {
                         reason: UnknownReason::StateLimit(n),
                         log,
@@ -278,9 +315,19 @@ pub fn circ(program: &MtProgram, config: &CircConfig) -> CircOutcome {
                     });
                 }
                 Err(ReachError::Race(cex)) => {
+                    stats.pipeline.arg_nodes += cex.steps.len() as u64 + 1;
                     log.events.push(CircEvent::AbstractRace { trace_len: cex.steps.len() });
-                    let (outcome, detail) =
-                        refine(program, &acfa, &cex, concretizer.as_ref(), abs.preds(), config.property);
+                    let refine_t = Instant::now();
+                    let (outcome, detail) = refine(
+                        program,
+                        &acfa,
+                        &cex,
+                        concretizer.as_ref(),
+                        abs.preds(),
+                        config.property,
+                    );
+                    stats.pipeline.phases.refine += refine_t.elapsed();
+                    stats.pipeline.refine_rounds += 1;
                     let verdict = match &outcome {
                         RefineOutcome::Real(_) => "real race".to_string(),
                         RefineOutcome::NewPreds(ps) => format!("{} new predicate(s)", ps.len()),
@@ -288,10 +335,9 @@ pub fn circ(program: &MtProgram, config: &CircConfig) -> CircOutcome {
                         RefineOutcome::Stuck(m) => format!("stuck: {m}"),
                     };
                     log.events.push(CircEvent::Refined { verdict, detail });
-                    stats.smt_queries = abs.num_queries();
                     match outcome {
                         RefineOutcome::Real(ccex) => {
-                            stats.elapsed = start.elapsed();
+                            seal_stats(&mut stats, Some(&abs), cache, &abs_base, start);
                             return CircOutcome::Unsafe(UnsafeReport {
                                 cex: ccex,
                                 preds: preds.preds().to_vec(),
@@ -309,11 +355,12 @@ pub fn circ(program: &MtProgram, config: &CircConfig) -> CircOutcome {
                         }
                         RefineOutcome::IncrementK => {
                             k += 1;
+                            stats.pipeline.k_increments += 1;
                             restart_outer = true;
                             break;
                         }
                         RefineOutcome::Stuck(msg) => {
-                            stats.elapsed = start.elapsed();
+                            seal_stats(&mut stats, Some(&abs), cache, &abs_base, start);
                             return CircOutcome::Unknown(UnknownReport {
                                 reason: UnknownReason::Stuck(msg),
                                 log,
@@ -323,30 +370,37 @@ pub fn circ(program: &MtProgram, config: &CircConfig) -> CircOutcome {
                     }
                 }
                 Ok(arg) => {
+                    stats.pipeline.arg_nodes += arg.num_locs() as u64;
                     let exported = arg.export(&cfa, abs.preds());
                     log.events.push(CircEvent::ReachDone {
                         arg: acfa_render(&exported.acfa, &preds),
                         arg_locs: exported.acfa.num_locs(),
                     });
-                    let holds = check_sim_with(&exported.acfa, &acfa, &mut |x, y| {
+                    let sim_t = Instant::now();
+                    let (holds, pairs) = check_sim_counting(&exported.acfa, &acfa, &mut |x, y| {
                         abs.region_contained(x, y)
                     });
+                    stats.pipeline.phases.sim += sim_t.elapsed();
+                    stats.pipeline.sim_checks += 1;
+                    stats.pipeline.sim_edge_pairs += pairs;
                     log.events.push(CircEvent::SimChecked { holds });
                     if holds {
                         // Guarantee discharged. In ω-mode, the
                         // unbounded case needs the goodness check.
-                        let collapsed = maybe_collapse(&exported.acfa, config.minimize);
+                        let collapsed = timed_collapse(&exported.acfa, config.minimize, &mut stats);
                         if config.omega_mode {
+                            let omega_t = Instant::now();
                             let good = omega_good(&mut abs, &exported.acfa, &collapsed, k);
+                            stats.pipeline.phases.omega += omega_t.elapsed();
                             log.events.push(CircEvent::OmegaCheck { good });
                             if !good {
                                 k += 1;
+                                stats.pipeline.k_increments += 1;
                                 restart_outer = true;
                                 break;
                             }
                         }
-                        stats.smt_queries = abs.num_queries();
-                        stats.elapsed = start.elapsed();
+                        seal_stats(&mut stats, Some(&abs), cache, &abs_base, start);
                         return CircOutcome::Safe(SafeReport {
                             acfa,
                             preds: preds.preds().to_vec(),
@@ -355,7 +409,7 @@ pub fn circ(program: &MtProgram, config: &CircConfig) -> CircOutcome {
                             stats,
                         });
                     }
-                    let collapsed = maybe_collapse(&exported.acfa, config.minimize);
+                    let collapsed = timed_collapse(&exported.acfa, config.minimize, &mut stats);
                     log.events.push(CircEvent::Collapsed {
                         acfa: acfa_render(&collapsed.acfa, &preds),
                         size: collapsed.acfa.num_locs(),
@@ -365,9 +419,12 @@ pub fn circ(program: &MtProgram, config: &CircConfig) -> CircOutcome {
                 }
             }
         }
+        // This round's solver handle dies with its AbsCtx: bank its
+        // counters before the next round overwrites `abs`.
+        absorb_round(&mut stats, &abs);
         if !restart_outer {
             // Inner loop exhausted without converging.
-            stats.elapsed = start.elapsed();
+            seal_stats(&mut stats, None, cache, &abs_base, start);
             return CircOutcome::Unknown(UnknownReport {
                 reason: UnknownReason::IterationLimit,
                 log,
@@ -375,8 +432,45 @@ pub fn circ(program: &MtProgram, config: &CircConfig) -> CircOutcome {
             });
         }
     }
-    stats.elapsed = start.elapsed();
+    seal_stats(&mut stats, None, cache, &abs_base, start);
     CircOutcome::Unknown(UnknownReport { reason: UnknownReason::IterationLimit, log, stats })
+}
+
+/// Banks one outer round's solver counters into the running totals
+/// (each round owns a fresh solver handle inside its [`AbsCtx`]).
+fn absorb_round(stats: &mut CircStats, abs: &AbsCtx) {
+    let sc = abs.solver_counters();
+    stats.pipeline.solver.add(&sc);
+    stats.smt_queries += sc.queries;
+}
+
+/// Finalizes the run's statistics: banks the live round's solver
+/// counters (if any), takes the shared cache's per-run delta, and
+/// stamps the wall clock.
+fn seal_stats(
+    stats: &mut CircStats,
+    live_round: Option<&AbsCtx>,
+    cache: &AbsCache,
+    abs_base: &AbsCounters,
+    start: Instant,
+) {
+    if let Some(abs) = live_round {
+        absorb_round(stats, abs);
+    }
+    let abs_delta = cache.counters().since(abs_base);
+    stats.smt_queries += abs_delta.queries;
+    stats.pipeline.abs = abs_delta;
+    stats.elapsed = start.elapsed();
+}
+
+/// Runs [`maybe_collapse`] with phase timing and counter bookkeeping.
+fn timed_collapse(acfa: &Acfa, minimize: bool, stats: &mut CircStats) -> circ_acfa::CollapseResult {
+    let t = Instant::now();
+    let collapsed = maybe_collapse(acfa, minimize);
+    stats.pipeline.phases.collapse += t.elapsed();
+    stats.pipeline.collapse_runs += 1;
+    stats.pipeline.collapse_iterations += collapsed.iterations as u64;
+    collapsed
 }
 
 /// Collapses the exported ARG into its weak-bisimilarity quotient, or
@@ -388,6 +482,7 @@ fn maybe_collapse(acfa: &Acfa, minimize: bool) -> circ_acfa::CollapseResult {
         circ_acfa::CollapseResult {
             acfa: acfa.clone(),
             map: (0..acfa.num_locs() as u32).map(circ_acfa::AcfaLocId).collect(),
+            iterations: 0,
         }
     }
 }
@@ -396,21 +491,15 @@ fn maybe_collapse(acfa: &Acfa, minimize: bool) -> circ_acfa::CollapseResult {
 /// environment alone can reach, every `A`-transition `q′ -Y→ q″`
 /// enabled at some ARG location's class must map that location's
 /// region back into itself: `(∃Y. r(n)) ∧ r(q″) ⊆ r(n)`.
-fn omega_good(
-    abs: &mut AbsCtx,
-    g: &Acfa,
-    collapsed: &circ_acfa::CollapseResult,
-    k: u32,
-) -> bool {
+fn omega_good(abs: &mut AbsCtx, g: &Acfa, collapsed: &circ_acfa::CollapseResult, k: u32) -> bool {
     let a = &collapsed.acfa;
     // Environment reachability must respect label consistency (the
     // conjunction of the occupied locations' regions), otherwise the
     // enabledness test below over-approximates so coarsely that the
     // goodness check can never conclude (e.g. it would consider two
     // threads simultaneously inside the test-and-set critical region).
-    let reach: BTreeSet<ContextState> = context_reach_with(a, k, CVal::Omega, &mut |cfg| {
-        config_consistent(abs, a, cfg)
-    });
+    let reach: BTreeSet<ContextState> =
+        context_reach_with(a, k, CVal::Omega, &mut |cfg| config_consistent(abs, a, cfg));
     for n in g.locs() {
         let q = collapsed.map[n.index()];
         if a.is_atomic(q) {
@@ -431,19 +520,15 @@ fn omega_good(
                 } else {
                     cfg.count(e.src).positive() && cfg.count(q).positive()
                 };
-                placed
-                    && cfg
-                        .atomic_occupied(a)
-                        .all(|atomic_loc| atomic_loc == e.src)
+                placed && cfg.atomic_occupied(a).all(|atomic_loc| atomic_loc == e.src)
             });
             if !enabled {
                 continue;
             }
             // goodness: (∃Y. r(n)) ∧ r(e.dst) ⊆ r(n)
             let preds = abs.preds();
-            let keep = |i: circ_acfa::PredIx| {
-                !preds.pred_vars(i).iter().any(|v| e.havoc.contains(v))
-            };
+            let keep =
+                |i: circ_acfa::PredIx| !preds.pred_vars(i).iter().any(|v| e.havoc.contains(v));
             let projected = g.region(n).project(&keep);
             let result = projected.meet(a.region(e.dst));
             // Discard semantically empty cubes before the containment

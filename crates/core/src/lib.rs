@@ -35,19 +35,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod preds;
 mod abs;
 mod arg;
+mod cache;
+mod circ;
+mod preds;
 mod reach;
 mod refine;
-mod circ;
 
 pub use crate::circ::{
-    circ, CircConfig, CircEvent, CircLog, CircOutcome, CircStats, SafeReport, UnknownReason,
-    UnknownReport, UnsafeReport,
+    circ, circ_with_cache, CircConfig, CircEvent, CircLog, CircOutcome, CircStats, SafeReport,
+    UnknownReason, UnknownReport, UnsafeReport,
 };
 pub use abs::AbsCtx;
 pub use arg::{Arg, ExportedArg, StateEdge, StateEdgeKind, ThreadState};
+pub use cache::AbsCache;
 pub use preds::PredSet;
 pub use reach::{
     reach_and_build, AbsState, AbstractCex, AbstractError, AbstractRace, Property, ReachError,

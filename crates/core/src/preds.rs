@@ -1,7 +1,7 @@
 //! The refinable predicate set `P` of the abstraction.
 
-use circ_ir::{Cfa, Pred, Var};
 use circ_acfa::PredIx;
+use circ_ir::{Cfa, Pred, Var};
 use std::collections::BTreeSet;
 use std::fmt;
 

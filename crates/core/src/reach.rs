@@ -144,17 +144,11 @@ pub fn reach_and_build(
         // Error check on the dequeued state.
         let error = match property {
             Property::Race => race_at(&s, program, acfa, x).map(AbstractError::Race),
-            Property::Assertions => {
-                cfa.is_error(s.pc).then_some(AbstractError::Assertion)
-            }
+            Property::Assertions => cfa.is_error(s.pc).then_some(AbstractError::Assertion),
         };
         if let Some(error) = error {
             let steps = rebuild_trace(&states, &parent, six);
-            return Err(ReachError::Race(Box::new(AbstractCex {
-                steps,
-                final_state: s,
-                error,
-            })));
+            return Err(ReachError::Race(Box::new(AbstractCex { steps, final_state: s, error })));
         }
 
         if states.len() >= max_states {
@@ -174,11 +168,11 @@ pub fn reach_and_build(
         };
 
         let push_succ = |states: &mut Vec<AbsState>,
-                             index: &mut HashMap<AbsState, usize>,
-                             parent: &mut Vec<Option<(usize, TraceOp)>>,
-                             queue: &mut VecDeque<usize>,
-                             succ: AbsState,
-                             op: TraceOp| {
+                         index: &mut HashMap<AbsState, usize>,
+                         parent: &mut Vec<Option<(usize, TraceOp)>>,
+                         queue: &mut VecDeque<usize>,
+                         succ: AbsState,
+                         op: TraceOp| {
             if let Some(&_existing) = index.get(&succ) {
                 return;
             }
@@ -200,17 +194,19 @@ pub fn reach_and_build(
                         &(dst, cube2.clone()),
                     );
                     let succ = AbsState { pc: dst, cube: cube2, ctx: s.ctx.clone() };
-                    push_succ(&mut states, &mut index, &mut parent, &mut queue, succ, TraceOp::Main(eid));
+                    push_succ(
+                        &mut states,
+                        &mut index,
+                        &mut parent,
+                        &mut queue,
+                        succ,
+                        TraceOp::Main(eid),
+                    );
                 }
             }
         }
         for n in ctx_enabled_locs {
-            for (eix, edge) in acfa
-                .edges()
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| e.src == n)
-            {
+            for (eix, edge) in acfa.edges().iter().enumerate().filter(|(_, e)| e.src == n) {
                 // The successor cube conjoins the *target* location's
                 // label (the `sp` of §3.3). We deliberately do not
                 // conjoin the labels of the other occupied locations:
@@ -256,8 +252,7 @@ fn race_at(
     if cfa.is_atomic(s.pc) || s.ctx.atomic_occupied(acfa).next().is_some() {
         return None;
     }
-    let writers: Vec<AcfaLocId> =
-        s.ctx.occupied().filter(|n| acfa.writes_at(*n, x)).collect();
+    let writers: Vec<AcfaLocId> = s.ctx.occupied().filter(|n| acfa.writes_at(*n, x)).collect();
     // Two context writers: two distinct write-capable locations, or
     // one such location holding at least two threads.
     if writers.len() >= 2 {
@@ -312,7 +307,8 @@ mod tests {
         let program = fig1_program();
         let mut abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
         let acfa = Acfa::empty(0);
-        let result = reach_and_build(&mut abs, &program, &acfa, 1, CVal::Omega, 10_000, Property::Race);
+        let result =
+            reach_and_build(&mut abs, &program, &acfa, 1, CVal::Omega, 10_000, Property::Race);
         let arg = result.expect("no race without a context");
         assert!(arg.num_locs() >= 1);
     }
@@ -324,11 +320,7 @@ mod tests {
         Acfa::from_parts(
             vec![Region::full(0); 2],
             vec![false, false],
-            vec![AcfaEdge {
-                src: AcfaLocId(0),
-                havoc: [x].into(),
-                dst: AcfaLocId(1),
-            }],
+            vec![AcfaEdge { src: AcfaLocId(0), havoc: [x].into(), dst: AcfaLocId(1) }],
         )
     }
 
@@ -337,7 +329,8 @@ mod tests {
         let program = fig1_program();
         let mut abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
         let acfa = writer_context(&program);
-        let result = reach_and_build(&mut abs, &program, &acfa, 1, CVal::Omega, 10_000, Property::Race);
+        let result =
+            reach_and_build(&mut abs, &program, &acfa, 1, CVal::Omega, 10_000, Property::Race);
         match result {
             Err(ReachError::Race(cex)) => {
                 // With ω threads at the writer location, two context
@@ -357,10 +350,14 @@ mod tests {
         let program = fig1_program();
         let mut abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
         let acfa = writer_context(&program);
-        let result = reach_and_build(&mut abs, &program, &acfa, 1, CVal::Fin(1), 10_000, Property::Race);
+        let result =
+            reach_and_build(&mut abs, &program, &acfa, 1, CVal::Fin(1), 10_000, Property::Race);
         match result {
             Err(ReachError::Race(cex)) => {
-                assert!(matches!(cex.error, AbstractError::Race(AbstractRace::MainAndContext { .. })));
+                assert!(matches!(
+                    cex.error,
+                    AbstractError::Race(AbstractRace::MainAndContext { .. })
+                ));
                 assert!(!cex.steps.is_empty(), "main must move to reach x");
                 // trace must be replayable: every step's state differs
                 for w in cex.steps.windows(2) {
@@ -389,7 +386,8 @@ mod tests {
         let mut abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
         // k=1 with a single context thread: the only writer is inside
         // the atomic location, so no race state is schedulable…
-        let result = reach_and_build(&mut abs, &program, &acfa, 1, CVal::Fin(1), 50_000, Property::Race);
+        let result =
+            reach_and_build(&mut abs, &program, &acfa, 1, CVal::Fin(1), 50_000, Property::Race);
         assert!(result.is_ok(), "atomic write-back context cannot race with one thread");
     }
 
@@ -422,8 +420,9 @@ mod tests {
         );
         let mut abs = AbsCtx::new(program.cfa_arc(), preds);
         let acfa = Acfa::empty(4);
-        let arg = reach_and_build(&mut abs, &program, &acfa, 1, CVal::Omega, 10_000, Property::Race)
-            .expect("single thread is race-free");
+        let arg =
+            reach_and_build(&mut abs, &program, &acfa, 1, CVal::Omega, 10_000, Property::Race)
+                .expect("single thread is race-free");
         // the ARG covers at most one abstract state per (loc, cube)
         assert!(arg.num_locs() <= 12, "ARG stays small: got {}", arg.num_locs());
     }

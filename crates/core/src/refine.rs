@@ -32,8 +32,8 @@ use crate::preds::PredSet;
 use crate::reach::{AbstractCex, AbstractError, AbstractRace, Property, TraceOp};
 use circ_acfa::{Acfa, AcfaLocId, CollapseResult};
 use circ_ir::{
-    BinOp, BoolExpr, Cfa, CmpOp, EdgeId, Expr, Interp, MtProgram, Op, Pred, SchedChoice,
-    ThreadId, Var,
+    BinOp, BoolExpr, Cfa, CmpOp, EdgeId, Expr, Interp, MtProgram, Op, Pred, SchedChoice, ThreadId,
+    Var,
 };
 use circ_smt::{lia, translate, Atom, Formula, LinExpr, Rel, SVar, SatResult, Solver};
 use std::collections::{BTreeSet, HashMap, VecDeque};
@@ -143,8 +143,7 @@ impl Concretizer {
         queue.push_back(start.clone());
         let mut goal: Option<Node> = None;
         let mut fallback_goal: Option<Node> = None;
-        let is_goal =
-            |n: &Node| n.1 && n.0 != *cur && self.class_of(&n.0) == Some(dst_class);
+        let is_goal = |n: &Node| n.1 && n.0 != *cur && self.class_of(&n.0) == Some(dst_class);
         let mut seen: BTreeSet<Node> = [start.clone()].into();
         while let Some(node) = queue.pop_front() {
             if is_goal(&node) {
@@ -237,8 +236,7 @@ impl Concretizer {
             }
             let Some(succs) = self.moves.get(&s) else { continue };
             for (eid, next) in succs {
-                let silent =
-                    cfa.edge(*eid).op.written().is_none_or(|v| !cfa.is_global(v));
+                let silent = cfa.edge(*eid).op.written().is_none_or(|v| !cfa.is_global(v));
                 if !silent || self.class_of(next) != Some(class) {
                     continue;
                 }
@@ -327,8 +325,7 @@ pub fn refine(
                     } else {
                         (cand, ctx_threads[cand].clone())
                     };
-                    if let Some(exp) = conc.concretize_step(cfa, &cur, &edge.havoc, edge.dst)
-                    {
+                    if let Some(exp) = conc.concretize_step(cfa, &cur, &edge.havoc, edge.dst) {
                         let tag = tix + 1;
                         let anchor = last_seg.get(&tag).copied();
                         // A floated prefix parks its thread until the
@@ -399,13 +396,9 @@ pub fn refine(
             .filter(|&i| !reserved[i] && conc.class_of(&ctx_threads[i]) == Some(loc))
             .collect();
         for i in candidate_ixs {
-            if let Some((ops, end)) = conc.drive_to_access(
-                cfa,
-                &ctx_threads[i],
-                loc,
-                program.race_var(),
-                need_write,
-            ) {
+            if let Some((ops, end)) =
+                conc.drive_to_access(cfa, &ctx_threads[i], loc, program.race_var(), need_write)
+            {
                 if !ops.is_empty() {
                     segments.push(Segment { tag: i + 1, ops, float_anchor: None });
                 }
@@ -510,7 +503,7 @@ pub fn refine(
         .into_iter()
         .filter(|p| {
             let canon = p.canonical();
-            !preds.preds().iter().any(|q| *q == canon)
+            !preds.preds().contains(&canon)
         })
         .collect();
     if fresh.is_empty() {
@@ -527,10 +520,8 @@ fn place_segments(segments: &[Segment], float_ixs: &[usize], mask: u32) -> Vec<u
     // gets its anchor's key plus 1 (anchor usize::MAX = the start).
     let mut keyed: Vec<(i64, usize)> = Vec::with_capacity(segments.len());
     for (i, seg) in segments.iter().enumerate() {
-        let early = float_ixs
-            .iter()
-            .position(|&f| f == i)
-            .is_some_and(|bit| mask & (1 << bit) != 0);
+        let early =
+            float_ixs.iter().position(|&f| f == i).is_some_and(|bit| mask & (1 << bit) != 0);
         let key = if early {
             match seg.float_anchor {
                 Some(usize::MAX) | None => -1,
@@ -688,16 +679,10 @@ fn mine_predicates(ssa: &SsaResult) -> Vec<Pred> {
         let core: Vec<(usize, Atom)> = core_ix.iter().map(|&i| atoms[i].clone()).collect();
         let max_pos = core.iter().map(|(p, _)| *p).max().unwrap_or(0);
         for cut in 0..=max_pos {
-            let prefix: Vec<Atom> = core
-                .iter()
-                .filter(|(p, _)| *p <= cut)
-                .map(|(_, a)| a.clone())
-                .collect();
-            let suffix: Vec<Atom> = core
-                .iter()
-                .filter(|(p, _)| *p > cut)
-                .map(|(_, a)| a.clone())
-                .collect();
+            let prefix: Vec<Atom> =
+                core.iter().filter(|(p, _)| *p <= cut).map(|(_, a)| a.clone()).collect();
+            let suffix: Vec<Atom> =
+                core.iter().filter(|(p, _)| *p > cut).map(|(_, a)| a.clone()).collect();
             if prefix.is_empty() || suffix.is_empty() {
                 continue;
             }
@@ -705,8 +690,7 @@ fn mine_predicates(ssa: &SsaResult) -> Vec<Pred> {
                 prefix.iter().flat_map(|a| a.vars().collect::<Vec<_>>()).collect();
             let suffix_vars: BTreeSet<SVar> =
                 suffix.iter().flat_map(|a| a.vars().collect::<Vec<_>>()).collect();
-            let elim: BTreeSet<SVar> =
-                prefix_vars.difference(&suffix_vars).copied().collect();
+            let elim: BTreeSet<SVar> = prefix_vars.difference(&suffix_vars).copied().collect();
             for atom in lia::project(&prefix, &elim) {
                 if let Some(p) = pred_of_atom(ssa, &atom) {
                     push_unique(&mut out, p);
@@ -816,11 +800,8 @@ fn pred_of_atom(ssa: &SsaResult, atom: &Atom) -> Option<Pred> {
         Rel::Ne => CmpOp::Ne,
     };
     // If everything landed on the rhs (lhs empty), flip.
-    let (l, r, op) = if matches!(lhs, Expr::Int(0)) {
-        (rhs, Expr::int(0), mirror(op))
-    } else {
-        (lhs, rhs, op)
-    };
+    let (l, r, op) =
+        if matches!(lhs, Expr::Int(0)) { (rhs, Expr::int(0), mirror(op)) } else { (lhs, rhs, op) };
     Some(Pred::new(simplify(l), op, simplify(r)))
 }
 

@@ -56,10 +56,7 @@ fn omega_circ_proves_figure1_safe() {
     let CircOutcome::Safe(report) = outcome else {
         panic!("expected Safe, got {outcome:?}");
     };
-    assert!(report.log.events.iter().any(|e| matches!(
-        e,
-        CircEvent::OmegaCheck { good: true }
-    )));
+    assert!(report.log.events.iter().any(|e| matches!(e, CircEvent::OmegaCheck { good: true })));
 }
 
 #[test]
@@ -100,7 +97,6 @@ fn atomic_protected_variable_is_safe_without_predicates() {
     b.edge(l1, Op::skip(), l2);
     b.mark_atomic(l2);
     b.edge(l2, Op::assign(x, Expr::var(x) + Expr::int(1)), l3);
-    // hmm: l2 atomic means the write happens from an atomic location.
     b.edge(l3, Op::skip(), l1);
     let cfa = b.build();
     let x = cfa.var_by_name("x").unwrap();
@@ -135,20 +131,11 @@ fn unprotected_counter_is_unsafe() {
 fn log_records_iterations() {
     let outcome = circ(&fig1_program(), &CircConfig::default());
     let log = outcome.log();
-    let outer_starts = log
-        .events
-        .iter()
-        .filter(|e| matches!(e, CircEvent::OuterStart { .. }))
-        .count();
+    let outer_starts =
+        log.events.iter().filter(|e| matches!(e, CircEvent::OuterStart { .. })).count();
     assert!(outer_starts >= 2, "figure 1 needs refinement rounds");
-    assert!(log
-        .events
-        .iter()
-        .any(|e| matches!(e, CircEvent::Refined { .. })));
-    assert!(log
-        .events
-        .iter()
-        .any(|e| matches!(e, CircEvent::SimChecked { holds: true })));
+    assert!(log.events.iter().any(|e| matches!(e, CircEvent::Refined { .. })));
+    assert!(log.events.iter().any(|e| matches!(e, CircEvent::SimChecked { holds: true })));
 }
 
 #[test]

@@ -349,8 +349,7 @@ pub fn race_error(t: &FiniteThread, g: usize) -> impl Fn(&CounterState) -> bool 
                 continue;
             }
             for &o in &occupied {
-                let conflict = t.writes_at(o, &s.globals, g)
-                    || t.reads_at(o, &s.globals, g);
+                let conflict = t.writes_at(o, &s.globals, g) || t.reads_at(o, &s.globals, g);
                 if !conflict {
                     continue;
                 }

@@ -53,8 +53,8 @@
 
 mod ast;
 mod lex;
-mod parse;
 mod lower;
+mod parse;
 
 pub use ast::{BExpr, Expr, FnDef, Item, Program, Stmt, ThreadDef};
 pub use lex::{LexError, Token, TokenKind};

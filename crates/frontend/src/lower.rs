@@ -101,8 +101,7 @@ pub fn lower(program: &Program) -> Result<Compiled, CompileError> {
 
     let entry = lowerer.builder.entry();
     let mut thread_scope: HashMap<String, Var> = HashMap::new();
-    let exit =
-        lowerer.lower_stmts(&thread.body, &mut thread_scope, entry, None)?;
+    let exit = lowerer.lower_stmts(&thread.body, &mut thread_scope, entry, None)?;
     let _ = exit; // falling off the end of the thread body just halts
 
     let cfa = lowerer.builder.build();
@@ -642,7 +641,8 @@ mod tests {
 
     #[test]
     fn assert_inside_atomic_keeps_error_nonatomic() {
-        let src = "global int g; #race g; thread t { skip; atomic { g = 1; assert(g == 1); g = 2; } }";
+        let src =
+            "global int g; #race g; thread t { skip; atomic { g = 1; assert(g == 1); g = 2; } }";
         let compiled = compile(src).unwrap();
         let cfa = &compiled.cfa;
         let err = *cfa.error_locs().iter().next().unwrap();

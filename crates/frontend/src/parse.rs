@@ -154,9 +154,7 @@ impl<'a> Parser<'a> {
                 let body = self.block()?;
                 Ok(Item::Thread(ThreadDef { name, body, pos }))
             }
-            k => self.err(format!(
-                "expected `global`, `#race`, `fn`, or `thread`, found {k}"
-            )),
+            k => self.err(format!("expected `global`, `#race`, `fn`, or `thread`, found {k}")),
         }
     }
 
@@ -505,7 +503,9 @@ mod tests {
 
     #[test]
     fn parse_else_if_chain() {
-        let p = parse_src("thread t { if (x == 0) { skip; } else if (x == 1) { skip; } else { skip; } }");
+        let p = parse_src(
+            "thread t { if (x == 0) { skip; } else if (x == 1) { skip; } else { skip; } }",
+        );
         let Item::Thread(t) = &p.items[0] else { panic!() };
         let Stmt::If(_, _, els) = &t.body[0] else { panic!() };
         assert_eq!(els.len(), 1);

@@ -280,26 +280,17 @@ impl Cfa {
 
     /// All global variables.
     pub fn globals(&self) -> Vec<Var> {
-        (0..self.vars.len() as u32)
-            .map(Var)
-            .filter(|v| self.is_global(*v))
-            .collect()
+        (0..self.vars.len() as u32).map(Var).filter(|v| self.is_global(*v)).collect()
     }
 
     /// All local variables.
     pub fn locals(&self) -> Vec<Var> {
-        (0..self.vars.len() as u32)
-            .map(Var)
-            .filter(|v| !self.is_global(*v))
-            .collect()
+        (0..self.vars.len() as u32).map(Var).filter(|v| !self.is_global(*v)).collect()
     }
 
     /// Looks up a variable by source name.
     pub fn var_by_name(&self, name: &str) -> Option<Var> {
-        self.vars
-            .iter()
-            .position(|vi| vi.name == name)
-            .map(|ix| Var(ix as u32))
+        self.vars.iter().position(|vi| vi.name == name).map(|ix| Var(ix as u32))
     }
 
     /// A human-readable label for a location (its source label, if the
@@ -314,10 +305,7 @@ impl Cfa {
     /// Variables *written* by some out-edge of `l` — `Write.i.x` holds
     /// iff `x ∈ writes_at(pc_i)` (§4.1).
     pub fn writes_at(&self, l: Loc) -> BTreeSet<Var> {
-        self.out_edges(l)
-            .iter()
-            .filter_map(|e| self.edge(*e).op.written())
-            .collect()
+        self.out_edges(l).iter().filter_map(|e| self.edge(*e).op.written()).collect()
     }
 
     /// Variables *read* by some out-edge of `l`.
@@ -387,10 +375,7 @@ impl CfaBuilder {
     }
 
     fn add_var(&mut self, name: String, kind: VarKind) -> Var {
-        assert!(
-            !self.vars.iter().any(|vi| vi.name == name),
-            "duplicate variable name `{name}`"
-        );
+        assert!(!self.vars.iter().any(|vi| vi.name == name), "duplicate variable name `{name}`");
         let v = Var(self.vars.len() as u32);
         self.vars.push(VarInfo { name, kind });
         v
@@ -447,10 +432,7 @@ impl CfaBuilder {
     /// the entry location is atomic (the paper's semantics assume a
     /// non-atomic start so that at most one thread is ever atomic).
     pub fn build(self) -> Cfa {
-        assert!(
-            !self.atomic.contains(&Loc(0)),
-            "entry location must not be atomic"
-        );
+        assert!(!self.atomic.contains(&Loc(0)), "entry location must not be atomic");
         let nvars = self.vars.len() as u32;
         for e in &self.edges {
             for v in e.op.vars() {
@@ -522,30 +504,14 @@ pub fn figure1_cfa() -> Cfa {
     // 1 -> 2 : old := state   (first op of the atomic block)
     b.edge(l1, Op::assign(old, Expr::var(state)), l2);
     // 2 -> 3 : [state = 0]; state := 1  — split in two CFA edges via 3
-    b.edge(
-        l2,
-        Op::assume(BoolExpr::eq(Expr::var(state), Expr::int(0))),
-        l3,
-    );
+    b.edge(l2, Op::assume(BoolExpr::eq(Expr::var(state), Expr::int(0))), l3);
     b.edge(l3, Op::assign(state, Expr::int(1)), l5);
     // 2 -> 5 : [state != 0]  (else-branch leaves the atomic block)
-    b.edge(
-        l2,
-        Op::assume(BoolExpr::ne(Expr::var(state), Expr::int(0))),
-        l5,
-    );
+    b.edge(l2, Op::assume(BoolExpr::ne(Expr::var(state), Expr::int(0))), l5);
     // 5 -> 6 : [old = 0]
-    b.edge(
-        l5,
-        Op::assume(BoolExpr::eq(Expr::var(old), Expr::int(0))),
-        l6,
-    );
+    b.edge(l5, Op::assume(BoolExpr::eq(Expr::var(old), Expr::int(0))), l6);
     // 5 -> 1 : [old != 0]  (loop back)
-    b.edge(
-        l5,
-        Op::assume(BoolExpr::ne(Expr::var(old), Expr::int(0))),
-        l1,
-    );
+    b.edge(l5, Op::assume(BoolExpr::ne(Expr::var(old), Expr::int(0))), l1);
     // 6 -> 7 : x := x + 1
     b.edge(l6, Op::assign(x, Expr::var(x) + Expr::int(1)), l7);
     // 7 -> 1 : state := 0

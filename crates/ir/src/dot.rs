@@ -26,7 +26,13 @@ pub fn cfa_to_dot(cfa: &Cfa) -> String {
 /// Renders a CFA as an indented ASCII adjacency listing.
 pub fn cfa_to_text(cfa: &Cfa) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "CFA `{}` ({} locations, {} edges)", cfa.name(), cfa.num_locs(), cfa.edges().len());
+    let _ = writeln!(
+        s,
+        "CFA `{}` ({} locations, {} edges)",
+        cfa.name(),
+        cfa.num_locs(),
+        cfa.edges().len()
+    );
     let _ = writeln!(
         s,
         "  globals: {}",

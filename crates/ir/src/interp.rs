@@ -136,10 +136,8 @@ impl Interp {
     /// the unique atomic thread if one exists, else all threads.
     pub fn schedulable(&self, s: &ConcreteState) -> Vec<ThreadId> {
         let cfa = self.program.cfa();
-        let atomic: Vec<ThreadId> = (0..self.n_threads as u32)
-            .map(ThreadId)
-            .filter(|t| cfa.is_atomic(s.pc(*t)))
-            .collect();
+        let atomic: Vec<ThreadId> =
+            (0..self.n_threads as u32).map(ThreadId).filter(|t| cfa.is_atomic(s.pc(*t))).collect();
         match atomic.len() {
             0 => (0..self.n_threads as u32).map(ThreadId).collect(),
             1 => atomic,
@@ -233,9 +231,7 @@ impl Interp {
     /// any.
     pub fn assertion_violation(&self, s: &ConcreteState) -> Option<ThreadId> {
         let cfa = self.program.cfa();
-        (0..self.n_threads as u32)
-            .map(ThreadId)
-            .find(|t| cfa.is_error(s.pc(*t)))
+        (0..self.n_threads as u32).map(ThreadId).find(|t| cfa.is_error(s.pc(*t)))
     }
 
     /// Bounded breadth-first exploration: searches all interleavings
@@ -287,10 +283,7 @@ fn eval_with_nondet(e: &Expr, lookup: &impl Fn(Var) -> i64, nondet: i64) -> i64 
         Expr::Int(n) => *n,
         Expr::Var(v) => lookup(*v),
         Expr::Bin(op, a, b) => {
-            let (a, b) = (
-                eval_with_nondet(a, lookup, nondet),
-                eval_with_nondet(b, lookup, nondet),
-            );
+            let (a, b) = (eval_with_nondet(a, lookup, nondet), eval_with_nondet(b, lookup, nondet));
             match op {
                 crate::expr::BinOp::Add => a.wrapping_add(b),
                 crate::expr::BinOp::Sub => a.wrapping_sub(b),
@@ -333,11 +326,7 @@ mod tests {
         let interp = Interp::new(p.clone(), 2);
         let s = interp.initial();
         // Step thread 0 into the atomic block (edge 1->2: old := state).
-        let (t, e) = interp
-            .enabled(&s)
-            .into_iter()
-            .find(|(t, _)| *t == ThreadId(0))
-            .unwrap();
+        let (t, e) = interp.enabled(&s).into_iter().find(|(t, _)| *t == ThreadId(0)).unwrap();
         let s2 = interp.step(&s, SchedChoice { thread: t, edge: e, nondet: 0 });
         // Now thread 0 is atomic; only it may run.
         assert_eq!(interp.schedulable(&s2), vec![ThreadId(0)]);

@@ -38,15 +38,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod expr;
 mod cfa;
-mod program;
-pub mod interp;
 pub mod dot;
+mod expr;
+pub mod interp;
+mod program;
 
-pub use expr::{BinOp, BoolExpr, CmpOp, Expr, Pred};
 pub use cfa::{
     figure1_cfa, AccessKind, Cfa, CfaBuilder, Edge, EdgeId, Loc, Op, Var, VarInfo, VarKind,
 };
-pub use program::{MtProgram, ThreadId};
+pub use expr::{BinOp, BoolExpr, CmpOp, Expr, Pred};
 pub use interp::{ConcreteState, Interp, RaceWitness, SchedChoice};
+pub use program::{MtProgram, ThreadId};

@@ -43,10 +43,7 @@ impl MtProgram {
     ///
     /// Panics if `race_var` is not a global of `cfa`.
     pub fn new(cfa: Cfa, race_var: Var) -> MtProgram {
-        assert!(
-            cfa.is_global(race_var),
-            "race variable {race_var} must be global"
-        );
+        assert!(cfa.is_global(race_var), "race variable {race_var} must be global");
         MtProgram { cfa: Arc::new(cfa), race_var }
     }
 

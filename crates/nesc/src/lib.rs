@@ -130,7 +130,13 @@ pub fn models() -> Vec<Model> {
                     acfa: 13,
                     time: "1m41s",
                 },
-                PaperRow { app: "surge", variable: "gTxByteCnt", preds: 4, acfa: 15, time: "1m34s" },
+                PaperRow {
+                    app: "surge",
+                    variable: "gTxByteCnt",
+                    preds: 4,
+                    acfa: 15,
+                    time: "1m34s",
+                },
             ],
         },
         Model {
@@ -229,12 +235,7 @@ pub fn models() -> Vec<Model> {
                 time: "16m25s",
             }],
         },
-        Model {
-            name: "retry_lock",
-            source: RETRY_LOCK,
-            expected_safe: true,
-            paper_rows: &[],
-        },
+        Model { name: "retry_lock", source: RETRY_LOCK, expected_safe: true, paper_rows: &[] },
         Model {
             name: "test_and_set_buggy",
             source: TEST_AND_SET_BUGGY,
@@ -287,10 +288,7 @@ pub fn token_ring_source(phases: u32) -> String {
         let hold = 2 * i + 1; // token held by the writer
         let next = (2 * i + 2) % (2 * phases);
         let _ = writeln!(s, "    got = 0;");
-        let _ = writeln!(
-            s,
-            "    atomic {{ if (mode == {grab}) {{ mode = {hold}; got = 1; }} }}"
-        );
+        let _ = writeln!(s, "    atomic {{ if (mode == {grab}) {{ mode = {hold}; got = 1; }} }}");
         let _ = writeln!(s, "    if (got == 1) {{");
         let _ = writeln!(s, "      x = x + 1;");
         let _ = writeln!(s, "      atomic {{ mode = {next}; }}");

@@ -122,9 +122,8 @@ pub fn project(atoms: &[Atom], elim: &BTreeSet<SVar>) -> Vec<Atom> {
     }
     for &x in elim {
         // Prefer Gaussian elimination on a unit-coefficient equality.
-        if let Some(pos) = cur
-            .iter()
-            .position(|a| a.rel() == Rel::Eq && a.expr().coeff(x).abs() == 1)
+        if let Some(pos) =
+            cur.iter().position(|a| a.rel() == Rel::Eq && a.expr().coeff(x).abs() == 1)
         {
             let eq = cur.remove(pos);
             let repl = solve_for(eq.expr(), x);
@@ -150,12 +149,16 @@ pub fn project(atoms: &[Atom], elim: &BTreeSet<SVar>) -> Vec<Atom> {
                         }
                     }
                     Rel::Eq => {
-                        les_pos.push(a.expr().clone().scale(
-                            if a.expr().coeff(x) > 0 { 1 } else { -1 },
-                        ));
-                        les_neg.push(a.expr().clone().scale(
-                            if a.expr().coeff(x) > 0 { -1 } else { 1 },
-                        ));
+                        les_pos.push(a.expr().clone().scale(if a.expr().coeff(x) > 0 {
+                            1
+                        } else {
+                            -1
+                        }));
+                        les_neg.push(a.expr().clone().scale(if a.expr().coeff(x) > 0 {
+                            -1
+                        } else {
+                            1
+                        }));
                     }
                 }
             }
@@ -249,19 +252,14 @@ fn solve(atoms: Vec<Atom>) -> Option<Model> {
     };
     let mut omega_rounds = 0u32;
     loop {
-        let Some(pos) = eqs
-            .iter()
-            .position(|a| a.vars().any(|v| a.expr().coeff(v).abs() == 1))
+        let Some(pos) = eqs.iter().position(|a| a.vars().any(|v| a.expr().coeff(v).abs() == 1))
         else {
             // No unit coefficient anywhere: reduce one equality.
             if let Some(eq) = eqs.first().cloned() {
                 omega_rounds += 1;
                 assert!(omega_rounds < 200, "omega equality reduction diverged");
-                let (_, ak) = eq
-                    .expr()
-                    .terms()
-                    .min_by_key(|(_, a)| a.abs())
-                    .expect("non-constant equality");
+                let (_, ak) =
+                    eq.expr().terms().min_by_key(|(_, a)| a.abs()).expect("non-constant equality");
                 let m = ak.abs() + 1;
                 let sigma = SVar(next_fresh);
                 next_fresh += 1;
@@ -279,10 +277,7 @@ fn solve(atoms: Vec<Atom>) -> Option<Model> {
             break;
         };
         let eq = eqs.remove(pos);
-        let x = eq
-            .vars()
-            .find(|v| eq.expr().coeff(*v).abs() == 1)
-            .expect("unit variable vanished");
+        let x = eq.vars().find(|v| eq.expr().coeff(*v).abs() == 1).expect("unit variable vanished");
         let repl = solve_for(eq.expr(), x);
         let apply = |v: &mut Vec<Atom>| -> bool {
             let mut out = Vec::with_capacity(v.len());
@@ -669,11 +664,7 @@ mod tests {
     #[test]
     fn inequalities_sandwich() {
         // 1 ≤ x ≤ 3 ∧ x ≠ 2 — sat with x ∈ {1, 3}
-        let atoms = vec![
-            Atom::ge(x() - c(1)),
-            Atom::le(x() - c(3)),
-            Atom::ne(x() - c(2)),
-        ];
+        let atoms = vec![Atom::ge(x() - c(1)), Atom::le(x() - c(3)), Atom::ne(x() - c(2))];
         match check_conj(&atoms) {
             ConjResult::Sat(m) => {
                 let val = m[&v(0)];
@@ -705,18 +696,10 @@ mod tests {
     #[test]
     fn transitive_le_chain() {
         // x ≤ y ∧ y ≤ z ∧ z ≤ x − 1 : unsat
-        let atoms = vec![
-            Atom::le(x() - y()),
-            Atom::le(y() - z()),
-            Atom::le(z() - x() + c(1)),
-        ];
+        let atoms = vec![Atom::le(x() - y()), Atom::le(y() - z()), Atom::le(z() - x() + c(1))];
         assert_eq!(check_conj(&atoms), ConjResult::Unsat);
         // relax the last to z ≤ x: sat with x = y = z
-        let atoms = vec![
-            Atom::le(x() - y()),
-            Atom::le(y() - z()),
-            Atom::le(z() - x()),
-        ];
+        let atoms = vec![Atom::le(x() - y()), Atom::le(y() - z()), Atom::le(z() - x())];
         assert!(check_conj(&atoms).is_sat());
     }
 
@@ -786,19 +769,13 @@ mod tests {
     #[test]
     fn non_unit_coefficients_roundtrip() {
         // 2x ≤ 7 ∧ 2x ≥ 5: x ∈ {3} after tightening (2.5 ≤ 2x... x ≥ 3 via ceil, x ≤ 3 via floor)
-        let atoms = vec![
-            Atom::le(x().scale(2) - c(7)),
-            Atom::ge(x().scale(2) - c(5)),
-        ];
+        let atoms = vec![Atom::le(x().scale(2) - c(7)), Atom::ge(x().scale(2) - c(5))];
         match check_conj(&atoms) {
             ConjResult::Sat(m) => assert_eq!(m[&v(0)], 3),
             ConjResult::Unsat => panic!("expected sat"),
         }
         // 2x ≤ 5 ∧ 2x ≥ 5: tightens to x ≤ 2 ∧ x ≥ 3: unsat
-        let atoms = vec![
-            Atom::le(x().scale(2) - c(5)),
-            Atom::ge(x().scale(2) - c(5)),
-        ];
+        let atoms = vec![Atom::le(x().scale(2) - c(5)), Atom::ge(x().scale(2) - c(5))];
         assert_eq!(check_conj(&atoms), ConjResult::Unsat);
     }
 }

@@ -45,10 +45,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod lin;
 mod atom;
 mod formula;
 pub mod lia;
+mod lin;
 pub mod sat;
 mod solver;
 pub mod translate;

@@ -159,7 +159,9 @@ impl CnfSolver {
         }
         // Drop literals already false at level 0; if one is true at
         // level 0 the clause is satisfied forever.
-        ls.retain(|l| !(self.lit_value(*l) == Assign::False && self.levels[l.var().0 as usize] == 0));
+        ls.retain(|l| {
+            !(self.lit_value(*l) == Assign::False && self.levels[l.var().0 as usize] == 0)
+        });
         if ls
             .iter()
             .any(|l| self.lit_value(*l) == Assign::True && self.levels[l.var().0 as usize] == 0)
@@ -505,6 +507,7 @@ mod tests {
         for row in &p {
             s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
         }
+        #[allow(clippy::needless_range_loop)] // j indexes two parallel rows
         for j in 0..2 {
             for i1 in 0..3 {
                 for i2 in (i1 + 1)..3 {
@@ -526,8 +529,7 @@ mod tests {
         while s.solve() {
             models += 1;
             assert!(models <= 4, "more models than possible");
-            let block: Vec<Lit> =
-                v.iter().map(|&x| Lit::new(x, !s.value(x))).collect();
+            let block: Vec<Lit> = v.iter().map(|&x| Lit::new(x, !s.value(x))).collect();
             s.add_clause(&block);
         }
         assert_eq!(models, 4);

@@ -7,7 +7,7 @@ use crate::atom::{Atom, Rel};
 use crate::formula::Formula;
 use crate::lia::{self, ConjResult, Model};
 use crate::sat::{BVar, CnfSolver, Lit};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Result of a satisfiability query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,17 +26,50 @@ impl SatResult {
 }
 
 /// A reusable SMT solver handle. Queries are independent; the handle
-/// tracks statistics across them (used by benches and tests).
-#[derive(Debug, Default)]
+/// tracks statistics across them (used by benches and tests) and
+/// memoizes results per NNF skeleton.
+#[derive(Debug)]
 pub struct Solver {
     queries: u64,
     theory_rounds: u64,
+    /// NNF-keyed result memo. NNF is the canonical form here: `check`
+    /// normalizes every input to NNF before solving, so formulas that
+    /// only differ in negation placement share one entry. The solver
+    /// is deterministic, so replaying a cached `Sat` model is
+    /// indistinguishable from re-solving.
+    cache: HashMap<Formula, SatResult>,
+    cache_enabled: bool,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver {
+            queries: 0,
+            theory_rounds: 0,
+            cache: HashMap::new(),
+            cache_enabled: true,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
 }
 
 impl Solver {
-    /// A fresh solver.
+    /// A fresh solver (result caching on).
     pub fn new() -> Solver {
         Solver::default()
+    }
+
+    /// Enables or disables the NNF result cache (on by default).
+    /// Disabling also clears it, so a subsequent re-enable starts
+    /// cold.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+        if !enabled {
+            self.cache.clear();
+        }
     }
 
     /// Number of top-level queries issued so far.
@@ -49,6 +82,26 @@ impl Solver {
         self.theory_rounds
     }
 
+    /// Queries answered from the result cache.
+    pub fn num_cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Queries that ran the DPLL(T) loop.
+    pub fn num_cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Snapshot of this handle's counters.
+    pub fn counters(&self) -> circ_stats::SolverCounters {
+        circ_stats::SolverCounters {
+            queries: self.queries,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            theory_rounds: self.theory_rounds,
+        }
+    }
+
     /// Decides satisfiability of `f` over the integers.
     pub fn check(&mut self, f: &Formula) -> SatResult {
         self.queries += 1;
@@ -58,9 +111,24 @@ impl Solver {
             Formula::Const(false) => return SatResult::Unsat,
             _ => {}
         }
+        if self.cache_enabled {
+            if let Some(hit) = self.cache.get(&nnf) {
+                self.cache_hits += 1;
+                return hit.clone();
+            }
+        }
+        let result = self.solve_nnf(&nnf);
+        self.cache_misses += 1;
+        if self.cache_enabled {
+            self.cache.insert(nnf, result.clone());
+        }
+        result
+    }
 
+    /// The uncached DPLL(T) loop over an NNF formula.
+    fn solve_nnf(&mut self, nnf: &Formula) -> SatResult {
         let mut enc = Encoder::new();
-        let root = enc.encode(&nnf);
+        let root = enc.encode(nnf);
         enc.sat.add_clause(&[root]);
 
         loop {
@@ -88,8 +156,7 @@ impl Solver {
                 }
                 ConjResult::Unsat => {
                     let core = lia::unsat_core(&theory);
-                    let blocking: Vec<Lit> =
-                        core.iter().map(|&i| origins[i].negate()).collect();
+                    let blocking: Vec<Lit> = core.iter().map(|&i| origins[i].negate()).collect();
                     enc.sat.add_clause(&blocking);
                 }
             }
@@ -291,5 +358,42 @@ mod tests {
         assert!(s.is_sat(&Formula::tru()));
         assert!(!s.is_sat(&Formula::fls()));
         assert_eq!(s.num_queries(), 2);
+    }
+
+    #[test]
+    fn repeated_query_hits_cache() {
+        let f = eq(x()).or(eq(x() - c(1))).and(le(c(2) - x()));
+        let mut s = Solver::new();
+        assert_eq!(s.check(&f), SatResult::Unsat);
+        let rounds = s.theory_rounds();
+        assert_eq!(s.check(&f), SatResult::Unsat);
+        assert_eq!(s.theory_rounds(), rounds, "cached query must do no theory work");
+        assert_eq!(s.num_cache_hits(), 1);
+        assert_eq!(s.num_cache_misses(), 1);
+        assert_eq!(s.num_queries(), 2);
+    }
+
+    #[test]
+    fn negation_placement_shares_cache_entry() {
+        // ¬(x = 0 ∧ x = 1) and its NNF twin must be one cache entry.
+        let f = eq(x()).and(eq(x() - c(1))).not();
+        let mut s = Solver::new();
+        let a = s.check(&f);
+        let b = s.check(&f.to_nnf());
+        assert_eq!(a, b);
+        assert_eq!(s.num_cache_hits(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_recomputes_identically() {
+        let f = eq(x()).or(eq(x() - c(1))).and(le(c(2) - x()));
+        let mut cached = Solver::new();
+        let mut raw = Solver::new();
+        raw.set_cache_enabled(false);
+        for _ in 0..3 {
+            assert_eq!(cached.check(&f), raw.check(&f));
+        }
+        assert_eq!(raw.num_cache_hits(), 0);
+        assert!(raw.theory_rounds() > cached.theory_rounds());
     }
 }

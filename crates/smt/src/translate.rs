@@ -40,10 +40,7 @@ impl std::error::Error for TranslateError {}
 ///
 /// [`TranslateError::NonLinear`] on products of two non-constant
 /// operands; [`TranslateError::Nondet`] on `nondet()`.
-pub fn lin_of_expr(
-    e: &Expr,
-    map: &mut impl FnMut(Var) -> SVar,
-) -> Result<LinExpr, TranslateError> {
+pub fn lin_of_expr(e: &Expr, map: &mut impl FnMut(Var) -> SVar) -> Result<LinExpr, TranslateError> {
     match e {
         Expr::Int(n) => Ok(LinExpr::constant(*n)),
         Expr::Var(v) => Ok(LinExpr::var(map(*v))),
@@ -111,10 +108,7 @@ pub fn lin_of_expr_nd(
 /// # Errors
 ///
 /// Propagates the errors of [`lin_of_expr`].
-pub fn atom_of_pred(
-    p: &Pred,
-    map: &mut impl FnMut(Var) -> SVar,
-) -> Result<Atom, TranslateError> {
+pub fn atom_of_pred(p: &Pred, map: &mut impl FnMut(Var) -> SVar) -> Result<Atom, TranslateError> {
     let l = lin_of_expr(&p.lhs, map)?;
     let r = lin_of_expr(&p.rhs, map)?;
     let d = l - r;

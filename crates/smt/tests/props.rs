@@ -1,4 +1,4 @@
-//! Property-based validation of the decision procedures against
+//! Randomized validation of the decision procedures against
 //! brute-force evaluation on a finite grid of integer points.
 //!
 //! The solver decides satisfiability over **all** integers, so the
@@ -8,45 +8,50 @@
 //! * every model the solver returns must actually satisfy the input;
 //! * everything entailed/projected must hold at every satisfying grid
 //!   point.
+//!
+//! Inputs are drawn from a deterministic seeded generator so failures
+//! reproduce exactly; each assertion message carries the case index.
 
 use circ_smt::{lia, Atom, Formula, LinExpr, SVar, SatResult, Solver};
-use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::BTreeSet;
 
 const NVARS: u32 = 3;
 const GRID: std::ops::RangeInclusive<i64> = -4..=4;
+const CASES: usize = 64;
 
-fn lin_strategy() -> impl Strategy<Value = LinExpr> {
-    (
-        proptest::collection::vec(-3i64..=3, NVARS as usize),
-        -5i64..=5,
-    )
-        .prop_map(|(coeffs, c)| {
-            let mut e = LinExpr::constant(c);
-            for (i, a) in coeffs.into_iter().enumerate() {
-                e.add_term(SVar(i as u32), a);
-            }
-            e
-        })
+fn gen_lin(rng: &mut StdRng) -> LinExpr {
+    let mut e = LinExpr::constant(rng.gen_range(-5i64..=5));
+    for i in 0..NVARS {
+        e.add_term(SVar(i), rng.gen_range(-3i64..=3));
+    }
+    e
 }
 
-fn atom_strategy() -> impl Strategy<Value = Atom> {
-    (lin_strategy(), 0u8..3).prop_map(|(e, rel)| match rel {
+fn gen_atom(rng: &mut StdRng) -> Atom {
+    let e = gen_lin(rng);
+    match rng.gen_range(0u32..3) {
         0 => Atom::eq(e),
         1 => Atom::le(e),
         _ => Atom::ne(e),
-    })
+    }
 }
 
-fn formula_strategy() -> impl Strategy<Value = Formula> {
-    let leaf = atom_strategy().prop_map(Formula::atom);
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            inner.prop_map(Formula::not),
-        ]
-    })
+fn gen_atoms(rng: &mut StdRng, lo: usize, hi: usize) -> Vec<Atom> {
+    (0..rng.gen_range(lo..hi)).map(|_| gen_atom(rng)).collect()
+}
+
+/// Random formula of bounded depth (matches the old strategy's shape:
+/// atoms at the leaves, and/or/not above them).
+fn gen_formula(rng: &mut StdRng, depth: u32) -> Formula {
+    if depth == 0 || rng.gen_range(0u32..4) == 0 {
+        return Formula::atom(gen_atom(rng));
+    }
+    match rng.gen_range(0u32..3) {
+        0 => gen_formula(rng, depth - 1).and(gen_formula(rng, depth - 1)),
+        1 => gen_formula(rng, depth - 1).or(gen_formula(rng, depth - 1)),
+        _ => Formula::not(gen_formula(rng, depth - 1)),
+    }
 }
 
 /// Every grid assignment over `NVARS` variables.
@@ -58,57 +63,74 @@ fn eval_at(point: &[i64; 3]) -> impl Fn(SVar) -> i64 + '_ {
     move |v: SVar| point.get(v.0 as usize).copied().unwrap_or(0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+fn gen_point(rng: &mut StdRng, span: i64) -> [i64; 3] {
+    [rng.gen_range(-span..=span), rng.gen_range(-span..=span), rng.gen_range(-span..=span)]
+}
 
-    #[test]
-    fn solver_agrees_with_grid(f in formula_strategy()) {
+#[test]
+fn solver_agrees_with_grid() {
+    let mut rng = StdRng::seed_from_u64(0x5317_0001);
+    for case in 0..CASES {
+        let f = gen_formula(&mut rng, 3);
         let grid_sat = grid_points().any(|p| f.eval(&eval_at(&p)));
         let mut solver = Solver::new();
         match solver.check(&f) {
             SatResult::Sat(model) => {
                 // the returned model must satisfy the formula
-                prop_assert!(f.eval(&|v| model.get(&v).copied().unwrap_or(0)));
+                assert!(
+                    f.eval(&|v| model.get(&v).copied().unwrap_or(0)),
+                    "case {case}: returned model violates {f}"
+                );
             }
             SatResult::Unsat => {
-                prop_assert!(!grid_sat, "solver said Unsat but the grid satisfies {f}");
+                assert!(!grid_sat, "case {case}: solver said Unsat but the grid satisfies {f}");
             }
         }
     }
+}
 
-    #[test]
-    fn conj_solver_agrees_with_grid(atoms in proptest::collection::vec(atom_strategy(), 1..6)) {
+#[test]
+fn conj_solver_agrees_with_grid() {
+    let mut rng = StdRng::seed_from_u64(0x5317_0002);
+    for case in 0..CASES {
+        let atoms = gen_atoms(&mut rng, 1, 6);
         let grid_sat = grid_points().any(|p| atoms.iter().all(|a| a.eval(&eval_at(&p))));
         match lia::check_conj(&atoms) {
             lia::ConjResult::Sat(model) => {
                 let assign = |v: SVar| model.get(&v).copied().unwrap_or(0);
                 for a in &atoms {
-                    prop_assert!(a.eval(&assign), "model violates {a}");
+                    assert!(a.eval(&assign), "case {case}: model violates {a}");
                 }
             }
             lia::ConjResult::Unsat => {
-                prop_assert!(!grid_sat, "conjunction satisfiable on the grid: {atoms:?}");
+                assert!(!grid_sat, "case {case}: conjunction satisfiable on the grid: {atoms:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn unsat_core_is_unsat_subset(atoms in proptest::collection::vec(atom_strategy(), 1..6)) {
+#[test]
+fn unsat_core_is_unsat_subset() {
+    let mut rng = StdRng::seed_from_u64(0x5317_0003);
+    for case in 0..CASES {
+        let atoms = gen_atoms(&mut rng, 1, 6);
         if lia::is_sat_conj(&atoms) {
-            return Ok(());
+            continue;
         }
         let core = lia::unsat_core(&atoms);
-        prop_assert!(!core.is_empty());
-        prop_assert!(core.iter().all(|&i| i < atoms.len()));
+        assert!(!core.is_empty(), "case {case}");
+        assert!(core.iter().all(|&i| i < atoms.len()), "case {case}");
         let subset: Vec<Atom> = core.iter().map(|&i| atoms[i].clone()).collect();
-        prop_assert!(!lia::is_sat_conj(&subset), "core must stay unsat");
+        assert!(!lia::is_sat_conj(&subset), "case {case}: core must stay unsat");
     }
+}
 
-    #[test]
-    fn projection_is_implied(
-        atoms in proptest::collection::vec(atom_strategy(), 1..5),
-        elim_mask in 0u32..(1 << NVARS),
-    ) {
+#[test]
+fn projection_is_implied() {
+    let mut rng = StdRng::seed_from_u64(0x5317_0004);
+    for case in 0..CASES {
+        let atoms = gen_atoms(&mut rng, 1, 5);
+        let elim_mask = rng.gen_range(0u32..(1 << NVARS));
         let elim: BTreeSet<SVar> =
             (0..NVARS).filter(|i| elim_mask & (1 << i) != 0).map(SVar).collect();
         let projected = lia::project(&atoms, &elim);
@@ -118,42 +140,54 @@ proptest! {
             let assign = eval_at(&p);
             if atoms.iter().all(|a| a.eval(&assign)) {
                 for q in &projected {
-                    prop_assert!(q.eval(&assign), "projection {q} broken at {p:?}");
+                    assert!(q.eval(&assign), "case {case}: projection {q} broken at {p:?}");
                 }
             }
         }
         // the projection must not mention eliminated variables
         for q in &projected {
             for v in q.vars() {
-                prop_assert!(!elim.contains(&v), "{q} still mentions {v}");
+                assert!(!elim.contains(&v), "case {case}: {q} still mentions {v}");
             }
         }
     }
+}
 
-    #[test]
-    fn atom_negation_is_complement(a in atom_strategy(), p in proptest::array::uniform3(-6i64..=6)) {
+#[test]
+fn atom_negation_is_complement() {
+    let mut rng = StdRng::seed_from_u64(0x5317_0005);
+    for case in 0..CASES {
+        let a = gen_atom(&mut rng);
+        let p = gen_point(&mut rng, 6);
         let assign = eval_at(&p);
-        prop_assert_eq!(a.eval(&assign), !a.negate().eval(&assign));
+        assert_eq!(a.eval(&assign), !a.negate().eval(&assign), "case {case}: {a} at {p:?}");
     }
+}
 
-    #[test]
-    fn entailment_respects_grid(
-        premises in proptest::collection::vec(atom_strategy(), 1..4),
-        goal in atom_strategy(),
-    ) {
+#[test]
+fn entailment_respects_grid() {
+    let mut rng = StdRng::seed_from_u64(0x5317_0006);
+    for case in 0..CASES {
+        let premises = gen_atoms(&mut rng, 1, 4);
+        let goal = gen_atom(&mut rng);
         if lia::entails(&premises, &goal) {
             for p in grid_points() {
                 let assign = eval_at(&p);
                 if premises.iter().all(|a| a.eval(&assign)) {
-                    prop_assert!(goal.eval(&assign), "entailment broken at {p:?}");
+                    assert!(goal.eval(&assign), "case {case}: entailment broken at {p:?}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn nnf_preserves_semantics(f in formula_strategy(), p in proptest::array::uniform3(-4i64..=4)) {
+#[test]
+fn nnf_preserves_semantics() {
+    let mut rng = StdRng::seed_from_u64(0x5317_0007);
+    for case in 0..CASES {
+        let f = gen_formula(&mut rng, 3);
+        let p = gen_point(&mut rng, 4);
         let assign = eval_at(&p);
-        prop_assert_eq!(f.eval(&assign), f.to_nnf().eval(&assign));
+        assert_eq!(f.eval(&assign), f.to_nnf().eval(&assign), "case {case}: {f} at {p:?}");
     }
 }

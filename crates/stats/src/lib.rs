@@ -1,0 +1,312 @@
+//! Counters, cache statistics, and phase timings for the CIRC
+//! pipeline.
+//!
+//! Henzinger–Jhala–Majumdar report that CIRC's cost is dominated by
+//! theorem-prover calls during predicate abstraction; this crate is
+//! the measurement substrate that lets the rest of the workspace see
+//! that cost. Every layer keeps its own plain-struct counters
+//! (no globals, no atomics — the pipeline is single-threaded), and
+//! `circ-core` assembles them into one [`PipelineStats`] per run,
+//! renderable as a human table ([`PipelineStats::render_table`]) or a
+//! single JSON line ([`PipelineStats::to_json`]) for `BENCH_*.json`
+//! tracking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+/// Counters of the DPLL(T) solver layer (`circ_smt::Solver`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverCounters {
+    /// Top-level satisfiability queries issued.
+    pub queries: u64,
+    /// Queries answered from the NNF-keyed result cache.
+    pub cache_hits: u64,
+    /// Queries that ran the DPLL(T) loop.
+    pub cache_misses: u64,
+    /// Theory-check rounds across all queries.
+    pub theory_rounds: u64,
+}
+
+impl SolverCounters {
+    /// Adds another snapshot into this one.
+    pub fn add(&mut self, other: &SolverCounters) {
+        self.queries += other.queries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.theory_rounds += other.theory_rounds;
+    }
+
+    /// Fraction of queries answered from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        hit_rate(self.cache_hits, self.cache_misses)
+    }
+}
+
+/// Counters of the predicate-abstraction entailment cache
+/// (`circ_core::AbsCache`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AbsCounters {
+    /// Cube/predicate entailment and cube-satisfiability queries.
+    pub queries: u64,
+    /// Queries answered from the canonicalized `(premises, atom)`
+    /// cache.
+    pub cache_hits: u64,
+    /// Queries that fell through to the LIA decision procedure.
+    pub cache_misses: u64,
+}
+
+impl AbsCounters {
+    /// Adds another snapshot into this one.
+    pub fn add(&mut self, other: &AbsCounters) {
+        self.queries += other.queries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+
+    /// The counter delta `self − base` (used to report per-run
+    /// activity of a cache shared across runs).
+    pub fn since(&self, base: &AbsCounters) -> AbsCounters {
+        AbsCounters {
+            queries: self.queries - base.queries,
+            cache_hits: self.cache_hits - base.cache_hits,
+            cache_misses: self.cache_misses - base.cache_misses,
+        }
+    }
+
+    /// Fraction of queries answered from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        hit_rate(self.cache_hits, self.cache_misses)
+    }
+}
+
+/// Wall-clock time spent per pipeline phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// `ReachAndBuild` (abstract reachability + ARG construction).
+    pub reach: Duration,
+    /// `CheckSim` (the guarantee step).
+    pub sim: Duration,
+    /// `Collapse` (weak-bisimulation minimization).
+    pub collapse: Duration,
+    /// Counterexample refinement.
+    pub refine: Duration,
+    /// The ω-goodness check (ω-CIRC only).
+    pub omega: Duration,
+}
+
+impl PhaseTimes {
+    /// Adds another snapshot into this one.
+    pub fn add(&mut self, other: &PhaseTimes) {
+        self.reach += other.reach;
+        self.sim += other.sim;
+        self.collapse += other.collapse;
+        self.refine += other.refine;
+        self.omega += other.omega;
+    }
+}
+
+/// The assembled statistics of one CIRC run (or the sum of several).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// DPLL(T) solver counters, accumulated across every solver handle
+    /// the run created.
+    pub solver: SolverCounters,
+    /// Abstraction-layer entailment-cache counters (per-run delta when
+    /// the cache is shared across runs).
+    pub abs: AbsCounters,
+    /// Outer (refinement) rounds executed.
+    pub outer_rounds: u64,
+    /// `ReachAndBuild` invocations.
+    pub reach_runs: u64,
+    /// ARG nodes materialized across all reachability runs.
+    pub arg_nodes: u64,
+    /// `CheckSim` invocations.
+    pub sim_checks: u64,
+    /// `(location, candidate, edge)` triples examined across all
+    /// simulation checks.
+    pub sim_edge_pairs: u64,
+    /// `Collapse` invocations.
+    pub collapse_runs: u64,
+    /// Partition-refinement iterations across all collapses.
+    pub collapse_iterations: u64,
+    /// Counterexample-refinement rounds.
+    pub refine_rounds: u64,
+    /// Times the counter parameter `k` was incremented.
+    pub k_increments: u64,
+    /// Per-phase wall-clock spans.
+    pub phases: PhaseTimes,
+}
+
+impl PipelineStats {
+    /// Adds another run's statistics into this one (for multi-variable
+    /// CLI runs and bench totals).
+    pub fn add(&mut self, other: &PipelineStats) {
+        self.solver.add(&other.solver);
+        self.abs.add(&other.abs);
+        self.outer_rounds += other.outer_rounds;
+        self.reach_runs += other.reach_runs;
+        self.arg_nodes += other.arg_nodes;
+        self.sim_checks += other.sim_checks;
+        self.sim_edge_pairs += other.sim_edge_pairs;
+        self.collapse_runs += other.collapse_runs;
+        self.collapse_iterations += other.collapse_iterations;
+        self.refine_rounds += other.refine_rounds;
+        self.k_increments += other.k_increments;
+        self.phases.add(&other.phases);
+    }
+
+    /// Renders the human-readable statistics table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let mut row = |k: &str, v: String| {
+            out.push_str(&format!("  {k:<28} {v:>14}\n"));
+        };
+        row("outer rounds", self.outer_rounds.to_string());
+        row("reach runs", self.reach_runs.to_string());
+        row("ARG nodes", self.arg_nodes.to_string());
+        row("sim checks", self.sim_checks.to_string());
+        row("sim edge pairs", self.sim_edge_pairs.to_string());
+        row("collapse runs", self.collapse_runs.to_string());
+        row("collapse iterations", self.collapse_iterations.to_string());
+        row("refine rounds", self.refine_rounds.to_string());
+        row("k increments", self.k_increments.to_string());
+        row("abs entailment queries", self.abs.queries.to_string());
+        row(
+            "abs cache hits/misses",
+            format!(
+                "{}/{} ({:.1}%)",
+                self.abs.cache_hits,
+                self.abs.cache_misses,
+                100.0 * self.abs.hit_rate()
+            ),
+        );
+        row("solver queries", self.solver.queries.to_string());
+        row(
+            "solver cache hits/misses",
+            format!(
+                "{}/{} ({:.1}%)",
+                self.solver.cache_hits,
+                self.solver.cache_misses,
+                100.0 * self.solver.hit_rate()
+            ),
+        );
+        row("solver theory rounds", self.solver.theory_rounds.to_string());
+        row("time: reach", format!("{:.2?}", self.phases.reach));
+        row("time: sim", format!("{:.2?}", self.phases.sim));
+        row("time: collapse", format!("{:.2?}", self.phases.collapse));
+        row("time: refine", format!("{:.2?}", self.phases.refine));
+        row("time: omega", format!("{:.2?}", self.phases.omega));
+        out
+    }
+
+    /// Renders the statistics as one JSON object on a single line
+    /// (durations in fractional seconds). Keys are stable; `BENCH_*`
+    /// tooling may rely on them.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"outer_rounds\":{},\"reach_runs\":{},\"arg_nodes\":{},\
+             \"sim_checks\":{},\"sim_edge_pairs\":{},\
+             \"collapse_runs\":{},\"collapse_iterations\":{},\
+             \"refine_rounds\":{},\"k_increments\":{},\
+             \"abs_queries\":{},\"abs_cache_hits\":{},\"abs_cache_misses\":{},\
+             \"abs_hit_rate\":{},\
+             \"solver_queries\":{},\"solver_cache_hits\":{},\
+             \"solver_cache_misses\":{},\"solver_hit_rate\":{},\
+             \"theory_rounds\":{},\
+             \"time_reach_s\":{},\"time_sim_s\":{},\"time_collapse_s\":{},\
+             \"time_refine_s\":{},\"time_omega_s\":{}}}",
+            self.outer_rounds,
+            self.reach_runs,
+            self.arg_nodes,
+            self.sim_checks,
+            self.sim_edge_pairs,
+            self.collapse_runs,
+            self.collapse_iterations,
+            self.refine_rounds,
+            self.k_increments,
+            self.abs.queries,
+            self.abs.cache_hits,
+            self.abs.cache_misses,
+            json_f64(self.abs.hit_rate()),
+            self.solver.queries,
+            self.solver.cache_hits,
+            self.solver.cache_misses,
+            json_f64(self.solver.hit_rate()),
+            self.solver.theory_rounds,
+            json_f64(self.phases.reach.as_secs_f64()),
+            json_f64(self.phases.sim.as_secs_f64()),
+            json_f64(self.phases.collapse.as_secs_f64()),
+            json_f64(self.phases.refine.as_secs_f64()),
+            json_f64(self.phases.omega.as_secs_f64()),
+        )
+    }
+}
+
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Formats an `f64` as a JSON-legal number (JSON has no NaN/Inf).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rates() {
+        let mut s = SolverCounters::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = PipelineStats { reach_runs: 2, arg_nodes: 10, ..Default::default() };
+        let b = PipelineStats { reach_runs: 1, arg_nodes: 5, ..Default::default() };
+        a.add(&b);
+        assert_eq!(a.reach_runs, 3);
+        assert_eq!(a.arg_nodes, 15);
+    }
+
+    #[test]
+    fn abs_since_computes_delta() {
+        let base = AbsCounters { queries: 10, cache_hits: 4, cache_misses: 6 };
+        let now = AbsCounters { queries: 25, cache_hits: 14, cache_misses: 11 };
+        let d = now.since(&base);
+        assert_eq!(d, AbsCounters { queries: 15, cache_hits: 10, cache_misses: 5 });
+    }
+
+    #[test]
+    fn json_is_one_line_and_balanced() {
+        let s = PipelineStats::default();
+        let j = s.to_json();
+        assert!(!j.contains('\n'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"abs_hit_rate\":0.000000"));
+    }
+
+    #[test]
+    fn table_mentions_every_phase() {
+        let t = PipelineStats::default().render_table();
+        for key in ["reach", "sim", "collapse", "refine", "omega", "cache hits"] {
+            assert!(t.contains(key), "missing {key} in table:\n{t}");
+        }
+    }
+}

@@ -40,10 +40,8 @@ fn main() {
             op = op.replace(&format!("v{ix}"), &vi.name);
         }
         println!("  {i:>2}. T{tid}  {op}");
-        state = interp.step(
-            &state,
-            SchedChoice { thread: ThreadId(tid as u32), edge: eid, nondet },
-        );
+        state =
+            interp.step(&state, SchedChoice { thread: ThreadId(tid as u32), edge: eid, nondet });
     }
 
     let witness = interp.race(&state).expect("schedule ends in a race state");

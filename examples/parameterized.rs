@@ -8,7 +8,9 @@
 //! cargo run --release -p circ-bench --example parameterized
 //! ```
 
-use circ_explicit::{model_check, race_error, verify, FiniteThread, ModelCheck, Transition, Verdict};
+use circ_explicit::{
+    model_check, race_error, verify, FiniteThread, ModelCheck, Transition, Verdict,
+};
 
 fn main() {
     // A ticket-less spinlock: acquire by test-and-set of `lock`

@@ -77,10 +77,9 @@ fn main() {
             };
             println!(
                 "{}",
-                report.acfa.display_with(
-                    &|i| named(format!("{}", preds[i.index()])),
-                    &|v| cfa.var_name(v).to_string()
-                )
+                report.acfa.display_with(&|i| named(format!("{}", preds[i.index()])), &|v| cfa
+                    .var_name(v)
+                    .to_string())
             );
         }
         other => println!("\nunexpected outcome: {other:?}"),

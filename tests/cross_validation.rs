@@ -1,4 +1,4 @@
-//! Property-based cross-validation of the whole checker against the
+//! Randomized cross-validation of the whole checker against the
 //! concrete semantics: on randomly generated thread templates,
 //!
 //! * a `Safe` verdict implies bounded concrete exploration (2 and 3
@@ -7,11 +7,12 @@
 //!
 //! The generator emits small flag-machine threads — the shape of the
 //! benchmark idioms — so a decent fraction of cases exercise both
-//! verdicts.
+//! verdicts. Inputs come from a deterministic seeded generator so
+//! failures reproduce exactly.
 
 use circ_core::{circ, CircConfig, CircOutcome};
 use circ_ir::{BoolExpr, CfaBuilder, Expr, Interp, MtProgram, Op};
-use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Blueprint of one random thread: a loop of "phases"; each phase
 /// optionally guards on a flag value, optionally atomically, then
@@ -34,24 +35,22 @@ struct Phase {
     reset_to: i64,
 }
 
-fn phase_strategy() -> impl Strategy<Value = Phase> {
-    (
-        proptest::option::of((0i64..2, any::<bool>())),
-        0i64..2,
-        any::<bool>(),
-        0i64..2,
-    )
-        .prop_map(|(guard, set_after, writes_x, reset_to)| Phase {
-            guard,
-            set_after,
-            writes_x,
-            reset_to,
-        })
+fn gen_phase(rng: &mut StdRng) -> Phase {
+    let guard = if rng.gen_bool_uniform() {
+        Some((rng.gen_range(0i64..2), rng.gen_bool_uniform()))
+    } else {
+        None
+    };
+    Phase {
+        guard,
+        set_after: rng.gen_range(0i64..2),
+        writes_x: rng.gen_bool_uniform(),
+        reset_to: rng.gen_range(0i64..2),
+    }
 }
 
-fn blueprint_strategy() -> impl Strategy<Value = Blueprint> {
-    proptest::collection::vec(phase_strategy(), 1..3)
-        .prop_map(|phases| Blueprint { phases })
+fn gen_blueprint(rng: &mut StdRng) -> Blueprint {
+    Blueprint { phases: (0..rng.gen_range(1usize..3)).map(|_| gen_phase(rng)).collect() }
 }
 
 fn build(bp: &Blueprint) -> MtProgram {
@@ -66,16 +65,8 @@ fn build(bp: &Blueprint) -> MtProgram {
             b.edge(cur, Op::skip(), enter);
             let took = b.fresh_loc();
             let skipped = b.fresh_loc();
-            b.edge(
-                enter,
-                Op::assume(BoolExpr::eq(Expr::var(flag), Expr::int(val))),
-                took,
-            );
-            b.edge(
-                enter,
-                Op::assume(BoolExpr::ne(Expr::var(flag), Expr::int(val))),
-                skipped,
-            );
+            b.edge(enter, Op::assume(BoolExpr::eq(Expr::var(flag), Expr::int(val))), took);
+            b.edge(enter, Op::assume(BoolExpr::ne(Expr::var(flag), Expr::int(val))), skipped);
             let set = b.fresh_loc();
             b.edge(took, Op::assign(flag, Expr::int(phase.set_after)), set);
             if atomic {
@@ -109,33 +100,29 @@ fn build(bp: &Blueprint) -> MtProgram {
     MtProgram::new(cfa, x)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
-
-    #[test]
-    fn circ_verdicts_agree_with_concrete_semantics(bp in blueprint_strategy()) {
+#[test]
+fn circ_verdicts_agree_with_concrete_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xc205_5001);
+    for case in 0..24 {
+        let bp = gen_blueprint(&mut rng);
         let program = build(&bp);
-        let cfg = CircConfig {
-            max_outer: 12,
-            max_inner: 12,
-            max_states: 60_000,
-            ..CircConfig::omega()
-        };
+        let cfg =
+            CircConfig { max_outer: 12, max_inner: 12, max_states: 60_000, ..CircConfig::omega() };
         match circ(&program, &cfg) {
             CircOutcome::Safe(_) => {
                 // exhaustive concrete exploration must agree
                 for n in [2usize, 3] {
                     let interp = Interp::new(program.clone(), n);
-                    prop_assert!(
+                    assert!(
                         interp.explore_bounded(150_000, &[]).is_none(),
-                        "CIRC said Safe but {n}-thread exploration races: {bp:?}"
+                        "case {case}: CIRC said Safe but {n}-thread exploration races: {bp:?}"
                     );
                 }
             }
             CircOutcome::Unsafe(report) => {
-                prop_assert!(
+                assert!(
                     report.cex.replay_ok,
-                    "Unsafe verdict must come with a replayable schedule: {bp:?}"
+                    "case {case}: Unsafe verdict must come with a replayable schedule: {bp:?}"
                 );
             }
             CircOutcome::Unknown(_) => {

@@ -25,8 +25,7 @@ fn figure1_artifacts() {
 
     let CircOutcome::Safe(report) = fig1_run() else { panic!("fig1 must verify") };
     let x = cfa.var_by_name("x").unwrap();
-    let writers: Vec<_> =
-        report.acfa.locs().filter(|q| report.acfa.writes_at(*q, x)).collect();
+    let writers: Vec<_> = report.acfa.locs().filter(|q| report.acfa.writes_at(*q, x)).collect();
     assert_eq!(writers.len(), 1, "one abstract writer location, as in Fig 1(c)");
     assert!(
         report.acfa.locs().any(|q| report.acfa.is_atomic(q)),
@@ -48,8 +47,7 @@ fn figures_2_3_4_iteration_log() {
     // in the paper's Figures 2–4 walk-through.
     let outers = log.events.iter().filter(|e| matches!(e, CircEvent::OuterStart { .. })).count();
     assert!(outers >= 2, "figure 1 needs at least two refinement rounds");
-    let collapses =
-        log.events.iter().filter(|e| matches!(e, CircEvent::Collapsed { .. })).count();
+    let collapses = log.events.iter().filter(|e| matches!(e, CircEvent::Collapsed { .. })).count();
     assert!(collapses >= 2, "each inner round minimizes an ARG");
     // ARGs render with the discovered predicates in later rounds.
     let last_reach = log

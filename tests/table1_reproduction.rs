@@ -77,10 +77,7 @@ fn omega_mode_is_not_slower_by_more_than_10x() {
         let t1 = Instant::now();
         assert!(circ(&program, &CircConfig::omega()).is_safe());
         let omega = t1.elapsed();
-        assert!(
-            omega <= plain * 10,
-            "{name}: omega-CIRC took {omega:?} vs plain {plain:?}"
-        );
+        assert!(omega <= plain * 10, "{name}: omega-CIRC took {omega:?} vs plain {plain:?}");
     }
 }
 

@@ -1,0 +1,136 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored crate implements the slice of the criterion 0.5 API the
+//! workspace's `benches/` use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input,
+//! finish}`, `Bencher::iter`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a plain
+//! wall-clock mean over `sample_size` runs after one warm-up — enough
+//! to track relative regressions by eye, with no statistics engine.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (defers to [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// A bare parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Measured mean duration of the routine, filled in by [`iter`].
+    ///
+    /// [`iter`]: Bencher::iter
+    elapsed: Duration,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` once as warm-up, then `samples` measured times,
+    /// recording the mean wall-clock duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let t0 = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = t0.elapsed() / self.samples as u32;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured runs per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { elapsed: Duration::ZERO, samples: self.samples };
+        f(&mut b);
+        println!("{}/{id}: {:>12.2?} (mean of {})", self.name, b.elapsed, self.samples);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { elapsed: Duration::ZERO, samples: self.samples };
+        f(&mut b, input);
+        println!("{}/{id}: {:>12.2?} (mean of {})", self.name, b.elapsed, self.samples);
+        self
+    }
+
+    /// Ends the group (printing is already done per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level bench context handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), samples: 10, _criterion: self }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,151 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! tiny vendored crate provides the (small) subset of the `rand` 0.8
+//! API the workspace actually uses: a seedable deterministic generator
+//! (`rngs::StdRng`), `SeedableRng::seed_from_u64`, and
+//! `Rng::gen_range` over integer ranges. The generator is SplitMix64 —
+//! statistically fine for test-input generation and schedule fuzzing,
+//! which is all this workspace asks of it.
+
+/// Types able to construct themselves from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface. Only the pieces the workspace uses.
+pub trait Rng {
+    /// The next 64 raw pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Item
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A uniformly random `bool`.
+    fn gen_bool_uniform(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can produce a uniform sample.
+pub trait SampleRange {
+    /// The element type of the range.
+    type Item;
+    /// Draws one uniform sample.
+    fn sample<G: Rng>(self, rng: &mut G) -> Self::Item;
+}
+
+/// Uniform `u64` in `[0, n)` by rejection sampling (avoids modulo
+/// bias; `n` must be nonzero).
+fn uniform_below<G: Rng>(rng: &mut G, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let zone = u64::MAX - (u64::MAX % n);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Item = $t;
+            fn sample<G: Rng>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = uniform_below(rng, span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Item = $t;
+            fn sample<G: Rng>(self, rng: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let off = uniform_below(rng, span + 1);
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u32, u64, i32, i64);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (the stand-in for rand's
+    /// `StdRng`; not cryptographic, reproducible by seed).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible_and_distinct() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..7usize);
+            assert!(v < 7);
+            let w = rng.gen_range(-2i64..=2);
+            assert!((-2..=2).contains(&w));
+        }
+        // every value of a small range is eventually hit
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[(rng.gen_range(-2i64..=2) + 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
