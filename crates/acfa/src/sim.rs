@@ -21,23 +21,25 @@
 
 use crate::acfa::{Acfa, AcfaLocId};
 use circ_ir::Var;
+use circ_par::Pool;
 use std::collections::BTreeSet;
 
 /// Decides `g ⪯ a` using syntactic region containment (every cube of
 /// the left region subsumed by some cube of the right). See
 /// [`check_sim_with`] for a semantic containment oracle.
 pub fn check_sim(g: &Acfa, a: &Acfa) -> bool {
-    check_sim_with(g, a, &mut |x, y| x.contained_in(y))
+    check_sim_with(g, a, &|x, y| x.contained_in(y))
 }
 
 /// Decides `g ⪯ a` (see module docs) with a caller-supplied region
 /// containment test (e.g. an SMT-backed semantic check). Both
 /// automata must label their regions over the same predicate
-/// indexing.
+/// indexing. The oracle must be `Sync`: obligation pairs may be
+/// checked concurrently (see [`check_sim_counting_pool`]).
 pub fn check_sim_with(
     g: &Acfa,
     a: &Acfa,
-    contains: &mut dyn FnMut(&crate::cube::Region, &crate::cube::Region) -> bool,
+    contains: &(dyn Fn(&crate::cube::Region, &crate::cube::Region) -> bool + Sync),
 ) -> bool {
     check_sim_counting(g, a, contains).0
 }
@@ -48,7 +50,29 @@ pub fn check_sim_with(
 pub fn check_sim_counting(
     g: &Acfa,
     a: &Acfa,
-    contains: &mut dyn FnMut(&crate::cube::Region, &crate::cube::Region) -> bool,
+    contains: &(dyn Fn(&crate::cube::Region, &crate::cube::Region) -> bool + Sync),
+) -> (bool, u64) {
+    check_sim_counting_pool(g, a, contains, &Pool::sequential())
+}
+
+/// [`check_sim_counting`] with the obligation checks of each fixpoint
+/// pass distributed over `pool`.
+///
+/// The greatest fixpoint is computed Jacobi-style: every pass reads
+/// the relation as it stood at the start of the pass and the computed
+/// kills are applied together at the end. Each pass is therefore a
+/// pure function of the previous relation — independent of worker
+/// count or scheduling — and since the greatest simulation relation
+/// is unique, the final answer (and the examined-pair count, which
+/// only depends on the per-pass snapshots) is identical for every
+/// `jobs` setting. Jacobi may take more passes than an in-place
+/// (Gauss–Seidel) sweep, but each pass's rows are embarrassingly
+/// parallel.
+pub fn check_sim_counting_pool(
+    g: &Acfa,
+    a: &Acfa,
+    contains: &(dyn Fn(&crate::cube::Region, &crate::cube::Region) -> bool + Sync),
+    pool: &Pool,
 ) -> (bool, u64) {
     let mut pairs: u64 = 0;
     let ng = g.num_locs();
@@ -72,44 +96,55 @@ pub fn check_sim_counting(
         weak[p.index()] = set.into_iter().collect();
     }
 
-    // Greatest fixpoint: start from the label condition, prune.
-    let mut rel = vec![vec![false; na]; ng];
-    for q in g.locs() {
-        for p in a.locs() {
-            pairs += 1;
-            rel[q.index()][p.index()] =
-                g.is_atomic(q) == a.is_atomic(p) && contains(g.region(q), a.region(p));
-        }
-    }
+    // Greatest fixpoint: start from the label condition, prune. The
+    // label row of each g-location only reads the automata, so the
+    // rows are computed concurrently.
+    let g_locs: Vec<AcfaLocId> = g.locs().collect();
+    let mut rel: Vec<Vec<bool>> = pool.map(&g_locs, |&q| {
+        a.locs()
+            .map(|p| g.is_atomic(q) == a.is_atomic(p) && contains(g.region(q), a.region(p)))
+            .collect()
+    });
+    pairs += (ng as u64) * (na as u64);
 
     let mut changed = true;
     while changed {
+        // One Jacobi pass: decide every surviving pair against the
+        // frozen snapshot `rel`, then apply the kills at once.
+        let passes: Vec<(Vec<bool>, u64)> = pool.map(&g_locs, |&q| {
+            let mut examined: u64 = 0;
+            let row: Vec<bool> = a
+                .locs()
+                .map(|p| {
+                    if !rel[q.index()][p.index()] {
+                        return false;
+                    }
+                    examined += 1;
+                    g.out_edges(q).all(|e| {
+                        // A havoc edge may rewrite the old values, so any
+                        // weak Y′-move with Y ⊆ Y′ matches — including
+                        // Y = ∅ (the paper's condition (2) does not
+                        // special-case silent moves). Silent moves may
+                        // additionally be matched by staying put (weak
+                        // simulation).
+                        let by_weak_move = weak[p.index()]
+                            .iter()
+                            .any(|(y, p2)| e.havoc.is_subset(y) && rel[e.dst.index()][p2.index()]);
+                        let by_stutter = e.havoc.is_empty()
+                            && a_tau[p.index()].iter().any(|p2| rel[e.dst.index()][p2.index()]);
+                        by_weak_move || by_stutter
+                    })
+                })
+                .collect();
+            (row, examined)
+        });
         changed = false;
-        for q in g.locs() {
-            for p in a.locs() {
-                if !rel[q.index()][p.index()] {
-                    continue;
-                }
-                pairs += 1;
-                let ok = g.out_edges(q).all(|e| {
-                    // A havoc edge may rewrite the old values, so any
-                    // weak Y′-move with Y ⊆ Y′ matches — including
-                    // Y = ∅ (the paper's condition (2) does not
-                    // special-case silent moves). Silent moves may
-                    // additionally be matched by staying put (weak
-                    // simulation).
-                    let by_weak_move = weak[p.index()]
-                        .iter()
-                        .any(|(y, p2)| e.havoc.is_subset(y) && rel[e.dst.index()][p2.index()]);
-                    let by_stutter = e.havoc.is_empty()
-                        && a_tau[p.index()].iter().any(|p2| rel[e.dst.index()][p2.index()]);
-                    by_weak_move || by_stutter
-                });
-                if !ok {
-                    rel[q.index()][p.index()] = false;
-                    changed = true;
-                }
+        for (q, (row, examined)) in passes.into_iter().enumerate() {
+            pairs += examined;
+            if row != rel[q] {
+                changed = true;
             }
+            rel[q] = row;
         }
     }
 

@@ -15,10 +15,24 @@
 //! outcomes are compared — a live check of the cache's equivalence
 //! guarantee. The run writes `BENCH_table1.json` with per-row times
 //! (cached and uncached), pipeline counters, and cache hit rates.
+//!
+//! Finally, the whole row set (paper rows plus injected-bug variants,
+//! replicated [`PAR_REPLICATION`] times so the task pool comfortably
+//! outnumbers the workers) is re-run twice — once on one worker, once
+//! on `--jobs N` workers (default 4) — with a fresh per-task cache in
+//! both passes so the two passes do byte-identical work. The
+//! sequential-vs-parallel wall times, per-task times, and the
+//! outcome-equality check land in the `parallel` section of
+//! `BENCH_table1.json`.
 
 use circ_core::{circ, circ_with_cache, AbsCache, CircConfig, CircOutcome};
+use circ_par::Pool;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// How many times the row set is replicated for the
+/// sequential-vs-parallel differential.
+const PAR_REPLICATION: usize = 3;
 
 /// The verdict-relevant content of an outcome: everything except
 /// statistics and timings, which legitimately differ between cached
@@ -61,7 +75,73 @@ fn run_both(
     (outcome, RowRecord { label, time_s, uncached_time_s, outcomes_match })
 }
 
+fn parse_jobs() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let mut jobs = 4usize;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => jobs = n,
+                _ => {
+                    eprintln!("--jobs expects a number");
+                    std::process::exit(64);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}` (usage: table1 [--jobs N])");
+                std::process::exit(64);
+            }
+        }
+    }
+    jobs
+}
+
+/// One task of the parallel differential: a full ω-CIRC run with its
+/// own cache (so the sequential and parallel passes do identical
+/// work), reported as (verdict essence, wall time).
+fn run_task(program: &circ_ir::MtProgram) -> (String, f64) {
+    let cache = AbsCache::new();
+    let cfg = CircConfig::omega();
+    let t = Instant::now();
+    let outcome = circ_with_cache(program, &cfg, &cache);
+    (essence(&outcome), t.elapsed().as_secs_f64())
+}
+
+struct ParRecord {
+    label: String,
+    seq_time_s: f64,
+    par_time_s: f64,
+    outcomes_match: bool,
+}
+
+/// Runs the sequential-vs-parallel differential over `tasks`,
+/// returning per-task records plus the two wall-clock totals.
+fn parallel_differential(
+    tasks: &[(String, circ_ir::MtProgram)],
+    jobs: usize,
+) -> (Vec<ParRecord>, f64, f64) {
+    let t0 = Instant::now();
+    let seq: Vec<(String, f64)> = Pool::sequential().map(tasks, |(_, p)| run_task(p));
+    let seq_wall = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let par: Vec<(String, f64)> = Pool::new(jobs).map(tasks, |(_, p)| run_task(p));
+    let par_wall = t1.elapsed().as_secs_f64();
+    let records = tasks
+        .iter()
+        .zip(seq.iter().zip(&par))
+        .map(|((label, _), (s, p))| ParRecord {
+            label: label.clone(),
+            seq_time_s: s.1,
+            par_time_s: p.1,
+            outcomes_match: s.0 == p.0,
+        })
+        .collect();
+    (records, seq_wall, par_wall)
+}
+
 fn main() {
+    let jobs = parse_jobs();
     println!("Table 1 — experimental results with CIRC (ω-CIRC mode)");
     println!("(paper columns measured on a 2 GHz IBM T30 with BLAST + Simplify)\n");
     println!(
@@ -159,7 +239,51 @@ fn main() {
         records.iter().chain(&injected).all(|r| r.outcomes_match)
     );
 
-    let json = render_json(&records, &injected, &totals, &cache);
+    // ---- sequential-vs-parallel differential --------------------------
+    let mut tasks: Vec<(String, circ_ir::MtProgram)> = Vec::new();
+    for rep in 0..PAR_REPLICATION {
+        for m in circ_nesc::models() {
+            for row in m.paper_rows {
+                tasks.push((format!("{}/{}#{rep}", row.app, row.variable), m.program()));
+            }
+            if !m.expected_safe {
+                tasks.push((format!("{}#{rep}", m.name), m.program()));
+            }
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\nSequential-vs-parallel differential: {} tasks ({}x replication), jobs = {jobs}, \
+         {cores} core(s) available",
+        tasks.len(),
+        PAR_REPLICATION,
+    );
+    let (par_records, seq_wall, par_wall) = parallel_differential(&tasks, jobs);
+    let par_match = par_records.iter().all(|r| r.outcomes_match);
+    let speedup = if par_wall > 0.0 { seq_wall / par_wall } else { 0.0 };
+    println!(
+        "  sequential {seq_wall:.3}s, parallel {par_wall:.3}s, speedup {speedup:.2}x, \
+         all outcomes match: {par_match}"
+    );
+    if cores == 1 {
+        println!("  (single-core host: wall-clock speedup is capped at ~1x by hardware)");
+    }
+    if !par_match {
+        all_ok = false;
+        println!("  !! sequential and parallel verdicts differ");
+    }
+
+    let json = render_json(
+        &records,
+        &injected,
+        &totals,
+        &cache,
+        &par_records,
+        jobs,
+        cores,
+        seq_wall,
+        par_wall,
+    );
     let out_path = "BENCH_table1.json";
     match std::fs::write(out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),
@@ -190,16 +314,41 @@ fn render_rows(rows: &[RowRecord]) -> String {
     out
 }
 
+fn render_par_rows(rows: &[ParRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"label\":{:?},\"seq_time_s\":{:.6},\"par_time_s\":{:.6},\"outcomes_match\":{}}}",
+            r.label, r.seq_time_s, r.par_time_s, r.outcomes_match
+        );
+    }
+    out.push(']');
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     rows: &[RowRecord],
     injected: &[RowRecord],
     totals: &circ_core::CircStats,
     cache: &AbsCache,
+    par_records: &[ParRecord],
+    jobs: usize,
+    cores: usize,
+    seq_wall: f64,
+    par_wall: f64,
 ) -> String {
     let abs = cache.counters();
+    let speedup = if par_wall > 0.0 { seq_wall / par_wall } else { 0.0 };
     format!(
         "{{\"rows\":{},\"injected\":{},\"pipeline\":{},\
-         \"cache\":{{\"queries\":{},\"hits\":{},\"misses\":{},\"hit_rate\":{:.6},\"entries\":{}}}}}\n",
+         \"cache\":{{\"queries\":{},\"hits\":{},\"misses\":{},\"hit_rate\":{:.6},\"entries\":{}}},\
+         \"parallel\":{{\"jobs\":{},\"cores\":{},\"tasks\":{},\"replication\":{},\"seq_wall_s\":{:.6},\
+         \"par_wall_s\":{:.6},\"speedup\":{:.3},\"outcomes_match\":{},\"rows\":{}}}}}\n",
         render_rows(rows),
         render_rows(injected),
         totals.pipeline.to_json(),
@@ -208,5 +357,14 @@ fn render_json(
         abs.cache_misses,
         abs.hit_rate(),
         cache.len(),
+        jobs,
+        cores,
+        par_records.len(),
+        PAR_REPLICATION,
+        seq_wall,
+        par_wall,
+        speedup,
+        par_records.iter().all(|r| r.outcomes_match),
+        render_par_rows(par_records),
     )
 }

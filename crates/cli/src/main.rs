@@ -1,8 +1,8 @@
 //! `circ` — the command-line race checker.
 //!
 //! ```text
-//! circ check <file.nesl> [--mode circ|omega] [--k N] [--print-acfa] [--trace]
-//!                        [--stats [--json]] [--no-cache]
+//! circ check <file.nesl> [--mode circ|omega] [--k N] [--jobs N] [--print-acfa]
+//!                        [--trace] [--stats [--json]] [--no-cache]
 //! circ compile <file.nesl> [--dot]
 //! circ baselines <file.nesl>
 //! ```
@@ -37,8 +37,8 @@ fn main() -> ExitCode {
 fn print_help() {
     println!(
         "circ — race checking by context inference (PLDI 2004 reproduction)\n\n\
-         USAGE:\n  circ check <file.nesl> [--mode circ|omega] [--asserts] [--k N] [--print-acfa] [--trace]\n\
-         \x20                        [--stats [--json]] [--no-cache]\n\
+         USAGE:\n  circ check <file.nesl> [--mode circ|omega] [--asserts] [--k N] [--jobs N] [--print-acfa]\n\
+         \x20                        [--trace] [--stats [--json]] [--no-cache]\n\
          \x20 circ compile <file.nesl> [--dot]\n\
          \x20 circ baselines <file.nesl>\n\n\
          The input file declares globals, `#race` variables, and one `thread`.\n\
@@ -47,7 +47,9 @@ fn print_help() {
          `--stats` prints per-phase counters, cache hit rates, and wall-time\n\
          spans after each verdict (one JSON line instead with `--json`);\n\
          `--no-cache` disables the entailment and solver caches (same verdict,\n\
-         useful for timing differentials)."
+         useful for timing differentials); `--jobs N` runs the pipeline's\n\
+         parallel phases on N worker threads (0 = all cores, default 1) with\n\
+         bit-identical verdicts and statistics at any setting."
     );
 }
 
@@ -67,6 +69,7 @@ struct Parsed {
     stats: bool,
     stats_json: bool,
     no_cache: bool,
+    jobs: usize,
 }
 
 fn parse_flags(args: &[String]) -> Result<Parsed, String> {
@@ -81,6 +84,7 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
         stats: false,
         stats_json: false,
         no_cache: false,
+        jobs: 1,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -94,6 +98,11 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
                 let v = it.next().ok_or("--k expects a number")?;
                 parsed.initial_k =
                     v.parse().map_err(|_| format!("--k expects a number, got `{v}`"))?;
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs expects a number")?;
+                parsed.jobs =
+                    v.parse().map_err(|_| format!("--jobs expects a number, got `{v}`"))?;
             }
             "--asserts" => parsed.asserts = true,
             "--print-acfa" => parsed.print_acfa = true,
@@ -160,6 +169,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
         initial_k: parsed.initial_k,
         use_cache: !parsed.no_cache,
         property: if parsed.asserts { Property::Assertions } else { Property::Race },
+        jobs: parsed.jobs,
         ..CircConfig::default()
     };
     let mut worst = ExitCode::SUCCESS;

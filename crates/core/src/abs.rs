@@ -21,8 +21,9 @@ use crate::cache::AbsCache;
 use crate::preds::PredSet;
 use circ_acfa::{Cube, PredIx, Region};
 use circ_ir::{BoolExpr, Cfa, EdgeId, Expr, Op, Var};
-use circ_smt::{translate, Atom, Formula, LinExpr, SVar, Solver};
-use std::collections::{BTreeSet, HashMap};
+use circ_par::ShardedMap;
+use circ_smt::{translate, Atom, Formula, LinExpr, SVar, SharedSolver};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Pre-state instance of a program variable.
@@ -36,20 +37,25 @@ fn post(v: Var) -> SVar {
 }
 
 /// The abstraction context: CFA + predicate set + solver + caches.
+///
+/// Every query method takes `&self`: the solver is sharded behind
+/// mutexes ([`SharedSolver`]) and the memo tables are [`ShardedMap`]s,
+/// so one context can serve all worker threads of a parallel
+/// reachability run. All memoization computes under the owning shard
+/// lock, which keeps hit/miss counters exact under concurrency.
 pub struct AbsCtx {
     cfa: Arc<Cfa>,
     preds: PredSet,
-    solver: Solver,
+    solver: SharedSolver,
     /// Atom-level entailment memo, shareable across contexts (and
     /// across whole CIRC runs — its keys survive predicate growth).
     cache: AbsCache,
     /// Pre-translated atoms per predicate (pre-state instance); `None`
     /// if the predicate falls outside linear arithmetic.
     pred_atoms: Vec<Option<Atom>>,
-    assign_cache: HashMap<(Cube, EdgeId), Cube>,
-    assume_cache: HashMap<(Cube, EdgeId), Option<Cube>>,
-    context_cache: HashMap<(Cube, BTreeSet<Var>, Region), Vec<Cube>>,
-    nondet_counter: u32,
+    assign_cache: ShardedMap<(Cube, EdgeId), Cube>,
+    assume_cache: ShardedMap<(Cube, EdgeId), Option<Cube>>,
+    context_cache: ShardedMap<(Cube, BTreeSet<Var>, Region), Vec<Cube>>,
 }
 
 impl AbsCtx {
@@ -68,18 +74,16 @@ impl AbsCtx {
             .indices()
             .map(|i| translate::atom_of_pred(preds.pred(i), &mut pre).ok())
             .collect();
-        let mut solver = Solver::new();
-        solver.set_cache_enabled(cache.is_enabled());
+        let solver = SharedSolver::new(cache.is_enabled());
         AbsCtx {
             cfa,
             preds,
             solver,
             cache,
             pred_atoms,
-            assign_cache: HashMap::new(),
-            assume_cache: HashMap::new(),
-            context_cache: HashMap::new(),
-            nondet_counter: 0,
+            assign_cache: ShardedMap::new(),
+            assume_cache: ShardedMap::new(),
+            context_cache: ShardedMap::new(),
         }
     }
 
@@ -137,36 +141,32 @@ impl AbsCtx {
     }
 
     /// Is the cube satisfiable?
-    pub fn cube_sat(&mut self, cube: &Cube) -> bool {
+    pub fn cube_sat(&self, cube: &Cube) -> bool {
         self.cache.is_sat_conj(&self.cube_atoms(cube))
     }
 
     /// Abstract post for a main-thread edge; `None` when the edge is
     /// not enabled from the cube (assume guard unsatisfiable).
-    pub fn post_edge(&mut self, cube: &Cube, edge_id: EdgeId) -> Option<Cube> {
+    pub fn post_edge(&self, cube: &Cube, edge_id: EdgeId) -> Option<Cube> {
         let edge = self.cfa.edge(edge_id).clone();
         match &edge.op {
             Op::Assign(x, e) => {
-                if let Some(hit) = self.assign_cache.get(&(cube.clone(), edge_id)) {
-                    return Some(hit.clone());
-                }
-                let result = self.post_assign(cube, *x, e);
-                self.assign_cache.insert((cube.clone(), edge_id), result.clone());
+                let (result, _) = self
+                    .assign_cache
+                    .get_or_compute((cube.clone(), edge_id), || self.post_assign(cube, *x, e));
                 Some(result)
             }
             Op::Assume(b) => {
-                if let Some(hit) = self.assume_cache.get(&(cube.clone(), edge_id)) {
-                    return hit.clone();
-                }
-                let result = self.post_assume(cube, b);
-                self.assume_cache.insert((cube.clone(), edge_id), result.clone());
+                let (result, _) = self
+                    .assume_cache
+                    .get_or_compute((cube.clone(), edge_id), || self.post_assume(cube, b));
                 result
             }
         }
     }
 
     /// Cartesian abstract strongest post of `x := e`.
-    fn post_assign(&mut self, cube: &Cube, x: Var, e: &Expr) -> Cube {
+    fn post_assign(&self, cube: &Cube, x: Var, e: &Expr) -> Cube {
         let mut premises = self.cube_atoms(cube);
         // Tie the post-state copy of x to e when e is deterministic
         // and linear; otherwise leave x′ unconstrained (sound).
@@ -213,11 +213,13 @@ impl AbsCtx {
     }
 
     /// Cartesian abstract post of `assume b`; `None` if blocked.
-    fn post_assume(&mut self, cube: &Cube, b: &BoolExpr) -> Option<Cube> {
-        self.nondet_counter = 0;
+    fn post_assume(&self, cube: &Cube, b: &BoolExpr) -> Option<Cube> {
         let cube_f = Formula::conj(self.cube_atoms(cube).into_iter().map(Formula::atom));
-        let guard = translate::formula_of_bool(b, &mut pre)
-            .expect("assume guards are deterministic and linear by construction");
+        // Frontends keep assume guards linear and deterministic, but a
+        // guard outside that fragment must not abort the analysis:
+        // treat it as `true` (the edge stays enabled and decides no
+        // predicates), a sound over-approximation.
+        let guard = translate::formula_of_bool(b, &mut pre).unwrap_or_else(|_| Formula::tru());
         let pre_f = cube_f.and(guard);
         if !self.solver.is_sat(&pre_f) {
             return None;
@@ -244,33 +246,27 @@ impl AbsCtx {
     /// Abstract post of a context move: havoc `Y`, land in a location
     /// labeled `target`. Returns the (possibly several) successor
     /// cubes — one per satisfiable meet with a target cube.
-    pub fn post_context(
-        &mut self,
-        cube: &Cube,
-        havoc: &BTreeSet<Var>,
-        target: &Region,
-    ) -> Vec<Cube> {
+    pub fn post_context(&self, cube: &Cube, havoc: &BTreeSet<Var>, target: &Region) -> Vec<Cube> {
         let key = (cube.clone(), havoc.clone(), target.clone());
-        if let Some(hit) = self.context_cache.get(&key) {
-            return hit.clone();
-        }
-        let projected =
-            cube.project(&|i| !self.preds.pred_vars(i).iter().any(|v| havoc.contains(v)));
-        let mut out = Vec::new();
-        for t in target.cubes() {
-            let t = t.widen_to(self.preds.len());
-            if let Some(m) = projected.meet(&t) {
-                if self.cube_sat(&m) && !out.contains(&m) {
-                    out.push(m);
+        let (out, _) = self.context_cache.get_or_compute(key, || {
+            let projected =
+                cube.project(&|i| !self.preds.pred_vars(i).iter().any(|v| havoc.contains(v)));
+            let mut out = Vec::new();
+            for t in target.cubes() {
+                let t = t.widen_to(self.preds.len());
+                if let Some(m) = projected.meet(&t) {
+                    if self.cube_sat(&m) && !out.contains(&m) {
+                        out.push(m);
+                    }
                 }
             }
-        }
-        self.context_cache.insert(key, out.clone());
+            out
+        });
         out
     }
 
     /// Does the cube (as a state set) entail predicate `i`?
-    pub fn cube_entails(&mut self, cube: &Cube, i: PredIx) -> bool {
+    pub fn cube_entails(&self, cube: &Cube, i: PredIx) -> bool {
         match &self.pred_atoms[i.index()] {
             Some(a) => self.cache.entails(&self.cube_atoms(cube), a),
             None => false,
@@ -290,7 +286,7 @@ impl AbsCtx {
     /// Semantic region containment `a ⊆ b` (an SMT validity check,
     /// complete where the syntactic cube subsumption of
     /// [`Region::contained_in`] is only sufficient).
-    pub fn region_contained(&mut self, a: &Region, b: &Region) -> bool {
+    pub fn region_contained(&self, a: &Region, b: &Region) -> bool {
         if a.contained_in(b) {
             return true; // fast syntactic path
         }
@@ -350,7 +346,7 @@ mod tests {
 
     #[test]
     fn initial_cube_exact_on_zeros() {
-        let (_, mut ctx) = fig1_ctx();
+        let (_, ctx) = fig1_ctx();
         let c = ctx.initial_cube();
         // zeros: old = state ✓, old = 0 ✓, state = 0 ✓, state = 1 ✗
         assert_eq!(c.get(p(0)), Some(true));
@@ -364,7 +360,7 @@ mod tests {
     fn post_assign_old_from_state() {
         // From `true`, old := state decides old = state (and the
         // relational consequence is available later).
-        let (cfa, mut ctx) = fig1_ctx();
+        let (cfa, ctx) = fig1_ctx();
         let top = Cube::top(4);
         // edge 0 is 1 -> 2 : old := state
         let e0 = cfa.out_edges(cfa.entry())[0];
@@ -376,7 +372,7 @@ mod tests {
     #[test]
     fn post_assume_derives_relational_facts() {
         // cube: old = state; assume [state = 0] ⇒ old = 0 derived.
-        let (cfa, mut ctx) = fig1_ctx();
+        let (cfa, ctx) = fig1_ctx();
         let cube = Cube::top(4).with(p(0), true);
         // find the edge with op [state = 0]
         let guard_edge = cfa
@@ -394,7 +390,7 @@ mod tests {
     #[test]
     fn post_assume_blocks_on_contradiction() {
         // cube: state = 1; assume [state = 0] is disabled.
-        let (cfa, mut ctx) = fig1_ctx();
+        let (cfa, ctx) = fig1_ctx();
         let cube = Cube::top(4).with(p(3), true).with(p(2), false);
         let guard_edge = cfa
             .edges()
@@ -410,7 +406,7 @@ mod tests {
     fn post_assign_constant_decides_everything() {
         // state := 1 from any cube decides state = 1 and ¬(state = 0),
         // and old = state becomes whatever old was... unknown here.
-        let (cfa, mut ctx) = fig1_ctx();
+        let (cfa, ctx) = fig1_ctx();
         let top = Cube::top(4);
         let e = cfa
             .edges()
@@ -429,7 +425,7 @@ mod tests {
     fn post_assign_tracks_relation_through_update() {
         // cube: old = state ∧ state = 0; state := 1 ⇒ old = 0,
         // state = 1, ¬(state = 0), ¬(old = state).
-        let (cfa, mut ctx) = fig1_ctx();
+        let (cfa, ctx) = fig1_ctx();
         let cube = Cube::top(4).with(p(0), true).with(p(2), true);
         let e = cfa
             .edges()
@@ -447,7 +443,7 @@ mod tests {
 
     #[test]
     fn post_context_havoc_drops_and_meets() {
-        let (_, mut ctx) = fig1_ctx();
+        let (_, ctx) = fig1_ctx();
         let cfa = ctx.cfa().clone();
         let state = cfa.var_by_name("state").unwrap();
         // cube: state = 0 ∧ old = 0; context havocs state into a
@@ -466,7 +462,7 @@ mod tests {
 
     #[test]
     fn post_context_discards_contradictory_meets() {
-        let (_, mut ctx) = fig1_ctx();
+        let (_, ctx) = fig1_ctx();
         // cube asserts state = 1 and target insists state = 1 is
         // false, havocking nothing: contradictory meet discarded.
         let cube = Cube::top(4).with(p(3), true);
@@ -477,7 +473,7 @@ mod tests {
 
     #[test]
     fn post_context_semantic_contradiction_filtered() {
-        let (_, mut ctx) = fig1_ctx();
+        let (_, ctx) = fig1_ctx();
         // cube: state = 0 (p2 true); target label: state = 1 (p3
         // true); no havoc. Syntactic meet succeeds (different
         // predicates) but the SAT filter kills it.
@@ -495,7 +491,7 @@ mod tests {
         b.edge(b.entry(), Op::assign(g, Expr::Nondet), l1);
         let cfa = Arc::new(b.build());
         let preds = PredSet::from_preds(&cfa, [Pred::eq(Expr::var(g), Expr::int(0))]);
-        let mut ctx = AbsCtx::new(Arc::clone(&cfa), preds);
+        let ctx = AbsCtx::new(Arc::clone(&cfa), preds);
         let init = ctx.initial_cube();
         assert_eq!(init.get(p(0)), Some(true));
         let post = ctx.post_edge(&init, EdgeId::from_raw(0)).unwrap();
@@ -504,7 +500,7 @@ mod tests {
 
     #[test]
     fn shared_cache_carries_across_contexts() {
-        let (cfa, mut ctx1) = fig1_ctx();
+        let (cfa, ctx1) = fig1_ctx();
         let cache = ctx1.cache().clone();
         let top = Cube::top(4);
         let e0 = cfa.out_edges(cfa.entry())[0];
@@ -513,7 +509,7 @@ mod tests {
         assert!(after_first.cache_misses > 0);
         // A brand-new context over the same predicates re-asks the
         // same atom-level questions; the shared cache answers them all.
-        let mut ctx2 = AbsCtx::with_cache(Arc::clone(&cfa), ctx1.preds().clone(), cache.clone());
+        let ctx2 = AbsCtx::with_cache(Arc::clone(&cfa), ctx1.preds().clone(), cache.clone());
         let b = ctx2.post_edge(&top, e0);
         assert_eq!(a, b);
         let delta = cache.counters().since(&after_first);
@@ -523,7 +519,7 @@ mod tests {
 
     #[test]
     fn caching_stable_results() {
-        let (cfa, mut ctx) = fig1_ctx();
+        let (cfa, ctx) = fig1_ctx();
         let top = Cube::top(4);
         let e0 = cfa.out_edges(cfa.entry())[0];
         let a = ctx.post_edge(&top, e0);

@@ -18,18 +18,23 @@
 //! cached answer can never change a [`crate::CircOutcome`]: the LIA
 //! procedure is deterministic and the cache only replays its answers.
 //!
-//! The cache is an `Rc<RefCell<…>>` handle: cloning shares the store,
-//! so one cache can serve every `AbsCtx` of a run — and every run of a
-//! benchmark loop, which is where the CheckSim/ReachAndBuild
-//! alternation re-asks the bulk of its questions.
+//! The cache is an `Arc` handle over a [`ShardedMap`] pair: cloning
+//! shares the store, so one cache can serve every `AbsCtx` of a run —
+//! and every run of a benchmark loop, which is where the
+//! CheckSim/ReachAndBuild alternation re-asks the bulk of its
+//! questions. Lookups *compute under the shard lock*, so per distinct
+//! key there is exactly one miss under any thread interleaving: the
+//! hit/miss/query totals reported by [`AbsCache::counters`] are
+//! identical between `--jobs 1` and `--jobs N` for the same query
+//! multiset.
 //!
 //! [`AbsCtx`]: crate::AbsCtx
 
+use circ_par::ShardedMap;
 use circ_smt::{lia, Atom};
 use circ_stats::AbsCounters;
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Canonical form of a premise list: sorted, deduplicated,
 /// sign-normalized atoms.
@@ -40,19 +45,22 @@ fn canon_premises(premises: &[Atom]) -> Vec<Atom> {
     v
 }
 
-#[derive(Debug, Default)]
-struct CacheInner {
-    entails: HashMap<(Vec<Atom>, Atom), bool>,
-    sat: HashMap<Vec<Atom>, bool>,
-    counters: AbsCounters,
+#[derive(Debug)]
+struct CacheShared {
+    entails: ShardedMap<(Vec<Atom>, Atom), bool>,
+    sat: ShardedMap<Vec<Atom>, bool>,
+    queries: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
     enabled: bool,
 }
 
-/// A shareable memo of abstraction-layer LIA queries (see the module
-/// docs for the key discipline). Clones share one store.
+/// A shareable, thread-safe memo of abstraction-layer LIA queries
+/// (see the module docs for the key discipline). Clones share one
+/// store.
 #[derive(Debug, Clone)]
 pub struct AbsCache {
-    inner: Rc<RefCell<CacheInner>>,
+    inner: Arc<CacheShared>,
 }
 
 impl Default for AbsCache {
@@ -62,78 +70,81 @@ impl Default for AbsCache {
 }
 
 impl AbsCache {
+    fn with_enabled(enabled: bool) -> AbsCache {
+        AbsCache {
+            inner: Arc::new(CacheShared {
+                entails: ShardedMap::new(),
+                sat: ShardedMap::new(),
+                queries: AtomicU64::new(0),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                enabled,
+            }),
+        }
+    }
+
     /// A fresh, enabled cache.
     pub fn new() -> AbsCache {
-        AbsCache {
-            inner: Rc::new(RefCell::new(CacheInner { enabled: true, ..CacheInner::default() })),
-        }
+        AbsCache::with_enabled(true)
     }
 
     /// A pass-through handle: queries are counted but never memoized.
     /// Used for the cached-vs-uncached differential.
     pub fn disabled() -> AbsCache {
-        AbsCache { inner: Rc::new(RefCell::new(CacheInner::default())) }
+        AbsCache::with_enabled(false)
     }
 
     /// Whether this handle memoizes results.
     pub fn is_enabled(&self) -> bool {
-        self.inner.borrow().enabled
+        self.inner.enabled
+    }
+
+    fn record(&self, hit: bool) {
+        self.inner.queries.fetch_add(1, Ordering::Relaxed);
+        if hit {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Does the conjunction of `premises` entail `goal`?
     pub fn entails(&self, premises: &[Atom], goal: &Atom) -> bool {
-        let mut inner = self.inner.borrow_mut();
-        inner.counters.queries += 1;
-        if !inner.enabled {
-            inner.counters.cache_misses += 1;
-            drop(inner);
+        if !self.inner.enabled {
+            self.record(false);
             return lia::entails(premises, goal);
         }
         let key = (canon_premises(premises), goal.canonical());
-        if let Some(&hit) = inner.entails.get(&key) {
-            inner.counters.cache_hits += 1;
-            return hit;
-        }
-        inner.counters.cache_misses += 1;
-        // Release the borrow over the (potentially re-entrant-free but
-        // slow) decision procedure.
-        drop(inner);
-        let result = lia::entails(premises, goal);
-        self.inner.borrow_mut().entails.insert(key, result);
+        let (result, hit) = self.inner.entails.get_or_compute(key, || lia::entails(premises, goal));
+        self.record(hit);
         result
     }
 
     /// Is the conjunction of `atoms` satisfiable?
     pub fn is_sat_conj(&self, atoms: &[Atom]) -> bool {
-        let mut inner = self.inner.borrow_mut();
-        inner.counters.queries += 1;
-        if !inner.enabled {
-            inner.counters.cache_misses += 1;
-            drop(inner);
+        if !self.inner.enabled {
+            self.record(false);
             return lia::is_sat_conj(atoms);
         }
         let key = canon_premises(atoms);
-        if let Some(&hit) = inner.sat.get(&key) {
-            inner.counters.cache_hits += 1;
-            return hit;
-        }
-        inner.counters.cache_misses += 1;
-        drop(inner);
-        let result = lia::is_sat_conj(atoms);
-        self.inner.borrow_mut().sat.insert(key, result);
+        let (result, hit) = self.inner.sat.get_or_compute(key, || lia::is_sat_conj(atoms));
+        self.record(hit);
         result
     }
 
     /// Snapshot of the cumulative counters (use
     /// [`AbsCounters::since`] for per-run deltas on a shared cache).
     pub fn counters(&self) -> AbsCounters {
-        self.inner.borrow().counters
+        AbsCounters {
+            queries: self.inner.queries.load(Ordering::Relaxed),
+            cache_hits: self.inner.hits.load(Ordering::Relaxed),
+            cache_misses: self.inner.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of memoized entries across both maps.
     pub fn len(&self) -> usize {
-        let inner = self.inner.borrow();
-        inner.entails.len() + inner.sat.len()
+        self.inner.entails.len() + self.inner.sat.len()
     }
 
     /// True when nothing is memoized yet.
@@ -199,5 +210,18 @@ mod tests {
         assert_eq!(c.cache_hits, 0);
         assert_eq!(c.cache_misses, 2);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_hammering_counts_one_miss_per_key() {
+        let cache = AbsCache::new();
+        let tasks: Vec<u32> = (0..64).collect();
+        circ_par::Pool::new(4).map(&tasks, |_| {
+            assert!(cache.is_sat_conj(&[Atom::eq(x())]));
+        });
+        let c = cache.counters();
+        assert_eq!(c.queries, 64);
+        assert_eq!(c.cache_misses, 1);
+        assert_eq!(c.cache_hits, 63);
     }
 }

@@ -25,11 +25,12 @@ use crate::abs::AbsCtx;
 use crate::cache::AbsCache;
 use crate::preds::PredSet;
 use crate::reach::{reach_and_build, Property, ReachError};
-use crate::refine::{refine, ConcreteCex, Concretizer, RefineDetail, RefineOutcome};
+use crate::refine::{refine, ConcreteCex, Concretizer, RefineDetail, RefineError, RefineOutcome};
 use circ_acfa::{
-    check_sim_counting, collapse, context_reach_with, Acfa, CVal, ContextState, Region,
+    check_sim_counting_pool, collapse, context_reach_with, Acfa, CVal, ContextState, Region,
 };
 use circ_ir::{MtProgram, Pred};
+use circ_par::Pool;
 use circ_stats::{AbsCounters, PipelineStats};
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -63,6 +64,13 @@ pub struct CircConfig {
     pub use_cache: bool,
     /// The safety property to check (default: race freedom).
     pub property: Property,
+    /// Worker threads for the parallel pipeline phases (frontier
+    /// expansion in ReachAndBuild, obligation checking in CheckSim).
+    /// `1` (the default) runs fully sequentially on the calling
+    /// thread; `0` means one worker per available core. Any value
+    /// produces bit-identical verdicts, ARGs, and statistics counters
+    /// — see `DESIGN.md` on why.
+    pub jobs: usize,
 }
 
 impl Default for CircConfig {
@@ -77,6 +85,7 @@ impl Default for CircConfig {
             minimize: true,
             use_cache: true,
             property: Property::Race,
+            jobs: 1,
         }
     }
 }
@@ -199,6 +208,9 @@ pub enum UnknownReason {
     IterationLimit,
     /// Refinement could not make progress.
     Stuck(String),
+    /// Refinement failed outright (e.g. an `assume` guard outside the
+    /// encodable fragment) — see [`RefineError`].
+    RefineFailed(RefineError),
 }
 
 /// An inconclusive run.
@@ -271,6 +283,7 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
     let mut k = config.initial_k;
     let mut log = CircLog::default();
     let mut stats = CircStats::default();
+    let pool = Pool::new(config.jobs);
     let abs_base = cache.counters();
 
     let pred_strings =
@@ -283,7 +296,7 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
         stats.outer_iterations += 1;
         stats.pipeline.outer_rounds += 1;
         log.events.push(CircEvent::OuterStart { preds: pred_strings(&preds), k });
-        let mut abs = AbsCtx::with_cache(cfa.clone(), preds.clone(), cache.clone());
+        let abs = AbsCtx::with_cache(cfa.clone(), preds.clone(), cache.clone());
         let mut acfa = Acfa::empty(preds.len());
         let mut concretizer: Option<Concretizer> = None;
 
@@ -295,13 +308,14 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
             let init = if config.omega_mode { CVal::Fin(k) } else { CVal::Omega };
             let reach_t = Instant::now();
             let reach_result = reach_and_build(
-                &mut abs,
+                &abs,
                 program,
                 &acfa,
                 k,
                 init,
                 config.max_states,
                 config.property,
+                &pool,
             );
             stats.pipeline.phases.reach += reach_t.elapsed();
             match reach_result {
@@ -333,6 +347,7 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
                         RefineOutcome::NewPreds(ps) => format!("{} new predicate(s)", ps.len()),
                         RefineOutcome::IncrementK => format!("increment k to {}", k + 1),
                         RefineOutcome::Stuck(m) => format!("stuck: {m}"),
+                        RefineOutcome::Error(e) => format!("refinement error: {e}"),
                     };
                     log.events.push(CircEvent::Refined { verdict, detail });
                     match outcome {
@@ -367,6 +382,14 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
                                 stats,
                             });
                         }
+                        RefineOutcome::Error(e) => {
+                            seal_stats(&mut stats, Some(&abs), cache, &abs_base, start);
+                            return CircOutcome::Unknown(UnknownReport {
+                                reason: UnknownReason::RefineFailed(e),
+                                log,
+                                stats,
+                            });
+                        }
                     }
                 }
                 Ok(arg) => {
@@ -377,9 +400,12 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
                         arg_locs: exported.acfa.num_locs(),
                     });
                     let sim_t = Instant::now();
-                    let (holds, pairs) = check_sim_counting(&exported.acfa, &acfa, &mut |x, y| {
-                        abs.region_contained(x, y)
-                    });
+                    let (holds, pairs) = check_sim_counting_pool(
+                        &exported.acfa,
+                        &acfa,
+                        &|x, y| abs.region_contained(x, y),
+                        &pool,
+                    );
                     stats.pipeline.phases.sim += sim_t.elapsed();
                     stats.pipeline.sim_checks += 1;
                     stats.pipeline.sim_edge_pairs += pairs;
@@ -390,7 +416,7 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
                         let collapsed = timed_collapse(&exported.acfa, config.minimize, &mut stats);
                         if config.omega_mode {
                             let omega_t = Instant::now();
-                            let good = omega_good(&mut abs, &exported.acfa, &collapsed, k);
+                            let good = omega_good(&abs, &exported.acfa, &collapsed, k);
                             stats.pipeline.phases.omega += omega_t.elapsed();
                             log.events.push(CircEvent::OmegaCheck { good });
                             if !good {
@@ -491,7 +517,7 @@ fn maybe_collapse(acfa: &Acfa, minimize: bool) -> circ_acfa::CollapseResult {
 /// environment alone can reach, every `A`-transition `q′ -Y→ q″`
 /// enabled at some ARG location's class must map that location's
 /// region back into itself: `(∃Y. r(n)) ∧ r(q″) ⊆ r(n)`.
-fn omega_good(abs: &mut AbsCtx, g: &Acfa, collapsed: &circ_acfa::CollapseResult, k: u32) -> bool {
+fn omega_good(abs: &AbsCtx, g: &Acfa, collapsed: &circ_acfa::CollapseResult, k: u32) -> bool {
     let a = &collapsed.acfa;
     // Environment reachability must respect label consistency (the
     // conjunction of the occupied locations' regions), otherwise the
@@ -570,7 +596,7 @@ fn omega_good(abs: &mut AbsCtx, g: &Acfa, collapsed: &circ_acfa::CollapseResult,
 }
 
 /// Is the conjunction of the occupied locations' labels satisfiable?
-fn config_consistent(abs: &mut AbsCtx, a: &Acfa, cfg: &ContextState) -> bool {
+fn config_consistent(abs: &AbsCtx, a: &Acfa, cfg: &ContextState) -> bool {
     let mut acc: Option<Region> = None;
     for n in cfg.occupied() {
         let r = a.region(n);

@@ -50,9 +50,10 @@ pub use crate::circ::{
 pub use abs::AbsCtx;
 pub use arg::{Arg, ExportedArg, StateEdge, StateEdgeKind, ThreadState};
 pub use cache::AbsCache;
+pub use circ_stats::{AbsCounters, PipelineStats, SolverCounters};
 pub use preds::PredSet;
 pub use reach::{
     reach_and_build, AbsState, AbstractCex, AbstractError, AbstractRace, Property, ReachError,
     TraceOp,
 };
-pub use refine::{refine, ConcreteCex, Concretizer, RefineDetail, RefineOutcome};
+pub use refine::{refine, ConcreteCex, Concretizer, RefineDetail, RefineError, RefineOutcome};

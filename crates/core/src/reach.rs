@@ -7,8 +7,8 @@ use crate::abs::AbsCtx;
 use crate::arg::{Arg, StateEdgeKind};
 use circ_acfa::{Acfa, AcfaLocId, CVal, ContextState, Cube};
 use circ_ir::{EdgeId, Loc, MtProgram};
+use circ_par::Pool;
 use std::collections::HashMap;
-use std::collections::VecDeque;
 
 /// An abstract program state: main-thread location and cube, plus the
 /// counter-abstracted context.
@@ -106,18 +106,31 @@ pub enum ReachError {
 /// (`ω` for CIRC, `Fin(k)` for the ω-CIRC optimization). On success
 /// returns the ARG; on a reachable race, the abstract counterexample.
 ///
+/// The worklist is processed in batches: each batch is the current
+/// BFS frontier, whose states are expanded concurrently on `pool`
+/// (abstract posts are the expensive part and are independent per
+/// state), and the results are then committed *sequentially in batch
+/// order*. Because the commit phase replays, per state, exactly the
+/// sequential algorithm's steps — error check, state-budget check,
+/// then successor insertion in edge order — the returned ARG, the
+/// state numbering, and any counterexample trace are bit-identical to
+/// the `jobs = 1` run, and batch-then-append preserves the FIFO
+/// dequeue order of the sequential worklist.
+///
 /// # Errors
 ///
 /// [`ReachError::Race`] carries the abstract trace;
 /// [`ReachError::StateLimit`] reports the budget.
+#[allow(clippy::too_many_arguments)]
 pub fn reach_and_build(
-    abs: &mut AbsCtx,
+    abs: &AbsCtx,
     program: &MtProgram,
     acfa: &Acfa,
     k: u32,
     init: CVal,
     max_states: usize,
     property: Property,
+    pool: &Pool,
 ) -> Result<Arg, ReachError> {
     let cfa = program.cfa_arc();
     let x = program.race_var();
@@ -135,110 +148,140 @@ pub fn reach_and_build(
     let mut index: HashMap<AbsState, usize> = HashMap::new();
     index.insert(init_state, 0);
     let mut parent: Vec<Option<(usize, TraceOp)>> = vec![None];
-    let mut queue: VecDeque<usize> = VecDeque::new();
-    queue.push_back(0);
+    let mut frontier: Vec<usize> = vec![0];
 
-    while let Some(six) = queue.pop_front() {
-        let s = states[six].clone();
+    while !frontier.is_empty() {
+        // Phase 1 — parallel: expand every frontier state against the
+        // shared abstraction context. Expansion is pure relative to
+        // the traversal bookkeeping (it only reads `states` and the
+        // memoizing `AbsCtx`), so any schedule computes the same
+        // expansions; `Pool::map` returns them in frontier order.
+        let expansions: Vec<Expansion> = pool
+            .map(&frontier, |&six| expand_state(abs, program, acfa, k, property, x, &states[six]));
 
-        // Error check on the dequeued state.
-        let error = match property {
-            Property::Race => race_at(&s, program, acfa, x).map(AbstractError::Race),
-            Property::Assertions => cfa.is_error(s.pc).then_some(AbstractError::Assertion),
-        };
-        if let Some(error) = error {
-            let steps = rebuild_trace(&states, &parent, six);
-            return Err(ReachError::Race(Box::new(AbstractCex { steps, final_state: s, error })));
-        }
+        // Phase 2 — sequential commit in batch order, replaying the
+        // sequential loop step for step.
+        let mut next: Vec<usize> = Vec::new();
+        for (exp, &six) in expansions.iter().zip(frontier.iter()) {
+            let s = states[six].clone();
 
-        if states.len() >= max_states {
-            return Err(ReachError::StateLimit(max_states));
-        }
-
-        // Enabled operations under the atomic-scheduling rule: collect
-        // the set AL of occupied atomic locations (main's included).
-        let main_atomic = cfa.is_atomic(s.pc);
-        let ctx_atomic: Vec<AcfaLocId> = s.ctx.atomic_occupied(acfa).collect();
-        let al_count = ctx_atomic.len() + usize::from(main_atomic);
-        let (main_enabled, ctx_enabled_locs): (bool, Vec<AcfaLocId>) = match al_count {
-            0 => (true, s.ctx.occupied().collect()),
-            1 if main_atomic => (true, Vec::new()),
-            1 => (false, ctx_atomic),
-            _ => (false, Vec::new()),
-        };
-
-        let push_succ = |states: &mut Vec<AbsState>,
-                         index: &mut HashMap<AbsState, usize>,
-                         parent: &mut Vec<Option<(usize, TraceOp)>>,
-                         queue: &mut VecDeque<usize>,
-                         succ: AbsState,
-                         op: TraceOp| {
-            if let Some(&_existing) = index.get(&succ) {
-                return;
+            // Error check on the (logically) dequeued state.
+            if let Some(error) = &exp.error {
+                let steps = rebuild_trace(&states, &parent, six);
+                return Err(ReachError::Race(Box::new(AbstractCex {
+                    steps,
+                    final_state: s,
+                    error: error.clone(),
+                })));
             }
-            let ix = states.len();
-            states.push(succ.clone());
-            index.insert(succ, ix);
-            parent.push(Some((six, op)));
-            queue.push_back(ix);
-        };
 
-        if main_enabled {
-            for &eid in cfa.out_edges(s.pc) {
-                if let Some(cube2) = abs.post_edge(&s.cube, eid) {
-                    let dst = cfa.edge(eid).dst;
-                    arg.connect(
-                        &cfa,
-                        &(s.pc, s.cube.clone()),
-                        StateEdgeKind::MainOp(eid),
-                        &(dst, cube2.clone()),
-                    );
-                    let succ = AbsState { pc: dst, cube: cube2, ctx: s.ctx.clone() };
-                    push_succ(
-                        &mut states,
-                        &mut index,
-                        &mut parent,
-                        &mut queue,
-                        succ,
-                        TraceOp::Main(eid),
-                    );
+            if states.len() >= max_states {
+                return Err(ReachError::StateLimit(max_states));
+            }
+
+            for (kind, succ, op) in &exp.succs {
+                // The ARG records every computed post edge, including
+                // re-entries into already-known states.
+                arg.connect(
+                    &cfa,
+                    &(s.pc, s.cube.clone()),
+                    kind.clone(),
+                    &(succ.pc, succ.cube.clone()),
+                );
+                if index.contains_key(succ) {
+                    continue;
                 }
+                let ix = states.len();
+                states.push(succ.clone());
+                index.insert(succ.clone(), ix);
+                parent.push(Some((six, op.clone())));
+                next.push(ix);
             }
         }
-        for n in ctx_enabled_locs {
-            for (eix, edge) in acfa.edges().iter().enumerate().filter(|(_, e)| e.src == n) {
-                // The successor cube conjoins the *target* location's
-                // label (the `sp` of §3.3). We deliberately do not
-                // conjoin the labels of the other occupied locations:
-                // during inference those labels are unproven
-                // assumptions, and pruning on them can silently
-                // suppress exactly the context behaviors the guarantee
-                // check would need to see (a self-fulfilling context).
-                // Target-only conjunction is the conservative reading.
-                let cubes = abs.post_context(&s.cube, &edge.havoc, acfa.region(edge.dst));
-                let ctx2 = s.ctx.step(n, edge.dst, k);
-                for cube2 in cubes {
-                    arg.connect(
-                        &cfa,
-                        &(s.pc, s.cube.clone()),
-                        StateEdgeKind::Context(edge.havoc.clone()),
-                        &(s.pc, cube2.clone()),
-                    );
-                    let succ = AbsState { pc: s.pc, cube: cube2, ctx: ctx2.clone() };
-                    push_succ(
-                        &mut states,
-                        &mut index,
-                        &mut parent,
-                        &mut queue,
-                        succ,
-                        TraceOp::Ctx { src: n, edge_ix: eix },
-                    );
-                }
-            }
-        }
+        frontier = next;
     }
 
     Ok(arg)
+}
+
+/// Everything `reach_and_build` needs to commit one frontier state:
+/// its error verdict and its ordered successor list.
+struct Expansion {
+    error: Option<AbstractError>,
+    succs: Vec<(StateEdgeKind, AbsState, TraceOp)>,
+}
+
+/// Expands one abstract state: error check, enabledness under the
+/// atomic-scheduling rule, then abstract posts for the enabled main
+/// and context moves, in the same order the sequential loop used. No
+/// posts are computed for an erroring state (the sequential loop
+/// returned before expanding it).
+fn expand_state(
+    abs: &AbsCtx,
+    program: &MtProgram,
+    acfa: &Acfa,
+    k: u32,
+    property: Property,
+    x: circ_ir::Var,
+    s: &AbsState,
+) -> Expansion {
+    let cfa = program.cfa();
+
+    let error = match property {
+        Property::Race => race_at(s, program, acfa, x).map(AbstractError::Race),
+        Property::Assertions => cfa.is_error(s.pc).then_some(AbstractError::Assertion),
+    };
+    if error.is_some() {
+        return Expansion { error, succs: Vec::new() };
+    }
+
+    // Enabled operations under the atomic-scheduling rule: collect
+    // the set AL of occupied atomic locations (main's included).
+    let main_atomic = cfa.is_atomic(s.pc);
+    let ctx_atomic: Vec<AcfaLocId> = s.ctx.atomic_occupied(acfa).collect();
+    let al_count = ctx_atomic.len() + usize::from(main_atomic);
+    let (main_enabled, ctx_enabled_locs): (bool, Vec<AcfaLocId>) = match al_count {
+        0 => (true, s.ctx.occupied().collect()),
+        1 if main_atomic => (true, Vec::new()),
+        1 => (false, ctx_atomic),
+        _ => (false, Vec::new()),
+    };
+
+    let mut succs: Vec<(StateEdgeKind, AbsState, TraceOp)> = Vec::new();
+    if main_enabled {
+        for &eid in cfa.out_edges(s.pc) {
+            if let Some(cube2) = abs.post_edge(&s.cube, eid) {
+                let dst = cfa.edge(eid).dst;
+                succs.push((
+                    StateEdgeKind::MainOp(eid),
+                    AbsState { pc: dst, cube: cube2, ctx: s.ctx.clone() },
+                    TraceOp::Main(eid),
+                ));
+            }
+        }
+    }
+    for n in ctx_enabled_locs {
+        for (eix, edge) in acfa.edges().iter().enumerate().filter(|(_, e)| e.src == n) {
+            // The successor cube conjoins the *target* location's
+            // label (the `sp` of §3.3). We deliberately do not
+            // conjoin the labels of the other occupied locations:
+            // during inference those labels are unproven
+            // assumptions, and pruning on them can silently
+            // suppress exactly the context behaviors the guarantee
+            // check would need to see (a self-fulfilling context).
+            // Target-only conjunction is the conservative reading.
+            let cubes = abs.post_context(&s.cube, &edge.havoc, acfa.region(edge.dst));
+            let ctx2 = s.ctx.step(n, edge.dst, k);
+            for cube2 in cubes {
+                succs.push((
+                    StateEdgeKind::Context(edge.havoc.clone()),
+                    AbsState { pc: s.pc, cube: cube2, ctx: ctx2.clone() },
+                    TraceOp::Ctx { src: n, edge_ix: eix },
+                ));
+            }
+        }
+    }
+    Expansion { error, succs }
 }
 
 /// The race condition of §4.1 on one abstract state.
@@ -305,10 +348,18 @@ mod tests {
     fn empty_context_is_race_free() {
         // With the do-nothing context, a single thread cannot race.
         let program = fig1_program();
-        let mut abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
+        let abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
         let acfa = Acfa::empty(0);
-        let result =
-            reach_and_build(&mut abs, &program, &acfa, 1, CVal::Omega, 10_000, Property::Race);
+        let result = reach_and_build(
+            &abs,
+            &program,
+            &acfa,
+            1,
+            CVal::Omega,
+            10_000,
+            Property::Race,
+            &Pool::sequential(),
+        );
         let arg = result.expect("no race without a context");
         assert!(arg.num_locs() >= 1);
     }
@@ -327,10 +378,18 @@ mod tests {
     #[test]
     fn writer_context_produces_race_trace() {
         let program = fig1_program();
-        let mut abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
+        let abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
         let acfa = writer_context(&program);
-        let result =
-            reach_and_build(&mut abs, &program, &acfa, 1, CVal::Omega, 10_000, Property::Race);
+        let result = reach_and_build(
+            &abs,
+            &program,
+            &acfa,
+            1,
+            CVal::Omega,
+            10_000,
+            Property::Race,
+            &Pool::sequential(),
+        );
         match result {
             Err(ReachError::Race(cex)) => {
                 // With ω threads at the writer location, two context
@@ -348,10 +407,18 @@ mod tests {
         // One context thread (k = 1, init Fin(1)): no two-context
         // race; main must walk to an x-access location first.
         let program = fig1_program();
-        let mut abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
+        let abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
         let acfa = writer_context(&program);
-        let result =
-            reach_and_build(&mut abs, &program, &acfa, 1, CVal::Fin(1), 10_000, Property::Race);
+        let result = reach_and_build(
+            &abs,
+            &program,
+            &acfa,
+            1,
+            CVal::Fin(1),
+            10_000,
+            Property::Race,
+            &Pool::sequential(),
+        );
         match result {
             Err(ReachError::Race(cex)) => {
                 assert!(matches!(
@@ -383,21 +450,56 @@ mod tests {
                 AcfaEdge { src: AcfaLocId(1), havoc: [x].into(), dst: AcfaLocId(0) },
             ],
         );
-        let mut abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
+        let abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
         // k=1 with a single context thread: the only writer is inside
         // the atomic location, so no race state is schedulable…
-        let result =
-            reach_and_build(&mut abs, &program, &acfa, 1, CVal::Fin(1), 50_000, Property::Race);
+        let result = reach_and_build(
+            &abs,
+            &program,
+            &acfa,
+            1,
+            CVal::Fin(1),
+            50_000,
+            Property::Race,
+            &Pool::sequential(),
+        );
         assert!(result.is_ok(), "atomic write-back context cannot race with one thread");
     }
 
     #[test]
     fn state_limit_reported() {
         let program = fig1_program();
-        let mut abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
+        let abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
         let acfa = Acfa::empty(0);
-        let result = reach_and_build(&mut abs, &program, &acfa, 1, CVal::Omega, 2, Property::Race);
+        let result = reach_and_build(
+            &abs,
+            &program,
+            &acfa,
+            1,
+            CVal::Omega,
+            2,
+            Property::Race,
+            &Pool::sequential(),
+        );
         assert!(matches!(result, Err(ReachError::StateLimit(2))));
+    }
+
+    #[test]
+    fn parallel_expansion_matches_sequential() {
+        // The batch commit replays the sequential order, so the ARG
+        // and any counterexample must be identical at every jobs
+        // setting.
+        let program = fig1_program();
+        let acfa = writer_context(&program);
+        let run = |pool: &Pool, init: CVal| {
+            let abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
+            reach_and_build(&abs, &program, &acfa, 1, init, 10_000, Property::Race, pool)
+        };
+        for init in [CVal::Omega, CVal::Fin(1)] {
+            let seq = run(&Pool::sequential(), init);
+            let par = run(&Pool::new(4), init);
+            assert_eq!(format!("{seq:?}"), format!("{par:?}"), "init {init:?}");
+        }
     }
 
     #[test]
@@ -418,11 +520,19 @@ mod tests {
                 Pred::eq(Expr::var(state), Expr::int(1)),
             ],
         );
-        let mut abs = AbsCtx::new(program.cfa_arc(), preds);
+        let abs = AbsCtx::new(program.cfa_arc(), preds);
         let acfa = Acfa::empty(4);
-        let arg =
-            reach_and_build(&mut abs, &program, &acfa, 1, CVal::Omega, 10_000, Property::Race)
-                .expect("single thread is race-free");
+        let arg = reach_and_build(
+            &abs,
+            &program,
+            &acfa,
+            1,
+            CVal::Omega,
+            10_000,
+            Property::Race,
+            &Pool::sequential(),
+        )
+        .expect("single thread is race-free");
         // the ARG covers at most one abstract state per (loc, cube)
         assert!(arg.num_locs() <= 12, "ARG stays small: got {}", arg.num_locs());
     }

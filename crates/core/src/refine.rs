@@ -32,8 +32,7 @@ use crate::preds::PredSet;
 use crate::reach::{AbstractCex, AbstractError, AbstractRace, Property, TraceOp};
 use circ_acfa::{Acfa, AcfaLocId, CollapseResult};
 use circ_ir::{
-    BinOp, BoolExpr, Cfa, CmpOp, EdgeId, Expr, Interp, MtProgram, Op, Pred, SchedChoice, ThreadId,
-    Var,
+    BinOp, Cfa, CmpOp, EdgeId, Expr, Interp, MtProgram, Op, Pred, SchedChoice, ThreadId, Var,
 };
 use circ_smt::{lia, translate, Atom, Formula, LinExpr, Rel, SVar, SatResult, Solver};
 use std::collections::{BTreeSet, HashMap, VecDeque};
@@ -62,7 +61,39 @@ pub enum RefineOutcome {
     IncrementK,
     /// No progress possible (diagnostic for the caller).
     Stuck(String),
+    /// Refinement itself failed: the trace formula could not be
+    /// built. Propagated to the CIRC driver, which reports the run as
+    /// inconclusive instead of panicking.
+    Error(RefineError),
 }
+
+/// A failure inside `Refine` (as opposed to a verdict about the
+/// trace). The CIRC driver surfaces these as
+/// [`crate::UnknownReason::RefineFailed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefineError {
+    /// An `assume` guard fell outside the linear deterministic
+    /// fragment the trace-formula encoding handles, so the trace's
+    /// feasibility cannot be decided.
+    NonLinearGuard {
+        /// The CFA edge carrying the guard.
+        edge: EdgeId,
+        /// What the translator rejected.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for RefineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefineError::NonLinearGuard { edge, reason } => {
+                write!(f, "cannot encode assume guard on edge {edge:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RefineError {}
 
 /// A record of what `Refine` did, kept for reporting (the Figure 5
 /// artifacts: concrete interleaving, trace formula, mined
@@ -448,7 +479,10 @@ pub fn refine(
                 interleaving.push((seg.tag, e));
             }
         }
-        let ssa = build_trace_formula(cfa, &interleaving);
+        let ssa = match build_trace_formula(cfa, &interleaving) {
+            Ok(ssa) => ssa,
+            Err(e) => return (RefineOutcome::Error(e), detail),
+        };
         if mask == 0 {
             detail.interleaving = interleaving.clone();
             detail.trace_formula = ssa.clauses.iter().map(|c| format!("{c}")).collect();
@@ -483,6 +517,12 @@ pub fn refine(
                 if infeasible_ssa.is_none() {
                     infeasible_ssa = Some(ssa);
                 }
+            }
+            SatResult::Unknown => {
+                // The solver could not decide this placement (e.g.
+                // arithmetic overflow in the theory procedure). It
+                // proves nothing either way: neither a realizable
+                // race nor an infeasibility proof to mine from.
             }
         }
     }
@@ -580,7 +620,10 @@ struct SsaResult {
 
 /// SSA bookkeeping: globals share one timeline, locals one per
 /// thread; reads before any write pin the initial value zero.
-fn build_trace_formula(cfa: &Cfa, interleaving: &[(usize, EdgeId)]) -> SsaResult {
+fn build_trace_formula(
+    cfa: &Cfa,
+    interleaving: &[(usize, EdgeId)],
+) -> Result<SsaResult, RefineError> {
     let mut next: u32 = 0;
     let mut alloc = move || {
         let v = SVar(next);
@@ -624,7 +667,9 @@ fn build_trace_formula(cfa: &Cfa, interleaving: &[(usize, EdgeId)]) -> SsaResult
         }
         match &cfa.edge(*eid).op {
             Op::Assume(b) => {
-                let f = formula_of_guard(b, &mut |v| read_var!(v));
+                let f = translate::formula_of_bool(b, &mut |v| read_var!(v)).map_err(|e| {
+                    RefineError::NonLinearGuard { edge: *eid, reason: e.to_string() }
+                })?;
                 out.clauses.push(f);
                 out.clause_pos.push(op_pos);
             }
@@ -648,12 +693,7 @@ fn build_trace_formula(cfa: &Cfa, interleaving: &[(usize, EdgeId)]) -> SsaResult
             }
         }
     }
-    out
-}
-
-fn formula_of_guard(b: &BoolExpr, map: &mut impl FnMut(Var) -> SVar) -> Formula {
-    translate::formula_of_bool(b, map)
-        .expect("assume guards are linear and deterministic by construction")
+    Ok(out)
 }
 
 /// Interpolant-style predicate mining: for each cut point, project the

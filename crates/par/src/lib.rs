@@ -1,0 +1,246 @@
+//! Minimal parallel-execution substrate for the CIRC pipeline.
+//!
+//! The build environment has no crates.io access (all third-party
+//! dependencies are vendored shims), so this crate hand-rolls the two
+//! primitives the pipeline needs on top of `std` alone:
+//!
+//! * [`Pool`] — a scoped worker pool over [`std::thread::scope`] with
+//!   an order-preserving `map`. Work is handed out through a single
+//!   atomic index (work stealing degenerates to work *sharing*, which
+//!   is enough for the coarse-grained tasks the pipeline produces),
+//!   and results are returned in input order so callers can replay
+//!   them exactly as a sequential loop would have produced them.
+//! * [`ShardedMap`] — a `Mutex`-sharded hash map whose
+//!   `get_or_compute` runs the closure *under the shard lock*. That
+//!   choice trades some lock hold time for a strong accounting
+//!   guarantee: the first query for a distinct key is exactly one
+//!   miss and every later query is a hit, under any thread
+//!   interleaving. Cache hit/miss counters therefore match the
+//!   sequential run exactly, which the determinism tests rely on.
+//!
+//! Both primitives are deliberately deterministic: `Pool::map` output
+//! order never depends on scheduling, and shard selection hashes with
+//! [`DefaultHasher::new`], which is stable within a build.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width scoped worker pool.
+///
+/// `jobs == 1` (the default everywhere) runs tasks inline on the
+/// calling thread — no threads are spawned and the pipeline behaves
+/// exactly like the sequential implementation it replaced.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// Create a pool with `jobs` workers. `0` means "one worker per
+    /// available CPU" (à la `make -j`).
+    pub fn new(jobs: usize) -> Pool {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            jobs
+        };
+        Pool { jobs }
+    }
+
+    /// A pool that always runs inline on the calling thread.
+    pub fn sequential() -> Pool {
+        Pool { jobs: 1 }
+    }
+
+    /// The resolved worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Apply `f` to every item, returning results in input order.
+    ///
+    /// With one worker (or fewer than two items) this is a plain
+    /// sequential loop; otherwise items are pulled off a shared
+    /// atomic counter by `min(jobs, len)` scoped threads. A panic in
+    /// any task is propagated to the caller after all workers join.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.jobs <= 1 || items.len() < 2 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let workers = self.jobs.min(items.len());
+        let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            out.push((i, f(&items[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        for (i, r) in per_worker.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots.into_iter().map(|o| o.expect("every index was dispatched exactly once")).collect()
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Pool {
+        Pool::sequential()
+    }
+}
+
+/// Default shard count for [`ShardedMap`]. High enough that workers
+/// rarely collide, low enough that `len()` stays cheap.
+const DEFAULT_SHARDS: usize = 64;
+
+/// A `Mutex`-sharded hash map with compute-under-lock memoization.
+///
+/// Shard selection is a pure function of the key's hash, so a given
+/// key always lands in the same shard and `get_or_compute` can make
+/// its exactly-once guarantee: concurrent callers with equal keys
+/// serialize on the shard lock, the first runs the closure, the rest
+/// observe the cached value.
+#[derive(Debug)]
+pub struct ShardedMap<K, V> {
+    shards: Box<[Mutex<HashMap<K, V>>]>,
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
+    /// An empty map with the default shard count.
+    pub fn new() -> ShardedMap<K, V> {
+        ShardedMap::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// An empty map with `shards` shards (at least 1).
+    pub fn with_shards(shards: usize) -> ShardedMap<K, V> {
+        let shards = shards.max(1);
+        ShardedMap { shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    fn shard_of(&self, key: &K) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// Look up `key`, running `compute` under the shard lock on a
+    /// miss. Returns the value and whether it was already cached.
+    ///
+    /// Holding the lock during `compute` is what makes hit/miss
+    /// accounting exact under concurrency: per distinct key there is
+    /// exactly one miss, ever. `compute` must not re-enter the same
+    /// map (it may use *other* maps lower in the locking order).
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> (V, bool) {
+        let mut shard = self.shards[self.shard_of(&key)].lock().expect("sharded map lock poisoned");
+        if let Some(v) = shard.get(&key) {
+            return (v.clone(), true);
+        }
+        let v = compute();
+        shard.insert(key, v.clone());
+        (v, false)
+    }
+
+    /// Total number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("sharded map lock poisoned").len()).sum()
+    }
+
+    /// True when no shard holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> Default for ShardedMap<K, V> {
+    fn default() -> ShardedMap<K, V> {
+        ShardedMap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq = Pool::sequential().map(&items, |&x| x * 3 + 1);
+        let par = Pool::new(4).map(&items, |&x| x * 3 + 1);
+        assert_eq!(seq, par);
+        assert_eq!(par[17], 52);
+    }
+
+    #[test]
+    fn zero_jobs_resolves_to_available_parallelism() {
+        assert!(Pool::new(0).jobs() >= 1);
+        assert_eq!(Pool::new(3).jobs(), 3);
+    }
+
+    #[test]
+    fn map_handles_empty_and_single_item_inputs() {
+        let pool = Pool::new(8);
+        assert_eq!(pool.map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(pool.map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn get_or_compute_runs_the_closure_exactly_once_per_key() {
+        let map: ShardedMap<u32, u32> = ShardedMap::new();
+        let computes = AtomicU64::new(0);
+        let keys: Vec<u32> = (0..400).map(|i| i % 20).collect();
+        // Hammer 20 distinct keys from 8 workers: the compute count
+        // must equal the number of distinct keys, not the number of
+        // lookups, or parallel cache-miss counters would drift.
+        Pool::new(8).map(&keys, |&k| {
+            map.get_or_compute(k, || {
+                computes.fetch_add(1, Ordering::Relaxed);
+                k * 2
+            })
+            .0
+        });
+        assert_eq!(computes.load(Ordering::Relaxed), 20);
+        assert_eq!(map.len(), 20);
+        let (v, hit) = map.get_or_compute(7, || unreachable!("must be cached"));
+        assert_eq!(v, 14);
+        assert!(hit);
+    }
+
+    #[test]
+    fn sharded_map_reports_len_across_shards() {
+        let map: ShardedMap<u64, u64> = ShardedMap::with_shards(4);
+        assert!(map.is_empty());
+        for k in 0..100 {
+            map.get_or_compute(k, || k);
+        }
+        assert_eq!(map.len(), 100);
+        assert!(!map.is_empty());
+    }
+}

@@ -13,8 +13,12 @@
 //! input atoms. The procedure is complete on the linear-integer
 //! conjunctions the checker generates (and is property-tested against
 //! brute-force grid evaluation on random inputs with coefficients up
-//! to ±3); a pathological input could in principle exhaust the
-//! branch-and-bound depth, which panics rather than answer wrongly.
+//! to ±3). On pathological inputs — coefficients large enough to
+//! overflow the `i128` rational reconstruction, or a branch-and-bound
+//! search that exhausts its depth budget — the procedure returns
+//! [`ConjResult::Unknown`] rather than panicking or answering
+//! wrongly; callers must treat `Unknown` as "not proven
+//! unsatisfiable".
 
 use crate::atom::{Atom, Rel};
 use crate::lin::{LinExpr, SVar};
@@ -24,6 +28,29 @@ use std::collections::{BTreeMap, BTreeSet};
 /// are unconstrained (callers may take them as 0).
 pub type Model = BTreeMap<SVar, i64>;
 
+/// Why the decision procedure could not produce a definite answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiaError {
+    /// An intermediate value (rational bound, model component, or
+    /// omega modulus) exceeded the fixed-width arithmetic the
+    /// procedure computes with.
+    Overflow,
+    /// The integer branch-and-bound search hit its depth budget while
+    /// the rational relaxation was still satisfiable.
+    DepthExhausted,
+}
+
+impl std::fmt::Display for LiaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiaError::Overflow => write!(f, "arithmetic overflow in LIA decision procedure"),
+            LiaError::DepthExhausted => write!(f, "integer branch-and-bound depth exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for LiaError {}
+
 /// Result of a conjunction query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConjResult {
@@ -31,47 +58,73 @@ pub enum ConjResult {
     Sat(Model),
     /// Unsatisfiable.
     Unsat,
+    /// The procedure gave up (overflow or search-budget exhaustion)
+    /// without proving either verdict. Sound callers treat this as
+    /// "possibly satisfiable".
+    Unknown,
 }
 
 impl ConjResult {
-    /// True for [`ConjResult::Sat`].
+    /// True unless the conjunction was *proven* unsatisfiable.
+    /// [`ConjResult::Unknown`] counts as possibly-sat: treating an
+    /// unproven conjunction as unsat would let the abstraction drop
+    /// reachable states.
     pub fn is_sat(&self) -> bool {
-        matches!(self, ConjResult::Sat(_))
+        !matches!(self, ConjResult::Unsat)
     }
 }
 
-/// Decides satisfiability of `⋀ atoms` over the integers.
-///
-/// # Panics
-///
-/// May panic if the branch-and-bound depth is exhausted on a
-/// pathological input (see module docs); never returns a wrong
-/// answer.
+/// Decides satisfiability of `⋀ atoms` over the integers. Returns
+/// [`ConjResult::Unknown`] instead of panicking when the internal
+/// arithmetic overflows or the branch-and-bound budget runs out.
 pub fn check_conj(atoms: &[Atom]) -> ConjResult {
     match solve(atoms.to_vec()) {
-        Some(model) => {
+        Ok(Some(model)) => {
             // Verify against the original atoms; a model may omit
-            // unconstrained variables, which read as 0.
-            let assign = |v: SVar| model.get(&v).copied().unwrap_or(0);
+            // unconstrained variables, which read as 0. Evaluation is
+            // done in checked i128 so a huge-but-valid model cannot
+            // trip an overflow panic here either.
             for a in atoms {
-                assert!(
-                    a.eval(&assign),
-                    "internal error: reconstructed model violates atom {a} \
-                     (input outside supported integer fragment)"
-                );
+                match eval_atom_checked(a, &model) {
+                    Some(true) => {}
+                    Some(false) => panic!(
+                        "internal error: reconstructed model violates atom {a} \
+                         (input outside supported integer fragment)"
+                    ),
+                    None => return ConjResult::Unknown,
+                }
             }
             ConjResult::Sat(model)
         }
-        None => ConjResult::Unsat,
+        Ok(None) => ConjResult::Unsat,
+        Err(_) => ConjResult::Unknown,
     }
 }
 
-/// Convenience wrapper: is the conjunction satisfiable?
+/// Evaluates `atom` under `model` with checked i128 arithmetic.
+/// `None` means the evaluation itself overflowed.
+fn eval_atom_checked(atom: &Atom, model: &Model) -> Option<bool> {
+    let mut acc: i128 = atom.expr().constant_part() as i128;
+    for (v, a) in atom.expr().terms() {
+        let val = model.get(&v).copied().unwrap_or(0) as i128;
+        acc = acc.checked_add((a as i128).checked_mul(val)?)?;
+    }
+    Some(match atom.rel() {
+        Rel::Eq => acc == 0,
+        Rel::Le => acc <= 0,
+        Rel::Ne => acc != 0,
+    })
+}
+
+/// Convenience wrapper: is the conjunction satisfiable? `Unknown`
+/// maps to `true` (not proven unsatisfiable).
 pub fn is_sat_conj(atoms: &[Atom]) -> bool {
     check_conj(atoms).is_sat()
 }
 
-/// Does `⋀ premises` entail `goal`?
+/// Does `⋀ premises` entail `goal`? `Unknown` on the underlying
+/// satisfiability query maps to `false`: entailment is only claimed
+/// when the negation was *proven* unsatisfiable.
 pub fn entails(premises: &[Atom], goal: &Atom) -> bool {
     let mut q = premises.to_vec();
     q.push(goal.negate());
@@ -206,23 +259,28 @@ fn solve_for(e: &LinExpr, x: SVar) -> LinExpr {
 /// Symmetric residue of `a` modulo `m`: the representative of
 /// `a mod m` in `(−m/2, m/2]`. For `|a| = m − 1` it is `−sign(a)`,
 /// which is what gives the omega reduction its unit coefficient.
+///
+/// The precondition `m ≥ 2` is a hard assertion (a degenerate modulus
+/// would silently compute a wrong residue in release builds), and the
+/// comparison is written `r > m − r` so it cannot overflow for `m`
+/// near `i64::MAX`.
 fn sym_mod(a: i64, m: i64) -> i64 {
-    debug_assert!(m >= 2);
+    assert!(m >= 2, "sym_mod requires modulus >= 2, got {m}");
     let r = a.rem_euclid(m);
-    if 2 * r > m {
+    if r > m - r {
         r - m
     } else {
         r
     }
 }
 
-fn solve(atoms: Vec<Atom>) -> Option<Model> {
+fn solve(atoms: Vec<Atom>) -> Result<Option<Model>, LiaError> {
     let mut eqs: Vec<Atom> = Vec::new();
     let mut les: Vec<Atom> = Vec::new();
     let mut nes: Vec<Atom> = Vec::new();
     for a in atoms {
         if a.is_falsum() {
-            return None;
+            return Ok(None);
         }
         if a.is_verum() {
             continue;
@@ -260,7 +318,8 @@ fn solve(atoms: Vec<Atom>) -> Option<Model> {
                 assert!(omega_rounds < 200, "omega equality reduction diverged");
                 let (_, ak) =
                     eq.expr().terms().min_by_key(|(_, a)| a.abs()).expect("non-constant equality");
-                let m = ak.abs() + 1;
+                let m =
+                    ak.checked_abs().and_then(|a| a.checked_add(1)).ok_or(LiaError::Overflow)?;
                 let sigma = SVar(next_fresh);
                 next_fresh += 1;
                 let mut reduced = LinExpr::zero();
@@ -294,7 +353,7 @@ fn solve(atoms: Vec<Atom>) -> Option<Model> {
             true
         };
         if !apply(&mut eqs) || !apply(&mut les) || !apply(&mut nes) {
-            return None;
+            return Ok(None);
         }
         subs.push((x, repl));
     }
@@ -307,7 +366,7 @@ fn solve(atoms: Vec<Atom>) -> Option<Model> {
         let lo = Atom::le(-eq.expr().clone());
         for a in [up, lo] {
             if a.is_falsum() {
-                return None;
+                return Ok(None);
             }
             if !a.is_verum() {
                 les.push(a);
@@ -324,26 +383,40 @@ fn solve(atoms: Vec<Atom>) -> Option<Model> {
         let mut e = ne.expr().clone();
         e.add_constant(1);
         left.push(Atom::le(e));
-        if let Some(m) = solve(left) {
-            return Some(extend_with_subs(m, &subs));
+        if let Some(m) = solve(left)? {
+            return extend_with_subs(m, &subs).map(Some);
         }
         // e ≥ 1, i.e. −e + 1 ≤ 0
         let mut right = rest;
         let mut e = -ne.expr().clone();
         e.add_constant(1);
         right.push(Atom::le(e));
-        return solve(right).map(|m| extend_with_subs(m, &subs));
+        return match solve(right)? {
+            Some(m) => extend_with_subs(m, &subs).map(Some),
+            None => Ok(None),
+        };
     }
 
-    fm_solve(les).map(|m| extend_with_subs(m, &subs))
+    match fm_solve(les)? {
+        Some(m) => extend_with_subs(m, &subs).map(Some),
+        None => Ok(None),
+    }
 }
 
-fn extend_with_subs(mut m: Model, subs: &[(SVar, LinExpr)]) -> Model {
+fn extend_with_subs(mut m: Model, subs: &[(SVar, LinExpr)]) -> Result<Model, LiaError> {
     for (x, e) in subs.iter().rev() {
-        let val = e.eval(&|v| m.get(&v).copied().unwrap_or(0));
+        // Checked evaluation: substitution chains over a huge model
+        // could push intermediate values past i64.
+        let mut acc: i128 = e.constant_part() as i128;
+        for (v, a) in e.terms() {
+            let val = m.get(&v).copied().unwrap_or(0) as i128;
+            let term = (a as i128).checked_mul(val).ok_or(LiaError::Overflow)?;
+            acc = acc.checked_add(term).ok_or(LiaError::Overflow)?;
+        }
+        let val = i64::try_from(acc).map_err(|_| LiaError::Overflow)?;
         m.insert(*x, val);
     }
-    m
+    Ok(m)
 }
 
 /// Upper/lower bound constraints recorded for one eliminated variable.
@@ -357,7 +430,9 @@ struct VarBounds {
 
 /// A rational number with positive denominator, used for model
 /// reconstruction (FM is exact over the rationals; branch-and-bound
-/// recovers integrality).
+/// recovers integrality). Every operation that can leave `i128` (or
+/// narrow back into `i64`) is checked and reports [`LiaError::Overflow`]
+/// instead of panicking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Rat {
     num: i128,
@@ -369,14 +444,21 @@ impl Rat {
         Rat { num: n as i128, den: 1 }
     }
 
-    fn new(num: i128, den: i128) -> Rat {
+    fn new(num: i128, den: i128) -> Result<Rat, LiaError> {
         debug_assert!(den != 0);
-        let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let (num, den) = if den < 0 {
+            (
+                num.checked_neg().ok_or(LiaError::Overflow)?,
+                den.checked_neg().ok_or(LiaError::Overflow)?,
+            )
+        } else {
+            (num, den)
+        };
         let g = gcd128(num.unsigned_abs(), den.unsigned_abs()) as i128;
         if g > 1 {
-            Rat { num: num / g, den: den / g }
+            Ok(Rat { num: num / g, den: den / g })
         } else {
-            Rat { num, den }
+            Ok(Rat { num, den })
         }
     }
 
@@ -384,34 +466,29 @@ impl Rat {
         self.den == 1
     }
 
-    fn floor(self) -> i64 {
+    fn floor(self) -> Result<i64, LiaError> {
         let q = self.num.div_euclid(self.den);
-        i64::try_from(q).expect("rational floor overflow")
+        i64::try_from(q).map_err(|_| LiaError::Overflow)
     }
 
-    fn ceil(self) -> i64 {
-        let q = -((-self.num).div_euclid(self.den));
-        i64::try_from(q).expect("rational ceil overflow")
+    fn ceil(self) -> Result<i64, LiaError> {
+        let neg = self.num.checked_neg().ok_or(LiaError::Overflow)?;
+        let q = neg.div_euclid(self.den).checked_neg().ok_or(LiaError::Overflow)?;
+        i64::try_from(q).map_err(|_| LiaError::Overflow)
     }
 
-    fn le(self, other: Rat) -> bool {
-        self.num * other.den <= other.num * self.den
+    fn le(self, other: Rat) -> Result<bool, LiaError> {
+        let lhs = self.num.checked_mul(other.den).ok_or(LiaError::Overflow)?;
+        let rhs = other.num.checked_mul(self.den).ok_or(LiaError::Overflow)?;
+        Ok(lhs <= rhs)
     }
 
-    fn max(self, other: Rat) -> Rat {
-        if self.le(other) {
-            other
-        } else {
-            self
-        }
+    fn max(self, other: Rat) -> Result<Rat, LiaError> {
+        Ok(if self.le(other)? { other } else { self })
     }
 
-    fn min(self, other: Rat) -> Rat {
-        if self.le(other) {
-            self
-        } else {
-            other
-        }
+    fn min(self, other: Rat) -> Result<Rat, LiaError> {
+        Ok(if self.le(other)? { self } else { other })
     }
 }
 
@@ -425,59 +502,69 @@ fn gcd128(mut a: u128, mut b: u128) -> u128 {
 }
 
 /// Evaluates a linear expression under a partial rational assignment
-/// (missing variables read as 0).
-fn eval_rat(e: &LinExpr, m: &std::collections::HashMap<SVar, Rat>) -> Rat {
+/// (missing variables read as 0), with checked arithmetic.
+fn eval_rat(e: &LinExpr, m: &BTreeMap<SVar, Rat>) -> Result<Rat, LiaError> {
     // sum over a common denominator product, normalized on the fly
     let mut acc = Rat::int(e.constant_part());
     for (v, a) in e.terms() {
         let val = m.get(&v).copied().unwrap_or(Rat::int(0));
-        let term = Rat::new(val.num * a as i128, val.den);
-        acc = Rat::new(acc.num * term.den + term.num * acc.den, acc.den * term.den);
+        let term = Rat::new(val.num.checked_mul(a as i128).ok_or(LiaError::Overflow)?, val.den)?;
+        let num_l = acc.num.checked_mul(term.den).ok_or(LiaError::Overflow)?;
+        let num_r = term.num.checked_mul(acc.den).ok_or(LiaError::Overflow)?;
+        acc = Rat::new(
+            num_l.checked_add(num_r).ok_or(LiaError::Overflow)?,
+            acc.den.checked_mul(term.den).ok_or(LiaError::Overflow)?,
+        )?;
     }
-    acc
+    Ok(acc)
 }
 
 /// Fourier–Motzkin over the rationals with branch-and-bound for
 /// integrality: the rational reconstruction always succeeds when FM
 /// does (standard FM property); a fractional component triggers a
 /// split on `x ≤ ⌊r⌋ ∨ x ≥ ⌈r⌉` over the original system.
-fn fm_solve(les: Vec<Atom>) -> Option<Model> {
+fn fm_solve(les: Vec<Atom>) -> Result<Option<Model>, LiaError> {
     fm_branch_and_bound(les, 64)
 }
 
-fn fm_branch_and_bound(les: Vec<Atom>, depth: u32) -> Option<Model> {
-    let rat_model = fm_rational(&les)?;
+fn fm_branch_and_bound(les: Vec<Atom>, depth: u32) -> Result<Option<Model>, LiaError> {
+    let Some(rat_model) = fm_rational(&les)? else {
+        return Ok(None);
+    };
     // All integer? Done.
     if rat_model.values().all(|r| r.is_integer()) {
-        let model: Model = rat_model
-            .into_iter()
-            .map(|(v, r)| (v, i64::try_from(r.num).expect("model value overflow")))
-            .collect();
-        return Some(model);
+        let mut model = Model::new();
+        for (v, r) in rat_model {
+            model.insert(v, i64::try_from(r.num).map_err(|_| LiaError::Overflow)?);
+        }
+        return Ok(Some(model));
     }
     if depth == 0 {
         // FM said rationally satisfiable but the integer search budget
-        // ran out. Answering Unsat here would be unsound; fail loudly.
-        panic!("integer branch-and-bound exhausted (pathological input)");
+        // ran out. Answering Unsat here would be unsound; report the
+        // exhaustion so the caller degrades to Unknown.
+        return Err(LiaError::DepthExhausted);
     }
     let (&x, &r) = rat_model.iter().find(|(_, r)| !r.is_integer()).expect("fractional var");
     // branch: x ≤ ⌊r⌋
     let mut left = les.clone();
-    left.push(Atom::le(LinExpr::var(x) - LinExpr::constant(r.floor())));
-    if let Some(m) = fm_branch_and_bound(left, depth - 1) {
-        return Some(m);
+    left.push(Atom::le(LinExpr::var(x) - LinExpr::constant(r.floor()?)));
+    if let Some(m) = fm_branch_and_bound(left, depth - 1)? {
+        return Ok(Some(m));
     }
     // branch: x ≥ ⌈r⌉
     let mut right = les;
-    right.push(Atom::le(LinExpr::constant(r.ceil()) - LinExpr::var(x)));
+    right.push(Atom::le(LinExpr::constant(r.ceil()?) - LinExpr::var(x)));
     fm_branch_and_bound(right, depth - 1)
 }
 
 /// One round of rational Fourier–Motzkin: `None` if the system is
 /// (rationally, hence integrally) unsatisfiable, else a rational
 /// witness. Integer candidates are preferred within each window so
-/// that most systems never need the branch-and-bound layer.
-fn fm_rational(les: &[Atom]) -> Option<std::collections::HashMap<SVar, Rat>> {
+/// that most systems never need the branch-and-bound layer. The model
+/// is a `BTreeMap` so the "first fractional variable" pick in the
+/// branch-and-bound layer is deterministic across runs.
+fn fm_rational(les: &[Atom]) -> Result<Option<BTreeMap<SVar, Rat>>, LiaError> {
     let vars: Vec<SVar> = {
         let mut s: BTreeSet<SVar> = BTreeSet::new();
         for a in les {
@@ -507,7 +594,7 @@ fn fm_rational(les: &[Atom]) -> Option<std::collections::HashMap<SVar, Rat>> {
                 let b = -lo.coeff(x);
                 let comb = Atom::le(up.scale(b) + lo.scale(a));
                 if comb.is_falsum() {
-                    return None;
+                    return Ok(None);
                 }
                 if !comb.is_verum() {
                     rest.push(comb.expr().clone());
@@ -521,14 +608,14 @@ fn fm_rational(les: &[Atom]) -> Option<std::collections::HashMap<SVar, Rat>> {
     for e in &cur {
         debug_assert!(e.is_constant());
         if e.constant_part() > 0 {
-            return None;
+            return Ok(None);
         }
     }
 
     // Rational reconstruction in reverse elimination order: the
     // window [lo, hi] is never empty (FM added every upper×lower
     // combination), so a value always exists.
-    let mut model: std::collections::HashMap<SVar, Rat> = std::collections::HashMap::new();
+    let mut model: BTreeMap<SVar, Rat> = BTreeMap::new();
     for vb in stack.iter().rev() {
         let mut hi: Option<Rat> = None;
         for up in &vb.uppers {
@@ -536,11 +623,12 @@ fn fm_rational(les: &[Atom]) -> Option<std::collections::HashMap<SVar, Rat>> {
             let mut t = up.clone();
             t.add_term(vb.var, -a);
             // a·x + t ≤ 0 ⇒ x ≤ −t/a
-            let te = eval_rat(&t, &model);
-            let bound = Rat::new(-te.num, te.den * a as i128);
+            let te = eval_rat(&t, &model)?;
+            let den = te.den.checked_mul(a as i128).ok_or(LiaError::Overflow)?;
+            let bound = Rat::new(te.num.checked_neg().ok_or(LiaError::Overflow)?, den)?;
             hi = Some(match hi {
                 None => bound,
-                Some(h) => h.min(bound),
+                Some(h) => h.min(bound)?,
             });
         }
         let mut lo: Option<Rat> = None;
@@ -549,16 +637,17 @@ fn fm_rational(les: &[Atom]) -> Option<std::collections::HashMap<SVar, Rat>> {
             let mut sexp = low.clone();
             sexp.add_term(vb.var, b);
             // −b·x + s ≤ 0 ⇒ x ≥ s/b
-            let se = eval_rat(&sexp, &model);
-            let bound = Rat::new(se.num, se.den * b as i128);
+            let se = eval_rat(&sexp, &model)?;
+            let den = se.den.checked_mul(b as i128).ok_or(LiaError::Overflow)?;
+            let bound = Rat::new(se.num, den)?;
             lo = Some(match lo {
                 None => bound,
-                Some(l) => l.max(bound),
+                Some(l) => l.max(bound)?,
             });
         }
         debug_assert!(
             match (lo, hi) {
-                (Some(l), Some(h)) => l.le(h),
+                (Some(l), Some(h)) => l.le(h).unwrap_or(true),
                 _ => true,
             },
             "FM window must be non-empty"
@@ -568,26 +657,26 @@ fn fm_rational(les: &[Atom]) -> Option<std::collections::HashMap<SVar, Rat>> {
         let value = match (lo, hi) {
             (None, None) => Rat::int(0),
             (Some(l), None) => {
-                if l.le(Rat::int(0)) {
+                if l.le(Rat::int(0))? {
                     Rat::int(0)
                 } else {
-                    Rat::int(l.ceil())
+                    Rat::int(l.ceil()?)
                 }
             }
             (None, Some(h)) => {
-                if Rat::int(0).le(h) {
+                if Rat::int(0).le(h)? {
                     Rat::int(0)
                 } else {
-                    Rat::int(h.floor())
+                    Rat::int(h.floor()?)
                 }
             }
             (Some(l), Some(h)) => {
                 let zero = Rat::int(0);
-                if l.le(zero) && zero.le(h) {
+                if l.le(zero)? && zero.le(h)? {
                     zero
                 } else {
-                    let li = Rat::int(l.ceil());
-                    if l.le(li) && li.le(h) {
+                    let li = Rat::int(l.ceil()?);
+                    if l.le(li)? && li.le(h)? {
                         li
                     } else {
                         l // fractional corner; branch-and-bound splits
@@ -597,7 +686,7 @@ fn fm_rational(les: &[Atom]) -> Option<std::collections::HashMap<SVar, Rat>> {
         };
         model.insert(vb.var, value);
     }
-    Some(model)
+    Ok(Some(model))
 }
 
 #[cfg(test)]
@@ -629,7 +718,7 @@ mod tests {
                 assert_eq!(m.get(&v(0)), Some(&3));
                 assert_eq!(m.get(&v(1)), Some(&3));
             }
-            ConjResult::Unsat => panic!("expected sat"),
+            other => panic!("expected sat, got {other:?}"),
         }
     }
 
@@ -670,7 +759,7 @@ mod tests {
                 let val = m[&v(0)];
                 assert!(val == 1 || val == 3);
             }
-            ConjResult::Unsat => panic!("expected sat"),
+            other => panic!("expected sat, got {other:?}"),
         }
     }
 
@@ -772,10 +861,53 @@ mod tests {
         let atoms = vec![Atom::le(x().scale(2) - c(7)), Atom::ge(x().scale(2) - c(5))];
         match check_conj(&atoms) {
             ConjResult::Sat(m) => assert_eq!(m[&v(0)], 3),
-            ConjResult::Unsat => panic!("expected sat"),
+            other => panic!("expected sat, got {other:?}"),
         }
         // 2x ≤ 5 ∧ 2x ≥ 5: tightens to x ≤ 2 ∧ x ≥ 3: unsat
         let atoms = vec![Atom::le(x().scale(2) - c(5)), Atom::ge(x().scale(2) - c(5))];
         assert_eq!(check_conj(&atoms), ConjResult::Unsat);
+    }
+
+    // --- regression tests for the overflow and sym_mod fixes ---
+
+    #[test]
+    fn huge_coefficients_return_unknown_instead_of_panicking() {
+        // y ≥ 4·10¹⁸ ∧ x ≥ 3y: rational reconstruction assigns
+        // y = 4·10¹⁸ and then needs x ≥ 1.2·10¹⁹ > i64::MAX. The seed
+        // code panicked in `Rat::ceil` ("rational ceil overflow");
+        // the checked path degrades to Unknown.
+        let atoms =
+            vec![Atom::ge(y() - c(4_000_000_000_000_000_000)), Atom::ge(x() - y().scale(3))];
+        assert_eq!(check_conj(&atoms), ConjResult::Unknown);
+        // Unknown is conservatively "possibly sat" …
+        assert!(is_sat_conj(&atoms));
+        // … and entailment over the overflowing query is never
+        // claimed (the negation was not proven unsat).
+        assert!(!entails(&atoms, &Atom::le(x())));
+    }
+
+    #[test]
+    fn unknown_is_conservatively_possibly_sat() {
+        assert!(ConjResult::Unknown.is_sat());
+        assert!(!ConjResult::Unsat.is_sat());
+    }
+
+    #[test]
+    fn sym_mod_computes_symmetric_residues() {
+        assert_eq!(sym_mod(4, 3), 1);
+        assert_eq!(sym_mod(5, 3), -1);
+        assert_eq!(sym_mod(-5, 3), 1);
+        assert_eq!(sym_mod(3, 3), 0);
+        // residues near a huge modulus: `2·r` would overflow i64, the
+        // rewritten comparison `r > m − r` must not.
+        assert_eq!(sym_mod(i64::MAX, i64::MAX), 0);
+        assert_eq!(sym_mod(i64::MAX - 1, i64::MAX), -1);
+        assert_eq!(sym_mod(1, i64::MAX), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sym_mod requires modulus >= 2")]
+    fn sym_mod_rejects_degenerate_modulus() {
+        sym_mod(5, 1);
     }
 }

@@ -56,4 +56,4 @@ pub mod translate;
 pub use atom::{Atom, Rel};
 pub use formula::Formula;
 pub use lin::{LinExpr, SVar};
-pub use solver::{SatResult, Solver};
+pub use solver::{SatResult, SharedSolver, Solver};

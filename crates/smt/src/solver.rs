@@ -8,6 +8,8 @@ use crate::formula::Formula;
 use crate::lia::{self, ConjResult, Model};
 use crate::sat::{BVar, CnfSolver, Lit};
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 /// Result of a satisfiability query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,12 +18,20 @@ pub enum SatResult {
     Sat(Model),
     /// Unsatisfiable.
     Unsat,
+    /// The theory solver gave up (arithmetic overflow or search-budget
+    /// exhaustion) without proving either verdict.
+    Unknown,
 }
 
 impl SatResult {
-    /// True for [`SatResult::Sat`].
+    /// True unless the formula was *proven* unsatisfiable.
+    ///
+    /// [`SatResult::Unknown`] deliberately counts as possibly-sat:
+    /// callers gate state-space pruning on `!is_sat(..)` (e.g. the
+    /// abstract post of an `assume` edge), and dropping a state whose
+    /// guard was merely *not proven* unsatisfiable would be unsound.
     pub fn is_sat(&self) -> bool {
-        matches!(self, SatResult::Sat(_))
+        !matches!(self, SatResult::Unsat)
     }
 }
 
@@ -104,8 +114,15 @@ impl Solver {
 
     /// Decides satisfiability of `f` over the integers.
     pub fn check(&mut self, f: &Formula) -> SatResult {
+        self.check_nnf(f.to_nnf())
+    }
+
+    /// [`Solver::check`] for an already-NNF-normalized formula.
+    /// [`SharedSolver`] normalizes once to pick its shard and then
+    /// dispatches here, so the conversion is not repeated under the
+    /// shard lock.
+    fn check_nnf(&mut self, nnf: Formula) -> SatResult {
         self.queries += 1;
-        let nnf = f.to_nnf();
         match &nnf {
             Formula::Const(true) => return SatResult::Sat(Model::new()),
             Formula::Const(false) => return SatResult::Unsat,
@@ -159,6 +176,13 @@ impl Solver {
                     let blocking: Vec<Lit> = core.iter().map(|&i| origins[i].negate()).collect();
                     enc.sat.add_clause(&blocking);
                 }
+                ConjResult::Unknown => {
+                    // The theory solver could not classify this boolean
+                    // model's conjunction, so there is no core to learn
+                    // a blocking clause from. Give up on the whole
+                    // query rather than loop forever or guess.
+                    return SatResult::Unknown;
+                }
             }
         }
     }
@@ -181,6 +205,87 @@ impl Solver {
     /// Are `a` and `b` equivalent?
     pub fn equivalent(&mut self, a: &Formula, b: &Formula) -> bool {
         self.entails(a, b) && self.entails(b, a)
+    }
+}
+
+/// Shard count for [`SharedSolver`]. A formula's NNF hash picks the
+/// shard, so a given query always lands on the same [`Solver`] (and
+/// its cache entry), regardless of which thread issues it.
+const SOLVER_SHARDS: usize = 64;
+
+/// A thread-shareable solver: a fixed array of [`Solver`]s behind
+/// `Mutex`es, sharded by the NNF hash of the query.
+///
+/// Because shard selection is a pure function of the (canonical) NNF,
+/// and the solve runs while the shard lock is held, the first query
+/// for a distinct NNF is exactly one cache miss and every repeat is a
+/// hit — under any thread interleaving. Summing the per-shard counters
+/// therefore reproduces the exact hit/miss/query totals a single
+/// sequential [`Solver`] would have reported for the same query
+/// multiset, which is what keeps `--stats` output identical between
+/// `--jobs 1` and `--jobs N`.
+#[derive(Debug)]
+pub struct SharedSolver {
+    shards: Box<[Mutex<Solver>]>,
+}
+
+impl SharedSolver {
+    /// A fresh sharded solver; `cache_enabled` is applied to every
+    /// shard (mirrors [`Solver::set_cache_enabled`]).
+    pub fn new(cache_enabled: bool) -> SharedSolver {
+        SharedSolver {
+            shards: (0..SOLVER_SHARDS)
+                .map(|_| {
+                    let mut s = Solver::new();
+                    s.set_cache_enabled(cache_enabled);
+                    Mutex::new(s)
+                })
+                .collect(),
+        }
+    }
+
+    fn shard_of(&self, nnf: &Formula) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        nnf.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// Decides satisfiability of `f` over the integers.
+    pub fn check(&self, f: &Formula) -> SatResult {
+        let nnf = f.to_nnf();
+        let ix = self.shard_of(&nnf);
+        self.shards[ix].lock().expect("solver shard poisoned").check_nnf(nnf)
+    }
+
+    /// Convenience: is `f` satisfiable (or not proven unsatisfiable)?
+    pub fn is_sat(&self, f: &Formula) -> bool {
+        self.check(f).is_sat()
+    }
+
+    /// Is `f` valid (true in every integer state)?
+    pub fn is_valid(&self, f: &Formula) -> bool {
+        !self.is_sat(&f.clone().not())
+    }
+
+    /// Does `a` entail `b`?
+    pub fn entails(&self, a: &Formula, b: &Formula) -> bool {
+        !self.is_sat(&a.clone().and(b.clone().not()))
+    }
+
+    /// Counter totals summed over all shards. Equal to what one
+    /// sequential [`Solver`] would report for the same query multiset
+    /// (see the type-level docs).
+    pub fn counters(&self) -> circ_stats::SolverCounters {
+        let mut total = circ_stats::SolverCounters::default();
+        for shard in self.shards.iter() {
+            total.add(&shard.lock().expect("solver shard poisoned").counters());
+        }
+        total
+    }
+
+    /// Total top-level queries across all shards.
+    pub fn num_queries(&self) -> u64 {
+        self.counters().queries
     }
 }
 
@@ -273,7 +378,7 @@ mod tests {
         let mut s = Solver::new();
         match s.check(&f) {
             SatResult::Sat(m) => assert_eq!(m.get(&v(0)).copied().unwrap_or(0), 1),
-            SatResult::Unsat => panic!("expected sat"),
+            other => panic!("expected sat, got {other:?}"),
         }
     }
 
@@ -335,7 +440,7 @@ mod tests {
         let mut s = Solver::new();
         match s.check(&f) {
             SatResult::Sat(m) => assert_eq!(m[&v(0)], 3),
-            SatResult::Unsat => panic!("expected sat"),
+            other => panic!("expected sat, got {other:?}"),
         }
     }
 
@@ -382,6 +487,50 @@ mod tests {
         let b = s.check(&f.to_nnf());
         assert_eq!(a, b);
         assert_eq!(s.num_cache_hits(), 1);
+    }
+
+    #[test]
+    fn shared_solver_matches_sequential_solver() {
+        let queries = [
+            eq(x()).or(eq(x() - c(1))).and(le(c(2) - x())),
+            eq(x() - y()).and(eq(y())),
+            eq(x()).and(Formula::atom(Atom::ne(x()))),
+            le(x() - c(3)),
+        ];
+        let mut seq = Solver::new();
+        let shared = SharedSolver::new(true);
+        for _ in 0..2 {
+            for q in &queries {
+                assert_eq!(seq.check(q), shared.check(q));
+            }
+        }
+        // Same query multiset ⇒ same counter totals, even though the
+        // shared solver splits the work across shards.
+        assert_eq!(seq.counters(), shared.counters());
+        assert_eq!(shared.num_queries(), 8);
+    }
+
+    #[test]
+    fn shared_solver_entailment_and_validity() {
+        let shared = SharedSolver::new(true);
+        let pre = eq(x() - y()).and(eq(y()));
+        assert!(shared.entails(&pre, &eq(x())));
+        assert!(!shared.entails(&pre, &eq(x() - c(1))));
+        assert!(shared.is_valid(&le(x()).or(le(-x()))));
+        assert!(!shared.is_valid(&eq(x())));
+    }
+
+    #[test]
+    fn unknown_counts_as_possibly_sat() {
+        assert!(SatResult::Unknown.is_sat());
+        assert!(!SatResult::Unsat.is_sat());
+        // A guard with overflowing coefficients degrades to Unknown
+        // end-to-end instead of panicking.
+        let huge = le(c(4_000_000_000_000_000_000) - y()) // y ≥ 4·10¹⁸
+            .and(le(y().scale(3) - x())); // x ≥ 3y
+        let mut s = Solver::new();
+        assert_eq!(s.check(&huge), SatResult::Unknown);
+        assert!(s.is_sat(&huge));
     }
 
     #[test]

@@ -85,6 +85,9 @@ fn solver_agrees_with_grid() {
             SatResult::Unsat => {
                 assert!(!grid_sat, "case {case}: solver said Unsat but the grid satisfies {f}");
             }
+            SatResult::Unknown => {
+                panic!("case {case}: small-coefficient formula must never be Unknown: {f}");
+            }
         }
     }
 }
@@ -104,6 +107,9 @@ fn conj_solver_agrees_with_grid() {
             }
             lia::ConjResult::Unsat => {
                 assert!(!grid_sat, "case {case}: conjunction satisfiable on the grid: {atoms:?}");
+            }
+            lia::ConjResult::Unknown => {
+                panic!("case {case}: small-coefficient conjunction must never be Unknown");
             }
         }
     }

@@ -4,8 +4,9 @@
 //! Henzinger–Jhala–Majumdar report that CIRC's cost is dominated by
 //! theorem-prover calls during predicate abstraction; this crate is
 //! the measurement substrate that lets the rest of the workspace see
-//! that cost. Every layer keeps its own plain-struct counters
-//! (no globals, no atomics — the pipeline is single-threaded), and
+//! that cost. Every layer keeps its own counters — plain structs for
+//! the single-owner layers, atomics inside the sharded caches that
+//! worker threads share under `--jobs N` — and
 //! `circ-core` assembles them into one [`PipelineStats`] per run,
 //! renderable as a human table ([`PipelineStats::render_table`]) or a
 //! single JSON line ([`PipelineStats::to_json`]) for `BENCH_*.json`

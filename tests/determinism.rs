@@ -1,0 +1,144 @@
+//! Parallel determinism: for every corpus program and every Table 1
+//! model, a `--jobs 4` run must be *bit-identical* to the `--jobs 1`
+//! run — the same verdict essence (predicates, counterexample, final
+//! ACFA, k), the same ARG sizes, and the same merged statistics
+//! counters (solver queries, cache hits/misses, sim pairs, …). Only
+//! the phase wall-times may differ.
+//!
+//! This is the executable form of the design argument in `DESIGN.md`:
+//! batched frontier expansion commits in sequential order, sharded
+//! caches compute under the shard lock (one miss per distinct key
+//! under any interleaving), and CheckSim's Jacobi passes are pure
+//! functions of the previous relation.
+
+use circ_core::{circ, CircConfig, CircOutcome, PipelineStats};
+use circ_ir::{BoolExpr, CfaBuilder, Expr, MtProgram, Op};
+
+/// Everything verdict-relevant in an outcome; deliberately excludes
+/// statistics and timings.
+fn essence(outcome: &CircOutcome) -> String {
+    match outcome {
+        CircOutcome::Safe(r) => {
+            format!("Safe preds={:?} k={} acfa={:?}", r.preds, r.k, r.acfa)
+        }
+        CircOutcome::Unsafe(r) => format!("Unsafe cex={:?} k={}", r.cex, r.k),
+        CircOutcome::Unknown(r) => format!("Unknown reason={:?}", r.reason),
+    }
+}
+
+/// The run's counters with the wall-clock spans zeroed: everything
+/// here must be jobs-invariant.
+fn counters(outcome: &CircOutcome) -> PipelineStats {
+    let mut p = outcome.stats().pipeline.clone();
+    p.phases = Default::default();
+    p
+}
+
+fn assert_jobs_invariant(name: &str, program: &MtProgram, base: &CircConfig) {
+    let seq = circ(program, &CircConfig { jobs: 1, ..base.clone() });
+    let par = circ(program, &CircConfig { jobs: 4, ..base.clone() });
+    assert_eq!(
+        essence(&seq),
+        essence(&par),
+        "{name}: jobs=4 changed the verdict (omega={})",
+        base.omega_mode
+    );
+    assert_eq!(
+        counters(&seq),
+        counters(&par),
+        "{name}: jobs=4 changed the statistics counters (omega={})",
+        base.omega_mode
+    );
+}
+
+/// Unprotected concurrent increments: racy.
+fn unprotected_counter() -> MtProgram {
+    let mut b = CfaBuilder::new("counter");
+    let x = b.global("x");
+    let l1 = b.entry();
+    let l2 = b.fresh_loc();
+    b.edge(l1, Op::assign(x, Expr::var(x) + Expr::int(1)), l2);
+    b.edge(l2, Op::skip(), l1);
+    let cfa = b.build();
+    let x = cfa.var_by_name("x").unwrap();
+    MtProgram::new(cfa, x)
+}
+
+/// x only ever written inside atomic blocks: safe with zero predicates.
+fn atomic_only() -> MtProgram {
+    let mut b = CfaBuilder::new("atomic_only");
+    let x = b.global("x");
+    let l1 = b.entry();
+    let l2 = b.fresh_loc();
+    let l3 = b.fresh_loc();
+    b.edge(l1, Op::skip(), l2);
+    b.mark_atomic(l2);
+    b.edge(l2, Op::assign(x, Expr::var(x) + Expr::int(1)), l3);
+    b.edge(l3, Op::skip(), l1);
+    let cfa = b.build();
+    let x = cfa.var_by_name("x").unwrap();
+    MtProgram::new(cfa, x)
+}
+
+/// Figure 1 with the atomic marks removed: the test-and-set is racy.
+fn broken_fig1() -> MtProgram {
+    let mut b = CfaBuilder::new("broken");
+    let x = b.global("x");
+    let state = b.global("state");
+    let old = b.local("old");
+    let l1 = b.entry();
+    let l2 = b.fresh_loc();
+    let l3 = b.fresh_loc();
+    let l5 = b.fresh_loc();
+    let l6 = b.fresh_loc();
+    let l7 = b.fresh_loc();
+    b.edge(l1, Op::assign(old, Expr::var(state)), l2);
+    b.edge(l2, Op::assume(BoolExpr::eq(Expr::var(state), Expr::int(0))), l3);
+    b.edge(l3, Op::assign(state, Expr::int(1)), l5);
+    b.edge(l2, Op::assume(BoolExpr::ne(Expr::var(state), Expr::int(0))), l5);
+    b.edge(l5, Op::assume(BoolExpr::eq(Expr::var(old), Expr::int(0))), l6);
+    b.edge(l5, Op::assume(BoolExpr::ne(Expr::var(old), Expr::int(0))), l1);
+    b.edge(l6, Op::assign(x, Expr::var(x) + Expr::int(1)), l7);
+    b.edge(l7, Op::assign(state, Expr::int(0)), l1);
+    let cfa = b.build();
+    let x = cfa.var_by_name("x").unwrap();
+    MtProgram::new(cfa, x)
+}
+
+fn fig1_program() -> MtProgram {
+    let cfa = circ_ir::figure1_cfa();
+    let x = cfa.var_by_name("x").unwrap();
+    MtProgram::new(cfa, x)
+}
+
+#[test]
+fn examples_corpus_is_jobs_invariant_in_both_modes() {
+    let corpus = [
+        ("figure1", fig1_program()),
+        ("broken_fig1", broken_fig1()),
+        ("atomic_only", atomic_only()),
+        ("unprotected_counter", unprotected_counter()),
+    ];
+    for omega in [false, true] {
+        let base = if omega { CircConfig::omega() } else { CircConfig::default() };
+        for (name, program) in &corpus {
+            assert_jobs_invariant(name, program, &base);
+        }
+    }
+}
+
+#[test]
+fn table1_models_are_jobs_invariant() {
+    for m in circ_nesc::models() {
+        assert_jobs_invariant(m.name, &m.program(), &CircConfig::omega());
+    }
+}
+
+#[test]
+fn jobs_zero_means_auto_and_stays_invariant() {
+    let program = fig1_program();
+    let seq = circ(&program, &CircConfig::omega());
+    let auto = circ(&program, &CircConfig { jobs: 0, ..CircConfig::omega() });
+    assert_eq!(essence(&seq), essence(&auto));
+    assert_eq!(counters(&seq), counters(&auto));
+}
