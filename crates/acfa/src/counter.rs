@@ -7,6 +7,7 @@
 //! saturating arithmetic `k+1 = ω`, `ω+1 = ω`, `ω−1 = ω`.
 
 use crate::acfa::{Acfa, AcfaLocId};
+use circ_governor::{Budget, Exhausted};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -154,14 +155,35 @@ pub fn context_reach_with(
     init: CVal,
     consistent: &mut dyn FnMut(&ContextState) -> bool,
 ) -> BTreeSet<ContextState> {
+    context_reach_budgeted(acfa, k, init, consistent, &Budget::unlimited())
+        .expect("an unlimited budget cannot exhaust")
+}
+
+/// [`context_reach_with`] governed by a resource budget. The
+/// configuration space is exponential in the ACFA size, so this is
+/// the enumeration most likely to run away on a large context model:
+/// the budget is polled once per explored configuration and each
+/// retained one is charged against the memory ceiling.
+pub fn context_reach_budgeted(
+    acfa: &Acfa,
+    k: u32,
+    init: CVal,
+    consistent: &mut dyn FnMut(&ContextState) -> bool,
+    budget: &Budget,
+) -> Result<BTreeSet<ContextState>, Exhausted> {
+    // Approximate retained bytes per configuration: one counter per
+    // ACFA location plus set-node bookkeeping.
+    let config_bytes = acfa.num_locs() as u64 * 8 + 48;
     let mut seen: BTreeSet<ContextState> = BTreeSet::new();
     let first = ContextState::initial(acfa, init);
     if !consistent(&first) {
-        return seen;
+        return Ok(seen);
     }
     let mut stack = vec![first.clone()];
     seen.insert(first);
+    budget.charge(config_bytes);
     while let Some(g) = stack.pop() {
+        budget.check()?;
         let atomic: Vec<AcfaLocId> = g.atomic_occupied(acfa).collect();
         let movable: Vec<AcfaLocId> = match atomic.len() {
             0 => g.occupied().collect(),
@@ -173,12 +195,13 @@ pub fn context_reach_with(
                 let next = g.step(src, e.dst, k);
                 if !seen.contains(&next) && consistent(&next) {
                     seen.insert(next.clone());
+                    budget.charge(config_bytes);
                     stack.push(next);
                 }
             }
         }
     }
-    seen
+    Ok(seen)
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@
 //! soundly over-approximates every thread.
 
 use crate::acfa::{Acfa, AcfaLocId};
+use circ_governor::{Budget, Exhausted};
 use circ_ir::Var;
 use circ_par::Pool;
 use std::collections::BTreeSet;
@@ -74,6 +75,23 @@ pub fn check_sim_counting_pool(
     contains: &(dyn Fn(&crate::cube::Region, &crate::cube::Region) -> bool + Sync),
     pool: &Pool,
 ) -> (bool, u64) {
+    check_sim_budgeted(g, a, contains, pool, &Budget::unlimited())
+        .expect("an unlimited budget cannot exhaust")
+}
+
+/// [`check_sim_counting_pool`] governed by a resource budget, polled
+/// once before the label pass and once per Jacobi pass. On
+/// exhaustion the fixpoint is abandoned and the caller receives
+/// [`Exhausted`]; the partially-pruned relation is an
+/// over-approximation of the greatest simulation, so no verdict can
+/// soundly be extracted from it and none is returned.
+pub fn check_sim_budgeted(
+    g: &Acfa,
+    a: &Acfa,
+    contains: &(dyn Fn(&crate::cube::Region, &crate::cube::Region) -> bool + Sync),
+    pool: &Pool,
+    budget: &Budget,
+) -> Result<(bool, u64), Exhausted> {
     let mut pairs: u64 = 0;
     let ng = g.num_locs();
     let na = a.num_locs();
@@ -99,6 +117,7 @@ pub fn check_sim_counting_pool(
     // Greatest fixpoint: start from the label condition, prune. The
     // label row of each g-location only reads the automata, so the
     // rows are computed concurrently.
+    budget.check()?;
     let g_locs: Vec<AcfaLocId> = g.locs().collect();
     let mut rel: Vec<Vec<bool>> = pool.map(&g_locs, |&q| {
         a.locs()
@@ -109,6 +128,7 @@ pub fn check_sim_counting_pool(
 
     let mut changed = true;
     while changed {
+        budget.check()?;
         // One Jacobi pass: decide every surviving pair against the
         // frozen snapshot `rel`, then apply the kills at once.
         let passes: Vec<(Vec<bool>, u64)> = pool.map(&g_locs, |&q| {
@@ -148,7 +168,7 @@ pub fn check_sim_counting_pool(
         }
     }
 
-    (rel[g.entry().index()][a.entry().index()], pairs)
+    Ok((rel[g.entry().index()][a.entry().index()], pairs))
 }
 
 #[cfg(test)]
@@ -244,6 +264,24 @@ mod tests {
             plain(4, vec![edge(0, &[], 1), edge(1, &[1], 2), edge(2, &[0], 3), edge(3, &[1], 0)]);
         let q = collapse(&g);
         assert!(check_sim(&g, &q.acfa), "quotient must simulate the original");
+    }
+
+    #[test]
+    fn exhausted_budget_aborts_the_fixpoint() {
+        let g = plain(2, vec![edge(0, &[0], 1)]);
+        let expired = Budget::with_timeout(std::time::Duration::ZERO);
+        let result =
+            check_sim_budgeted(&g, &g, &|x, y| x.contained_in(y), &Pool::sequential(), &expired);
+        assert!(matches!(result, Err(Exhausted::Deadline { .. })));
+        // The same check under no budget still answers normally.
+        let ok = check_sim_budgeted(
+            &g,
+            &g,
+            &|x, y| x.contained_in(y),
+            &Pool::sequential(),
+            &Budget::unlimited(),
+        );
+        assert!(matches!(ok, Ok((true, _))));
     }
 
     #[test]

@@ -3,8 +3,13 @@
 //! wall-clock time — side by side with the paper's reported numbers.
 //!
 //! ```text
-//! cargo run --release -p circ-bench --bin table1
+//! cargo run --release -p circ-bench --bin table1 [-- --jobs N --timeout-secs N]
 //! ```
+//!
+//! `--timeout-secs N` gives every row its own wall-clock budget; a row
+//! that exhausts it is recorded as `"outcome": "timeout"` in the JSON
+//! report (and does not fail the harness) instead of hanging the whole
+//! table.
 //!
 //! Absolute times differ (the paper ran BLAST + Simplify on a 2 GHz
 //! IBM T30); the comparison is about *shape*: every row proves safe,
@@ -25,10 +30,10 @@
 //! outcome-equality check land in the `parallel` section of
 //! `BENCH_table1.json`.
 
-use circ_core::{circ, circ_with_cache, AbsCache, CircConfig, CircOutcome};
+use circ_core::{circ, circ_with_cache, AbsCache, CircConfig, CircOutcome, UnknownReason};
 use circ_par::Pool;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How many times the row set is replicated for the
 /// sequential-vs-parallel differential.
@@ -47,11 +52,35 @@ fn essence(outcome: &CircOutcome) -> String {
     }
 }
 
+/// A one-word verdict label for the JSON report, with budget-exhausted
+/// `Unknown`s (this run's own per-row timeout) told apart from the
+/// analysis giving up on its own.
+fn verdict(outcome: &CircOutcome) -> &'static str {
+    match outcome {
+        CircOutcome::Safe(_) => "safe",
+        CircOutcome::Unsafe(_) => "race",
+        CircOutcome::Unknown(r) => match &r.reason {
+            UnknownReason::Deadline(_) => "timeout",
+            UnknownReason::MemoryLimit { .. } => "memory-limit",
+            UnknownReason::Cancelled => "cancelled",
+            UnknownReason::InternalError(_) => "internal-error",
+            _ => "unknown",
+        },
+    }
+}
+
 struct RowRecord {
     label: String,
     time_s: f64,
     uncached_time_s: f64,
     outcomes_match: bool,
+    outcome: &'static str,
+}
+
+/// The per-row configuration: ω-CIRC, plus this invocation's per-row
+/// wall-clock budget (`--timeout-secs`), if any.
+fn row_cfg(timeout_secs: Option<u64>) -> CircConfig {
+    CircConfig { timeout: timeout_secs.map(Duration::from_secs), ..CircConfig::omega() }
 }
 
 /// Runs one program cached (against the shared cache) and uncached,
@@ -60,49 +89,65 @@ fn run_both(
     label: String,
     program: &circ_ir::MtProgram,
     cache: &AbsCache,
+    timeout_secs: Option<u64>,
 ) -> (CircOutcome, RowRecord) {
-    let cached_cfg = CircConfig::omega();
+    let cached_cfg = row_cfg(timeout_secs);
     let t0 = Instant::now();
     let outcome = circ_with_cache(program, &cached_cfg, cache);
     let time_s = t0.elapsed().as_secs_f64();
 
-    let uncached_cfg = CircConfig { use_cache: false, ..CircConfig::omega() };
+    let uncached_cfg = CircConfig { use_cache: false, ..row_cfg(timeout_secs) };
     let t1 = Instant::now();
     let uncached = circ(program, &uncached_cfg);
     let uncached_time_s = t1.elapsed().as_secs_f64();
 
     let outcomes_match = essence(&outcome) == essence(&uncached);
-    (outcome, RowRecord { label, time_s, uncached_time_s, outcomes_match })
+    let outcome_label = verdict(&outcome);
+    (outcome, RowRecord { label, time_s, uncached_time_s, outcomes_match, outcome: outcome_label })
 }
 
-fn parse_jobs() -> usize {
+struct Args {
+    jobs: usize,
+    timeout_secs: Option<u64>,
+}
+
+fn parse_args() -> Args {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
-    let mut jobs = 4usize;
+    let mut parsed = Args { jobs: 4, timeout_secs: None };
     while let Some(a) = it.next() {
         match a.as_str() {
             "--jobs" => match it.next().map(|v| v.parse::<usize>()) {
-                Some(Ok(n)) => jobs = n,
+                Some(Ok(n)) => parsed.jobs = n,
                 _ => {
                     eprintln!("--jobs expects a number");
                     std::process::exit(64);
                 }
             },
+            "--timeout-secs" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => parsed.timeout_secs = Some(n),
+                _ => {
+                    eprintln!("--timeout-secs expects a number");
+                    std::process::exit(64);
+                }
+            },
             other => {
-                eprintln!("unknown argument `{other}` (usage: table1 [--jobs N])");
+                eprintln!(
+                    "unknown argument `{other}` (usage: table1 [--jobs N] [--timeout-secs N])"
+                );
                 std::process::exit(64);
             }
         }
     }
-    jobs
+    parsed
 }
 
 /// One task of the parallel differential: a full ω-CIRC run with its
 /// own cache (so the sequential and parallel passes do identical
 /// work), reported as (verdict essence, wall time).
-fn run_task(program: &circ_ir::MtProgram) -> (String, f64) {
+fn run_task(program: &circ_ir::MtProgram, timeout_secs: Option<u64>) -> (String, f64) {
     let cache = AbsCache::new();
-    let cfg = CircConfig::omega();
+    let cfg = row_cfg(timeout_secs);
     let t = Instant::now();
     let outcome = circ_with_cache(program, &cfg, &cache);
     (essence(&outcome), t.elapsed().as_secs_f64())
@@ -120,12 +165,13 @@ struct ParRecord {
 fn parallel_differential(
     tasks: &[(String, circ_ir::MtProgram)],
     jobs: usize,
+    timeout_secs: Option<u64>,
 ) -> (Vec<ParRecord>, f64, f64) {
     let t0 = Instant::now();
-    let seq: Vec<(String, f64)> = Pool::sequential().map(tasks, |(_, p)| run_task(p));
+    let seq: Vec<(String, f64)> = Pool::sequential().map(tasks, |(_, p)| run_task(p, timeout_secs));
     let seq_wall = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
-    let par: Vec<(String, f64)> = Pool::new(jobs).map(tasks, |(_, p)| run_task(p));
+    let par: Vec<(String, f64)> = Pool::new(jobs).map(tasks, |(_, p)| run_task(p, timeout_secs));
     let par_wall = t1.elapsed().as_secs_f64();
     let records = tasks
         .iter()
@@ -141,7 +187,7 @@ fn parallel_differential(
 }
 
 fn main() {
-    let jobs = parse_jobs();
+    let Args { jobs, timeout_secs } = parse_args();
     println!("Table 1 — experimental results with CIRC (ω-CIRC mode)");
     println!("(paper columns measured on a 2 GHz IBM T30 with BLAST + Simplify)\n");
     println!(
@@ -161,7 +207,7 @@ fn main() {
         for row in m.paper_rows {
             let program = m.program();
             let label = format!("{}/{}", row.app, row.variable);
-            let (outcome, record) = run_both(label, &program, &cache);
+            let (outcome, record) = run_both(label, &program, &cache, timeout_secs);
             totals.pipeline.add(&outcome.stats().pipeline);
             match outcome {
                 CircOutcome::Safe(r) => {
@@ -177,6 +223,16 @@ fn main() {
                         r.k,
                         format!("{:.2?}", std::time::Duration::from_secs_f64(record.time_s)),
                         program.cfa().num_locs(),
+                    );
+                }
+                CircOutcome::Unknown(ref r)
+                    if timeout_secs.is_some() && r.reason.is_budget_exhausted() =>
+                {
+                    // The caller asked for a per-row budget; hitting it
+                    // is a recorded outcome, not a harness failure.
+                    println!(
+                        "{:<14} {:<14} | {:>5} {:>5} {:>8} | BUDGET EXHAUSTED: {:?}",
+                        row.app, row.variable, row.preds, row.acfa, row.time, r.reason
                     );
                 }
                 other => {
@@ -198,9 +254,14 @@ fn main() {
     println!("races being found in secureTosBase and sense before fixes):\n");
     for m in circ_nesc::models().iter().filter(|m| !m.expected_safe) {
         let program = m.program();
-        let (outcome, record) = run_both(m.name.to_string(), &program, &cache);
+        let (outcome, record) = run_both(m.name.to_string(), &program, &cache, timeout_secs);
         totals.pipeline.add(&outcome.stats().pipeline);
         match outcome {
+            CircOutcome::Unknown(ref r)
+                if timeout_secs.is_some() && r.reason.is_budget_exhausted() =>
+            {
+                println!("  {:<24} BUDGET EXHAUSTED: {:?}", m.name, r.reason);
+            }
             CircOutcome::Unsafe(r) => println!(
                 "  {:<24} RACE: {} threads, {}-step schedule, concretely replayed: {} ({:.2?})",
                 m.name,
@@ -258,7 +319,7 @@ fn main() {
         tasks.len(),
         PAR_REPLICATION,
     );
-    let (par_records, seq_wall, par_wall) = parallel_differential(&tasks, jobs);
+    let (par_records, seq_wall, par_wall) = parallel_differential(&tasks, jobs, timeout_secs);
     let par_match = par_records.iter().all(|r| r.outcomes_match);
     let speedup = if par_wall > 0.0 { seq_wall / par_wall } else { 0.0 };
     println!(
@@ -283,6 +344,7 @@ fn main() {
         cores,
         seq_wall,
         par_wall,
+        timeout_secs,
     );
     let out_path = "BENCH_table1.json";
     match std::fs::write(out_path, &json) {
@@ -306,8 +368,9 @@ fn render_rows(rows: &[RowRecord]) -> String {
         }
         let _ = write!(
             out,
-            "{{\"label\":{:?},\"time_s\":{:.6},\"uncached_time_s\":{:.6},\"outcomes_match\":{}}}",
-            r.label, r.time_s, r.uncached_time_s, r.outcomes_match
+            "{{\"label\":{:?},\"outcome\":{:?},\"time_s\":{:.6},\"uncached_time_s\":{:.6},\
+             \"outcomes_match\":{}}}",
+            r.label, r.outcome, r.time_s, r.uncached_time_s, r.outcomes_match
         );
     }
     out.push(']');
@@ -341,14 +404,16 @@ fn render_json(
     cores: usize,
     seq_wall: f64,
     par_wall: f64,
+    timeout_secs: Option<u64>,
 ) -> String {
     let abs = cache.counters();
     let speedup = if par_wall > 0.0 { seq_wall / par_wall } else { 0.0 };
     format!(
-        "{{\"rows\":{},\"injected\":{},\"pipeline\":{},\
+        "{{\"timeout_secs\":{},\"rows\":{},\"injected\":{},\"pipeline\":{},\
          \"cache\":{{\"queries\":{},\"hits\":{},\"misses\":{},\"hit_rate\":{:.6},\"entries\":{}}},\
          \"parallel\":{{\"jobs\":{},\"cores\":{},\"tasks\":{},\"replication\":{},\"seq_wall_s\":{:.6},\
          \"par_wall_s\":{:.6},\"speedup\":{:.3},\"outcomes_match\":{},\"rows\":{}}}}}\n",
+        timeout_secs.map_or("null".to_string(), |t| t.to_string()),
         render_rows(rows),
         render_rows(injected),
         totals.pipeline.to_json(),

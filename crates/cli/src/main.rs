@@ -2,17 +2,23 @@
 //!
 //! ```text
 //! circ check <file.nesl> [--mode circ|omega] [--k N] [--jobs N] [--print-acfa]
-//!                        [--trace] [--stats [--json]] [--no-cache]
+//!                        [--trace] [--stats] [--json] [--no-cache]
+//!                        [--timeout-secs N] [--mem-limit-mb N]
 //! circ compile <file.nesl> [--dot]
 //! circ baselines <file.nesl>
 //! ```
 //!
 //! Exit codes: 0 = all checked variables race-free, 1 = a race was
-//! found, 2 = inconclusive, 64 = usage error, 65 = compile error.
+//! found, 2 = inconclusive (the analysis gave up within its own
+//! bounds), 3 = inconclusive because a resource budget ran out
+//! (`--timeout-secs` / `--mem-limit-mb` / cancellation), 64 = usage
+//! error, 65 = compile error. A race (1) dominates; among inconclusive
+//! variables, budget exhaustion (3) dominates plain inconclusive (2).
 
 use circ_core::{circ, CircConfig, CircEvent, CircOutcome, Property};
 use circ_ir::{dot, Cfa, MtProgram};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,18 +44,22 @@ fn print_help() {
     println!(
         "circ — race checking by context inference (PLDI 2004 reproduction)\n\n\
          USAGE:\n  circ check <file.nesl> [--mode circ|omega] [--asserts] [--k N] [--jobs N] [--print-acfa]\n\
-         \x20                        [--trace] [--stats [--json]] [--no-cache]\n\
+         \x20                        [--trace] [--stats] [--json] [--no-cache]\n\
+         \x20                        [--timeout-secs N] [--mem-limit-mb N]\n\
          \x20 circ compile <file.nesl> [--dot]\n\
          \x20 circ baselines <file.nesl>\n\n\
          The input file declares globals, `#race` variables, and one `thread`.\n\
          `check` proves the absence of data races for UNBOUNDEDLY many copies\n\
          of the thread, or returns a concrete racy schedule.\n\n\
          `--stats` prints per-phase counters, cache hit rates, and wall-time\n\
-         spans after each verdict (one JSON line instead with `--json`);\n\
-         `--no-cache` disables the entailment and solver caches (same verdict,\n\
-         useful for timing differentials); `--jobs N` runs the pipeline's\n\
-         parallel phases on N worker threads (0 = all cores, default 1) with\n\
-         bit-identical verdicts and statistics at any setting."
+         spans after each verdict; `--json` prints them as one JSON line\n\
+         instead (implies `--stats`); `--no-cache` disables the entailment\n\
+         and solver caches (same verdict, useful for timing differentials);\n\
+         `--jobs N` runs the pipeline's parallel phases on N worker threads\n\
+         (0 = all cores, default 1) with bit-identical verdicts and\n\
+         statistics at any setting; `--timeout-secs N` / `--mem-limit-mb N`\n\
+         bound the run's wall clock / accounted memory — on exhaustion the\n\
+         verdict is INCONCLUSIVE with partial statistics and exit code 3."
     );
 }
 
@@ -70,6 +80,8 @@ struct Parsed {
     stats_json: bool,
     no_cache: bool,
     jobs: usize,
+    timeout_secs: Option<u64>,
+    mem_limit_mb: Option<u64>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Parsed, String> {
@@ -85,6 +97,8 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
         stats_json: false,
         no_cache: false,
         jobs: 1,
+        timeout_secs: None,
+        mem_limit_mb: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -104,6 +118,18 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
                 parsed.jobs =
                     v.parse().map_err(|_| format!("--jobs expects a number, got `{v}`"))?;
             }
+            "--timeout-secs" => {
+                let v = it.next().ok_or("--timeout-secs expects a number")?;
+                parsed.timeout_secs = Some(
+                    v.parse().map_err(|_| format!("--timeout-secs expects a number, got `{v}`"))?,
+                );
+            }
+            "--mem-limit-mb" => {
+                let v = it.next().ok_or("--mem-limit-mb expects a number")?;
+                parsed.mem_limit_mb = Some(
+                    v.parse().map_err(|_| format!("--mem-limit-mb expects a number, got `{v}`"))?,
+                );
+            }
             "--asserts" => parsed.asserts = true,
             "--print-acfa" => parsed.print_acfa = true,
             "--trace" => parsed.trace = true,
@@ -122,6 +148,11 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
     }
     if parsed.source_path.is_empty() {
         return Err("missing input file".into());
+    }
+    // `--json` selects the stats *format*; asking for a format is
+    // asking for the stats.
+    if parsed.stats_json {
+        parsed.stats = true;
     }
     Ok(parsed)
 }
@@ -170,9 +201,13 @@ fn cmd_check(args: &[String]) -> ExitCode {
         use_cache: !parsed.no_cache,
         property: if parsed.asserts { Property::Assertions } else { Property::Race },
         jobs: parsed.jobs,
+        timeout: parsed.timeout_secs.map(Duration::from_secs),
+        mem_limit_bytes: parsed.mem_limit_mb.map(|mb| mb * 1024 * 1024),
         ..CircConfig::default()
     };
-    let mut worst = ExitCode::SUCCESS;
+    // 1 (race) dominates everything; 3 (budget exhausted) dominates 2
+    // (plain inconclusive); 0 only survives if every variable is safe.
+    let mut worst: u8 = 0;
     let vars: Vec<_> = if parsed.asserts {
         compiled.race_vars[..1].to_vec() // property is program-wide
     } else {
@@ -241,12 +276,13 @@ fn cmd_check(args: &[String]) -> ExitCode {
                     let op = named(&compiled.cfa, format!("{}", compiled.cfa.edge(*eid).op));
                     println!("  {i:>3}. T{tid}  {op}");
                 }
-                worst = ExitCode::from(1);
+                worst = 1;
             }
             CircOutcome::Unknown(report) => {
                 println!("{vname}: INCONCLUSIVE — {:?}", report.reason);
-                if worst == ExitCode::SUCCESS {
-                    worst = ExitCode::from(2);
+                let code = if report.reason.is_budget_exhausted() { 3 } else { 2 };
+                if worst != 1 {
+                    worst = worst.max(code);
                 }
             }
         }
@@ -259,7 +295,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
             }
         }
     }
-    worst
+    ExitCode::from(worst)
 }
 
 fn cmd_compile(args: &[String]) -> ExitCode {
@@ -319,4 +355,40 @@ fn cmd_baselines(args: &[String]) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_flags;
+
+    fn flags(args: &[&str]) -> Result<super::Parsed, String> {
+        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn json_implies_stats() {
+        let p = flags(&["m.nesl", "--json"]).unwrap();
+        assert!(p.stats, "--json must imply --stats");
+        assert!(p.stats_json);
+        // --stats alone stays table-formatted.
+        let p = flags(&["m.nesl", "--stats"]).unwrap();
+        assert!(p.stats && !p.stats_json);
+    }
+
+    #[test]
+    fn budget_flags_parse() {
+        let p = flags(&["m.nesl", "--timeout-secs", "7", "--mem-limit-mb", "64"]).unwrap();
+        assert_eq!(p.timeout_secs, Some(7));
+        assert_eq!(p.mem_limit_mb, Some(64));
+        // Unset by default.
+        let p = flags(&["m.nesl"]).unwrap();
+        assert_eq!(p.timeout_secs, None);
+        assert_eq!(p.mem_limit_mb, None);
+    }
+
+    #[test]
+    fn budget_flags_reject_garbage() {
+        assert!(flags(&["m.nesl", "--timeout-secs", "soon"]).is_err());
+        assert!(flags(&["m.nesl", "--mem-limit-mb"]).is_err());
+    }
 }

@@ -70,11 +70,24 @@ impl AbsCtx {
     /// turns off the solver's formula-level memo, giving a fully
     /// uncached context for differentials.
     pub fn with_cache(cfa: Arc<Cfa>, preds: PredSet, cache: AbsCache) -> AbsCtx {
+        AbsCtx::with_cache_and_budget(cfa, preds, cache, circ_governor::Budget::unlimited())
+    }
+
+    /// [`AbsCtx::with_cache`] with a resource budget handed to the
+    /// underlying solver: the DPLL(T) loop polls it per theory round
+    /// (degrading to `Unknown` on exhaustion) and formula-cache
+    /// growth is charged against its memory ceiling.
+    pub fn with_cache_and_budget(
+        cfa: Arc<Cfa>,
+        preds: PredSet,
+        cache: AbsCache,
+        budget: circ_governor::Budget,
+    ) -> AbsCtx {
         let pred_atoms = preds
             .indices()
             .map(|i| translate::atom_of_pred(preds.pred(i), &mut pre).ok())
             .collect();
-        let solver = SharedSolver::new(cache.is_enabled());
+        let solver = SharedSolver::with_budget(cache.is_enabled(), budget);
         AbsCtx {
             cfa,
             preds,

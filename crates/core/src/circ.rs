@@ -27,13 +27,15 @@ use crate::preds::PredSet;
 use crate::reach::{reach_and_build, Property, ReachError};
 use crate::refine::{refine, ConcreteCex, Concretizer, RefineDetail, RefineError, RefineOutcome};
 use circ_acfa::{
-    check_sim_counting_pool, collapse, context_reach_with, Acfa, CVal, ContextState, Region,
+    check_sim_budgeted, collapse, context_reach_budgeted, Acfa, CVal, ContextState, Region,
 };
+use circ_governor::{panic_message, Budget, CancelToken, Exhausted, FaultPlan};
 use circ_ir::{MtProgram, Pred};
 use circ_par::Pool;
 use circ_stats::{AbsCounters, PipelineStats};
 use std::collections::BTreeSet;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`circ`].
 #[derive(Debug, Clone)]
@@ -71,6 +73,24 @@ pub struct CircConfig {
     /// produces bit-identical verdicts, ARGs, and statistics counters
     /// — see `DESIGN.md` on why.
     pub jobs: usize,
+    /// Wall-clock budget for the whole run. `None` (the default)
+    /// means unbounded; on expiry the run returns
+    /// [`UnknownReason::Deadline`] with the stats gathered so far.
+    pub timeout: Option<Duration>,
+    /// Accounted-memory ceiling in bytes for the run's growing arenas
+    /// (ARG states plus the solver formula cache). `None` means
+    /// unbounded; on overdraft the run returns
+    /// [`UnknownReason::MemoryLimit`]. Accounting is approximate — see
+    /// `circ-governor`'s crate docs.
+    pub mem_limit_bytes: Option<u64>,
+    /// Cooperative cancellation: an embedder holding a clone of this
+    /// token can abort the run from another thread; the run returns
+    /// [`UnknownReason::Cancelled`] at its next budget poll.
+    pub cancel: CancelToken,
+    /// Deterministic fault-injection schedule (testing only). Inert
+    /// by default, and every injection point compiles to constant
+    /// `false` unless the `inject` cargo feature is enabled.
+    pub faults: FaultPlan,
 }
 
 impl Default for CircConfig {
@@ -86,6 +106,10 @@ impl Default for CircConfig {
             use_cache: true,
             property: Property::Race,
             jobs: 1,
+            timeout: None,
+            mem_limit_bytes: None,
+            cancel: CancelToken::new(),
+            faults: FaultPlan::inert(),
         }
     }
 }
@@ -211,6 +235,50 @@ pub enum UnknownReason {
     /// Refinement failed outright (e.g. an `assume` guard outside the
     /// encodable fragment) — see [`RefineError`].
     RefineFailed(RefineError),
+    /// The wall-clock budget (`--timeout-secs`) expired. Carries the
+    /// configured limit; the report's stats are the partial run.
+    Deadline(Duration),
+    /// The accounted-memory ceiling (`--mem-limit-mb`) was exceeded.
+    MemoryLimit {
+        /// The configured ceiling in bytes.
+        limit_bytes: u64,
+        /// Bytes charged when the ceiling tripped.
+        charged_bytes: u64,
+    },
+    /// The embedder cancelled the run via [`CircConfig::cancel`].
+    Cancelled,
+    /// An internal bug (a panic) was contained at the `circ` boundary
+    /// instead of unwinding into the caller. Carries the panic
+    /// message. Soundness note: a contained panic yields `Unknown`,
+    /// never a verdict, so containment cannot flip Safe/Unsafe.
+    InternalError(String),
+}
+
+impl UnknownReason {
+    /// True when the run gave up because a *resource budget* ran out
+    /// (deadline, memory ceiling, or cancellation) — as opposed to the
+    /// algorithm's own analysis limits. The CLI maps these to a
+    /// distinct exit code.
+    pub fn is_budget_exhausted(&self) -> bool {
+        matches!(
+            self,
+            UnknownReason::Deadline(_)
+                | UnknownReason::MemoryLimit { .. }
+                | UnknownReason::Cancelled
+        )
+    }
+}
+
+impl From<Exhausted> for UnknownReason {
+    fn from(e: Exhausted) -> UnknownReason {
+        match e {
+            Exhausted::Deadline { limit } => UnknownReason::Deadline(limit),
+            Exhausted::MemoryLimit { limit_bytes, charged_bytes } => {
+                UnknownReason::MemoryLimit { limit_bytes, charged_bytes }
+            }
+            Exhausted::Cancelled => UnknownReason::Cancelled,
+        }
+    }
 }
 
 /// An inconclusive run.
@@ -278,12 +346,46 @@ pub fn circ(program: &MtProgram, config: &CircConfig) -> CircOutcome {
 /// counters are this run's delta, not the cache's lifetime totals.
 pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCache) -> CircOutcome {
     let start = Instant::now();
+    let budget = Budget::new(
+        config.timeout,
+        config.mem_limit_bytes,
+        config.cancel.clone(),
+        config.faults.clone(),
+    );
+    // Contain internal bugs at the pipeline boundary: a panic anywhere
+    // below — including one injected into a worker task and re-raised
+    // by `Pool::map` — becomes an `Unknown(InternalError)` verdict
+    // instead of unwinding into the embedder. The shared caches
+    // recover from lock poisoning (see circ-par and circ-smt), so
+    // sibling runs on the same `AbsCache` stay usable afterwards.
+    match catch_unwind(AssertUnwindSafe(|| circ_inner(program, config, cache, &budget, start))) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let mut stats = CircStats::default();
+            seal_governor(&mut stats, &budget);
+            stats.elapsed = start.elapsed();
+            CircOutcome::Unknown(UnknownReport {
+                reason: UnknownReason::InternalError(panic_message(payload.as_ref())),
+                log: CircLog::default(),
+                stats,
+            })
+        }
+    }
+}
+
+fn circ_inner(
+    program: &MtProgram,
+    config: &CircConfig,
+    cache: &AbsCache,
+    budget: &Budget,
+    start: Instant,
+) -> CircOutcome {
     let cfa = program.cfa_arc();
     let mut preds = PredSet::from_preds(&cfa, config.initial_preds.iter().cloned());
     let mut k = config.initial_k;
     let mut log = CircLog::default();
     let mut stats = CircStats::default();
-    let pool = Pool::new(config.jobs);
+    let pool = Pool::new(config.jobs).with_faults(budget.faults().clone());
     let abs_base = cache.counters();
 
     let pred_strings =
@@ -293,10 +395,21 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
     };
 
     for _outer in 0..config.max_outer {
+        // One poll between outer rounds so even a model whose phases
+        // all finish fast still observes cancellation and deadlines.
+        if let Err(e) = budget.check() {
+            seal_stats(&mut stats, None, cache, &abs_base, budget, start);
+            return CircOutcome::Unknown(UnknownReport { reason: e.into(), log, stats });
+        }
         stats.outer_iterations += 1;
         stats.pipeline.outer_rounds += 1;
         log.events.push(CircEvent::OuterStart { preds: pred_strings(&preds), k });
-        let abs = AbsCtx::with_cache(cfa.clone(), preds.clone(), cache.clone());
+        let abs = AbsCtx::with_cache_and_budget(
+            cfa.clone(),
+            preds.clone(),
+            cache.clone(),
+            budget.clone(),
+        );
         let mut acfa = Acfa::empty(preds.len());
         let mut concretizer: Option<Concretizer> = None;
 
@@ -316,17 +429,22 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
                 config.max_states,
                 config.property,
                 &pool,
+                budget,
             );
             stats.pipeline.phases.reach += reach_t.elapsed();
             match reach_result {
                 Err(ReachError::StateLimit(n)) => {
                     stats.pipeline.arg_nodes += n as u64;
-                    seal_stats(&mut stats, Some(&abs), cache, &abs_base, start);
+                    seal_stats(&mut stats, Some(&abs), cache, &abs_base, budget, start);
                     return CircOutcome::Unknown(UnknownReport {
                         reason: UnknownReason::StateLimit(n),
                         log,
                         stats,
                     });
+                }
+                Err(ReachError::Budget(e)) => {
+                    seal_stats(&mut stats, Some(&abs), cache, &abs_base, budget, start);
+                    return CircOutcome::Unknown(UnknownReport { reason: e.into(), log, stats });
                 }
                 Err(ReachError::Race(cex)) => {
                     stats.pipeline.arg_nodes += cex.steps.len() as u64 + 1;
@@ -339,6 +457,7 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
                         concretizer.as_ref(),
                         abs.preds(),
                         config.property,
+                        budget,
                     );
                     stats.pipeline.phases.refine += refine_t.elapsed();
                     stats.pipeline.refine_rounds += 1;
@@ -348,11 +467,12 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
                         RefineOutcome::IncrementK => format!("increment k to {}", k + 1),
                         RefineOutcome::Stuck(m) => format!("stuck: {m}"),
                         RefineOutcome::Error(e) => format!("refinement error: {e}"),
+                        RefineOutcome::Exhausted(e) => format!("budget exhausted: {e}"),
                     };
                     log.events.push(CircEvent::Refined { verdict, detail });
                     match outcome {
                         RefineOutcome::Real(ccex) => {
-                            seal_stats(&mut stats, Some(&abs), cache, &abs_base, start);
+                            seal_stats(&mut stats, Some(&abs), cache, &abs_base, budget, start);
                             return CircOutcome::Unsafe(UnsafeReport {
                                 cex: ccex,
                                 preds: preds.preds().to_vec(),
@@ -375,7 +495,7 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
                             break;
                         }
                         RefineOutcome::Stuck(msg) => {
-                            seal_stats(&mut stats, Some(&abs), cache, &abs_base, start);
+                            seal_stats(&mut stats, Some(&abs), cache, &abs_base, budget, start);
                             return CircOutcome::Unknown(UnknownReport {
                                 reason: UnknownReason::Stuck(msg),
                                 log,
@@ -383,9 +503,17 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
                             });
                         }
                         RefineOutcome::Error(e) => {
-                            seal_stats(&mut stats, Some(&abs), cache, &abs_base, start);
+                            seal_stats(&mut stats, Some(&abs), cache, &abs_base, budget, start);
                             return CircOutcome::Unknown(UnknownReport {
                                 reason: UnknownReason::RefineFailed(e),
+                                log,
+                                stats,
+                            });
+                        }
+                        RefineOutcome::Exhausted(e) => {
+                            seal_stats(&mut stats, Some(&abs), cache, &abs_base, budget, start);
+                            return CircOutcome::Unknown(UnknownReport {
+                                reason: e.into(),
                                 log,
                                 stats,
                             });
@@ -400,12 +528,25 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
                         arg_locs: exported.acfa.num_locs(),
                     });
                     let sim_t = Instant::now();
-                    let (holds, pairs) = check_sim_counting_pool(
+                    let sim_result = check_sim_budgeted(
                         &exported.acfa,
                         &acfa,
                         &|x, y| abs.region_contained(x, y),
                         &pool,
+                        budget,
                     );
+                    let (holds, pairs) = match sim_result {
+                        Ok(r) => r,
+                        Err(e) => {
+                            stats.pipeline.phases.sim += sim_t.elapsed();
+                            seal_stats(&mut stats, Some(&abs), cache, &abs_base, budget, start);
+                            return CircOutcome::Unknown(UnknownReport {
+                                reason: e.into(),
+                                log,
+                                stats,
+                            });
+                        }
+                    };
                     stats.pipeline.phases.sim += sim_t.elapsed();
                     stats.pipeline.sim_checks += 1;
                     stats.pipeline.sim_edge_pairs += pairs;
@@ -416,8 +557,27 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
                         let collapsed = timed_collapse(&exported.acfa, config.minimize, &mut stats);
                         if config.omega_mode {
                             let omega_t = Instant::now();
-                            let good = omega_good(&abs, &exported.acfa, &collapsed, k);
+                            let good_result =
+                                omega_good(&abs, &exported.acfa, &collapsed, k, budget);
                             stats.pipeline.phases.omega += omega_t.elapsed();
+                            let good = match good_result {
+                                Ok(g) => g,
+                                Err(e) => {
+                                    seal_stats(
+                                        &mut stats,
+                                        Some(&abs),
+                                        cache,
+                                        &abs_base,
+                                        budget,
+                                        start,
+                                    );
+                                    return CircOutcome::Unknown(UnknownReport {
+                                        reason: e.into(),
+                                        log,
+                                        stats,
+                                    });
+                                }
+                            };
                             log.events.push(CircEvent::OmegaCheck { good });
                             if !good {
                                 k += 1;
@@ -426,7 +586,7 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
                                 break;
                             }
                         }
-                        seal_stats(&mut stats, Some(&abs), cache, &abs_base, start);
+                        seal_stats(&mut stats, Some(&abs), cache, &abs_base, budget, start);
                         return CircOutcome::Safe(SafeReport {
                             acfa,
                             preds: preds.preds().to_vec(),
@@ -450,7 +610,7 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
         absorb_round(&mut stats, &abs);
         if !restart_outer {
             // Inner loop exhausted without converging.
-            seal_stats(&mut stats, None, cache, &abs_base, start);
+            seal_stats(&mut stats, None, cache, &abs_base, budget, start);
             return CircOutcome::Unknown(UnknownReport {
                 reason: UnknownReason::IterationLimit,
                 log,
@@ -458,7 +618,7 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
             });
         }
     }
-    seal_stats(&mut stats, None, cache, &abs_base, start);
+    seal_stats(&mut stats, None, cache, &abs_base, budget, start);
     CircOutcome::Unknown(UnknownReport { reason: UnknownReason::IterationLimit, log, stats })
 }
 
@@ -471,13 +631,14 @@ fn absorb_round(stats: &mut CircStats, abs: &AbsCtx) {
 }
 
 /// Finalizes the run's statistics: banks the live round's solver
-/// counters (if any), takes the shared cache's per-run delta, and
-/// stamps the wall clock.
+/// counters (if any), takes the shared cache's per-run delta, records
+/// the governor's accounting, and stamps the wall clock.
 fn seal_stats(
     stats: &mut CircStats,
     live_round: Option<&AbsCtx>,
     cache: &AbsCache,
     abs_base: &AbsCounters,
+    budget: &Budget,
     start: Instant,
 ) {
     if let Some(abs) = live_round {
@@ -486,7 +647,18 @@ fn seal_stats(
     let abs_delta = cache.counters().since(abs_base);
     stats.smt_queries += abs_delta.queries;
     stats.pipeline.abs = abs_delta;
+    seal_governor(stats, budget);
     stats.elapsed = start.elapsed();
+}
+
+/// Copies the budget's accounting (bytes charged, polls, injected
+/// faults) into the pipeline statistics. Split out of [`seal_stats`]
+/// because the panic-containment path has no cache baseline to diff
+/// but still wants the governor's view of the aborted run.
+fn seal_governor(stats: &mut CircStats, budget: &Budget) {
+    stats.pipeline.mem_charged_bytes = budget.charged_bytes();
+    stats.pipeline.budget_polls = budget.polls();
+    stats.pipeline.faults_injected = budget.faults().injected();
 }
 
 /// Runs [`maybe_collapse`] with phase timing and counter bookkeeping.
@@ -517,16 +689,33 @@ fn maybe_collapse(acfa: &Acfa, minimize: bool) -> circ_acfa::CollapseResult {
 /// environment alone can reach, every `A`-transition `q′ -Y→ q″`
 /// enabled at some ARG location's class must map that location's
 /// region back into itself: `(∃Y. r(n)) ∧ r(q″) ⊆ r(n)`.
-fn omega_good(abs: &AbsCtx, g: &Acfa, collapsed: &circ_acfa::CollapseResult, k: u32) -> bool {
+///
+/// The budget is polled once per enumerated counter configuration
+/// (the exponential part) and once per ARG location (each location
+/// checks every context edge, with SMT queries behind the containment
+/// test).
+fn omega_good(
+    abs: &AbsCtx,
+    g: &Acfa,
+    collapsed: &circ_acfa::CollapseResult,
+    k: u32,
+    budget: &Budget,
+) -> Result<bool, Exhausted> {
     let a = &collapsed.acfa;
     // Environment reachability must respect label consistency (the
     // conjunction of the occupied locations' regions), otherwise the
     // enabledness test below over-approximates so coarsely that the
     // goodness check can never conclude (e.g. it would consider two
     // threads simultaneously inside the test-and-set critical region).
-    let reach: BTreeSet<ContextState> =
-        context_reach_with(a, k, CVal::Omega, &mut |cfg| config_consistent(abs, a, cfg));
+    let reach: BTreeSet<ContextState> = context_reach_budgeted(
+        a,
+        k,
+        CVal::Omega,
+        &mut |cfg| config_consistent(abs, a, cfg),
+        budget,
+    )?;
     for n in g.locs() {
+        budget.check()?;
         let q = collapsed.map[n.index()];
         if a.is_atomic(q) {
             // The main-thread surrogate occupies an atomic location:
@@ -588,11 +777,11 @@ fn omega_good(abs: &AbsCtx, g: &Acfa, collapsed: &circ_acfa::CollapseResult, k: 
                     });
                     eprintln!("  enabling cfg: {witness:?}");
                 }
-                return false;
+                return Ok(false);
             }
         }
     }
-    true
+    Ok(true)
 }
 
 /// Is the conjunction of the occupied locations' labels satisfiable?

@@ -50,6 +50,7 @@ pub use crate::circ::{
 pub use abs::AbsCtx;
 pub use arg::{Arg, ExportedArg, StateEdge, StateEdgeKind, ThreadState};
 pub use cache::AbsCache;
+pub use circ_governor::{Budget, CancelToken, Exhausted, FaultPlan};
 pub use circ_stats::{AbsCounters, PipelineStats, SolverCounters};
 pub use preds::PredSet;
 pub use reach::{

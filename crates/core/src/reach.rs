@@ -6,9 +6,18 @@
 use crate::abs::AbsCtx;
 use crate::arg::{Arg, StateEdgeKind};
 use circ_acfa::{Acfa, AcfaLocId, CVal, ContextState, Cube};
+use circ_governor::{Budget, Exhausted};
 use circ_ir::{EdgeId, Loc, MtProgram};
 use circ_par::Pool;
 use std::collections::HashMap;
+
+/// Approximate bytes one committed ARG state costs: the `AbsState`
+/// itself plus hash-map/vector bookkeeping. Coarse by design — the
+/// memory ceiling governs growth, it does not model the allocator.
+fn state_bytes(s: &AbsState) -> u64 {
+    const OVERHEAD: u64 = 96;
+    std::mem::size_of::<AbsState>() as u64 + (s.cube.width() as u64) / 4 + OVERHEAD
+}
 
 /// An abstract program state: main-thread location and cube, plus the
 /// counter-abstracted context.
@@ -99,6 +108,9 @@ pub enum ReachError {
     Race(Box<AbstractCex>),
     /// Exceeded the state budget.
     StateLimit(usize),
+    /// The run's resource budget (deadline, memory ceiling, or
+    /// cancellation) was exhausted mid-search.
+    Budget(Exhausted),
 }
 
 /// Runs abstract reachability of the main thread against the context
@@ -117,10 +129,17 @@ pub enum ReachError {
 /// the `jobs = 1` run, and batch-then-append preserves the FIFO
 /// dequeue order of the sequential worklist.
 ///
+/// The resource budget is polled once per committed frontier state
+/// (the sequential phase, so the poll count is identical at every
+/// `jobs` setting) and each inserted state's approximate size is
+/// charged against the memory ceiling.
+///
 /// # Errors
 ///
 /// [`ReachError::Race`] carries the abstract trace;
-/// [`ReachError::StateLimit`] reports the budget.
+/// [`ReachError::StateLimit`] reports the budget;
+/// [`ReachError::Budget`] reports deadline/memory/cancellation
+/// exhaustion.
 #[allow(clippy::too_many_arguments)]
 pub fn reach_and_build(
     abs: &AbsCtx,
@@ -131,6 +150,7 @@ pub fn reach_and_build(
     max_states: usize,
     property: Property,
     pool: &Pool,
+    budget: &Budget,
 ) -> Result<Arg, ReachError> {
     let cfa = program.cfa_arc();
     let x = program.race_var();
@@ -150,52 +170,66 @@ pub fn reach_and_build(
     let mut parent: Vec<Option<(usize, TraceOp)>> = vec![None];
     let mut frontier: Vec<usize> = vec![0];
 
+    // Frontiers are expanded in fixed-size chunks rather than whole:
+    // expansion is the unpolled parallel phase, so chunking bounds how
+    // long the run can outlive its deadline by one chunk's expansion
+    // time instead of one full BFS level's. Chunk boundaries don't
+    // affect determinism — expansion only reads pre-existing states
+    // and the memoizing `AbsCtx`, and commits replay in frontier
+    // order either way.
+    const EXPANSION_CHUNK: usize = 256;
+
     while !frontier.is_empty() {
-        // Phase 1 — parallel: expand every frontier state against the
-        // shared abstraction context. Expansion is pure relative to
-        // the traversal bookkeeping (it only reads `states` and the
-        // memoizing `AbsCtx`), so any schedule computes the same
-        // expansions; `Pool::map` returns them in frontier order.
-        let expansions: Vec<Expansion> = pool
-            .map(&frontier, |&six| expand_state(abs, program, acfa, k, property, x, &states[six]));
-
-        // Phase 2 — sequential commit in batch order, replaying the
-        // sequential loop step for step.
         let mut next: Vec<usize> = Vec::new();
-        for (exp, &six) in expansions.iter().zip(frontier.iter()) {
-            let s = states[six].clone();
+        for chunk in frontier.chunks(EXPANSION_CHUNK) {
+            // Phase 1 — parallel: expand the chunk's states against
+            // the shared abstraction context. Expansion is pure
+            // relative to the traversal bookkeeping (it only reads
+            // `states` and the memoizing `AbsCtx`), so any schedule
+            // computes the same expansions; `Pool::map` returns them
+            // in frontier order.
+            let expansions: Vec<Expansion> = pool
+                .map(chunk, |&six| expand_state(abs, program, acfa, k, property, x, &states[six]));
 
-            // Error check on the (logically) dequeued state.
-            if let Some(error) = &exp.error {
-                let steps = rebuild_trace(&states, &parent, six);
-                return Err(ReachError::Race(Box::new(AbstractCex {
-                    steps,
-                    final_state: s,
-                    error: error.clone(),
-                })));
-            }
+            // Phase 2 — sequential commit in batch order, replaying
+            // the sequential loop step for step.
+            for (exp, &six) in expansions.iter().zip(chunk.iter()) {
+                budget.check().map_err(ReachError::Budget)?;
+                let s = states[six].clone();
 
-            if states.len() >= max_states {
-                return Err(ReachError::StateLimit(max_states));
-            }
-
-            for (kind, succ, op) in &exp.succs {
-                // The ARG records every computed post edge, including
-                // re-entries into already-known states.
-                arg.connect(
-                    &cfa,
-                    &(s.pc, s.cube.clone()),
-                    kind.clone(),
-                    &(succ.pc, succ.cube.clone()),
-                );
-                if index.contains_key(succ) {
-                    continue;
+                // Error check on the (logically) dequeued state.
+                if let Some(error) = &exp.error {
+                    let steps = rebuild_trace(&states, &parent, six);
+                    return Err(ReachError::Race(Box::new(AbstractCex {
+                        steps,
+                        final_state: s,
+                        error: error.clone(),
+                    })));
                 }
-                let ix = states.len();
-                states.push(succ.clone());
-                index.insert(succ.clone(), ix);
-                parent.push(Some((six, op.clone())));
-                next.push(ix);
+
+                if states.len() >= max_states {
+                    return Err(ReachError::StateLimit(max_states));
+                }
+
+                for (kind, succ, op) in &exp.succs {
+                    // The ARG records every computed post edge,
+                    // including re-entries into already-known states.
+                    arg.connect(
+                        &cfa,
+                        &(s.pc, s.cube.clone()),
+                        kind.clone(),
+                        &(succ.pc, succ.cube.clone()),
+                    );
+                    if index.contains_key(succ) {
+                        continue;
+                    }
+                    let ix = states.len();
+                    budget.charge(state_bytes(succ));
+                    states.push(succ.clone());
+                    index.insert(succ.clone(), ix);
+                    parent.push(Some((six, op.clone())));
+                    next.push(ix);
+                }
             }
         }
         frontier = next;
@@ -359,6 +393,7 @@ mod tests {
             10_000,
             Property::Race,
             &Pool::sequential(),
+            &Budget::unlimited(),
         );
         let arg = result.expect("no race without a context");
         assert!(arg.num_locs() >= 1);
@@ -389,6 +424,7 @@ mod tests {
             10_000,
             Property::Race,
             &Pool::sequential(),
+            &Budget::unlimited(),
         );
         match result {
             Err(ReachError::Race(cex)) => {
@@ -418,6 +454,7 @@ mod tests {
             10_000,
             Property::Race,
             &Pool::sequential(),
+            &Budget::unlimited(),
         );
         match result {
             Err(ReachError::Race(cex)) => {
@@ -462,6 +499,7 @@ mod tests {
             50_000,
             Property::Race,
             &Pool::sequential(),
+            &Budget::unlimited(),
         );
         assert!(result.is_ok(), "atomic write-back context cannot race with one thread");
     }
@@ -480,6 +518,7 @@ mod tests {
             2,
             Property::Race,
             &Pool::sequential(),
+            &Budget::unlimited(),
         );
         assert!(matches!(result, Err(ReachError::StateLimit(2))));
     }
@@ -493,7 +532,17 @@ mod tests {
         let acfa = writer_context(&program);
         let run = |pool: &Pool, init: CVal| {
             let abs = AbsCtx::new(program.cfa_arc(), PredSet::new());
-            reach_and_build(&abs, &program, &acfa, 1, init, 10_000, Property::Race, pool)
+            reach_and_build(
+                &abs,
+                &program,
+                &acfa,
+                1,
+                init,
+                10_000,
+                Property::Race,
+                pool,
+                &Budget::unlimited(),
+            )
         };
         for init in [CVal::Omega, CVal::Fin(1)] {
             let seq = run(&Pool::sequential(), init);
@@ -531,6 +580,7 @@ mod tests {
             10_000,
             Property::Race,
             &Pool::sequential(),
+            &Budget::unlimited(),
         )
         .expect("single thread is race-free");
         // the ARG covers at most one abstract state per (loc, cube)

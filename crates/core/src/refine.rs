@@ -31,6 +31,7 @@ use crate::arg::{Arg, ExportedArg, StateEdge, StateEdgeKind, ThreadState};
 use crate::preds::PredSet;
 use crate::reach::{AbstractCex, AbstractError, AbstractRace, Property, TraceOp};
 use circ_acfa::{Acfa, AcfaLocId, CollapseResult};
+use circ_governor::{Budget, Exhausted};
 use circ_ir::{
     BinOp, Cfa, CmpOp, EdgeId, Expr, Interp, MtProgram, Op, Pred, SchedChoice, ThreadId, Var,
 };
@@ -65,6 +66,9 @@ pub enum RefineOutcome {
     /// built. Propagated to the CIRC driver, which reports the run as
     /// inconclusive instead of panicking.
     Error(RefineError),
+    /// The run's resource budget ran out mid-search; the placement
+    /// sweep was abandoned without a verdict on the trace.
+    Exhausted(Exhausted),
 }
 
 /// A failure inside `Refine` (as opposed to a verdict about the
@@ -306,6 +310,11 @@ struct Segment {
 /// Analyzes one abstract counterexample. `concretizer` is the replay
 /// structure for the current context ACFA (`None` only when the
 /// context is empty, i.e. the trace cannot contain context moves).
+///
+/// The resource budget is polled once per placement candidate (the
+/// sweep is up to `2^6` trace formulas, each an SMT query) and handed
+/// to every placement's solver, so a deadline cuts through even a
+/// single slow query's theory loop.
 pub fn refine(
     program: &MtProgram,
     acfa: &Acfa,
@@ -313,6 +322,7 @@ pub fn refine(
     concretizer: Option<&Concretizer>,
     preds: &PredSet,
     property: Property,
+    budget: &Budget,
 ) -> (RefineOutcome, RefineDetail) {
     let mut detail = RefineDetail::default();
     let cfa = program.cfa();
@@ -471,6 +481,9 @@ pub fn refine(
     let mut feasible_unreplayable = false;
 
     for mask in 0..(1u32 << n_choices) {
+        if let Err(e) = budget.check() {
+            return (RefineOutcome::Exhausted(e), detail);
+        }
         let order = place_segments(&segments, &float_ixs[..n_choices], mask);
         let mut interleaving: Vec<(usize, EdgeId)> = Vec::new();
         for &si in &order {
@@ -489,6 +502,7 @@ pub fn refine(
         }
         let tf = Formula::conj(ssa.clauses.iter().cloned());
         let mut solver = Solver::new();
+        solver.set_budget(budget.clone());
         match solver.check(&tf) {
             SatResult::Sat(model) => {
                 let steps: Vec<(usize, EdgeId, i64)> = interleaving

@@ -21,24 +21,56 @@
 //! Both primitives are deliberately deterministic: `Pool::map` output
 //! order never depends on scheduling, and shard selection hashes with
 //! [`DefaultHasher::new`], which is stable within a build.
+//!
+//! Panic containment: [`Pool::try_map`] catches unwinds *per task*
+//! and returns them as [`TaskError`] values, so one bad task cannot
+//! take down its siblings or leave the pool unusable. [`Pool::map`]
+//! still panics on the first task failure (after all results are
+//! collected), preserving the fail-fast contract for callers that
+//! have no per-task error channel.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use circ_governor::{panic_message, FaultPlan};
+
+/// A task that panicked inside [`Pool::try_map`], reduced to its
+/// panic message. The unwind never crosses the pool boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskError {
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskError {}
 
 /// A fixed-width scoped worker pool.
 ///
 /// `jobs == 1` (the default everywhere) runs tasks inline on the
 /// calling thread — no threads are spawned and the pipeline behaves
 /// exactly like the sequential implementation it replaced.
+///
+/// The pool is stateless apart from its configuration, so it stays
+/// fully usable after a task failure: a `try_map` whose results
+/// contain [`TaskError`]s does not wedge later calls.
 #[derive(Debug, Clone)]
 pub struct Pool {
     jobs: usize,
+    faults: FaultPlan,
 }
 
 impl Pool {
@@ -50,12 +82,20 @@ impl Pool {
         } else {
             jobs
         };
-        Pool { jobs }
+        Pool { jobs, faults: FaultPlan::inert() }
     }
 
     /// A pool that always runs inline on the calling thread.
     pub fn sequential() -> Pool {
-        Pool { jobs: 1 }
+        Pool { jobs: 1, faults: FaultPlan::inert() }
+    }
+
+    /// Attach a fault-injection schedule. Armed `task_panic` faults
+    /// make tasks panic before running their closure; inert plans
+    /// (and builds without the `inject` feature) change nothing.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Pool {
+        self.faults = faults;
+        self
     }
 
     /// The resolved worker count.
@@ -65,22 +105,55 @@ impl Pool {
 
     /// Apply `f` to every item, returning results in input order.
     ///
-    /// With one worker (or fewer than two items) this is a plain
-    /// sequential loop; otherwise items are pulled off a shared
-    /// atomic counter by `min(jobs, len)` scoped threads. A panic in
-    /// any task is propagated to the caller after all workers join.
+    /// Convenience wrapper over [`Pool::try_map`] for callers without
+    /// a per-task error channel: every task still runs to completion
+    /// (or containment), then the first task failure, if any, is
+    /// re-raised as a panic on the calling thread.
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        self.try_map(items, f)
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(e) => panic!("{e}"),
+            })
+            .collect()
+    }
+
+    /// Apply `f` to every item, returning per-task results in input
+    /// order. A panicking task is caught inside its worker and
+    /// surfaces as `Err(TaskError)` in its own slot; sibling tasks
+    /// run to completion and the pool remains usable.
+    ///
+    /// With one worker (or fewer than two items) tasks run inline on
+    /// the calling thread (still individually contained); otherwise
+    /// items are pulled off a shared atomic counter by
+    /// `min(jobs, len)` scoped threads.
+    pub fn try_map<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, TaskError>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let run_one = |item: &T| -> Result<R, TaskError> {
+            catch_unwind(AssertUnwindSafe(|| {
+                if self.faults.task_panic() {
+                    panic!("injected task panic");
+                }
+                f(item)
+            }))
+            .map_err(|payload| TaskError { message: panic_message(payload.as_ref()) })
+        };
         if self.jobs <= 1 || items.len() < 2 {
-            return items.iter().map(f).collect();
+            return items.iter().map(run_one).collect();
         }
         let next = AtomicUsize::new(0);
         let workers = self.jobs.min(items.len());
-        let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let per_worker: Vec<Vec<(usize, Result<R, TaskError>)>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
@@ -90,7 +163,7 @@ impl Pool {
                             if i >= items.len() {
                                 break;
                             }
-                            out.push((i, f(&items[i])));
+                            out.push((i, run_one(&items[i])));
                         }
                         out
                     })
@@ -98,10 +171,10 @@ impl Pool {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .map(|h| h.join().expect("worker threads contain panics via catch_unwind"))
                 .collect()
         });
-        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        let mut slots: Vec<Option<Result<R, TaskError>>> = Vec::with_capacity(items.len());
         slots.resize_with(items.len(), || None);
         for (i, r) in per_worker.into_iter().flatten() {
             slots[i] = Some(r);
@@ -158,7 +231,11 @@ impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
     /// exactly one miss, ever. `compute` must not re-enter the same
     /// map (it may use *other* maps lower in the locking order).
     pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> (V, bool) {
-        let mut shard = self.shards[self.shard_of(&key)].lock().expect("sharded map lock poisoned");
+        // Recover from poisoning: a contained task panic must not
+        // wedge the cache for sibling tasks. Entries are only written
+        // after `compute` returns, so a poisoned shard still holds
+        // consistent data.
+        let mut shard = self.shards[self.shard_of(&key)].lock().unwrap_or_else(|e| e.into_inner());
         if let Some(v) = shard.get(&key) {
             return (v.clone(), true);
         }
@@ -169,7 +246,7 @@ impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
 
     /// Total number of cached entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("sharded map lock poisoned").len()).sum()
+        self.shards.iter().map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len()).sum()
     }
 
     /// True when no shard holds any entry.
@@ -231,6 +308,75 @@ mod tests {
         let (v, hit) = map.get_or_compute(7, || unreachable!("must be cached"));
         assert_eq!(v, 14);
         assert!(hit);
+    }
+
+    #[test]
+    fn try_map_contains_panics_per_task() {
+        for jobs in [1, 4] {
+            let pool = Pool::new(jobs);
+            let items: Vec<u32> = (0..20).collect();
+            let results = pool.try_map(&items, |&x| {
+                if x % 7 == 3 {
+                    panic!("task {x} exploded");
+                }
+                x * 2
+            });
+            assert_eq!(results.len(), 20);
+            for (i, r) in results.iter().enumerate() {
+                if i % 7 == 3 {
+                    let err = r.as_ref().expect_err("task should have failed");
+                    assert_eq!(err.message, format!("task {i} exploded"));
+                } else {
+                    assert_eq!(*r.as_ref().expect("task should have succeeded"), (i as u32) * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_stays_usable_after_a_task_failure() {
+        let pool = Pool::new(4);
+        let items: Vec<u32> = (0..8).collect();
+        let first = pool.try_map(&items, |&x| {
+            if x == 5 {
+                panic!("one bad apple");
+            }
+            x
+        });
+        assert!(first[5].is_err());
+        assert_eq!(first.iter().filter(|r| r.is_ok()).count(), 7);
+        // The same pool instance must run a clean map afterwards.
+        let second = pool.map(&items, |&x| x + 1);
+        assert_eq!(second, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker task panicked: boom")]
+    fn map_reraises_the_first_task_failure() {
+        let items: Vec<u32> = (0..4).collect();
+        Pool::new(2).map(&items, |&x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn sharded_map_survives_a_poisoning_panic() {
+        let map: ShardedMap<u32, u32> = ShardedMap::with_shards(1);
+        map.get_or_compute(1, || 10);
+        // Poison the single shard by panicking under its lock.
+        let poisoned = catch_unwind(AssertUnwindSafe(|| {
+            map.get_or_compute(2, || panic!("compute failed"));
+        }));
+        assert!(poisoned.is_err());
+        // The map recovers: old entries are intact, new inserts work.
+        let (v, hit) = map.get_or_compute(1, || unreachable!("must be cached"));
+        assert_eq!((v, hit), (10, true));
+        let (v, hit) = map.get_or_compute(3, || 30);
+        assert_eq!((v, hit), (30, false));
+        assert_eq!(map.len(), 2);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::atom::{Atom, Rel};
 use crate::formula::Formula;
 use crate::lia::{self, ConjResult, Model};
 use crate::sat::{BVar, CnfSolver, Lit};
+use circ_governor::Budget;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
@@ -51,6 +52,11 @@ pub struct Solver {
     cache_enabled: bool,
     cache_hits: u64,
     cache_misses: u64,
+    /// Resource budget polled once per theory round. Exhaustion makes
+    /// the query answer [`SatResult::Unknown`], which every caller
+    /// already treats conservatively (see [`SatResult::is_sat`]), so
+    /// a mid-query deadline degrades precision, never soundness.
+    budget: Budget,
 }
 
 impl Default for Solver {
@@ -62,6 +68,7 @@ impl Default for Solver {
             cache_enabled: true,
             cache_hits: 0,
             cache_misses: 0,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -80,6 +87,14 @@ impl Solver {
         if !enabled {
             self.cache.clear();
         }
+    }
+
+    /// Attach a resource budget (default: unlimited). The DPLL(T)
+    /// loop polls it once per theory round and answers `Unknown` on
+    /// exhaustion; formula-cache growth is charged against its memory
+    /// ceiling.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     /// Number of top-level queries issued so far.
@@ -128,31 +143,44 @@ impl Solver {
             Formula::Const(false) => return SatResult::Unsat,
             _ => {}
         }
+        // Fault injection: answer Unknown before touching the cache,
+        // so injected degradation never pollutes memoized results.
+        if self.budget.faults().solver_unknown() {
+            return SatResult::Unknown;
+        }
         if self.cache_enabled {
             if let Some(hit) = self.cache.get(&nnf) {
                 self.cache_hits += 1;
                 return hit.clone();
             }
         }
-        let result = self.solve_nnf(&nnf);
+        let (result, budget_aborted) = self.solve_nnf(&nnf);
         self.cache_misses += 1;
-        if self.cache_enabled {
+        // A budget-induced Unknown reflects *when* the query ran, not
+        // what the formula means — never memoize it.
+        if self.cache_enabled && !budget_aborted {
+            self.budget.charge(formula_bytes(&nnf));
             self.cache.insert(nnf, result.clone());
         }
         result
     }
 
-    /// The uncached DPLL(T) loop over an NNF formula.
-    fn solve_nnf(&mut self, nnf: &Formula) -> SatResult {
+    /// The uncached DPLL(T) loop over an NNF formula. The second
+    /// component is true when the result is an `Unknown` forced by
+    /// budget exhaustion rather than by the theory solver.
+    fn solve_nnf(&mut self, nnf: &Formula) -> (SatResult, bool) {
         let mut enc = Encoder::new();
         let root = enc.encode(nnf);
         enc.sat.add_clause(&[root]);
 
         loop {
             if !enc.sat.solve() {
-                return SatResult::Unsat;
+                return (SatResult::Unsat, false);
             }
             self.theory_rounds += 1;
+            if self.budget.check().is_err() {
+                return (SatResult::Unknown, true);
+            }
             // Collect the asserted theory literals of this boolean
             // model, remembering which boolean literal each came from.
             let mut theory: Vec<Atom> = Vec::new();
@@ -169,7 +197,7 @@ impl Solver {
                         nnf.eval(&|v| model.get(&v).copied().unwrap_or(0)),
                         "model does not satisfy formula"
                     );
-                    return SatResult::Sat(model);
+                    return (SatResult::Sat(model), false);
                 }
                 ConjResult::Unsat => {
                     let core = lia::unsat_core(&theory);
@@ -181,7 +209,7 @@ impl Solver {
                     // model's conjunction, so there is no core to learn
                     // a blocking clause from. Give up on the whole
                     // query rather than loop forever or guess.
-                    return SatResult::Unknown;
+                    return (SatResult::Unknown, false);
                 }
             }
         }
@@ -205,6 +233,23 @@ impl Solver {
     /// Are `a` and `b` equivalent?
     pub fn equivalent(&mut self, a: &Formula, b: &Formula) -> bool {
         self.entails(a, b) && self.entails(b, a)
+    }
+}
+
+/// Approximate heap footprint of one memoized formula, for budget
+/// accounting: a fixed per-AST-node estimate covering the enum
+/// discriminant, child vectors, and the linear expression behind each
+/// atom. Deliberately coarse — the memory ceiling is a growth
+/// governor, not an allocator limit.
+fn formula_bytes(f: &Formula) -> u64 {
+    const NODE_BYTES: u64 = 48;
+    match f {
+        Formula::Const(_) => NODE_BYTES,
+        Formula::Atom(_) => 2 * NODE_BYTES,
+        Formula::Not(inner) => NODE_BYTES + formula_bytes(inner),
+        Formula::And(fs) | Formula::Or(fs) => {
+            NODE_BYTES + fs.iter().map(formula_bytes).sum::<u64>()
+        }
     }
 }
 
@@ -233,11 +278,19 @@ impl SharedSolver {
     /// A fresh sharded solver; `cache_enabled` is applied to every
     /// shard (mirrors [`Solver::set_cache_enabled`]).
     pub fn new(cache_enabled: bool) -> SharedSolver {
+        SharedSolver::with_budget(cache_enabled, Budget::unlimited())
+    }
+
+    /// [`SharedSolver::new`] with a resource budget cloned into every
+    /// shard. Clones share one accounting state, so per-shard charges
+    /// and polls all land on the same ceiling.
+    pub fn with_budget(cache_enabled: bool, budget: Budget) -> SharedSolver {
         SharedSolver {
             shards: (0..SOLVER_SHARDS)
                 .map(|_| {
                     let mut s = Solver::new();
                     s.set_cache_enabled(cache_enabled);
+                    s.set_budget(budget.clone());
                     Mutex::new(s)
                 })
                 .collect(),
@@ -254,7 +307,11 @@ impl SharedSolver {
     pub fn check(&self, f: &Formula) -> SatResult {
         let nnf = f.to_nnf();
         let ix = self.shard_of(&nnf);
-        self.shards[ix].lock().expect("solver shard poisoned").check_nnf(nnf)
+        // Recover from poisoning: a contained task panic elsewhere
+        // must not wedge the shard for sibling tasks. Solver state is
+        // only mutated through `&mut self` methods that leave the
+        // cache consistent between statements.
+        self.shards[ix].lock().unwrap_or_else(|e| e.into_inner()).check_nnf(nnf)
     }
 
     /// Convenience: is `f` satisfiable (or not proven unsatisfiable)?
@@ -278,7 +335,7 @@ impl SharedSolver {
     pub fn counters(&self) -> circ_stats::SolverCounters {
         let mut total = circ_stats::SolverCounters::default();
         for shard in self.shards.iter() {
-            total.add(&shard.lock().expect("solver shard poisoned").counters());
+            total.add(&shard.lock().unwrap_or_else(|e| e.into_inner()).counters());
         }
         total
     }
@@ -531,6 +588,49 @@ mod tests {
         let mut s = Solver::new();
         assert_eq!(s.check(&huge), SatResult::Unknown);
         assert!(s.is_sat(&huge));
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_unknown_and_is_not_cached() {
+        use std::time::Duration;
+        // An already-expired deadline: the first theory round trips it.
+        let f = eq(x()).or(eq(x() - c(1))).and(le(c(2) - x()));
+        let mut s = Solver::new();
+        s.set_budget(Budget::with_timeout(Duration::ZERO));
+        assert_eq!(s.check(&f), SatResult::Unknown);
+        // The degraded answer must not be memoized: with the budget
+        // lifted, the same handle re-solves and gets the real verdict.
+        s.set_budget(Budget::unlimited());
+        assert_eq!(s.check(&f), SatResult::Unsat);
+        assert_eq!(s.num_cache_hits(), 0);
+    }
+
+    #[test]
+    fn cancelled_budget_degrades_to_unknown() {
+        let token = circ_governor::CancelToken::new();
+        let b = Budget::new(None, None, token.clone(), circ_governor::FaultPlan::inert());
+        let shared = SharedSolver::with_budget(true, b);
+        let f = eq(x()).or(eq(x() - c(1))).and(le(c(2) - x()));
+        assert_eq!(shared.check(&f), SatResult::Unsat);
+        token.cancel();
+        // Repeat of the same query is served from cache (no theory
+        // round, no poll), so probe with a fresh formula.
+        let g = eq(y()).or(eq(y() - c(1))).and(le(c(2) - y()));
+        assert_eq!(shared.check(&g), SatResult::Unknown);
+    }
+
+    #[test]
+    fn cache_growth_is_charged_to_the_budget() {
+        let b = Budget::unlimited();
+        let mut s = Solver::new();
+        s.set_budget(b.clone());
+        assert_eq!(b.charged_bytes(), 0);
+        s.check(&eq(x()).or(eq(x() - c(1))).and(le(c(2) - x())));
+        let after_first = b.charged_bytes();
+        assert!(after_first > 0, "a cache insert must charge the budget");
+        // A cache hit charges nothing further.
+        s.check(&eq(x()).or(eq(x() - c(1))).and(le(c(2) - x())));
+        assert_eq!(b.charged_bytes(), after_first);
     }
 
     #[test]

@@ -136,6 +136,15 @@ pub struct PipelineStats {
     pub refine_rounds: u64,
     /// Times the counter parameter `k` was incremented.
     pub k_increments: u64,
+    /// Approximate bytes charged against the memory budget (ARG
+    /// nodes plus solver formula-cache growth); tracked even when no
+    /// ceiling is configured.
+    pub mem_charged_bytes: u64,
+    /// Budget polls across all governed phases.
+    pub budget_polls: u64,
+    /// Faults fired by the injection harness (always 0 outside
+    /// `inject` builds).
+    pub faults_injected: u64,
     /// Per-phase wall-clock spans.
     pub phases: PhaseTimes,
 }
@@ -155,6 +164,9 @@ impl PipelineStats {
         self.collapse_iterations += other.collapse_iterations;
         self.refine_rounds += other.refine_rounds;
         self.k_increments += other.k_increments;
+        self.mem_charged_bytes += other.mem_charged_bytes;
+        self.budget_polls += other.budget_polls;
+        self.faults_injected += other.faults_injected;
         self.phases.add(&other.phases);
     }
 
@@ -194,6 +206,9 @@ impl PipelineStats {
             ),
         );
         row("solver theory rounds", self.solver.theory_rounds.to_string());
+        row("mem charged (bytes)", self.mem_charged_bytes.to_string());
+        row("budget polls", self.budget_polls.to_string());
+        row("faults injected", self.faults_injected.to_string());
         row("time: reach", format!("{:.2?}", self.phases.reach));
         row("time: sim", format!("{:.2?}", self.phases.sim));
         row("time: collapse", format!("{:.2?}", self.phases.collapse));
@@ -216,6 +231,7 @@ impl PipelineStats {
              \"solver_queries\":{},\"solver_cache_hits\":{},\
              \"solver_cache_misses\":{},\"solver_hit_rate\":{},\
              \"theory_rounds\":{},\
+             \"mem_charged_bytes\":{},\"budget_polls\":{},\"faults_injected\":{},\
              \"time_reach_s\":{},\"time_sim_s\":{},\"time_collapse_s\":{},\
              \"time_refine_s\":{},\"time_omega_s\":{}}}",
             self.outer_rounds,
@@ -236,6 +252,9 @@ impl PipelineStats {
             self.solver.cache_misses,
             json_f64(self.solver.hit_rate()),
             self.solver.theory_rounds,
+            self.mem_charged_bytes,
+            self.budget_polls,
+            self.faults_injected,
             json_f64(self.phases.reach.as_secs_f64()),
             json_f64(self.phases.sim.as_secs_f64()),
             json_f64(self.phases.collapse.as_secs_f64()),
@@ -301,6 +320,9 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"abs_hit_rate\":0.000000"));
+        assert!(j.contains("\"mem_charged_bytes\":0"));
+        assert!(j.contains("\"budget_polls\":0"));
+        assert!(j.contains("\"faults_injected\":0"));
     }
 
     #[test]
