@@ -1,0 +1,819 @@
+//! Corpus-level fan-out for the CIRC race checker.
+//!
+//! `circ batch <dir|manifest.json|file.nesl>` checks many NesL
+//! programs in one invocation. This crate is the engine behind it:
+//!
+//! * [`collect_inputs`] turns a directory, a JSON manifest, or a
+//!   single file into a sorted work list;
+//! * [`run_batch`] fans the list out over a [`circ_par::Pool`], giving
+//!   each file an equal slice of the global `--timeout-secs` /
+//!   `--mem-limit-mb` budget (see `circ_governor::carve_timeout`) and
+//!   an *isolated* entailment cache seeded from the shared warm start,
+//!   so per-file statistics are independent of scheduling;
+//! * the result is a [`BatchReport`] whose rows are in input order and
+//!   whose JSON rendering is byte-identical at any `--jobs` setting
+//!   once wall-time fields are stripped.
+//!
+//! # Cache persistence
+//!
+//! With a cache directory, [`run_batch`] warm-starts from
+//! [`ABS_CACHE_FILE`] (atom-level entailment answers) and
+//! [`SOLVER_CACHE_FILE`] (formula-level solver answers), and writes
+//! both back — seed plus everything the run learned — on completion.
+//! Anything wrong with a cache file (corruption, truncation, a format
+//! or atom-encoding version bump) degrades to a logged cold start:
+//! the loaders in `circ_core::persist` / `circ_smt::persist` validate
+//! a checksum before any entry is trusted, so a damaged file can
+//! never smuggle in a wrong memoized verdict.
+//!
+//! Determinism contract: every file is checked with an inner
+//! `CircConfig { jobs: 1 }` against a frozen seed, learned entries are
+//! merged *sequentially in input order* after the pool run, and cache
+//! files render canonically (sorted lines). Same inputs + same seed
+//! files ⇒ bit-identical report (minus wall times) and cache files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use circ_core::{circ_with_caches, AbsCache, AbsSeed, CircConfig, CircOutcome, SolverPersist};
+use circ_governor::{carve_mem_limit, carve_timeout};
+use circ_ir::MtProgram;
+use circ_par::Pool;
+use circ_smt::{Formula, SatResult};
+use circ_stats::{BatchTotals, PipelineStats};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// File name of the entailment-cache snapshot inside `--cache-dir`.
+pub const ABS_CACHE_FILE: &str = "abs.cache";
+/// File name of the solver-cache snapshot inside `--cache-dir`.
+pub const SOLVER_CACHE_FILE: &str = "solver.cache";
+
+/// Configuration for one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Run ω-CIRC (the default, matching `circ check`).
+    pub omega: bool,
+    /// Initial counter parameter for every file.
+    pub initial_k: u32,
+    /// Memoize entailment and solver queries. Disabling this also
+    /// disables persistence (`cache_dir` is ignored).
+    pub use_cache: bool,
+    /// Worker threads for the *outer* file fan-out (0 = all cores).
+    /// Each file runs its pipeline sequentially (`jobs = 1` inside),
+    /// so the report is identical at any setting.
+    pub jobs: usize,
+    /// Global wall-clock budget, split evenly across files (and then
+    /// across a file's race variables).
+    pub timeout: Option<Duration>,
+    /// Global accounted-memory budget in bytes, split the same way.
+    pub mem_limit_bytes: Option<u64>,
+    /// Directory holding [`ABS_CACHE_FILE`] / [`SOLVER_CACHE_FILE`];
+    /// loaded on start (cold start if absent or damaged) and written
+    /// back on completion.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            omega: true,
+            initial_k: 1,
+            use_cache: true,
+            jobs: 1,
+            timeout: None,
+            mem_limit_bytes: None,
+            cache_dir: None,
+        }
+    }
+}
+
+/// Per-file verdict, ordered by how bad it is for the batch exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every race variable proved race-free.
+    Safe,
+    /// The analysis gave up within its own bounds.
+    Inconclusive,
+    /// A worker task died (fault injection / internal panic).
+    InternalError,
+    /// The file's resource slice ran out.
+    BudgetExhausted,
+    /// The file did not compile (or could not be read).
+    CompileError,
+    /// A genuine race with a concrete schedule.
+    Race,
+}
+
+impl Verdict {
+    /// Stable lowercase name used in the JSON report.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Safe => "safe",
+            Verdict::Race => "race",
+            Verdict::Inconclusive => "inconclusive",
+            Verdict::InternalError => "internal-error",
+            Verdict::BudgetExhausted => "budget-exhausted",
+            Verdict::CompileError => "compile-error",
+        }
+    }
+
+    /// The exit code this verdict would produce for a single file,
+    /// mirroring `circ check` (0/1/2/3/65).
+    pub fn exit_code(self) -> u8 {
+        match self {
+            Verdict::Safe => 0,
+            Verdict::Race => 1,
+            Verdict::Inconclusive | Verdict::InternalError => 2,
+            Verdict::BudgetExhausted => 3,
+            Verdict::CompileError => 65,
+        }
+    }
+
+    /// Dominance rank for worst-wins aggregation: race > compile
+    /// error > budget exhaustion > inconclusive > safe.
+    fn rank(self) -> u8 {
+        match self {
+            Verdict::Safe => 0,
+            Verdict::Inconclusive | Verdict::InternalError => 2,
+            Verdict::BudgetExhausted => 3,
+            Verdict::CompileError => 4,
+            Verdict::Race => 5,
+        }
+    }
+}
+
+/// One checked file in the aggregate report.
+#[derive(Debug, Clone)]
+pub struct FileRow {
+    /// The path as given on the work list.
+    pub file: String,
+    /// Worst verdict across the file's race variables.
+    pub verdict: Verdict,
+    /// Human detail: the racy variable and schedule size, the
+    /// give-up reason, or the compile error.
+    pub detail: String,
+    /// Wall clock for the whole file (stripped by the determinism
+    /// comparison; every wall-time key starts with `time`).
+    pub time_s: f64,
+    /// Summed pipeline counters across the file's race variables.
+    pub pipeline: PipelineStats,
+}
+
+/// What the persistence layer did, for the report's `cache` block.
+#[derive(Debug, Clone)]
+pub struct CacheSummary {
+    /// The cache directory.
+    pub dir: String,
+    /// Entailment entries loaded as the warm seed.
+    pub abs_seeded: usize,
+    /// Solver entries loaded as the warm seed.
+    pub solver_seeded: usize,
+    /// Entailment entries written back (seed plus learned).
+    pub abs_saved: usize,
+    /// Solver entries written back (seed plus learned, minus
+    /// non-persistable `Unknown` answers).
+    pub solver_saved: usize,
+}
+
+/// The aggregate result of [`run_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One row per input file, in input order.
+    pub rows: Vec<FileRow>,
+    /// Roll-up counts and summed pipeline counters.
+    pub totals: BatchTotals,
+    /// Persistence summary when a cache directory was active.
+    pub cache: Option<CacheSummary>,
+    /// Worst-wins exit code: 1 (race) > 65 (compile error) > 3
+    /// (budget) > 2 (inconclusive) > 0 (all safe).
+    pub exit: u8,
+    /// Non-fatal problems (damaged cache files, failed saves). Not
+    /// part of the JSON report; the CLI prints them to stderr.
+    pub warnings: Vec<String>,
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl BatchReport {
+    /// Renders the aggregate report as one JSON object. Key order is
+    /// fixed and there is no `jobs` field, so two runs over the same
+    /// inputs agree byte-for-byte once `"time*"` values are stripped.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"report\":\"circ-batch\",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"file\":\"{}\",\"verdict\":\"{}\",\"detail\":\"{}\",\"exit\":{},\
+                 \"time_s\":{:.6},\"pipeline\":{}}}",
+                json_escape(&row.file),
+                row.verdict.name(),
+                json_escape(&row.detail),
+                row.verdict.exit_code(),
+                row.time_s,
+                row.pipeline.to_json(),
+            ));
+        }
+        s.push_str("],\"totals\":");
+        s.push_str(&self.totals.to_json());
+        s.push_str(",\"cache\":");
+        match &self.cache {
+            None => s.push_str("null"),
+            Some(c) => s.push_str(&format!(
+                "{{\"dir\":\"{}\",\"abs_seeded\":{},\"solver_seeded\":{},\
+                 \"abs_saved\":{},\"solver_saved\":{}}}",
+                json_escape(&c.dir),
+                c.abs_seeded,
+                c.solver_seeded,
+                c.abs_saved,
+                c.solver_saved,
+            )),
+        }
+        s.push_str(&format!(",\"exit\":{}}}", self.exit));
+        s
+    }
+
+    /// Renders a human-readable table plus the totals summary.
+    pub fn render_table(&self) -> String {
+        let width = self.rows.iter().map(|r| r.file.len()).max().unwrap_or(4).max(4);
+        let mut s = String::new();
+        for row in &self.rows {
+            s.push_str(&format!(
+                "{:<width$}  {:<16}  {:>8.2}s  {}\n",
+                row.file,
+                row.verdict.name().to_uppercase(),
+                row.time_s,
+                row.detail,
+            ));
+        }
+        s.push_str(&self.totals.render_summary());
+        if !s.ends_with('\n') {
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Parses a batch manifest: a JSON array of path strings. Only the
+/// escapes `\" \\ \/ \b \f \n \r \t \uXXXX` are recognized; anything
+/// beyond the closing `]` other than whitespace is an error.
+pub fn parse_manifest(text: &str) -> Result<Vec<String>, String> {
+    let mut chars = text.chars().peekable();
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+    };
+    skip_ws(&mut chars);
+    if chars.next() != Some('[') {
+        return Err("manifest must be a JSON array of path strings".into());
+    }
+    let mut paths = Vec::new();
+    let mut after_comma = false;
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some(']') if !after_comma => {
+                chars.next();
+                break;
+            }
+            Some('"') => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        None => return Err("unterminated string in manifest".into()),
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('/') => s.push('/'),
+                            Some('b') => s.push('\u{8}'),
+                            Some('f') => s.push('\u{c}'),
+                            Some('n') => s.push('\n'),
+                            Some('r') => s.push('\r'),
+                            Some('t') => s.push('\t'),
+                            Some('u') => {
+                                let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                                let cp = u32::from_str_radix(&hex, 16)
+                                    .map_err(|_| format!("bad \\u escape `{hex}` in manifest"))?;
+                                s.push(
+                                    char::from_u32(cp)
+                                        .ok_or(format!("bad code point \\u{hex} in manifest"))?,
+                                );
+                            }
+                            other => return Err(format!("bad escape {other:?} in manifest")),
+                        },
+                        Some(c) => s.push(c),
+                    }
+                }
+                paths.push(s);
+                skip_ws(&mut chars);
+                match chars.next() {
+                    Some(',') => after_comma = true,
+                    Some(']') => break,
+                    other => return Err(format!("expected `,` or `]` in manifest, got {other:?}")),
+                }
+            }
+            other => return Err(format!("expected a path string in manifest, got {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some(junk) = chars.next() {
+        return Err(format!("trailing content after manifest array: `{junk}`"));
+    }
+    Ok(paths)
+}
+
+/// Builds the batch work list from a directory (all `*.nesl` entries,
+/// sorted by name), a `.json` manifest (paths resolved relative to the
+/// manifest's directory), or a single `.nesl` file.
+pub fn collect_inputs(path: &Path) -> Result<Vec<PathBuf>, String> {
+    let meta = fs::metadata(path).map_err(|e| format!("cannot stat `{}`: {e}", path.display()))?;
+    if meta.is_dir() {
+        let entries =
+            fs::read_dir(path).map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+        let mut files = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+            let p = entry.path();
+            if p.extension().is_some_and(|e| e == "nesl") && p.is_file() {
+                files.push(p);
+            }
+        }
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("no .nesl files in `{}`", path.display()));
+        }
+        Ok(files)
+    } else if path.extension().is_some_and(|e| e == "json") {
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+        let rel = parse_manifest(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        if rel.is_empty() {
+            return Err(format!("{}: empty manifest", path.display()));
+        }
+        let base = path.parent().unwrap_or(Path::new("."));
+        Ok(rel.iter().map(|r| base.join(r)).collect())
+    } else if path.extension().is_some_and(|e| e == "nesl") {
+        Ok(vec![path.to_path_buf()])
+    } else {
+        Err(format!("`{}` is not a directory, .nesl file, or .json manifest", path.display()))
+    }
+}
+
+/// The warm-start state loaded from a cache directory.
+pub struct LoadedCaches {
+    /// Entailment-cache seed ([`ABS_CACHE_FILE`]), empty on cold start.
+    pub abs_seed: AbsSeed,
+    /// Solver-cache seed ([`SOLVER_CACHE_FILE`]), empty on cold start.
+    pub solver_seed: Vec<(Formula, SatResult)>,
+    /// One message per damaged file that was ignored.
+    pub warnings: Vec<String>,
+}
+
+/// Loads both cache files, degrading each to an empty (cold) seed
+/// with a warning if the file is missing the right header, fails its
+/// checksum, or does not parse. A genuinely missing file is a silent
+/// cold start.
+pub fn load_caches(dir: &Path) -> LoadedCaches {
+    let mut warnings = Vec::new();
+    let abs_path = dir.join(ABS_CACHE_FILE);
+    let abs_seed = match circ_core::persist::load_abs_cache(&abs_path) {
+        Ok(Some(seed)) => seed,
+        Ok(None) => AbsSeed::empty(),
+        Err(e) => {
+            warnings.push(format!("ignoring cache `{}`: {e}", abs_path.display()));
+            AbsSeed::empty()
+        }
+    };
+    let solver_path = dir.join(SOLVER_CACHE_FILE);
+    let solver_seed = match circ_smt::persist::load_solver_cache(&solver_path) {
+        Ok(Some(entries)) => entries,
+        Ok(None) => Vec::new(),
+        Err(e) => {
+            warnings.push(format!("ignoring cache `{}`: {e}", solver_path.display()));
+            Vec::new()
+        }
+    };
+    LoadedCaches { abs_seed, solver_seed, warnings }
+}
+
+/// Writes both cache files (atomically, via a temp-file rename) and
+/// returns `(abs_saved, solver_saved, warnings)`. The solver count
+/// excludes `Unknown` answers, which are never persisted.
+pub fn save_caches(
+    dir: &Path,
+    snapshot: &AbsSeed,
+    persist: &SolverPersist,
+) -> (usize, usize, Vec<String>) {
+    let mut warnings = Vec::new();
+    if let Err(e) = circ_core::persist::save_abs_cache(&dir.join(ABS_CACHE_FILE), snapshot) {
+        warnings.push(format!("cannot save `{}`: {e}", dir.join(ABS_CACHE_FILE).display()));
+    }
+    if let Err(e) = circ_smt::persist::save_solver_cache(&dir.join(SOLVER_CACHE_FILE), persist) {
+        warnings.push(format!("cannot save `{}`: {e}", dir.join(SOLVER_CACHE_FILE).display()));
+    }
+    let solver_saved =
+        persist.merged_entries().iter().filter(|(_, r)| !matches!(r, SatResult::Unknown)).count();
+    (snapshot.len(), solver_saved, warnings)
+}
+
+/// Checks one file: compile, then worst-wins over its race variables,
+/// all against an isolated seeded cache so counters are independent
+/// of which worker ran it. Returns the row plus the file's cache for
+/// sequential post-run merging.
+fn check_file(
+    path: &Path,
+    config: &BatchConfig,
+    file_timeout: Option<Duration>,
+    file_mem: Option<u64>,
+    abs_seed: &AbsSeed,
+    persist: &SolverPersist,
+) -> (FileRow, AbsCache) {
+    let start = Instant::now();
+    let file = path.display().to_string();
+    let row = |verdict: Verdict, detail: String, pipeline: PipelineStats, start: Instant| FileRow {
+        file: file.clone(),
+        verdict,
+        detail,
+        time_s: start.elapsed().as_secs_f64(),
+        pipeline,
+    };
+    let src = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            let r =
+                row(Verdict::CompileError, format!("cannot read: {e}"), Default::default(), start);
+            return (r, AbsCache::disabled());
+        }
+    };
+    let compiled = match circ_frontend::compile(&src) {
+        Ok(c) => c,
+        Err(e) => {
+            let r = row(Verdict::CompileError, e.to_string(), Default::default(), start);
+            return (r, AbsCache::disabled());
+        }
+    };
+    if compiled.race_vars.is_empty() {
+        let detail = "no `#race` directive — nothing to check".to_string();
+        let r = row(Verdict::CompileError, detail, Default::default(), start);
+        return (r, AbsCache::disabled());
+    }
+    let n_vars = compiled.race_vars.len();
+    let cache = if config.use_cache { AbsCache::with_seed(abs_seed) } else { AbsCache::disabled() };
+    let cfg = CircConfig {
+        omega_mode: config.omega,
+        initial_k: config.initial_k,
+        use_cache: config.use_cache,
+        jobs: 1,
+        timeout: carve_timeout(file_timeout, n_vars),
+        mem_limit_bytes: carve_mem_limit(file_mem, n_vars),
+        ..CircConfig::default()
+    };
+    let mut verdict = Verdict::Safe;
+    let mut detail = String::new();
+    let mut pipeline = PipelineStats::default();
+    for &var in &compiled.race_vars {
+        let program = MtProgram::new(compiled.cfa.clone(), var);
+        let vname = compiled.cfa.var_name(var).to_string();
+        let outcome = circ_with_caches(&program, &cfg, &cache, persist);
+        pipeline.add(&outcome.stats().pipeline);
+        let (v, d) = match outcome {
+            CircOutcome::Safe(_) => (Verdict::Safe, String::new()),
+            CircOutcome::Unsafe(r) => (
+                Verdict::Race,
+                format!(
+                    "race on {vname}: {} threads, {} steps",
+                    r.cex.n_threads,
+                    r.cex.steps.len()
+                ),
+            ),
+            CircOutcome::Unknown(r) => {
+                let v = if r.reason.is_budget_exhausted() {
+                    Verdict::BudgetExhausted
+                } else {
+                    Verdict::Inconclusive
+                };
+                (v, format!("{vname}: {:?}", r.reason))
+            }
+        };
+        if v.rank() > verdict.rank() {
+            verdict = v;
+            detail = d;
+        }
+    }
+    if verdict == Verdict::Safe {
+        detail = format!("{n_vars} race variable(s) race-free");
+    }
+    (row(verdict, detail, pipeline, start), cache)
+}
+
+/// Runs the whole batch: load caches, fan out, aggregate, save.
+///
+/// Rows come back in input order regardless of `jobs`; a worker panic
+/// (possible only under fault injection) becomes an `internal-error`
+/// row rather than killing the batch. Cache files are written even on
+/// non-zero exits — a racy corpus still warms the cache.
+pub fn run_batch(inputs: &[PathBuf], config: &BatchConfig) -> BatchReport {
+    let cache_dir = if config.use_cache { config.cache_dir.as_deref() } else { None };
+    let (abs_seed, solver_seed, mut warnings) = match cache_dir {
+        Some(dir) => {
+            let loaded = load_caches(dir);
+            (loaded.abs_seed, loaded.solver_seed, loaded.warnings)
+        }
+        None => (AbsSeed::empty(), Vec::new(), Vec::new()),
+    };
+    let abs_seeded = abs_seed.len();
+    let solver_seeded = solver_seed.len();
+    // An active store even when the seed is empty: with a cache dir
+    // we must *collect* what the run learns, not just replay it.
+    let persist = if cache_dir.is_some() {
+        SolverPersist::with_seed(solver_seed)
+    } else {
+        SolverPersist::inert()
+    };
+
+    let n = inputs.len();
+    let file_timeout = carve_timeout(config.timeout, n);
+    let file_mem = carve_mem_limit(config.mem_limit_bytes, n);
+    let pool = Pool::new(config.jobs);
+    let results = pool.try_map(inputs, |path| {
+        check_file(path, config, file_timeout, file_mem, &abs_seed, &persist)
+    });
+
+    let mut rows = Vec::with_capacity(n);
+    let mut caches = Vec::with_capacity(n);
+    for (path, result) in inputs.iter().zip(results) {
+        match result {
+            Ok((row, cache)) => {
+                rows.push(row);
+                caches.push(cache);
+            }
+            Err(e) => {
+                rows.push(FileRow {
+                    file: path.display().to_string(),
+                    verdict: Verdict::InternalError,
+                    detail: e.message,
+                    time_s: 0.0,
+                    pipeline: PipelineStats::default(),
+                });
+                caches.push(AbsCache::disabled());
+            }
+        }
+    }
+
+    let mut totals = BatchTotals { files: rows.len() as u64, ..BatchTotals::default() };
+    for row in &rows {
+        match row.verdict {
+            Verdict::Safe => totals.safe += 1,
+            Verdict::Race => totals.races += 1,
+            Verdict::Inconclusive | Verdict::InternalError => totals.inconclusive += 1,
+            Verdict::BudgetExhausted => totals.budget_exhausted += 1,
+            Verdict::CompileError => totals.compile_errors += 1,
+        }
+        totals.pipeline.add(&row.pipeline);
+    }
+    let exit = rows
+        .iter()
+        .map(|r| r.verdict)
+        .max_by_key(|v| v.rank())
+        .map(Verdict::exit_code)
+        .unwrap_or(0);
+
+    // Merge and save sequentially in input order — scheduling never
+    // touches the persisted state, so warm files are reproducible.
+    let cache = cache_dir.map(|dir| {
+        let master = AbsCache::with_seed(&abs_seed);
+        for file_cache in &caches {
+            master.absorb(file_cache);
+        }
+        let snapshot = master.snapshot();
+        let (abs_saved, solver_saved, save_warnings) = save_caches(dir, &snapshot, &persist);
+        warnings.extend(save_warnings);
+        CacheSummary {
+            dir: dir.display().to_string(),
+            abs_seeded,
+            solver_seeded,
+            abs_saved,
+            solver_saved,
+        }
+    });
+
+    BatchReport { rows, totals, cache, exit, warnings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("circ-batch-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const SAFE_SRC: &str = "global int x;\n#race x;\nthread t { loop { atomic { x = x + 1; } } }\n";
+    const RACY_SRC: &str = "global int y;\n#race y;\nthread t { loop { y = y + 1; } }\n";
+
+    #[test]
+    fn manifest_parses_paths_and_escapes() {
+        let paths =
+            parse_manifest(" [ \"a.nesl\" , \"dir\\/b.nesl\", \"c\\u0041.nesl\" ] ").unwrap();
+        assert_eq!(paths, vec!["a.nesl", "dir/b.nesl", "cA.nesl"]);
+        assert_eq!(parse_manifest("[]").unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn manifest_rejects_garbage() {
+        for bad in ["", "{", "[\"a\"", "[\"a\",]", "[\"a\"] x", "[1]", "[\"\\q\"]"] {
+            assert!(parse_manifest(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn collect_inputs_scans_sorted_and_reads_manifests() {
+        let dir = tmp_root("collect");
+        fs::write(dir.join("b.nesl"), SAFE_SRC).unwrap();
+        fs::write(dir.join("a.nesl"), SAFE_SRC).unwrap();
+        fs::write(dir.join("notes.txt"), "x").unwrap();
+        let got = collect_inputs(&dir).unwrap();
+        assert_eq!(got, vec![dir.join("a.nesl"), dir.join("b.nesl")]);
+
+        fs::write(dir.join("m.json"), "[\"a.nesl\", \"b.nesl\"]").unwrap();
+        let got = collect_inputs(&dir.join("m.json")).unwrap();
+        assert_eq!(got, vec![dir.join("a.nesl"), dir.join("b.nesl")]);
+
+        let got = collect_inputs(&dir.join("a.nesl")).unwrap();
+        assert_eq!(got, vec![dir.join("a.nesl")]);
+
+        assert!(collect_inputs(&dir.join("notes.txt")).is_err());
+        assert!(collect_inputs(&dir.join("missing.nesl")).is_err());
+        let empty = tmp_root("collect-empty");
+        assert!(collect_inputs(&empty).is_err());
+    }
+
+    #[test]
+    fn batch_worst_wins_and_orders_rows() {
+        let dir = tmp_root("worst");
+        fs::write(dir.join("a_safe.nesl"), SAFE_SRC).unwrap();
+        fs::write(dir.join("b_racy.nesl"), RACY_SRC).unwrap();
+        fs::write(dir.join("c_broken.nesl"), "global int").unwrap();
+        let inputs = collect_inputs(&dir).unwrap();
+        let report = run_batch(&inputs, &BatchConfig::default());
+        assert_eq!(report.exit, 1, "race dominates compile error");
+        let verdicts: Vec<_> = report.rows.iter().map(|r| r.verdict).collect();
+        assert_eq!(verdicts, vec![Verdict::Safe, Verdict::Race, Verdict::CompileError]);
+        assert_eq!(report.totals.files, 3);
+        assert_eq!(report.totals.safe, 1);
+        assert_eq!(report.totals.races, 1);
+        assert_eq!(report.totals.compile_errors, 1);
+        assert!(report.cache.is_none());
+        let json = report.to_json();
+        assert!(json.contains("\"verdict\":\"race\""), "{json}");
+        assert!(!json.contains("\"jobs\""), "report must not mention jobs: {json}");
+    }
+
+    #[test]
+    fn batch_compile_error_dominates_inconclusive() {
+        let dir = tmp_root("dominance");
+        fs::write(dir.join("broken.nesl"), "thread {").unwrap();
+        fs::write(dir.join("safe.nesl"), SAFE_SRC).unwrap();
+        let inputs = collect_inputs(&dir).unwrap();
+        let report = run_batch(&inputs, &BatchConfig::default());
+        assert_eq!(report.exit, 65);
+    }
+
+    #[test]
+    fn warm_run_hits_where_cold_missed() {
+        let dir = tmp_root("warm");
+        fs::write(dir.join("a.nesl"), SAFE_SRC).unwrap();
+        let cache_dir = dir.join("cache");
+        let inputs = collect_inputs(&dir).unwrap();
+        let cfg = BatchConfig { cache_dir: Some(cache_dir.clone()), ..BatchConfig::default() };
+
+        let cold = run_batch(&inputs, &cfg);
+        assert_eq!(cold.exit, 0);
+        let cold_cache = cold.cache.as_ref().unwrap();
+        assert_eq!(cold_cache.abs_seeded, 0);
+        assert!(cold_cache.abs_saved > 0, "a safe proof must learn entailments");
+        assert!(cache_dir.join(ABS_CACHE_FILE).is_file());
+        assert!(cache_dir.join(SOLVER_CACHE_FILE).is_file());
+
+        let warm = run_batch(&inputs, &cfg);
+        assert_eq!(warm.exit, 0);
+        let warm_cache = warm.cache.as_ref().unwrap();
+        assert_eq!(warm_cache.abs_seeded, cold_cache.abs_saved);
+        assert!(
+            warm.totals.pipeline.abs.cache_misses < cold.totals.pipeline.abs.cache_misses,
+            "warm run must miss strictly less: warm {} vs cold {}",
+            warm.totals.pipeline.abs.cache_misses,
+            cold.totals.pipeline.abs.cache_misses
+        );
+        // Identical verdicts, and the cache reaches a fixpoint.
+        assert_eq!(warm.rows[0].verdict, cold.rows[0].verdict);
+        assert_eq!(warm_cache.abs_saved, cold_cache.abs_saved);
+    }
+
+    #[test]
+    fn damaged_cache_degrades_to_cold_start() {
+        let dir = tmp_root("damaged");
+        fs::write(dir.join("a.nesl"), SAFE_SRC).unwrap();
+        let cache_dir = dir.join("cache");
+        let inputs = collect_inputs(&dir).unwrap();
+        let cfg = BatchConfig { cache_dir: Some(cache_dir.clone()), ..BatchConfig::default() };
+        let cold = run_batch(&inputs, &cfg);
+
+        // Corrupt one byte in the body of the saved entailment cache.
+        let path = cache_dir.join(ABS_CACHE_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let ix = bytes.len() - 2;
+        bytes[ix] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+
+        let damaged = run_batch(&inputs, &cfg);
+        assert_eq!(damaged.exit, 0);
+        assert!(
+            damaged.warnings.iter().any(|w| w.contains("ignoring cache")),
+            "expected a degradation warning, got {:?}",
+            damaged.warnings
+        );
+        let summary = damaged.cache.as_ref().unwrap();
+        assert_eq!(summary.abs_seeded, 0, "damaged file must not seed anything");
+        assert_eq!(damaged.rows[0].verdict, cold.rows[0].verdict);
+        // The save path rewrote a valid file; the next run is warm again.
+        let healed = run_batch(&inputs, &cfg);
+        assert!(healed.warnings.is_empty());
+        assert_eq!(healed.cache.as_ref().unwrap().abs_seeded, summary.abs_saved);
+    }
+
+    #[test]
+    fn no_cache_ignores_cache_dir() {
+        let dir = tmp_root("nocache");
+        fs::write(dir.join("a.nesl"), SAFE_SRC).unwrap();
+        let cache_dir = dir.join("cache");
+        let inputs = collect_inputs(&dir).unwrap();
+        let cfg = BatchConfig {
+            use_cache: false,
+            cache_dir: Some(cache_dir.clone()),
+            ..BatchConfig::default()
+        };
+        let report = run_batch(&inputs, &cfg);
+        assert_eq!(report.exit, 0);
+        assert!(report.cache.is_none());
+        assert!(!cache_dir.exists(), "no cache files may be written with --no-cache");
+    }
+
+    #[test]
+    fn report_is_jobs_invariant_modulo_wall_times() {
+        let dir = tmp_root("jobs");
+        fs::write(dir.join("a.nesl"), SAFE_SRC).unwrap();
+        fs::write(dir.join("b.nesl"), RACY_SRC).unwrap();
+        fs::write(dir.join("c.nesl"), SAFE_SRC).unwrap();
+        let inputs = collect_inputs(&dir).unwrap();
+        let seq = run_batch(&inputs, &BatchConfig { jobs: 1, ..BatchConfig::default() });
+        let par = run_batch(&inputs, &BatchConfig { jobs: 4, ..BatchConfig::default() });
+        assert_eq!(strip_times(&seq.to_json()), strip_times(&par.to_json()));
+        assert_eq!(seq.exit, par.exit);
+    }
+
+    /// Zeroes every `"time...":<number>` value so wall clocks do not
+    /// break byte comparisons (same scanner as tests/determinism.rs).
+    fn strip_times(json: &str) -> String {
+        let mut out = String::with_capacity(json.len());
+        let mut rest = json;
+        while let Some(ix) = rest.find("\"time") {
+            let key_end = match rest[ix + 1..].find('"') {
+                Some(e) => ix + 1 + e + 1,
+                None => break,
+            };
+            let Some(colon) = rest[key_end..].find(':') else { break };
+            let val_start = key_end + colon + 1;
+            let val_len = rest[val_start..].find([',', '}']).unwrap_or(rest.len() - val_start);
+            out.push_str(&rest[..val_start]);
+            out.push('0');
+            rest = &rest[val_start + val_len..];
+        }
+        out.push_str(rest);
+        out
+    }
+}

@@ -1,0 +1,100 @@
+//! Cold-vs-warm batch differential: runs the `examples/` corpus twice
+//! through `circ_batch::run_batch` against the same fresh cache
+//! directory — the first run builds the persistent entailment and
+//! solver caches, the second warm-starts from them — and appends one
+//! JSON line to `BENCH_batch.json` with both wall times and cache
+//! counters.
+//!
+//! ```text
+//! cargo run --release -p circ-bench --bin batch [-- --jobs N]
+//! ```
+//!
+//! The process exits 1 if the warm run's verdicts differ from the
+//! cold run's in any way, or if warming did not strictly reduce
+//! entailment-cache misses — either would mean the persistence layer
+//! is changing or failing to do its one job.
+
+use circ_batch::{collect_inputs, run_batch, BatchConfig, BatchReport};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn verdicts(report: &BatchReport) -> Vec<(String, &'static str)> {
+    report.rows.iter().map(|r| (r.file.clone(), r.verdict.name())).collect()
+}
+
+fn main() {
+    let mut jobs = 1usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--jobs expects a number"));
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+
+    let examples = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples");
+    let inputs = collect_inputs(&examples).expect("examples corpus");
+    let cache_dir = std::env::temp_dir().join(format!("circ-bench-batch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cfg = BatchConfig { jobs, cache_dir: Some(cache_dir.clone()), ..BatchConfig::default() };
+
+    let t0 = Instant::now();
+    let cold = run_batch(&inputs, &cfg);
+    let cold_time = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let warm = run_batch(&inputs, &cfg);
+    let warm_time = t1.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    for w in cold.warnings.iter().chain(&warm.warnings) {
+        eprintln!("warning: {w}");
+    }
+
+    let cold_misses = cold.totals.pipeline.abs.cache_misses;
+    let warm_misses = warm.totals.pipeline.abs.cache_misses;
+    let cache = warm.cache.as_ref().expect("cache dir was set");
+    let line = format!(
+        "{{\"bench\":\"batch\",\"files\":{},\"jobs\":{jobs},\
+         \"cold_time_s\":{cold_time:.4},\"warm_time_s\":{warm_time:.4},\
+         \"cold_abs_misses\":{cold_misses},\"warm_abs_misses\":{warm_misses},\
+         \"cold_abs_hit_rate\":{:.4},\"warm_abs_hit_rate\":{:.4},\
+         \"cold_solver_misses\":{},\"warm_solver_misses\":{},\
+         \"abs_entries\":{},\"solver_entries\":{},\
+         \"verdicts_match\":{}}}",
+        inputs.len(),
+        cold.totals.pipeline.abs.hit_rate(),
+        warm.totals.pipeline.abs.hit_rate(),
+        cold.totals.pipeline.solver.cache_misses,
+        warm.totals.pipeline.solver.cache_misses,
+        cache.abs_seeded,
+        cache.solver_seeded,
+        verdicts(&cold) == verdicts(&warm),
+    );
+    let out_path = "BENCH_batch.json";
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(out_path)
+        .expect("open BENCH_batch.json");
+    writeln!(f, "{line}").expect("append BENCH_batch.json");
+    println!("{line}");
+    println!("appended to {out_path}");
+
+    if verdicts(&cold) != verdicts(&warm) {
+        eprintln!("FAIL: warm verdicts differ from cold");
+        std::process::exit(1);
+    }
+    if warm_misses >= cold_misses {
+        eprintln!(
+            "FAIL: warm run missed {warm_misses} times, cold {cold_misses} — cache not warming"
+        );
+        std::process::exit(1);
+    }
+}

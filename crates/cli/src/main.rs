@@ -3,7 +3,10 @@
 //! ```text
 //! circ check <file.nesl> [--mode circ|omega] [--k N] [--jobs N] [--print-acfa]
 //!                        [--trace] [--stats] [--json] [--no-cache]
-//!                        [--timeout-secs N] [--mem-limit-mb N]
+//!                        [--timeout-secs N] [--mem-limit-mb N] [--cache-dir DIR]
+//! circ batch <dir|manifest.json|file.nesl> [--mode circ|omega] [--k N] [--jobs N]
+//!                        [--json] [--no-cache] [--timeout-secs N]
+//!                        [--mem-limit-mb N] [--cache-dir DIR]
 //! circ compile <file.nesl> [--dot]
 //! circ baselines <file.nesl>
 //! ```
@@ -14,9 +17,15 @@
 //! (`--timeout-secs` / `--mem-limit-mb` / cancellation), 64 = usage
 //! error, 65 = compile error. A race (1) dominates; among inconclusive
 //! variables, budget exhaustion (3) dominates plain inconclusive (2).
+//! For `batch`, a compile error in any file (65) dominates budget
+//! exhaustion and inconclusive rows, and a race still dominates all.
 
-use circ_core::{circ, CircConfig, CircEvent, CircOutcome, Property};
+use circ_core::{
+    circ, circ_with_caches, AbsCache, AbsSeed, CircConfig, CircEvent, CircOutcome, Property,
+    SolverPersist,
+};
 use circ_ir::{dot, Cfa, MtProgram};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -27,6 +36,7 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "check" => cmd_check(&args[1..]),
+        "batch" => cmd_batch(&args[1..]),
         "compile" => cmd_compile(&args[1..]),
         "baselines" => cmd_baselines(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -45,21 +55,32 @@ fn print_help() {
         "circ — race checking by context inference (PLDI 2004 reproduction)\n\n\
          USAGE:\n  circ check <file.nesl> [--mode circ|omega] [--asserts] [--k N] [--jobs N] [--print-acfa]\n\
          \x20                        [--trace] [--stats] [--json] [--no-cache]\n\
-         \x20                        [--timeout-secs N] [--mem-limit-mb N]\n\
+         \x20                        [--timeout-secs N] [--mem-limit-mb N] [--cache-dir DIR]\n\
+         \x20 circ batch <dir|manifest.json|file.nesl> [--mode circ|omega] [--k N] [--jobs N]\n\
+         \x20                        [--json] [--no-cache] [--timeout-secs N]\n\
+         \x20                        [--mem-limit-mb N] [--cache-dir DIR]\n\
          \x20 circ compile <file.nesl> [--dot]\n\
          \x20 circ baselines <file.nesl>\n\n\
          The input file declares globals, `#race` variables, and one `thread`.\n\
          `check` proves the absence of data races for UNBOUNDEDLY many copies\n\
-         of the thread, or returns a concrete racy schedule.\n\n\
+         of the thread, or returns a concrete racy schedule. `batch` checks a\n\
+         whole corpus (a directory of .nesl files, a JSON manifest listing\n\
+         paths, or one file) on a worker pool and prints one aggregate\n\
+         report; its exit code is worst-wins across files.\n\n\
          `--stats` prints per-phase counters, cache hit rates, and wall-time\n\
          spans after each verdict; `--json` prints them as one JSON line\n\
          instead (implies `--stats`); `--no-cache` disables the entailment\n\
          and solver caches (same verdict, useful for timing differentials);\n\
-         `--jobs N` runs the pipeline's parallel phases on N worker threads\n\
-         (0 = all cores, default 1) with bit-identical verdicts and\n\
-         statistics at any setting; `--timeout-secs N` / `--mem-limit-mb N`\n\
-         bound the run's wall clock / accounted memory — on exhaustion the\n\
-         verdict is INCONCLUSIVE with partial statistics and exit code 3."
+         `--jobs N` runs on N worker threads (0 = all cores, default 1) —\n\
+         pipeline phases for `check`, whole files for `batch` — with\n\
+         bit-identical verdicts and statistics at any setting;\n\
+         `--timeout-secs N` / `--mem-limit-mb N` bound the run's wall clock /\n\
+         accounted memory (split evenly across files for `batch`) — on\n\
+         exhaustion the verdict is INCONCLUSIVE with partial statistics and\n\
+         exit code 3; `--cache-dir DIR` persists the entailment and solver\n\
+         caches across runs: loaded on start (a damaged file degrades to a\n\
+         logged cold start), written back on exit. `--k N` (N >= 1) sets the\n\
+         initial thread-counter parameter."
     );
 }
 
@@ -68,6 +89,7 @@ fn usage() -> ExitCode {
     ExitCode::from(64)
 }
 
+#[derive(Debug)]
 struct Parsed {
     source_path: String,
     mode_omega: bool,
@@ -82,6 +104,7 @@ struct Parsed {
     jobs: usize,
     timeout_secs: Option<u64>,
     mem_limit_mb: Option<u64>,
+    cache_dir: Option<PathBuf>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Parsed, String> {
@@ -99,6 +122,7 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
         jobs: 1,
         timeout_secs: None,
         mem_limit_mb: None,
+        cache_dir: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -112,6 +136,13 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
                 let v = it.next().ok_or("--k expects a number")?;
                 parsed.initial_k =
                     v.parse().map_err(|_| format!("--k expects a number, got `{v}`"))?;
+                // k counts context threads; the abstraction is only
+                // defined for k >= 1 (§3.2's counter domain starts at
+                // "one context thread"), so 0 is a usage error, not a
+                // config we can silently run with.
+                if parsed.initial_k == 0 {
+                    return Err("--k must be at least 1 (0 context threads is not a valid counter abstraction)".into());
+                }
             }
             "--jobs" => {
                 let v = it.next().ok_or("--jobs expects a number")?;
@@ -129,6 +160,10 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
                 parsed.mem_limit_mb = Some(
                     v.parse().map_err(|_| format!("--mem-limit-mb expects a number, got `{v}`"))?,
                 );
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir expects a directory")?;
+                parsed.cache_dir = Some(PathBuf::from(v));
             }
             "--asserts" => parsed.asserts = true,
             "--print-acfa" => parsed.print_acfa = true,
@@ -148,6 +183,9 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
     }
     if parsed.source_path.is_empty() {
         return Err("missing input file".into());
+    }
+    if parsed.cache_dir.is_some() && parsed.no_cache {
+        return Err("--cache-dir and --no-cache are contradictory (nothing to persist)".into());
     }
     // `--json` selects the stats *format*; asking for a format is
     // asking for the stats.
@@ -205,6 +243,21 @@ fn cmd_check(args: &[String]) -> ExitCode {
         mem_limit_bytes: parsed.mem_limit_mb.map(|mb| mb * 1024 * 1024),
         ..CircConfig::default()
     };
+    // With `--cache-dir`, warm-start from disk and share one cache
+    // across this invocation's race variables so the file written
+    // back holds the union of what they learned. Without it, each
+    // variable keeps its own per-run cache as before.
+    let (abs_seed, persist) = match &parsed.cache_dir {
+        Some(dir) => {
+            let loaded = circ_batch::load_caches(dir);
+            for w in &loaded.warnings {
+                eprintln!("warning: {w}");
+            }
+            (loaded.abs_seed, SolverPersist::with_seed(loaded.solver_seed))
+        }
+        None => (AbsSeed::empty(), SolverPersist::inert()),
+    };
+    let shared_cache = parsed.cache_dir.as_ref().map(|_| AbsCache::with_seed(&abs_seed));
     // 1 (race) dominates everything; 3 (budget exhausted) dominates 2
     // (plain inconclusive); 0 only survives if every variable is safe.
     let mut worst: u8 = 0;
@@ -216,7 +269,10 @@ fn cmd_check(args: &[String]) -> ExitCode {
     for &var in &vars {
         let program = MtProgram::new(compiled.cfa.clone(), var);
         let vname = compiled.cfa.var_name(var).to_string();
-        let outcome = circ(&program, &cfg);
+        let outcome = match &shared_cache {
+            Some(cache) => circ_with_caches(&program, &cfg, cache, &persist),
+            None => circ(&program, &cfg),
+        };
         let run_stats = outcome.stats().clone();
         if parsed.trace {
             for e in &outcome.log().events {
@@ -295,7 +351,49 @@ fn cmd_check(args: &[String]) -> ExitCode {
             }
         }
     }
+    if let (Some(dir), Some(cache)) = (&parsed.cache_dir, &shared_cache) {
+        let (_, _, warnings) = circ_batch::save_caches(dir, &cache.snapshot(), &persist);
+        for w in &warnings {
+            eprintln!("warning: {w}");
+        }
+    }
     ExitCode::from(worst)
+}
+
+fn cmd_batch(args: &[String]) -> ExitCode {
+    let parsed = match parse_flags(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let inputs = match circ_batch::collect_inputs(Path::new(&parsed.source_path)) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(65);
+        }
+    };
+    let cfg = circ_batch::BatchConfig {
+        omega: parsed.mode_omega,
+        initial_k: parsed.initial_k,
+        use_cache: !parsed.no_cache,
+        jobs: parsed.jobs,
+        timeout: parsed.timeout_secs.map(Duration::from_secs),
+        mem_limit_bytes: parsed.mem_limit_mb.map(|mb| mb * 1024 * 1024),
+        cache_dir: parsed.cache_dir.clone(),
+    };
+    let report = circ_batch::run_batch(&inputs, &cfg);
+    for w in &report.warnings {
+        eprintln!("warning: {w}");
+    }
+    if parsed.stats_json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_table());
+    }
+    ExitCode::from(report.exit)
 }
 
 fn cmd_compile(args: &[String]) -> ExitCode {
@@ -390,5 +488,24 @@ mod tests {
     fn budget_flags_reject_garbage() {
         assert!(flags(&["m.nesl", "--timeout-secs", "soon"]).is_err());
         assert!(flags(&["m.nesl", "--mem-limit-mb"]).is_err());
+    }
+
+    #[test]
+    fn k_zero_is_a_usage_error() {
+        let err = flags(&["m.nesl", "--k", "0"]).unwrap_err();
+        assert!(err.contains("--k must be at least 1"), "unhelpful message: {err}");
+        assert!(flags(&["m.nesl", "--k", "-1"]).is_err());
+        assert!(flags(&["m.nesl", "--k", "two"]).is_err());
+        assert_eq!(flags(&["m.nesl", "--k", "2"]).unwrap().initial_k, 2);
+        // The default stays 1 — the paper's experiments start there.
+        assert_eq!(flags(&["m.nesl"]).unwrap().initial_k, 1);
+    }
+
+    #[test]
+    fn cache_dir_parses_and_conflicts_with_no_cache() {
+        let p = flags(&["m.nesl", "--cache-dir", ".circ-cache"]).unwrap();
+        assert_eq!(p.cache_dir.as_deref(), Some(std::path::Path::new(".circ-cache")));
+        assert!(flags(&["m.nesl", "--cache-dir"]).is_err());
+        assert!(flags(&["m.nesl", "--cache-dir", "d", "--no-cache"]).is_err());
     }
 }

@@ -56,6 +56,21 @@ pub struct AbsCtx {
     assign_cache: ShardedMap<(Cube, EdgeId), Cube>,
     assume_cache: ShardedMap<(Cube, EdgeId), Option<Cube>>,
     context_cache: ShardedMap<(Cube, BTreeSet<Var>, Region), Vec<Cube>>,
+    /// Persistence store this context's solver was seeded from. On
+    /// drop, the solver's learned entries are absorbed back into it —
+    /// `Drop` rather than an explicit hook because a context retires
+    /// on many paths (every verdict return, plus panic unwinding) and
+    /// absorption must happen exactly once on all of them. Inert (and
+    /// absorption a no-op) unless constructed via [`AbsCtx::with_parts`].
+    solver_persist: circ_smt::SolverPersist,
+}
+
+impl Drop for AbsCtx {
+    fn drop(&mut self) {
+        if self.solver_persist.is_active() {
+            self.solver_persist.absorb(self.solver.entries());
+        }
+    }
 }
 
 impl AbsCtx {
@@ -83,11 +98,26 @@ impl AbsCtx {
         cache: AbsCache,
         budget: circ_governor::Budget,
     ) -> AbsCtx {
+        AbsCtx::with_parts(cfa, preds, cache, budget, &circ_smt::SolverPersist::inert())
+    }
+
+    /// [`AbsCtx::with_cache_and_budget`] additionally warm-starting
+    /// this context's solver from a persistence store's frozen seed
+    /// (see [`circ_smt::SolverPersist`]). The store is only *read*
+    /// here; what the round's solver learns is absorbed back by the
+    /// caller when the context retires.
+    pub fn with_parts(
+        cfa: Arc<Cfa>,
+        preds: PredSet,
+        cache: AbsCache,
+        budget: circ_governor::Budget,
+        solver_persist: &circ_smt::SolverPersist,
+    ) -> AbsCtx {
         let pred_atoms = preds
             .indices()
             .map(|i| translate::atom_of_pred(preds.pred(i), &mut pre).ok())
             .collect();
-        let solver = SharedSolver::with_budget(cache.is_enabled(), budget);
+        let solver = SharedSolver::with_budget_and_seed(cache.is_enabled(), budget, solver_persist);
         AbsCtx {
             cfa,
             preds,
@@ -97,6 +127,7 @@ impl AbsCtx {
             assign_cache: ShardedMap::new(),
             assume_cache: ShardedMap::new(),
             context_cache: ShardedMap::new(),
+            solver_persist: solver_persist.clone(),
         }
     }
 

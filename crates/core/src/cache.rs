@@ -151,6 +151,104 @@ impl AbsCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// A fresh, enabled cache warm-started from a frozen seed.
+    /// Preloaded entries bypass the counters, so the first query of a
+    /// seeded key counts as a *hit* — which is exactly the observable
+    /// difference between a warm and a cold run.
+    pub fn with_seed(seed: &AbsSeed) -> AbsCache {
+        let cache = AbsCache::new();
+        for ((premises, goal), result) in &seed.inner.entails {
+            cache.inner.entails.insert((premises.clone(), goal.clone()), *result);
+        }
+        for (atoms, result) in &seed.inner.sat {
+            cache.inner.sat.insert(atoms.clone(), *result);
+        }
+        cache
+    }
+
+    /// A frozen, deterministically ordered snapshot of the memoized
+    /// entries (sorted by key, so two caches with equal content
+    /// snapshot identically regardless of insertion order).
+    pub fn snapshot(&self) -> AbsSeed {
+        let mut entails = self.inner.entails.snapshot();
+        entails.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut sat = self.inner.sat.snapshot();
+        sat.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        AbsSeed { inner: Arc::new(AbsSeedInner { entails, sat }) }
+    }
+
+    /// Folds another cache's entries into this one, first write wins,
+    /// without touching any counters. Used to merge what isolated
+    /// per-file batch caches learned into the store that gets saved.
+    pub fn absorb(&self, other: &AbsCache) {
+        for (key, result) in other.inner.entails.snapshot() {
+            self.inner.entails.insert(key, result);
+        }
+        for (key, result) in other.inner.sat.snapshot() {
+            self.inner.sat.insert(key, result);
+        }
+    }
+}
+
+/// An immutable, shareable snapshot of [`AbsCache`] entries — what the
+/// persistence layer saves and what warm-started caches preload from.
+///
+/// Keeping the seed frozen (instead of handing concurrent runs one
+/// live shared cache) is what makes batch counters deterministic:
+/// every file sees exactly the seed, never a sibling's in-flight
+/// discoveries, so its hit/miss totals are independent of scheduling.
+#[derive(Debug, Clone, Default)]
+pub struct AbsSeed {
+    inner: Arc<AbsSeedInner>,
+}
+
+#[derive(Debug, Default)]
+struct AbsSeedInner {
+    entails: Vec<((Vec<Atom>, Atom), bool)>,
+    sat: Vec<(Vec<Atom>, bool)>,
+}
+
+impl AbsSeed {
+    /// The empty seed (a cold start).
+    pub fn empty() -> AbsSeed {
+        AbsSeed::default()
+    }
+
+    /// Builds a seed from raw entry lists (the persistence loader),
+    /// sorting by key so equal content always yields an identical
+    /// seed. Keys are trusted to be canonical — they are either
+    /// freshly parsed through the canonicalizing atom constructors or
+    /// came from a snapshot.
+    pub fn from_entries(
+        mut entails: Vec<((Vec<Atom>, Atom), bool)>,
+        mut sat: Vec<(Vec<Atom>, bool)>,
+    ) -> AbsSeed {
+        entails.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        sat.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        AbsSeed { inner: Arc::new(AbsSeedInner { entails, sat }) }
+    }
+
+    /// Entailment entries (sorted by key when built by
+    /// [`AbsCache::snapshot`]).
+    pub fn entails_entries(&self) -> &[((Vec<Atom>, Atom), bool)] {
+        &self.inner.entails
+    }
+
+    /// Conjunction-satisfiability entries.
+    pub fn sat_entries(&self) -> &[(Vec<Atom>, bool)] {
+        &self.inner.sat
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.entails.len() + self.inner.sat.len()
+    }
+
+    /// True when the seed carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +308,49 @@ mod tests {
         assert_eq!(c.cache_hits, 0);
         assert_eq!(c.cache_misses, 2);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn seeded_cache_hits_where_cold_misses() {
+        let cold = AbsCache::new();
+        let premises = [Atom::eq(x())];
+        let goal = Atom::le(x());
+        assert!(cold.entails(&premises, &goal));
+        assert!(cold.is_sat_conj(&premises));
+        assert_eq!(cold.counters().cache_misses, 2);
+
+        let warm = AbsCache::with_seed(&cold.snapshot());
+        assert!(warm.entails(&premises, &goal));
+        assert!(warm.is_sat_conj(&premises));
+        let c = warm.counters();
+        assert_eq!(c.cache_hits, 2, "seeded keys must hit on first query");
+        assert_eq!(c.cache_misses, 0);
+    }
+
+    #[test]
+    fn snapshot_is_order_independent() {
+        let a = AbsCache::new();
+        let b = AbsCache::new();
+        let k1 = [Atom::eq(x())];
+        let k2 = [Atom::le(x() - LinExpr::constant(7))];
+        a.is_sat_conj(&k1);
+        a.is_sat_conj(&k2);
+        b.is_sat_conj(&k2);
+        b.is_sat_conj(&k1);
+        assert_eq!(a.snapshot().sat_entries(), b.snapshot().sat_entries());
+    }
+
+    #[test]
+    fn absorb_merges_without_counting() {
+        let master = AbsCache::new();
+        let worker = AbsCache::new();
+        worker.is_sat_conj(&[Atom::eq(x())]);
+        master.absorb(&worker);
+        assert_eq!(master.len(), 1);
+        assert_eq!(master.counters().queries, 0);
+        // First-write-wins: absorbing again is a no-op.
+        master.absorb(&worker);
+        assert_eq!(master.len(), 1);
     }
 
     #[test]

@@ -345,6 +345,21 @@ pub fn circ(program: &MtProgram, config: &CircConfig) -> CircOutcome {
 /// memoized entailment answers. The reported `stats.pipeline.abs`
 /// counters are this run's delta, not the cache's lifetime totals.
 pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCache) -> CircOutcome {
+    circ_with_caches(program, config, cache, &circ_smt::SolverPersist::inert())
+}
+
+/// [`circ_with_cache`] additionally wired to a solver persistence
+/// store: every outer round's fresh solver warm-starts from the
+/// store's frozen seed, and what each round learns is absorbed back
+/// into the store's accumulator when its context retires — the disk
+/// half lives in [`crate::persist`] and `circ-batch`. The inert store
+/// makes this identical to [`circ_with_cache`].
+pub fn circ_with_caches(
+    program: &MtProgram,
+    config: &CircConfig,
+    cache: &AbsCache,
+    solver_persist: &circ_smt::SolverPersist,
+) -> CircOutcome {
     let start = Instant::now();
     let budget = Budget::new(
         config.timeout,
@@ -358,7 +373,9 @@ pub fn circ_with_cache(program: &MtProgram, config: &CircConfig, cache: &AbsCach
     // instead of unwinding into the embedder. The shared caches
     // recover from lock poisoning (see circ-par and circ-smt), so
     // sibling runs on the same `AbsCache` stay usable afterwards.
-    match catch_unwind(AssertUnwindSafe(|| circ_inner(program, config, cache, &budget, start))) {
+    match catch_unwind(AssertUnwindSafe(|| {
+        circ_inner(program, config, cache, solver_persist, &budget, start)
+    })) {
         Ok(outcome) => outcome,
         Err(payload) => {
             let mut stats = CircStats::default();
@@ -377,6 +394,7 @@ fn circ_inner(
     program: &MtProgram,
     config: &CircConfig,
     cache: &AbsCache,
+    solver_persist: &circ_smt::SolverPersist,
     budget: &Budget,
     start: Instant,
 ) -> CircOutcome {
@@ -404,11 +422,12 @@ fn circ_inner(
         stats.outer_iterations += 1;
         stats.pipeline.outer_rounds += 1;
         log.events.push(CircEvent::OuterStart { preds: pred_strings(&preds), k });
-        let abs = AbsCtx::with_cache_and_budget(
+        let abs = AbsCtx::with_parts(
             cfa.clone(),
             preds.clone(),
             cache.clone(),
             budget.clone(),
+            solver_persist,
         );
         let mut acfa = Acfa::empty(preds.len());
         let mut concretizer: Option<Concretizer> = None;

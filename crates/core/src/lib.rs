@@ -39,18 +39,20 @@ mod abs;
 mod arg;
 mod cache;
 mod circ;
+pub mod persist;
 mod preds;
 mod reach;
 mod refine;
 
 pub use crate::circ::{
-    circ, circ_with_cache, CircConfig, CircEvent, CircLog, CircOutcome, CircStats, SafeReport,
-    UnknownReason, UnknownReport, UnsafeReport,
+    circ, circ_with_cache, circ_with_caches, CircConfig, CircEvent, CircLog, CircOutcome,
+    CircStats, SafeReport, UnknownReason, UnknownReport, UnsafeReport,
 };
 pub use abs::AbsCtx;
 pub use arg::{Arg, ExportedArg, StateEdge, StateEdgeKind, ThreadState};
-pub use cache::AbsCache;
+pub use cache::{AbsCache, AbsSeed};
 pub use circ_governor::{Budget, CancelToken, Exhausted, FaultPlan};
+pub use circ_smt::{PersistError, SolverPersist};
 pub use circ_stats::{AbsCounters, PipelineStats, SolverCounters};
 pub use preds::PredSet;
 pub use reach::{

@@ -57,9 +57,9 @@ mod lower;
 mod parse;
 
 pub use ast::{BExpr, Expr, FnDef, Item, Program, Stmt, ThreadDef};
-pub use lex::{LexError, Token, TokenKind};
+pub use lex::{lex, LexError, Token, TokenKind};
 pub use lower::{CompileError, Compiled};
-pub use parse::ParseError;
+pub use parse::{parse, ParseError};
 
 /// Compiles NesL source to a CFA plus race-check annotations.
 ///

@@ -29,18 +29,43 @@ impl std::error::Error for ParseError {}
 ///
 /// Returns a [`ParseError`] on the first syntax error.
 pub fn parse(tokens: &[Token]) -> Result<Program, ParseError> {
-    let mut p = Parser { tokens, ix: 0 };
+    // The lexer always terminates its stream with `Eof`, but `parse`
+    // is public: a bare empty slice must mean "empty program", not an
+    // out-of-bounds panic in `peek`.
+    if tokens.is_empty() {
+        return Ok(Program { items: Vec::new() });
+    }
+    let mut p = Parser { tokens, ix: 0, depth: 0 };
     p.program()
 }
+
+/// Bound on statement/expression nesting. Recursive descent uses the
+/// host stack, and a stack overflow is an abort — not a catchable
+/// error — so adversarial inputs like ten thousand `(`s must be cut
+/// off as a [`ParseError`] long before the stack runs out.
+const MAX_DEPTH: usize = 200;
 
 struct Parser<'a> {
     tokens: &'a [Token],
     ix: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn peek(&self) -> &Token {
         &self.tokens[self.ix]
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return self.err(format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn pos(&self) -> Pos {
@@ -171,6 +196,13 @@ impl<'a> Parser<'a> {
     }
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.enter()?;
+        let r = self.stmt_inner();
+        self.leave();
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, ParseError> {
         let pos = self.pos();
         match self.peek().kind.clone() {
             TokenKind::Keyword("local") => {
@@ -317,6 +349,13 @@ impl<'a> Parser<'a> {
     }
 
     fn factor(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let r = self.factor_inner();
+        self.leave();
+        r
+    }
+
+    fn factor_inner(&mut self) -> Result<Expr, ParseError> {
         let pos = self.pos();
         match self.peek().kind.clone() {
             TokenKind::Int(n) => {
@@ -369,6 +408,13 @@ impl<'a> Parser<'a> {
     }
 
     fn bprimary(&mut self) -> Result<BExpr, ParseError> {
+        self.enter()?;
+        let r = self.bprimary_inner();
+        self.leave();
+        r
+    }
+
+    fn bprimary_inner(&mut self) -> Result<BExpr, ParseError> {
         match self.peek().kind.clone() {
             TokenKind::Punct('!') => {
                 self.advance();

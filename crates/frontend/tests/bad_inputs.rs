@@ -1,0 +1,108 @@
+//! Malformed-input robustness: `compile` must return `Err`, never
+//! panic, on any truncation of any real corpus program and on
+//! adversarial synthetic inputs (deep nesting, lone tokens, empty
+//! files). The CLI maps `Err` to exit 65; a panic would instead
+//! surface as exit 101 and a stack trace — a bug, not a diagnostic.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Every `.nesl` file in the repo: the `examples/` corpus plus the
+/// nesC-derived Table 1 models.
+fn corpus() -> Vec<(PathBuf, String)> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut out = Vec::new();
+    for dir in [root.join("../../examples"), root.join("../nesc/models")] {
+        let mut paths: Vec<_> = fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "nesl"))
+            .collect();
+        paths.sort();
+        for p in paths {
+            let src = fs::read_to_string(&p).unwrap();
+            out.push((p, src));
+        }
+    }
+    assert!(out.len() >= 10, "corpus went missing: {} files", out.len());
+    out
+}
+
+#[test]
+fn whole_corpus_compiles() {
+    for (path, src) in corpus() {
+        circ_frontend::compile(&src)
+            .unwrap_or_else(|e| panic!("{} no longer compiles: {e}", path.display()));
+    }
+}
+
+#[test]
+fn every_truncation_errors_cleanly() {
+    for (_path, src) in corpus() {
+        for (ix, _) in src.char_indices() {
+            // Any prefix is either a smaller valid program or a clean
+            // CompileError; the assertion is simply "no panic".
+            let _ = circ_frontend::compile(&src[..ix]);
+        }
+    }
+}
+
+#[test]
+fn empty_and_whitespace_inputs_error_not_panic() {
+    for src in ["", " ", "\n\n", "// only a comment\n", "/* block */"] {
+        assert!(circ_frontend::compile(src).is_err(), "accepted {src:?}");
+    }
+}
+
+#[test]
+fn deep_nesting_is_rejected_not_a_stack_overflow() {
+    // 10k levels would overflow the parser's recursion long before
+    // the depth guard existed; now each must come back as Err.
+    let parens = format!("thread t {{ x = {}1{}; }}", "(".repeat(10_000), ")".repeat(10_000));
+    assert!(circ_frontend::compile(&parens).is_err());
+
+    let nots = format!("thread t {{ if ({}true) {{ skip; }} }}", "!".repeat(10_000));
+    assert!(circ_frontend::compile(&nots).is_err());
+
+    let blocks = format!("thread t {{ {} skip; {} }}", "loop {".repeat(10_000), "}".repeat(10_000));
+    assert!(circ_frontend::compile(&blocks).is_err());
+
+    let minuses = format!("thread t {{ x = {}1; }}", "-".repeat(10_000));
+    assert!(circ_frontend::compile(&minuses).is_err());
+
+    // Moderate nesting stays within the documented limit and works.
+    let ok = format!("global int x; thread t {{ x = {}1{}; }}", "(".repeat(50), ")".repeat(50));
+    assert!(circ_frontend::compile(&ok).is_ok());
+}
+
+#[test]
+fn lone_tokens_and_garbage_error_cleanly() {
+    for src in [
+        "thread",
+        "global",
+        "global int",
+        "#race",
+        "fn",
+        "fn f(",
+        "thread t {",
+        "thread t { x = ",
+        "thread t { if (",
+        "}",
+        ";",
+        "((((",
+        "int x;",
+        "thread t { } thread t { }",
+        "\u{0} \u{7f}",
+        "global int x; #race y; thread t { skip; }",
+    ] {
+        assert!(circ_frontend::compile(src).is_err(), "accepted {src:?}");
+    }
+}
+
+#[test]
+fn empty_token_slice_parses_as_empty_program() {
+    // `parse` is public API; an empty slice (no Eof sentinel) must
+    // not index out of bounds.
+    let p = circ_frontend::parse(&[]).unwrap();
+    assert!(p.items.is_empty());
+}

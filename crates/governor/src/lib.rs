@@ -213,6 +213,30 @@ impl Default for Budget {
     }
 }
 
+/// Splits an optional wall-clock budget evenly across `n` units of
+/// work (batch mode: one slice per input file). `None` stays
+/// unbounded. The division floors: a 10 s budget over 3 files gives
+/// each a hair over 3.3 s, and a budget too small to slice honestly
+/// yields near-zero slices that exhaust immediately — reported as
+/// budget exhaustion, not silently rounded up.
+///
+/// Each unit must construct its own [`Budget`] from the slice *when
+/// it starts* ([`Budget::new`] starts the deadline clock at
+/// construction), so slices are per-unit wall clocks, not a shared
+/// global deadline — which keeps a unit's observable budget behavior
+/// independent of when the scheduler happens to start it.
+pub fn carve_timeout(total: Option<Duration>, n: usize) -> Option<Duration> {
+    let n = u32::try_from(n.max(1)).unwrap_or(u32::MAX);
+    total.map(|t| t / n)
+}
+
+/// Splits an optional accounted-memory ceiling evenly across `n`
+/// units of work. `None` stays unbounded; the division floors.
+pub fn carve_mem_limit(total: Option<u64>, n: usize) -> Option<u64> {
+    let n = u64::try_from(n.max(1)).unwrap_or(u64::MAX);
+    total.map(|m| m / n)
+}
+
 /// Extract a human-readable message from a panic payload (the `Box`
 /// returned by [`std::panic::catch_unwind`]). Recognizes the two
 /// payload types `panic!` actually produces.
@@ -414,6 +438,22 @@ struct FaultSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn carving_splits_evenly_and_keeps_unbounded() {
+        assert_eq!(carve_timeout(None, 7), None);
+        assert_eq!(carve_mem_limit(None, 7), None);
+        assert_eq!(
+            carve_timeout(Some(Duration::from_secs(10)), 4),
+            Some(Duration::from_millis(2500))
+        );
+        assert_eq!(carve_mem_limit(Some(1 << 20), 4), Some(1 << 18));
+        // Degenerate unit counts do not divide by zero.
+        assert_eq!(carve_timeout(Some(Duration::from_secs(1)), 0), Some(Duration::from_secs(1)));
+        assert_eq!(carve_mem_limit(Some(64), 0), Some(64));
+        // A budget too small to slice yields honest near-zero slices.
+        assert_eq!(carve_mem_limit(Some(3), 4), Some(0));
+    }
 
     #[test]
     fn unlimited_budget_never_exhausts() {

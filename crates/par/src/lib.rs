@@ -244,6 +244,37 @@ impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
         (v, false)
     }
 
+    /// Inserts `key → value` directly, bypassing the compute path.
+    /// Returns `false` (keeping the existing value) when the key is
+    /// already present — first write wins, matching
+    /// [`ShardedMap::get_or_compute`]. Used to preload a map from a
+    /// persisted snapshot; deliberately touches no caller-side
+    /// counters, so a preloaded entry's first query still counts as a
+    /// hit.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        let mut shard = self.shards[self.shard_of(&key)].lock().unwrap_or_else(|e| e.into_inner());
+        if shard.contains_key(&key) {
+            return false;
+        }
+        shard.insert(key, value);
+        true
+    }
+
+    /// Clones out every entry. Order is unspecified (per-shard hash
+    /// order, which varies between processes); callers that need
+    /// stable output must sort.
+    pub fn snapshot(&self) -> Vec<(K, V)>
+    where
+        K: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len());
+        for s in self.shards.iter() {
+            let shard = s.lock().unwrap_or_else(|e| e.into_inner());
+            out.extend(shard.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out
+    }
+
     /// Total number of cached entries across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len()).sum()
@@ -377,6 +408,39 @@ mod tests {
         let (v, hit) = map.get_or_compute(3, || 30);
         assert_eq!((v, hit), (30, false));
         assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn insert_preloads_and_first_write_wins() {
+        let map: ShardedMap<u32, u32> = ShardedMap::new();
+        assert!(map.insert(1, 10));
+        assert!(!map.insert(1, 99), "second insert must not overwrite");
+        // A preloaded key is a hit on first query, not a miss.
+        let (v, hit) = map.get_or_compute(1, || unreachable!("preloaded"));
+        assert_eq!((v, hit), (10, true));
+        // get_or_compute entries also block later inserts.
+        map.get_or_compute(2, || 20);
+        assert!(!map.insert(2, 99));
+        let (v, _) = map.get_or_compute(2, || unreachable!());
+        assert_eq!(v, 20);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_insert() {
+        let map: ShardedMap<u64, u64> = ShardedMap::with_shards(8);
+        for k in 0..50 {
+            map.get_or_compute(k, || k * 7);
+        }
+        let mut snap = map.snapshot();
+        snap.sort_unstable();
+        assert_eq!(snap.len(), 50);
+        let copy: ShardedMap<u64, u64> = ShardedMap::new();
+        for (k, v) in snap {
+            copy.insert(k, v);
+        }
+        assert_eq!(copy.len(), 50);
+        let (v, hit) = copy.get_or_compute(21, || unreachable!());
+        assert_eq!((v, hit), (147, true));
     }
 
     #[test]

@@ -100,6 +100,15 @@ impl Atom {
         Atom { expr: LinExpr::constant(1), rel: Rel::Eq }
     }
 
+    /// Rebuilds an atom from already-normalized parts (persistence
+    /// wire decode). Bypasses the normalizing constructors: those are
+    /// the identity on every *variable* atom they can produce, but
+    /// fold constant expressions to `verum`/`falsum`, which would not
+    /// round-trip e.g. the canonical representative `-1 = 0`.
+    pub(crate) fn from_normalized(expr: LinExpr, rel: Rel) -> Atom {
+        Atom { expr, rel }
+    }
+
     /// The canonical true atom `0 = 0`.
     pub fn verum() -> Atom {
         Atom { expr: LinExpr::zero(), rel: Rel::Eq }

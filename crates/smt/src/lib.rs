@@ -49,6 +49,7 @@ mod atom;
 mod formula;
 pub mod lia;
 mod lin;
+pub mod persist;
 pub mod sat;
 mod solver;
 pub mod translate;
@@ -56,4 +57,5 @@ pub mod translate;
 pub use atom::{Atom, Rel};
 pub use formula::Formula;
 pub use lin::{LinExpr, SVar};
+pub use persist::{PersistError, SolverPersist};
 pub use solver::{SatResult, SharedSolver, Solver};

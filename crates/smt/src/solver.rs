@@ -215,6 +215,26 @@ impl Solver {
         }
     }
 
+    /// Seeds the result cache with already-solved entries (NNF keys),
+    /// bypassing counters and budget charges: preloaded entries were
+    /// paid for by the run that first solved them, and their first
+    /// query here counts as a hit. Existing entries win over the seed.
+    /// No-op while the cache is disabled.
+    pub(crate) fn preload(&mut self, entries: &[(Formula, SatResult)]) {
+        if !self.cache_enabled {
+            return;
+        }
+        for (nnf, result) in entries {
+            self.cache.entry(nnf.clone()).or_insert_with(|| result.clone());
+        }
+    }
+
+    /// Clones out the memoized `(NNF, result)` pairs (for
+    /// persistence export). Order is unspecified.
+    pub(crate) fn cache_entries(&self) -> Vec<(Formula, SatResult)> {
+        self.cache.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
     /// Convenience: is `f` satisfiable?
     pub fn is_sat(&mut self, f: &Formula) -> bool {
         self.check(f).is_sat()
@@ -256,7 +276,16 @@ fn formula_bytes(f: &Formula) -> u64 {
 /// Shard count for [`SharedSolver`]. A formula's NNF hash picks the
 /// shard, so a given query always lands on the same [`Solver`] (and
 /// its cache entry), regardless of which thread issues it.
-const SOLVER_SHARDS: usize = 64;
+pub(crate) const SOLVER_SHARDS: usize = 64;
+
+/// The shard a (canonical NNF) formula lands on. Shared with the
+/// persistence layer so seed entries can be pre-bucketed once instead
+/// of re-hashed per [`SharedSolver`] construction.
+pub(crate) fn shard_ix(nnf: &Formula) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    nnf.hash(&mut h);
+    (h.finish() as usize) % SOLVER_SHARDS
+}
 
 /// A thread-shareable solver: a fixed array of [`Solver`]s behind
 /// `Mutex`es, sharded by the NNF hash of the query.
@@ -285,12 +314,28 @@ impl SharedSolver {
     /// shard. Clones share one accounting state, so per-shard charges
     /// and polls all land on the same ceiling.
     pub fn with_budget(cache_enabled: bool, budget: Budget) -> SharedSolver {
+        SharedSolver::with_budget_and_seed(cache_enabled, budget, &crate::SolverPersist::inert())
+    }
+
+    /// [`SharedSolver::with_budget`] warm-started from a persistence
+    /// store's frozen seed (see [`crate::SolverPersist`]): every shard
+    /// is preloaded with the seed entries that hash to it, so the
+    /// first query of a seeded formula is a cache hit. An inert store
+    /// (or a disabled cache) seeds nothing.
+    pub fn with_budget_and_seed(
+        cache_enabled: bool,
+        budget: Budget,
+        seed: &crate::SolverPersist,
+    ) -> SharedSolver {
         SharedSolver {
             shards: (0..SOLVER_SHARDS)
-                .map(|_| {
+                .map(|ix| {
                     let mut s = Solver::new();
                     s.set_cache_enabled(cache_enabled);
                     s.set_budget(budget.clone());
+                    if cache_enabled {
+                        s.preload(seed.seed_bucket(ix));
+                    }
                     Mutex::new(s)
                 })
                 .collect(),
@@ -298,9 +343,7 @@ impl SharedSolver {
     }
 
     fn shard_of(&self, nnf: &Formula) -> usize {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        nnf.hash(&mut h);
-        (h.finish() as usize) % self.shards.len()
+        shard_ix(nnf)
     }
 
     /// Decides satisfiability of `f` over the integers.
@@ -343,6 +386,16 @@ impl SharedSolver {
     /// Total top-level queries across all shards.
     pub fn num_queries(&self) -> u64 {
         self.counters().queries
+    }
+
+    /// Clones out every shard's memoized `(NNF, result)` pairs (for
+    /// persistence export). Order is unspecified.
+    pub fn entries(&self) -> Vec<(Formula, SatResult)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            out.extend(shard.lock().unwrap_or_else(|e| e.into_inner()).cache_entries());
+        }
+        out
     }
 }
 

@@ -264,6 +264,59 @@ impl PipelineStats {
     }
 }
 
+/// Aggregate roll-up of a batch run: per-outcome verdict counts plus
+/// the summed pipeline counters of every file. Assembled by
+/// `circ-batch` and rendered into the tail of the aggregate report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchTotals {
+    /// Files checked (including ones that failed to compile).
+    pub files: u64,
+    /// Files proven race-free.
+    pub safe: u64,
+    /// Files with a confirmed race.
+    pub races: u64,
+    /// Files where the analysis gave up within its own bounds.
+    pub inconclusive: u64,
+    /// Files that ran out of their carved resource budget.
+    pub budget_exhausted: u64,
+    /// Files whose source failed to compile.
+    pub compile_errors: u64,
+    /// Summed pipeline counters across all checked files.
+    pub pipeline: PipelineStats,
+}
+
+impl BatchTotals {
+    /// Renders the roll-up as one JSON object on a single line (the
+    /// `totals` value of the batch report). Keys are stable.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"files\":{},\"safe\":{},\"races\":{},\"inconclusive\":{},\
+             \"budget_exhausted\":{},\"compile_errors\":{},\"pipeline\":{}}}",
+            self.files,
+            self.safe,
+            self.races,
+            self.inconclusive,
+            self.budget_exhausted,
+            self.compile_errors,
+            self.pipeline.to_json(),
+        )
+    }
+
+    /// Renders a short human-readable summary line.
+    pub fn render_summary(&self) -> String {
+        format!(
+            "{} file(s): {} safe, {} race(s), {} inconclusive, {} budget-exhausted, \
+             {} compile error(s)",
+            self.files,
+            self.safe,
+            self.races,
+            self.inconclusive,
+            self.budget_exhausted,
+            self.compile_errors,
+        )
+    }
+}
+
 fn hit_rate(hits: u64, misses: u64) -> f64 {
     let total = hits + misses;
     if total == 0 {
@@ -323,6 +376,18 @@ mod tests {
         assert!(j.contains("\"mem_charged_bytes\":0"));
         assert!(j.contains("\"budget_polls\":0"));
         assert!(j.contains("\"faults_injected\":0"));
+    }
+
+    #[test]
+    fn batch_totals_json_nests_pipeline() {
+        let t =
+            BatchTotals { files: 3, safe: 1, races: 1, compile_errors: 1, ..Default::default() };
+        let j = t.to_json();
+        assert!(!j.contains('\n'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"files\":3"));
+        assert!(j.contains("\"pipeline\":{"));
+        assert!(t.render_summary().contains("3 file(s)"));
     }
 
     #[test]

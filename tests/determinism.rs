@@ -142,3 +142,71 @@ fn jobs_zero_means_auto_and_stays_invariant() {
     assert_eq!(essence(&seq), essence(&auto));
     assert_eq!(counters(&seq), counters(&auto));
 }
+
+// ---- batch-level determinism ----
+
+/// Zeroes every `"time...":<number>` value in a JSON report. All of
+/// the batch report's wall-time keys — the per-row `time_s` and the
+/// pipeline's `time_reach_s`/`time_sim_s`/… — start with `time`, so
+/// one scanner strips them all.
+fn strip_times(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some(ix) = rest.find("\"time") {
+        let Some(key_len) = rest[ix + 1..].find('"') else { break };
+        let key_end = ix + 1 + key_len + 1;
+        let Some(colon) = rest[key_end..].find(':') else { break };
+        let val_start = key_end + colon + 1;
+        let val_len = rest[val_start..].find([',', '}']).unwrap_or(rest.len() - val_start);
+        out.push_str(&rest[..val_start]);
+        out.push('0');
+        rest = &rest[val_start + val_len..];
+    }
+    out.push_str(rest);
+    out
+}
+
+fn examples_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples")
+}
+
+#[test]
+fn batch_report_is_jobs_invariant_modulo_wall_times() {
+    let inputs = circ_batch::collect_inputs(&examples_dir()).unwrap();
+    assert!(inputs.len() >= 4, "examples corpus went missing");
+    let base = circ_batch::BatchConfig::default();
+    let seq = circ_batch::run_batch(&inputs, &circ_batch::BatchConfig { jobs: 1, ..base.clone() });
+    let par = circ_batch::run_batch(&inputs, &circ_batch::BatchConfig { jobs: 4, ..base });
+    assert_eq!(seq.exit, par.exit);
+    let (seq_json, par_json) = (strip_times(&seq.to_json()), strip_times(&par.to_json()));
+    assert_eq!(seq_json, par_json, "jobs=4 changed the batch report bytes");
+    // The scanner really did find wall times (guards against key renames
+    // silently turning this test into a tautology-by-luck).
+    assert_ne!(seq_json, seq.to_json(), "no time keys were stripped — scanner is stale");
+}
+
+#[test]
+fn warm_batch_matches_cold_verdicts_with_fewer_misses() {
+    let inputs = circ_batch::collect_inputs(&examples_dir()).unwrap();
+    let cache_dir =
+        std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("determinism-batch-cache");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cfg = circ_batch::BatchConfig {
+        cache_dir: Some(cache_dir.clone()),
+        ..circ_batch::BatchConfig::default()
+    };
+    let cold = circ_batch::run_batch(&inputs, &cfg);
+    let warm = circ_batch::run_batch(&inputs, &cfg);
+    assert_eq!(cold.exit, warm.exit);
+    let verdicts = |r: &circ_batch::BatchReport| {
+        r.rows.iter().map(|row| (row.file.clone(), row.verdict)).collect::<Vec<_>>()
+    };
+    assert_eq!(verdicts(&cold), verdicts(&warm), "warm cache changed a verdict");
+    assert!(
+        warm.totals.pipeline.abs.cache_misses < cold.totals.pipeline.abs.cache_misses,
+        "warm batch must miss strictly less (warm {} vs cold {})",
+        warm.totals.pipeline.abs.cache_misses,
+        cold.totals.pipeline.abs.cache_misses
+    );
+    assert!(warm.warnings.is_empty(), "clean caches must load silently: {:?}", warm.warnings);
+}
