@@ -1,0 +1,328 @@
+//! The crash-safety journal behind `circ batch --journal / --resume`.
+//!
+//! The journal is an append-only JSONL file: one self-describing line
+//! per *completed* file, written with a single `write_all` so a crash
+//! can tear at most the final line. Entries are keyed by a content
+//! digest (FNV-1a over the file's bytes, the same hash the cache
+//! snapshots use for their checksums), not by path: a resumed run
+//! replays a row whenever an input's *bytes* match a journaled check,
+//! so renames are free and edited files are transparently re-checked.
+//!
+//! Damage tolerance mirrors the cache loaders: a line that does not
+//! parse — torn by a crash mid-write, truncated by a full disk,
+//! hand-mangled — degrades to a warning and a re-check of whatever
+//! file it described. A corrupt journal can cost time, never a wrong
+//! verdict, because replay only ever substitutes a row that a real
+//! check produced for identical input bytes.
+//!
+//! Rows drained by a graceful shutdown (`cancelled`) are *not*
+//! journaled: their absence is what makes `--resume` re-check them.
+
+use crate::mjson::{self, Value};
+use crate::{FileRow, Verdict};
+use circ_stats::{AbsCounters, PhaseTimes, PipelineStats, SolverCounters};
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Format tag carried by every line; bump [`JOURNAL_VERSION`] on any
+/// incompatible change so old journals degrade to re-checks instead of
+/// misparsing.
+pub const JOURNAL_TAG: &str = "circ-batch";
+/// Current journal line format version.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// Content digest of a file's bytes (FNV-1a 64, shared with the cache
+/// snapshot checksums).
+pub fn digest_bytes(bytes: &[u8]) -> u64 {
+    circ_smt::persist::fnv1a64(bytes)
+}
+
+/// One replayable journal entry: the digest of the input bytes it was
+/// computed from, plus the completed row.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// FNV-1a digest of the checked file's bytes.
+    pub digest: u64,
+    /// The completed row (verdict, detail, wall time, counters).
+    pub row: FileRow,
+}
+
+/// Renders one journal line (with trailing newline) for a completed
+/// row. The row's wire fields round-trip exactly: integers verbatim,
+/// floats through the same `{:.6}` formatting the report uses.
+pub fn render_line(row: &FileRow, digest: u64) -> String {
+    format!(
+        "{{\"journal\":\"{JOURNAL_TAG}\",\"v\":{JOURNAL_VERSION},\"digest\":\"{digest:016x}\",\
+         \"file\":\"{}\",\"verdict\":\"{}\",\"detail\":\"{}\",\"retries\":{},\
+         \"time_s\":{:.6},\"pipeline\":{}}}\n",
+        crate::json_escape(&row.file),
+        row.verdict.name(),
+        crate::json_escape(&row.detail),
+        row.retries,
+        row.time_s,
+        row.pipeline.to_json(),
+    )
+}
+
+/// Parses one journal line back into an entry. Any structural problem
+/// is an `Err` describing it; the caller degrades to a re-check.
+pub fn parse_line(line: &str) -> Result<JournalEntry, String> {
+    let v = mjson::parse(line)?;
+    let str_field = |key: &str| -> Result<&str, String> {
+        v.get(key).and_then(Value::as_str).ok_or(format!("missing string `{key}`"))
+    };
+    let u64_field = |key: &str| -> Result<u64, String> {
+        v.get(key).and_then(Value::as_u64).ok_or(format!("missing counter `{key}`"))
+    };
+    if str_field("journal")? != JOURNAL_TAG {
+        return Err("not a circ-batch journal line".into());
+    }
+    if u64_field("v")? != JOURNAL_VERSION {
+        return Err(format!("unsupported journal version (want {JOURNAL_VERSION})"));
+    }
+    let digest = u64::from_str_radix(str_field("digest")?, 16)
+        .map_err(|_| "bad digest field".to_string())?;
+    let verdict_name = str_field("verdict")?;
+    let verdict =
+        Verdict::from_name(verdict_name).ok_or(format!("unknown verdict `{verdict_name}`"))?;
+    let time_s = v
+        .get("time_s")
+        .and_then(Value::as_f64)
+        .filter(|t| t.is_finite() && *t >= 0.0)
+        .ok_or("missing or unusable `time_s`")?;
+    let pipeline = pipeline_from_json(v.get("pipeline").ok_or("missing `pipeline`")?)?;
+    Ok(JournalEntry {
+        digest,
+        row: FileRow {
+            file: str_field("file")?.to_string(),
+            verdict,
+            detail: str_field("detail")?.to_string(),
+            time_s,
+            pipeline,
+            retries: u64_field("retries")?,
+            isolated_crashes: 0,
+            resumed: false,
+            cancelled: false,
+        },
+    })
+}
+
+/// Rebuilds [`PipelineStats`] from its `to_json` rendering. The two
+/// derived `*_hit_rate` keys are recomputed, not parsed; durations
+/// round-trip through the same `{:.6}` seconds formatting, so a
+/// parse→render cycle is byte-stable.
+pub fn pipeline_from_json(v: &Value) -> Result<PipelineStats, String> {
+    let u = |key: &str| -> Result<u64, String> {
+        v.get(key).and_then(Value::as_u64).ok_or(format!("missing pipeline counter `{key}`"))
+    };
+    let d = |key: &str| -> Result<Duration, String> {
+        let secs =
+            v.get(key).and_then(Value::as_f64).ok_or(format!("missing pipeline span `{key}`"))?;
+        Duration::try_from_secs_f64(secs).map_err(|_| format!("unusable span `{key}`"))
+    };
+    Ok(PipelineStats {
+        solver: SolverCounters {
+            queries: u("solver_queries")?,
+            cache_hits: u("solver_cache_hits")?,
+            cache_misses: u("solver_cache_misses")?,
+            theory_rounds: u("theory_rounds")?,
+        },
+        abs: AbsCounters {
+            queries: u("abs_queries")?,
+            cache_hits: u("abs_cache_hits")?,
+            cache_misses: u("abs_cache_misses")?,
+        },
+        outer_rounds: u("outer_rounds")?,
+        reach_runs: u("reach_runs")?,
+        arg_nodes: u("arg_nodes")?,
+        sim_checks: u("sim_checks")?,
+        sim_edge_pairs: u("sim_edge_pairs")?,
+        collapse_runs: u("collapse_runs")?,
+        collapse_iterations: u("collapse_iterations")?,
+        refine_rounds: u("refine_rounds")?,
+        k_increments: u("k_increments")?,
+        mem_charged_bytes: u("mem_charged_bytes")?,
+        budget_polls: u("budget_polls")?,
+        faults_injected: u("faults_injected")?,
+        phases: PhaseTimes {
+            reach: d("time_reach_s")?,
+            sim: d("time_sim_s")?,
+            collapse: d("time_collapse_s")?,
+            refine: d("time_refine_s")?,
+            omega: d("time_omega_s")?,
+        },
+    })
+}
+
+/// An open journal the supervisor appends completed rows to.
+///
+/// Each entry is one `write_all` of one line followed by a flush, so
+/// concurrent workers interleave *lines*, never bytes, and a crash
+/// tears at most the final line — which the loader then degrades to a
+/// re-check.
+#[derive(Debug)]
+pub struct Journal {
+    file: Mutex<fs::File>,
+}
+
+impl Journal {
+    /// Opens a fresh journal, truncating any previous run's file (a
+    /// non-resume run must not leave stale entries for `--resume` to
+    /// trust later).
+    pub fn create(path: &Path) -> std::io::Result<Journal> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(parent)?;
+        }
+        Ok(Journal { file: Mutex::new(fs::File::create(path)?) })
+    }
+
+    /// Opens an existing journal for appending (the `--resume` path);
+    /// creates it if missing.
+    pub fn open_append(path: &Path) -> std::io::Result<Journal> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(parent)?;
+        }
+        Ok(Journal {
+            file: Mutex::new(fs::OpenOptions::new().create(true).append(true).open(path)?),
+        })
+    }
+
+    /// Appends one completed row keyed by `digest`.
+    pub fn append(&self, row: &FileRow, digest: u64) -> std::io::Result<()> {
+        let line = render_line(row, digest);
+        let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        f.write_all(line.as_bytes())?;
+        f.flush()
+    }
+}
+
+/// Loads a journal for `--resume`: a map from content digest to the
+/// *last* entry for that digest, plus one warning per line that could
+/// not be used. A missing file is an empty (but noted) journal; every
+/// unusable line means only that its file gets re-checked.
+pub fn load(path: &Path) -> (HashMap<u64, JournalEntry>, Vec<String>) {
+    let mut entries = HashMap::new();
+    let mut warnings = Vec::new();
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            warnings.push(format!(
+                "journal `{}`: cannot read ({e}); resuming from nothing",
+                path.display()
+            ));
+            return (entries, warnings);
+        }
+    };
+    let text = String::from_utf8_lossy(&bytes);
+    for (ix, line) in text.split('\n').enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Ok(entry) => {
+                entries.insert(entry.digest, entry);
+            }
+            Err(e) => warnings.push(format!(
+                "journal `{}` line {}: {e}; that file will be re-checked",
+                path.display(),
+                ix + 1
+            )),
+        }
+    }
+    (entries, warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row() -> FileRow {
+        FileRow {
+            file: "dir/a \"quoted\".nesl".into(),
+            verdict: Verdict::Race,
+            detail: "race on x: 2 threads, 7 steps".into(),
+            time_s: 0.037125,
+            pipeline: PipelineStats {
+                outer_rounds: 3,
+                arg_nodes: 1234,
+                mem_charged_bytes: u64::MAX,
+                phases: PhaseTimes { reach: Duration::from_micros(1500), ..Default::default() },
+                solver: SolverCounters {
+                    queries: 9,
+                    cache_hits: 4,
+                    cache_misses: 5,
+                    theory_rounds: 2,
+                },
+                abs: AbsCounters { queries: 11, cache_hits: 6, cache_misses: 5 },
+                ..Default::default()
+            },
+            retries: 2,
+            isolated_crashes: 0,
+            resumed: false,
+            cancelled: false,
+        }
+    }
+
+    #[test]
+    fn lines_round_trip_byte_stably() {
+        let row = sample_row();
+        let line = render_line(&row, 0xdead_beef_0042_0007);
+        assert!(line.ends_with('\n'));
+        assert_eq!(line.matches('\n').count(), 1, "one line per entry");
+        let entry = parse_line(line.trim_end()).unwrap();
+        assert_eq!(entry.digest, 0xdead_beef_0042_0007);
+        assert_eq!(entry.row.file, row.file);
+        assert_eq!(entry.row.verdict, row.verdict);
+        assert_eq!(entry.row.detail, row.detail);
+        assert_eq!(entry.row.retries, 2);
+        assert_eq!(entry.row.pipeline, row.pipeline, "counters must round-trip exactly");
+        // Render-of-parse is byte-identical: the property the resumed
+        // report's byte-stability rests on.
+        assert_eq!(render_line(&entry.row, entry.digest), line);
+    }
+
+    #[test]
+    fn loader_keeps_last_entry_and_degrades_damage() {
+        let dir = std::env::temp_dir().join(format!("circ-journal-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.journal");
+
+        let j = Journal::create(&path).unwrap();
+        let mut row = sample_row();
+        j.append(&row, 1).unwrap();
+        row.verdict = Verdict::Safe;
+        row.detail = "1 race variable(s) race-free".into();
+        j.append(&row, 1).unwrap(); // same digest: last wins
+        j.append(&row, 2).unwrap();
+        drop(j);
+
+        // Tear the tail: simulate a crash mid-append.
+        let mut bytes = fs::read(&path).unwrap();
+        let keep = bytes.len() - 40;
+        bytes.truncate(keep);
+        bytes.extend_from_slice(b"\n{\"not\":\"a journal line\"}\n");
+        fs::write(&path, &bytes).unwrap();
+
+        let (entries, warnings) = load(&path);
+        assert_eq!(entries.len(), 1, "torn digest-2 line must drop out");
+        assert_eq!(entries[&1].row.verdict, Verdict::Safe, "last entry for digest 1 wins");
+        assert_eq!(warnings.len(), 2, "torn line + wrong-tag line: {warnings:?}");
+        assert!(warnings.iter().all(|w| w.contains("re-checked")), "{warnings:?}");
+
+        let (none, warnings) = load(&dir.join("missing.journal"));
+        assert!(none.is_empty());
+        assert_eq!(warnings.len(), 1);
+    }
+
+    #[test]
+    fn version_skew_is_rejected_not_misread() {
+        let line = render_line(&sample_row(), 7).replace("\"v\":1", "\"v\":2");
+        let err = parse_line(line.trim_end()).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+    }
+}

@@ -14,6 +14,34 @@
 //!   whose JSON rendering is byte-identical at any `--jobs` setting
 //!   once wall-time fields are stripped.
 //!
+//! # Crash-safe supervision
+//!
+//! Around the bare fan-out sits a supervision layer (`--journal`,
+//! `--resume`, `--isolate`, retries):
+//!
+//! * every completed row is appended to a JSONL **journal** keyed by a
+//!   content digest of the input bytes (see [`journal`]); a `--resume`
+//!   run replays journaled rows for inputs whose bytes still match and
+//!   re-checks everything else — including rows a graceful shutdown
+//!   drained, which are deliberately never journaled;
+//! * a tripped [`CancelToken`] (the CLI wires SIGINT/SIGTERM to it)
+//!   drains remaining work: in-flight files stop at their next budget
+//!   poll and surface as `budget-exhausted` rows marked cancelled,
+//!   not-yet-started files drain immediately, and the partial report
+//!   plus cache files are still produced;
+//! * `--isolate` re-runs each file in a child process
+//!   (`circ check --row-json`, see [`check_single`]), so a crash or
+//!   OOM kill in one input degrades to an `internal-error` row with
+//!   the child's stderr captured, while sibling rows are unaffected;
+//! * a deterministic [`RetryPolicy`] re-runs files whose verdict is a
+//!   transient `internal-error` (contained panic, crashed child) with
+//!   seeded backoff bounded by the file's remaining budget; files that
+//!   still fail land on the report's quarantine list.
+//!
+//! Supervision never flips a verdict: it only degrades failures to
+//! `Unknown`-family rows, and resume only substitutes rows that a real
+//! check produced for identical input bytes.
+//!
 //! # Cache persistence
 //!
 //! With a cache directory, [`run_batch`] warm-starts from
@@ -31,18 +59,31 @@
 //! merged *sequentially in input order* after the pool run, and cache
 //! files render canonically (sorted lines). Same inputs + same seed
 //! files ⇒ bit-identical report (minus wall times) and cache files.
+//! Fault plans are reseeded per file and per attempt from the content
+//! digest, so injected faults are a pure function of the input bytes —
+//! never of scheduling — and `stats.retries` is jobs-invariant.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use circ_core::{circ_with_caches, AbsCache, AbsSeed, CircConfig, CircOutcome, SolverPersist};
-use circ_governor::{carve_mem_limit, carve_timeout};
+pub mod journal;
+mod mjson;
+
+use circ_core::{
+    circ_with_caches, AbsCache, AbsSeed, CircConfig, CircOutcome, SolverPersist, UnknownReason,
+};
+use circ_governor::{
+    carve_mem_limit, carve_timeout, panic_message, CancelToken, FaultPlan, RetryPolicy,
+};
 use circ_ir::MtProgram;
 use circ_par::Pool;
 use circ_smt::{Formula, SatResult};
 use circ_stats::{BatchTotals, PipelineStats};
 use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// File name of the entailment-cache snapshot inside `--cache-dir`.
@@ -73,6 +114,35 @@ pub struct BatchConfig {
     /// loaded on start (cold start if absent or damaged) and written
     /// back on completion.
     pub cache_dir: Option<PathBuf>,
+    /// Path of the crash-safety journal ([`journal`]). `None` runs
+    /// without one. A non-resume run truncates any existing file.
+    pub journal: Option<PathBuf>,
+    /// Replay journaled rows for inputs whose content digest matches
+    /// instead of re-checking them. Only meaningful with `journal`.
+    pub resume: bool,
+    /// Check each file in a separate child process (`circ check
+    /// --row-json`) so a crash or OOM kill degrades to one
+    /// `internal-error` row instead of taking down the batch.
+    pub isolate: bool,
+    /// Binary to re-exec for `isolate`. Defaults to the
+    /// `CIRC_ISOLATE_BIN` environment variable, then to the current
+    /// executable. Exposed so tests can substitute a scripted child.
+    pub isolate_binary: Option<PathBuf>,
+    /// Retry policy for transient `internal-error` rows (contained
+    /// panics, crashed isolated children). The default never retries.
+    pub retry: RetryPolicy,
+    /// Cooperative cancellation: tripping this token (the CLI does so
+    /// on SIGINT/SIGTERM) drains remaining work as cancelled rows
+    /// while still producing the partial report and cache files.
+    pub cancel: CancelToken,
+    /// Test hook: trip `cancel` after this many files have completed
+    /// a real check (replayed rows don't count). With `jobs = 1` this
+    /// makes an "interrupted" run fully deterministic.
+    pub cancel_after: Option<usize>,
+    /// Base fault-injection plan (testing only; inert by default).
+    /// Reseeded per file and per attempt from the content digest, so
+    /// injection is independent of scheduling.
+    pub faults: FaultPlan,
 }
 
 impl Default for BatchConfig {
@@ -85,6 +155,14 @@ impl Default for BatchConfig {
             timeout: None,
             mem_limit_bytes: None,
             cache_dir: None,
+            journal: None,
+            resume: false,
+            isolate: false,
+            isolate_binary: None,
+            retry: RetryPolicy::none(),
+            cancel: CancelToken::new(),
+            cancel_after: None,
+            faults: FaultPlan::inert(),
         }
     }
 }
@@ -96,9 +174,10 @@ pub enum Verdict {
     Safe,
     /// The analysis gave up within its own bounds.
     Inconclusive,
-    /// A worker task died (fault injection / internal panic).
+    /// A worker task died (fault injection, an internal panic, or a
+    /// crashed isolated child).
     InternalError,
-    /// The file's resource slice ran out.
+    /// The file's resource slice ran out (including cancellation).
     BudgetExhausted,
     /// The file did not compile (or could not be read).
     CompileError,
@@ -119,6 +198,20 @@ impl Verdict {
         }
     }
 
+    /// The inverse of [`Verdict::name`], for journal replay and
+    /// `--row-json` parsing.
+    pub fn from_name(name: &str) -> Option<Verdict> {
+        Some(match name {
+            "safe" => Verdict::Safe,
+            "race" => Verdict::Race,
+            "inconclusive" => Verdict::Inconclusive,
+            "internal-error" => Verdict::InternalError,
+            "budget-exhausted" => Verdict::BudgetExhausted,
+            "compile-error" => Verdict::CompileError,
+            _ => return None,
+        })
+    }
+
     /// The exit code this verdict would produce for a single file,
     /// mirroring `circ check` (0/1/2/3/65).
     pub fn exit_code(self) -> u8 {
@@ -132,11 +225,15 @@ impl Verdict {
     }
 
     /// Dominance rank for worst-wins aggregation: race > compile
-    /// error > budget exhaustion > inconclusive > safe.
+    /// error > budget exhaustion > internal error > inconclusive >
+    /// safe. (Internal error and inconclusive share an exit code; the
+    /// finer rank makes a transient failure win the within-file
+    /// dominance so the retry policy can see it.)
     fn rank(self) -> u8 {
         match self {
             Verdict::Safe => 0,
-            Verdict::Inconclusive | Verdict::InternalError => 2,
+            Verdict::Inconclusive => 1,
+            Verdict::InternalError => 2,
             Verdict::BudgetExhausted => 3,
             Verdict::CompileError => 4,
             Verdict::Race => 5,
@@ -154,11 +251,38 @@ pub struct FileRow {
     /// Human detail: the racy variable and schedule size, the
     /// give-up reason, or the compile error.
     pub detail: String,
-    /// Wall clock for the whole file (stripped by the determinism
-    /// comparison; every wall-time key starts with `time`).
+    /// Wall clock for the whole file including retries (stripped by
+    /// the determinism comparison; every wall-time key starts with
+    /// `time`). Replayed rows keep the journaled value.
     pub time_s: f64,
     /// Summed pipeline counters across the file's race variables.
     pub pipeline: PipelineStats,
+    /// Extra attempts spent on this file beyond the first.
+    pub retries: u64,
+    /// Isolated-child crashes observed across this file's attempts.
+    pub isolated_crashes: u64,
+    /// Whether this row was replayed from the journal (`--resume`).
+    pub resumed: bool,
+    /// Whether this row was drained by cancellation. Cancelled rows
+    /// are never journaled, so a resumed run re-checks them.
+    pub cancelled: bool,
+}
+
+impl FileRow {
+    /// A zeroed row carrying only a verdict and its explanation.
+    pub fn new(file: String, verdict: Verdict, detail: String) -> FileRow {
+        FileRow {
+            file,
+            verdict,
+            detail,
+            time_s: 0.0,
+            pipeline: PipelineStats::default(),
+            retries: 0,
+            isolated_crashes: 0,
+            resumed: false,
+            cancelled: false,
+        }
+    }
 }
 
 /// What the persistence layer did, for the report's `cache` block.
@@ -184,18 +308,22 @@ pub struct BatchReport {
     pub rows: Vec<FileRow>,
     /// Roll-up counts and summed pipeline counters.
     pub totals: BatchTotals,
+    /// Files whose verdict is still `internal-error` after the retry
+    /// policy ran out of attempts, in input order.
+    pub quarantine: Vec<String>,
     /// Persistence summary when a cache directory was active.
     pub cache: Option<CacheSummary>,
     /// Worst-wins exit code: 1 (race) > 65 (compile error) > 3
     /// (budget) > 2 (inconclusive) > 0 (all safe).
     pub exit: u8,
-    /// Non-fatal problems (damaged cache files, failed saves). Not
-    /// part of the JSON report; the CLI prints them to stderr.
+    /// Non-fatal problems (damaged cache files, failed saves, torn
+    /// journal lines). Not part of the JSON report; the CLI prints
+    /// them to stderr.
     pub warnings: Vec<String>,
 }
 
 /// Escapes a string for embedding in a JSON literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -211,6 +339,49 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Renders one report row as a JSON object (no trailing newline) —
+/// the same shape the aggregate report embeds and a `--row-json`
+/// child prints, so isolated and in-process rows agree byte-for-byte
+/// by construction. Supervision flags (`resumed`, `cancelled`) are
+/// deliberately absent: a resumed report must not differ from the
+/// cold one it reproduces.
+pub fn render_row_json(row: &FileRow) -> String {
+    format!(
+        "{{\"file\":\"{}\",\"verdict\":\"{}\",\"detail\":\"{}\",\"exit\":{},\
+         \"time_s\":{:.6},\"pipeline\":{}}}",
+        json_escape(&row.file),
+        row.verdict.name(),
+        json_escape(&row.detail),
+        row.verdict.exit_code(),
+        row.time_s,
+        row.pipeline.to_json(),
+    )
+}
+
+/// Parses a row printed by a `--row-json` child back into a
+/// [`FileRow`]. Any structural damage (a child killed mid-print) is
+/// an `Err`; the supervisor degrades it to an `internal-error` row.
+pub fn parse_row_json(line: &str) -> Result<FileRow, String> {
+    let v = mjson::parse(line.trim())?;
+    let str_field = |key: &str| -> Result<&str, String> {
+        v.get(key).and_then(mjson::Value::as_str).ok_or(format!("missing string `{key}`"))
+    };
+    let verdict_name = str_field("verdict")?;
+    let verdict =
+        Verdict::from_name(verdict_name).ok_or(format!("unknown verdict `{verdict_name}`"))?;
+    let time_s = v
+        .get("time_s")
+        .and_then(mjson::Value::as_f64)
+        .filter(|t| t.is_finite() && *t >= 0.0)
+        .ok_or("missing or unusable `time_s`")?;
+    let pipeline = journal::pipeline_from_json(v.get("pipeline").ok_or("missing `pipeline`")?)?;
+    let mut row =
+        FileRow::new(str_field("file")?.to_string(), verdict, str_field("detail")?.to_string());
+    row.time_s = time_s;
+    row.pipeline = pipeline;
+    Ok(row)
+}
+
 impl BatchReport {
     /// Renders the aggregate report as one JSON object. Key order is
     /// fixed and there is no `jobs` field, so two runs over the same
@@ -221,20 +392,18 @@ impl BatchReport {
             if i > 0 {
                 s.push(',');
             }
-            s.push_str(&format!(
-                "{{\"file\":\"{}\",\"verdict\":\"{}\",\"detail\":\"{}\",\"exit\":{},\
-                 \"time_s\":{:.6},\"pipeline\":{}}}",
-                json_escape(&row.file),
-                row.verdict.name(),
-                json_escape(&row.detail),
-                row.verdict.exit_code(),
-                row.time_s,
-                row.pipeline.to_json(),
-            ));
+            s.push_str(&render_row_json(row));
         }
         s.push_str("],\"totals\":");
         s.push_str(&self.totals.to_json());
-        s.push_str(",\"cache\":");
+        s.push_str(",\"quarantine\":[");
+        for (i, f) in self.quarantine.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\"", json_escape(f)));
+        }
+        s.push_str("],\"cache\":");
         match &self.cache {
             None => s.push_str("null"),
             Some(c) => s.push_str(&format!(
@@ -267,6 +436,9 @@ impl BatchReport {
         s.push_str(&self.totals.render_summary());
         if !s.ends_with('\n') {
             s.push('\n');
+        }
+        if !self.quarantine.is_empty() {
+            s.push_str(&format!("quarantined: {}\n", self.quarantine.join(", ")));
         }
         s
     }
@@ -439,8 +611,10 @@ pub fn save_caches(
 
 /// Checks one file: compile, then worst-wins over its race variables,
 /// all against an isolated seeded cache so counters are independent
-/// of which worker ran it. Returns the row plus the file's cache for
-/// sequential post-run merging.
+/// of which worker ran it. Budget-exhausted and cancelled outcomes
+/// keep the partial pipeline counters sealed up to that point.
+/// Returns the row plus the file's cache for sequential post-run
+/// merging.
 fn check_file(
     path: &Path,
     config: &BatchConfig,
@@ -448,15 +622,15 @@ fn check_file(
     file_mem: Option<u64>,
     abs_seed: &AbsSeed,
     persist: &SolverPersist,
+    faults: &FaultPlan,
 ) -> (FileRow, AbsCache) {
     let start = Instant::now();
     let file = path.display().to_string();
-    let row = |verdict: Verdict, detail: String, pipeline: PipelineStats, start: Instant| FileRow {
-        file: file.clone(),
-        verdict,
-        detail,
-        time_s: start.elapsed().as_secs_f64(),
-        pipeline,
+    let row = |verdict: Verdict, detail: String, pipeline: PipelineStats, start: Instant| {
+        let mut r = FileRow::new(file.clone(), verdict, detail);
+        r.time_s = start.elapsed().as_secs_f64();
+        r.pipeline = pipeline;
+        r
     };
     let src = match fs::read_to_string(path) {
         Ok(s) => s,
@@ -487,11 +661,14 @@ fn check_file(
         jobs: 1,
         timeout: carve_timeout(file_timeout, n_vars),
         mem_limit_bytes: carve_mem_limit(file_mem, n_vars),
+        cancel: config.cancel.clone(),
+        faults: faults.clone(),
         ..CircConfig::default()
     };
     let mut verdict = Verdict::Safe;
     let mut detail = String::new();
     let mut pipeline = PipelineStats::default();
+    let mut cancelled = false;
     for &var in &compiled.race_vars {
         let program = MtProgram::new(compiled.cfa.clone(), var);
         let vname = compiled.cfa.var_name(var).to_string();
@@ -508,10 +685,14 @@ fn check_file(
                 ),
             ),
             CircOutcome::Unknown(r) => {
-                let v = if r.reason.is_budget_exhausted() {
-                    Verdict::BudgetExhausted
-                } else {
-                    Verdict::Inconclusive
+                let v = match &r.reason {
+                    UnknownReason::Cancelled => {
+                        cancelled = true;
+                        Verdict::BudgetExhausted
+                    }
+                    UnknownReason::InternalError(_) => Verdict::InternalError,
+                    reason if reason.is_budget_exhausted() => Verdict::BudgetExhausted,
+                    _ => Verdict::Inconclusive,
                 };
                 (v, format!("{vname}: {:?}", r.reason))
             }
@@ -520,19 +701,298 @@ fn check_file(
             verdict = v;
             detail = d;
         }
+        // Draining: once cancellation is observed there is no point
+        // starting the remaining variables; the row is re-checked on
+        // resume anyway because cancelled rows are never journaled.
+        if cancelled {
+            break;
+        }
     }
     if verdict == Verdict::Safe {
         detail = format!("{n_vars} race variable(s) race-free");
     }
-    (row(verdict, detail, pipeline, start), cache)
+    let mut r = row(verdict, detail, pipeline, start);
+    r.cancelled = cancelled;
+    (r, cache)
 }
 
-/// Runs the whole batch: load caches, fan out, aggregate, save.
+/// Checks one file exactly as an in-process batch worker would — the
+/// same budget carving across race variables, the same cache seeding,
+/// the same counters — and returns the completed row plus any
+/// cache-load warnings. This is the child half of `--isolate`:
+/// `circ check <file> --row-json` calls it and prints the row, so an
+/// isolated batch produces rows identical to an in-process one by
+/// construction. Learned cache entries are discarded — an isolated
+/// child never writes cache files (the parent would race it).
+pub fn check_single(path: &Path, config: &BatchConfig) -> (FileRow, Vec<String>) {
+    let cache_dir = if config.use_cache { config.cache_dir.as_deref() } else { None };
+    let (abs_seed, solver_seed, warnings) = match cache_dir {
+        Some(dir) => {
+            let loaded = load_caches(dir);
+            (loaded.abs_seed, loaded.solver_seed, loaded.warnings)
+        }
+        None => (AbsSeed::empty(), Vec::new(), Vec::new()),
+    };
+    let persist = if cache_dir.is_some() {
+        SolverPersist::with_seed(solver_seed)
+    } else {
+        SolverPersist::inert()
+    };
+    let key = content_key(path);
+    let faults = config.faults.reseeded(key ^ 1);
+    let (row, _cache) = check_file(
+        path,
+        config,
+        config.timeout,
+        config.mem_limit_bytes,
+        &abs_seed,
+        &persist,
+        &faults,
+    );
+    (row, warnings)
+}
+
+/// The deterministic per-file key used to reseed fault plans and draw
+/// retry backoffs: the content digest when the file is readable, a
+/// path-derived fallback otherwise. A pure function of the input, so
+/// supervision behavior is independent of scheduling.
+fn content_key(path: &Path) -> u64 {
+    match fs::read(path) {
+        Ok(bytes) => journal::digest_bytes(&bytes),
+        Err(_) => journal::digest_bytes(path.display().to_string().as_bytes()),
+    }
+}
+
+/// One unit of batch work: the input path, its content digest (when
+/// readable), and the journaled row to replay instead of re-checking
+/// (when resuming and the digest matched).
+struct FileTask {
+    path: PathBuf,
+    digest: Option<u64>,
+    replay: Option<journal::JournalEntry>,
+}
+
+/// Shared context for supervised per-file checking: retry loop, panic
+/// containment, process isolation, journaling, and the cancellation
+/// drain.
+struct Supervisor<'a> {
+    config: &'a BatchConfig,
+    file_timeout: Option<Duration>,
+    file_mem: Option<u64>,
+    abs_seed: &'a AbsSeed,
+    persist: &'a SolverPersist,
+    journal: Option<&'a journal::Journal>,
+    /// Files that completed a real check (drives `cancel_after`).
+    completed: &'a AtomicUsize,
+    /// Journal lines that failed to write (reported once, at the end).
+    append_failures: &'a AtomicUsize,
+}
+
+impl Supervisor<'_> {
+    /// Runs one file to a final row: replay, drain, or check with
+    /// retries — then journal the result.
+    fn supervise(&self, task: &FileTask) -> (FileRow, AbsCache) {
+        let file = task.path.display().to_string();
+        if let Some(entry) = &task.replay {
+            let mut row = entry.row.clone();
+            row.file = file;
+            row.resumed = true;
+            return (row, AbsCache::disabled());
+        }
+        let start = Instant::now();
+        if self.config.cancel.is_cancelled() {
+            let mut row =
+                FileRow::new(file, Verdict::BudgetExhausted, "cancelled before start".to_string());
+            row.cancelled = true;
+            return (row, AbsCache::disabled());
+        }
+        let key = task.digest.unwrap_or_else(|| content_key(&task.path));
+        let mut retries: u64 = 0;
+        let mut crashes: u64 = 0;
+        let mut attempt: u32 = 1;
+        loop {
+            let remaining = self.file_timeout.map(|t| t.saturating_sub(start.elapsed()));
+            let (mut row, cache) = self.attempt(&task.path, remaining, key, attempt, &mut crashes);
+            let out_of_budget = remaining.is_some_and(|r| r.is_zero());
+            if row.verdict == Verdict::InternalError
+                && self.config.retry.should_retry(attempt)
+                && !self.config.cancel.is_cancelled()
+                && !out_of_budget
+            {
+                retries += 1;
+                let left = self.file_timeout.map(|t| t.saturating_sub(start.elapsed()));
+                std::thread::sleep(self.config.retry.backoff(key, attempt, left));
+                attempt += 1;
+                continue;
+            }
+            row.retries = retries;
+            row.isolated_crashes = crashes;
+            row.time_s = start.elapsed().as_secs_f64();
+            if let (Some(journal), Some(digest)) = (self.journal, task.digest) {
+                // Cancelled rows are deliberately not journaled: their
+                // absence is what makes `--resume` re-check them.
+                if !row.cancelled && journal.append(&row, digest).is_err() {
+                    self.append_failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let done = self.completed.fetch_add(1, Ordering::SeqCst) + 1;
+            if self.config.cancel_after.is_some_and(|limit| done >= limit) {
+                self.config.cancel.cancel();
+            }
+            return (row, cache);
+        }
+    }
+
+    /// One attempt at one file: in-process (panic-contained) or in an
+    /// isolated child, with the fault plan reseeded from
+    /// `content digest ⊕ attempt` so injection is jobs-invariant.
+    fn attempt(
+        &self,
+        path: &Path,
+        attempt_timeout: Option<Duration>,
+        key: u64,
+        attempt: u32,
+        crashes: &mut u64,
+    ) -> (FileRow, AbsCache) {
+        if self.config.isolate {
+            return (self.isolated(path, attempt_timeout, crashes), AbsCache::disabled());
+        }
+        let faults = self.config.faults.reseeded(key ^ u64::from(attempt));
+        match catch_unwind(AssertUnwindSafe(|| {
+            check_file(
+                path,
+                self.config,
+                attempt_timeout,
+                self.file_mem,
+                self.abs_seed,
+                self.persist,
+                &faults,
+            )
+        })) {
+            Ok(result) => result,
+            Err(payload) => {
+                let row = FileRow::new(
+                    path.display().to_string(),
+                    Verdict::InternalError,
+                    format!("contained worker panic: {}", panic_message(payload.as_ref())),
+                );
+                (row, AbsCache::disabled())
+            }
+        }
+    }
+
+    /// Runs one attempt in a child process (`circ check --row-json`).
+    /// A child killed by a signal, or one that exits without printing
+    /// a parseable row, becomes an `internal-error` row carrying the
+    /// child's stderr tail; it never takes down the batch.
+    fn isolated(
+        &self,
+        path: &Path,
+        attempt_timeout: Option<Duration>,
+        crashes: &mut u64,
+    ) -> FileRow {
+        let file = path.display().to_string();
+        let internal = |detail: String| FileRow::new(file.clone(), Verdict::InternalError, detail);
+        let binary = self
+            .config
+            .isolate_binary
+            .clone()
+            .or_else(|| std::env::var_os("CIRC_ISOLATE_BIN").map(PathBuf::from))
+            .or_else(|| std::env::current_exe().ok());
+        let Some(binary) = binary else {
+            return internal("cannot locate a binary for --isolate (set CIRC_ISOLATE_BIN)".into());
+        };
+        let mut cmd = Command::new(&binary);
+        cmd.arg("check").arg(path).arg("--row-json");
+        cmd.arg("--mode").arg(if self.config.omega { "omega" } else { "circ" });
+        cmd.arg("--k").arg(self.config.initial_k.to_string());
+        if !self.config.use_cache {
+            cmd.arg("--no-cache");
+        } else if let Some(dir) = &self.config.cache_dir {
+            cmd.arg("--cache-dir").arg(dir);
+        }
+        if let Some(t) = attempt_timeout {
+            cmd.arg("--timeout-millis").arg(t.as_millis().to_string());
+        }
+        if let Some(m) = self.file_mem {
+            cmd.arg("--mem-limit-bytes").arg(m.to_string());
+        }
+        let out = match cmd.output() {
+            Ok(out) => out,
+            Err(e) => {
+                return internal(format!("cannot spawn isolated child `{}`: {e}", binary.display()))
+            }
+        };
+        let stderr_tail = || {
+            let text = String::from_utf8_lossy(&out.stderr);
+            let trimmed = text.trim();
+            let chars: Vec<char> = trimmed.chars().collect();
+            let skip = chars.len().saturating_sub(240);
+            chars[skip..].iter().collect::<String>()
+        };
+        if out.status.code().is_none() {
+            // Killed by a signal — the crash/OOM case isolation is for.
+            *crashes += 1;
+            return internal(format!(
+                "isolated child died ({}); stderr: {}",
+                describe_status(&out.status),
+                stderr_tail()
+            ));
+        }
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let row_line = stdout.lines().rev().find(|l| !l.trim().is_empty());
+        match row_line.map(parse_row_json) {
+            Some(Ok(mut row)) => {
+                // Keep the parent's path string; the child echoed the
+                // same one, but the parent's copy is authoritative.
+                row.file = file;
+                row
+            }
+            Some(Err(e)) => {
+                *crashes += 1;
+                internal(format!(
+                    "isolated child (exit {:?}) printed an unreadable row ({e}); stderr: {}",
+                    out.status.code(),
+                    stderr_tail()
+                ))
+            }
+            None => {
+                *crashes += 1;
+                internal(format!(
+                    "isolated child (exit {:?}) printed no row; stderr: {}",
+                    out.status.code(),
+                    stderr_tail()
+                ))
+            }
+        }
+    }
+}
+
+/// Human description of a child exit status — names the signal on
+/// Unix, falls back to the OS rendering elsewhere.
+#[cfg(unix)]
+fn describe_status(status: &std::process::ExitStatus) -> String {
+    use std::os::unix::process::ExitStatusExt;
+    match status.signal() {
+        Some(sig) => format!("signal {sig}"),
+        None => status.to_string(),
+    }
+}
+
+#[cfg(not(unix))]
+fn describe_status(status: &std::process::ExitStatus) -> String {
+    status.to_string()
+}
+
+/// Runs the whole batch: load caches and journal, fan out under
+/// supervision, aggregate, save.
 ///
 /// Rows come back in input order regardless of `jobs`; a worker panic
-/// (possible only under fault injection) becomes an `internal-error`
-/// row rather than killing the batch. Cache files are written even on
-/// non-zero exits — a racy corpus still warms the cache.
+/// becomes an `internal-error` row (retried under the configured
+/// policy) rather than killing the batch; a tripped [`CancelToken`]
+/// drains the remaining work but still produces the partial report
+/// and cache files. Cache files are written even on non-zero exits —
+/// a racy corpus still warms the cache.
 pub fn run_batch(inputs: &[PathBuf], config: &BatchConfig) -> BatchReport {
     let cache_dir = if config.use_cache { config.cache_dir.as_deref() } else { None };
     let (abs_seed, solver_seed, mut warnings) = match cache_dir {
@@ -552,13 +1012,58 @@ pub fn run_batch(inputs: &[PathBuf], config: &BatchConfig) -> BatchReport {
         SolverPersist::inert()
     };
 
-    let n = inputs.len();
-    let file_timeout = carve_timeout(config.timeout, n);
-    let file_mem = carve_mem_limit(config.mem_limit_bytes, n);
-    let pool = Pool::new(config.jobs);
-    let results = pool.try_map(inputs, |path| {
-        check_file(path, config, file_timeout, file_mem, &abs_seed, &persist)
+    // Journal replay map (resume) and writer. Opening the writer
+    // truncates on a fresh run: stale entries from a previous corpus
+    // must not survive for a later `--resume` to trust.
+    let mut replayed = std::collections::HashMap::new();
+    if config.resume {
+        if let Some(jpath) = &config.journal {
+            let (map, journal_warnings) = journal::load(jpath);
+            warnings.extend(journal_warnings);
+            replayed = map;
+        }
+    }
+    let tasks: Vec<FileTask> = inputs
+        .iter()
+        .map(|path| {
+            let digest = fs::read(path).ok().map(|bytes| journal::digest_bytes(&bytes));
+            let replay = digest.and_then(|d| replayed.get(&d).cloned());
+            FileTask { path: path.clone(), digest, replay }
+        })
+        .collect();
+    let journal_out = config.journal.as_ref().and_then(|path| {
+        let opened = if config.resume {
+            journal::Journal::open_append(path)
+        } else {
+            journal::Journal::create(path)
+        };
+        match opened {
+            Ok(j) => Some(j),
+            Err(e) => {
+                warnings.push(format!(
+                    "cannot open journal `{}`: {e}; running without one",
+                    path.display()
+                ));
+                None
+            }
+        }
     });
+
+    let n = inputs.len();
+    let completed = AtomicUsize::new(0);
+    let append_failures = AtomicUsize::new(0);
+    let supervisor = Supervisor {
+        config,
+        file_timeout: carve_timeout(config.timeout, n),
+        file_mem: carve_mem_limit(config.mem_limit_bytes, n),
+        abs_seed: &abs_seed,
+        persist: &persist,
+        journal: journal_out.as_ref(),
+        completed: &completed,
+        append_failures: &append_failures,
+    };
+    let pool = Pool::new(config.jobs);
+    let results = pool.try_map(&tasks, |task| supervisor.supervise(task));
 
     let mut rows = Vec::with_capacity(n);
     let mut caches = Vec::with_capacity(n);
@@ -569,16 +1074,22 @@ pub fn run_batch(inputs: &[PathBuf], config: &BatchConfig) -> BatchReport {
                 caches.push(cache);
             }
             Err(e) => {
-                rows.push(FileRow {
-                    file: path.display().to_string(),
-                    verdict: Verdict::InternalError,
-                    detail: e.message,
-                    time_s: 0.0,
-                    pipeline: PipelineStats::default(),
-                });
+                // Last-resort containment: a panic that escaped the
+                // supervisor itself (journal I/O, bookkeeping).
+                rows.push(FileRow::new(
+                    path.display().to_string(),
+                    Verdict::InternalError,
+                    e.message,
+                ));
                 caches.push(AbsCache::disabled());
             }
         }
+    }
+    if append_failures.load(Ordering::Relaxed) > 0 {
+        warnings.push(format!(
+            "{} journal append(s) failed; a resume may re-check those files",
+            append_failures.load(Ordering::Relaxed)
+        ));
     }
 
     let mut totals = BatchTotals { files: rows.len() as u64, ..BatchTotals::default() };
@@ -590,8 +1101,17 @@ pub fn run_batch(inputs: &[PathBuf], config: &BatchConfig) -> BatchReport {
             Verdict::BudgetExhausted => totals.budget_exhausted += 1,
             Verdict::CompileError => totals.compile_errors += 1,
         }
+        totals.retries += row.retries;
+        totals.isolated_crashes += row.isolated_crashes;
+        totals.resumed += u64::from(row.resumed);
+        totals.cancelled += u64::from(row.cancelled);
         totals.pipeline.add(&row.pipeline);
     }
+    let quarantine: Vec<String> = rows
+        .iter()
+        .filter(|r| r.verdict == Verdict::InternalError)
+        .map(|r| r.file.clone())
+        .collect();
     let exit = rows
         .iter()
         .map(|r| r.verdict)
@@ -601,6 +1121,8 @@ pub fn run_batch(inputs: &[PathBuf], config: &BatchConfig) -> BatchReport {
 
     // Merge and save sequentially in input order — scheduling never
     // touches the persisted state, so warm files are reproducible.
+    // (Under --isolate the children learn into their own memory and
+    // are discarded; the save then round-trips the seed unchanged.)
     let cache = cache_dir.map(|dir| {
         let master = AbsCache::with_seed(&abs_seed);
         for file_cache in &caches {
@@ -618,7 +1140,7 @@ pub fn run_batch(inputs: &[PathBuf], config: &BatchConfig) -> BatchReport {
         }
     });
 
-    BatchReport { rows, totals, cache, exit, warnings }
+    BatchReport { rows, totals, quarantine, cache, exit, warnings }
 }
 
 #[cfg(test)]
@@ -688,8 +1210,10 @@ mod tests {
         assert_eq!(report.totals.races, 1);
         assert_eq!(report.totals.compile_errors, 1);
         assert!(report.cache.is_none());
+        assert!(report.quarantine.is_empty());
         let json = report.to_json();
         assert!(json.contains("\"verdict\":\"race\""), "{json}");
+        assert!(json.contains("\"quarantine\":[]"), "{json}");
         assert!(!json.contains("\"jobs\""), "report must not mention jobs: {json}");
     }
 
@@ -794,6 +1318,244 @@ mod tests {
         let par = run_batch(&inputs, &BatchConfig { jobs: 4, ..BatchConfig::default() });
         assert_eq!(strip_times(&seq.to_json()), strip_times(&par.to_json()));
         assert_eq!(seq.exit, par.exit);
+    }
+
+    #[test]
+    fn budget_exhausted_rows_carry_partial_stats() {
+        let dir = tmp_root("partial-stats");
+        fs::write(dir.join("a.nesl"), SAFE_SRC).unwrap();
+        let inputs = collect_inputs(&dir).unwrap();
+        let cfg = BatchConfig { timeout: Some(Duration::from_nanos(1)), ..BatchConfig::default() };
+        let report = run_batch(&inputs, &cfg);
+        assert_eq!(report.exit, 3);
+        let row = &report.rows[0];
+        assert_eq!(row.verdict, Verdict::BudgetExhausted);
+        assert!(
+            row.pipeline.budget_polls > 0,
+            "an exhausted row must keep the partial counters sealed up to the trip: {:?}",
+            row.pipeline
+        );
+        assert!(row.detail.contains("Deadline"), "{}", row.detail);
+    }
+
+    #[test]
+    fn journal_resume_replays_rows_byte_identically() {
+        let dir = tmp_root("resume");
+        fs::write(dir.join("a.nesl"), SAFE_SRC).unwrap();
+        fs::write(dir.join("b.nesl"), RACY_SRC).unwrap();
+        let inputs = collect_inputs(&dir).unwrap();
+        let journal_path = dir.join("run.journal");
+        let cfg = BatchConfig { journal: Some(journal_path.clone()), ..BatchConfig::default() };
+
+        let cold = run_batch(&inputs, &cfg);
+        assert_eq!(cold.totals.resumed, 0);
+        assert!(journal_path.is_file());
+
+        let resumed = run_batch(&inputs, &BatchConfig { resume: true, ..cfg.clone() });
+        assert_eq!(resumed.totals.resumed, 2, "both rows must replay");
+        assert!(resumed.rows.iter().all(|r| r.resumed));
+        // Replayed rows reproduce the cold rows byte-for-byte —
+        // including wall times, which come from the journal.
+        for (cold_row, resumed_row) in cold.rows.iter().zip(&resumed.rows) {
+            assert_eq!(render_row_json(cold_row), render_row_json(resumed_row));
+        }
+        // A second resume is byte-stable against the first.
+        let again = run_batch(&inputs, &BatchConfig { resume: true, ..cfg.clone() });
+        assert_eq!(resumed.to_json(), again.to_json());
+
+        // Editing a file invalidates only that file's entry.
+        fs::write(dir.join("a.nesl"), RACY_SRC.replace('y', "z")).unwrap();
+        let partial = run_batch(&inputs, &BatchConfig { resume: true, ..cfg });
+        assert_eq!(partial.totals.resumed, 1, "edited file must be re-checked");
+        assert_eq!(partial.rows[0].verdict, Verdict::Race, "re-check sees the new content");
+    }
+
+    #[test]
+    fn interrupted_run_drains_and_resume_completes() {
+        let dir = tmp_root("interrupt");
+        fs::write(dir.join("a.nesl"), SAFE_SRC).unwrap();
+        fs::write(dir.join("b.nesl"), RACY_SRC).unwrap();
+        fs::write(dir.join("c.nesl"), SAFE_SRC.replace('x', "w")).unwrap();
+        let inputs = collect_inputs(&dir).unwrap();
+        let journal_path = dir.join("run.journal");
+
+        let baseline = run_batch(&inputs, &BatchConfig::default());
+
+        // "Interrupt" deterministically after the first completed file.
+        let cfg = BatchConfig {
+            journal: Some(journal_path.clone()),
+            cancel_after: Some(1),
+            ..BatchConfig::default()
+        };
+        let interrupted = run_batch(&inputs, &cfg);
+        assert_eq!(interrupted.totals.cancelled, 2, "files after the trip must drain");
+        assert_eq!(interrupted.rows[0].verdict, Verdict::Safe);
+        assert!(interrupted.rows[1].cancelled && interrupted.rows[2].cancelled);
+        assert_eq!(interrupted.exit, 3, "a drained batch exits with the budget code");
+        let journal_text = fs::read_to_string(&journal_path).unwrap();
+        assert_eq!(journal_text.lines().count(), 1, "cancelled rows must not be journaled");
+
+        // Resume finishes the rest; verdicts match the uninterrupted run.
+        let resumed = run_batch(
+            &inputs,
+            &BatchConfig {
+                journal: Some(journal_path.clone()),
+                resume: true,
+                ..BatchConfig::default()
+            },
+        );
+        assert_eq!(resumed.totals.resumed, 1);
+        assert_eq!(resumed.totals.cancelled, 0);
+        let essence = |r: &BatchReport| -> Vec<(String, &'static str, String)> {
+            r.rows
+                .iter()
+                .map(|row| (row.file.clone(), row.verdict.name(), row.detail.clone()))
+                .collect()
+        };
+        assert_eq!(essence(&resumed), essence(&baseline));
+        assert_eq!(resumed.exit, baseline.exit);
+    }
+
+    #[test]
+    fn pre_tripped_cancel_drains_everything_but_still_reports() {
+        let dir = tmp_root("drain");
+        fs::write(dir.join("a.nesl"), SAFE_SRC).unwrap();
+        fs::write(dir.join("b.nesl"), RACY_SRC).unwrap();
+        let inputs = collect_inputs(&dir).unwrap();
+        let cfg = BatchConfig::default();
+        cfg.cancel.cancel();
+        let report = run_batch(&inputs, &cfg);
+        assert_eq!(report.totals.cancelled, 2);
+        assert_eq!(report.exit, 3);
+        assert!(report.rows.iter().all(|r| r.verdict == Verdict::BudgetExhausted && r.cancelled));
+    }
+
+    #[cfg(unix)]
+    fn write_script(path: &Path, body: &str) {
+        use std::os::unix::fs::PermissionsExt;
+        fs::write(path, body).unwrap();
+        let mut perms = fs::metadata(path).unwrap().permissions();
+        perms.set_mode(0o755);
+        fs::set_permissions(path, perms).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn isolated_child_rows_parse_and_crashes_degrade() {
+        let dir = tmp_root("isolate");
+        fs::write(dir.join("a.nesl"), SAFE_SRC).unwrap();
+        let inputs = collect_inputs(&dir).unwrap();
+
+        // A scripted "child" that prints a canned row.
+        let fake_row = render_row_json(&FileRow::new(
+            "ignored-by-parent".into(),
+            Verdict::Safe,
+            "1 race variable(s) race-free".into(),
+        ));
+        let ok_script = dir.join("fake-circ-ok.sh");
+        write_script(&ok_script, &format!("#!/bin/sh\necho '{fake_row}'\nexit 0\n"));
+        let cfg = BatchConfig {
+            isolate: true,
+            isolate_binary: Some(ok_script),
+            ..BatchConfig::default()
+        };
+        let report = run_batch(&inputs, &cfg);
+        assert_eq!(report.rows[0].verdict, Verdict::Safe);
+        assert_eq!(report.rows[0].file, inputs[0].display().to_string());
+        assert_eq!(report.totals.isolated_crashes, 0);
+
+        // A "child" that dies on a signal: one internal-error row,
+        // stderr captured, batch survives.
+        let crash_script = dir.join("fake-circ-crash.sh");
+        write_script(&crash_script, "#!/bin/sh\necho boom-stderr >&2\nkill -ABRT $$\n");
+        let cfg = BatchConfig {
+            isolate: true,
+            isolate_binary: Some(crash_script),
+            ..BatchConfig::default()
+        };
+        let report = run_batch(&inputs, &cfg);
+        assert_eq!(report.rows[0].verdict, Verdict::InternalError);
+        assert!(report.rows[0].detail.contains("signal 6"), "{}", report.rows[0].detail);
+        assert!(report.rows[0].detail.contains("boom-stderr"), "{}", report.rows[0].detail);
+        assert_eq!(report.totals.isolated_crashes, 1);
+        assert_eq!(report.quarantine, vec![inputs[0].display().to_string()]);
+        assert_eq!(report.exit, 2);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn retry_policy_reruns_flaky_children_and_quarantines_hopeless_ones() {
+        let dir = tmp_root("retry");
+        fs::write(dir.join("a.nesl"), SAFE_SRC).unwrap();
+        let inputs = collect_inputs(&dir).unwrap();
+
+        // Fails on the first call, succeeds on the second (a marker
+        // file carries the attempt count across processes).
+        let fake_row = render_row_json(&FileRow::new(
+            "x".into(),
+            Verdict::Safe,
+            "1 race variable(s) race-free".into(),
+        ));
+        let marker = dir.join("attempted");
+        let flaky_script = dir.join("fake-circ-flaky.sh");
+        write_script(
+            &flaky_script,
+            &format!(
+                "#!/bin/sh\nif [ -e '{}' ]; then echo '{fake_row}'; exit 0; fi\n\
+                 touch '{}'\nkill -KILL $$\n",
+                marker.display(),
+                marker.display()
+            ),
+        );
+        let cfg = BatchConfig {
+            isolate: true,
+            isolate_binary: Some(flaky_script),
+            retry: RetryPolicy::with_retries(2, 42),
+            ..BatchConfig::default()
+        };
+        let report = run_batch(&inputs, &cfg);
+        assert_eq!(report.rows[0].verdict, Verdict::Safe, "{}", report.rows[0].detail);
+        assert_eq!(report.rows[0].retries, 1);
+        assert_eq!(report.rows[0].isolated_crashes, 1);
+        assert_eq!(report.totals.retries, 1);
+        assert!(report.quarantine.is_empty());
+        assert_eq!(report.exit, 0);
+
+        // A child that always crashes exhausts the policy and lands in
+        // quarantine with the full attempt count.
+        let dead_script = dir.join("fake-circ-dead.sh");
+        write_script(&dead_script, "#!/bin/sh\nkill -KILL $$\n");
+        let cfg = BatchConfig {
+            isolate: true,
+            isolate_binary: Some(dead_script),
+            retry: RetryPolicy::with_retries(2, 42),
+            ..BatchConfig::default()
+        };
+        let report = run_batch(&inputs, &cfg);
+        assert_eq!(report.rows[0].verdict, Verdict::InternalError);
+        assert_eq!(report.rows[0].retries, 2, "2 retries = 3 attempts");
+        assert_eq!(report.rows[0].isolated_crashes, 3);
+        assert_eq!(report.quarantine.len(), 1);
+    }
+
+    #[test]
+    fn row_json_round_trips() {
+        let mut row = FileRow::new(
+            "examples/fig1.nesl".into(),
+            Verdict::Race,
+            "race on x: 2 threads, 7 steps".into(),
+        );
+        row.time_s = 0.125;
+        row.pipeline.outer_rounds = 4;
+        row.pipeline.arg_nodes = 99;
+        let parsed = parse_row_json(&render_row_json(&row)).unwrap();
+        assert_eq!(parsed.file, row.file);
+        assert_eq!(parsed.verdict, row.verdict);
+        assert_eq!(parsed.detail, row.detail);
+        assert_eq!(parsed.pipeline, row.pipeline);
+        assert_eq!(render_row_json(&parsed), render_row_json(&row));
+        assert!(parse_row_json("{\"file\":\"x\"}").is_err());
+        assert!(parse_row_json("not json").is_err());
     }
 
     /// Zeroes every `"time...":<number>` value so wall clocks do not

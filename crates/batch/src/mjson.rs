@@ -1,0 +1,335 @@
+//! A minimal JSON reader for the two wire formats the supervisor has
+//! to parse back: journal lines and isolated-child row objects. Both
+//! are produced by this workspace's own renderers, but both cross a
+//! crash boundary (a half-written journal line, a child killed mid
+//! print), so the parser must reject damage cleanly rather than
+//! trust its input.
+//!
+//! Vendored-by-necessity: the build environment has no registry
+//! access, so `serde_json` is not an option. The subset is full JSON
+//! minus `\u` surrogate pairs (the workspace's `json_escape` never
+//! emits them for the BMP strings we round-trip). Numbers keep their
+//! raw text so integer counters round-trip losslessly and re-rendered
+//! floats stay byte-identical.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Numbers keep their source text (see module
+/// docs); object keys collapse to last-wins, which is fine for wire
+/// formats we also produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number, as its raw source text.
+    Num(String),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The value at `key`, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as a `u64`, if it is an unsigned integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON value; trailing non-whitespace is an
+/// error (a truncated or concatenated line must not half-parse).
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Nesting guard; our wire formats nest 3 deep, hostile input can try
+/// harder.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, String> {
+        if depth > MAX_DEPTH {
+            return Err("nesting too deep".into());
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut saw_digit = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                saw_digit = true;
+                self.pos += 1;
+            } else if matches!(c, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !saw_digit || raw.parse::<f64>().is_err() {
+            return Err(format!("bad number `{raw}` at byte {start}"));
+        }
+        Ok(Value::Num(raw.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| "non-ascii \\u escape".to_string())?;
+                            self.pos += 4;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or(format!("unsupported code point \\u{hex}"))?,
+                            );
+                        }
+                        other => return Err(format!("bad escape `\\{}`", other as char)),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err("raw control character in string".into()),
+                Some(_) => {
+                    // Copy a run of plain UTF-8 bytes verbatim.
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'"' || c == b'\\' || c < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => return Err(format!("expected `,` or `]`, got {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shapes_we_emit() {
+        let v = parse(
+            "{\"file\":\"a\\\"b.nesl\",\"verdict\":\"safe\",\"exit\":0,\
+             \"time_s\":1.500000,\"pipeline\":{\"arg_nodes\":12},\"list\":[1,-2,3.5],\
+             \"flag\":true,\"nothing\":null}",
+        )
+        .unwrap();
+        assert_eq!(v.get("file").and_then(Value::as_str), Some("a\"b.nesl"));
+        assert_eq!(v.get("exit").and_then(Value::as_u64), Some(0));
+        assert_eq!(v.get("time_s").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(
+            v.get("pipeline").and_then(|p| p.get("arg_nodes")).and_then(Value::as_u64),
+            Some(12)
+        );
+        assert_eq!(v.get("flag"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("nothing"), Some(&Value::Null));
+        let Value::Arr(items) = v.get("list").unwrap() else { panic!() };
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[1].as_f64(), Some(-2.0));
+        assert_eq!(items[1].as_u64(), None, "negative numbers are not u64s");
+    }
+
+    #[test]
+    fn large_counters_round_trip_losslessly() {
+        // f64 would corrupt this; raw-text numbers must not.
+        let v = parse("{\"n\":18446744073709551615}").unwrap();
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn rejects_damage() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\" 1}",
+            "[1,]",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "{\"a\":--1}",
+            "nul",
+            "{\"a\":\"\\q\"}",
+            "{\"a\":\"\\u12\"}",
+            "[1 2]",
+        ] {
+            assert!(parse(bad).is_err(), "accepted damaged input {bad:?}");
+        }
+        // Deep nesting is rejected, not stack-overflowed.
+        let deep = format!("{}1{}", "[".repeat(500), "]".repeat(500));
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let v = parse("\"tab\\there\\nnl \\u0041 slash\\/ \\\\ \"").unwrap();
+        assert_eq!(v.as_str(), Some("tab\there\nnl A slash/ \\ "));
+    }
+}

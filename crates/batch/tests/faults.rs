@@ -1,0 +1,197 @@
+//! Batch supervision under seeded fault injection (`--features
+//! inject`): a transient worker fault that clears on the retry must
+//! land on the clean verdict, and the supervision counters —
+//! `totals.retries`, `totals.isolated_crashes` — must be
+//! jobs-invariant, because every injection schedule is a pure function
+//! of the input file's content digest and the attempt number, never of
+//! scheduling order.
+
+#![cfg(feature = "inject")]
+
+use circ_batch::{collect_inputs, run_batch, BatchConfig, Verdict};
+use circ_governor::{FaultPlan, RetryPolicy};
+use std::path::PathBuf;
+
+const SAFE_SRC: &str = "global int x;\n#race x;\nthread t { loop { atomic { x = x + 1; } } }\n";
+const RACY_SRC: &str = "global int y;\n#race y;\nthread t { loop { y = y + 1; } }\n";
+
+fn corpus(name: &str) -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    // Distinct contents (trailing comment) so every file draws an
+    // independent injection schedule from its own digest.
+    for i in 0..6 {
+        let body = if i == 3 { RACY_SRC.to_string() } else { format!("{SAFE_SRC}// {i}\n") };
+        std::fs::write(dir.join(format!("m{i}.nesl")), body).unwrap();
+    }
+    collect_inputs(&dir).unwrap()
+}
+
+/// Zeroes every `"time...":<number>` value in a JSON report (same
+/// scanner as `tests/determinism.rs`).
+fn strip_times(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some(ix) = rest.find("\"time") {
+        let Some(key_len) = rest[ix + 1..].find('"') else { break };
+        let key_end = ix + 1 + key_len + 1;
+        let Some(colon) = rest[key_end..].find(':') else { break };
+        let val_start = key_end + colon + 1;
+        let val_len = rest[val_start..].find([',', '}']).unwrap_or(rest.len() - val_start);
+        out.push_str(&rest[..val_start]);
+        out.push('0');
+        rest = &rest[val_start + val_len..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn transient_fault_clears_on_retry_and_counters_are_jobs_invariant() {
+    let inputs = corpus("inject-supervision");
+    let baseline = run_batch(&inputs, &BatchConfig::default());
+    assert_eq!(baseline.totals.retries, 0);
+
+    // Injection schedules are deterministic per (seed, digest,
+    // attempt), so scan seeds for one where some file's early attempt
+    // is poisoned but a later retry comes back clean — the
+    // transient-fault shape the retry policy exists for.
+    let mut found = None;
+    for seed in 0..64u64 {
+        let cfg = BatchConfig {
+            faults: FaultPlan::seeded(seed).with_task_panic(60),
+            retry: RetryPolicy::with_retries(3, seed),
+            ..BatchConfig::default()
+        };
+        let report = run_batch(&inputs, &cfg);
+        let recovered = report.rows.iter().zip(&baseline.rows).any(|(r, b)| {
+            r.retries > 0 && r.verdict == b.verdict && r.verdict != Verdict::InternalError
+        });
+        if recovered {
+            found = Some((seed, report));
+            break;
+        }
+    }
+    let (seed, retried) = found.expect("no seed in 0..64 produced a recoverable transient fault");
+    assert!(retried.totals.retries > 0);
+
+    // Every recovered row answers exactly as the clean baseline;
+    // unrecovered rows only ever degrade to internal-error, and the
+    // quarantine lists precisely those.
+    for (row, base) in retried.rows.iter().zip(&baseline.rows) {
+        assert!(
+            row.verdict == base.verdict || row.verdict == Verdict::InternalError,
+            "seed {seed}: {} flipped {:?} -> {:?}",
+            row.file,
+            base.verdict,
+            row.verdict
+        );
+    }
+    let expect_quarantine: Vec<String> = retried
+        .rows
+        .iter()
+        .filter(|r| r.verdict == Verdict::InternalError)
+        .map(|r| r.file.clone())
+        .collect();
+    assert_eq!(retried.quarantine, expect_quarantine);
+
+    // And the whole report — rows, retry counters, quarantine — is
+    // byte-identical at jobs=4, modulo wall-times.
+    let par = run_batch(
+        &inputs,
+        &BatchConfig {
+            faults: FaultPlan::seeded(seed).with_task_panic(60),
+            retry: RetryPolicy::with_retries(3, seed),
+            jobs: 4,
+            ..BatchConfig::default()
+        },
+    );
+    assert_eq!(
+        par.totals.retries, retried.totals.retries,
+        "seed {seed}: retries not jobs-invariant"
+    );
+    assert_eq!(
+        strip_times(&par.to_json()),
+        strip_times(&retried.to_json()),
+        "seed {seed}: fault-heavy report not jobs-invariant"
+    );
+}
+
+/// Faults may only degrade: under heavy injection with no retries, a
+/// racy file never turns Safe and a safe file never turns Race — the
+/// poisoned rows read `internal-error` and the batch exit reflects the
+/// worst *surviving* verdict.
+#[test]
+fn injected_faults_only_degrade_batch_verdicts() {
+    let inputs = corpus("inject-degrade");
+    let baseline = run_batch(&inputs, &BatchConfig::default());
+    for seed in 0..8u64 {
+        let cfg = BatchConfig {
+            faults: FaultPlan::seeded(seed).with_task_panic(250),
+            ..BatchConfig::default()
+        };
+        let report = run_batch(&inputs, &cfg);
+        for (row, base) in report.rows.iter().zip(&baseline.rows) {
+            assert!(
+                row.verdict == base.verdict || row.verdict == Verdict::InternalError,
+                "seed {seed}: {} flipped {:?} -> {:?}",
+                row.file,
+                base.verdict,
+                row.verdict
+            );
+        }
+        // Quarantine lists exactly the internal-error rows.
+        let expect: Vec<String> = report
+            .rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::InternalError)
+            .map(|r| r.file.clone())
+            .collect();
+        assert_eq!(report.quarantine, expect);
+    }
+}
+
+/// Isolated-child crash accounting is jobs-invariant too: a scripted
+/// child that dies for one specific input produces the same rows, the
+/// same `isolated_crashes`, and the same quarantine at any `--jobs`.
+#[cfg(unix)]
+#[test]
+fn isolated_crash_counters_are_jobs_invariant() {
+    use std::os::unix::fs::PermissionsExt;
+    let inputs = corpus("inject-isolate");
+    let dir = inputs[0].parent().unwrap();
+
+    let fake_row = circ_batch::render_row_json(&circ_batch::FileRow::new(
+        "canned".into(),
+        Verdict::Safe,
+        "1 race variable(s) race-free".into(),
+    ));
+    let script = dir.join("fake-circ.sh");
+    std::fs::write(
+        &script,
+        format!("#!/bin/sh\ncase \"$2\" in\n  *m3*) kill -ABRT $$;;\nesac\necho '{fake_row}'\n"),
+    )
+    .unwrap();
+    std::fs::set_permissions(&script, std::fs::Permissions::from_mode(0o755)).unwrap();
+
+    let run = |jobs: usize| {
+        run_batch(
+            &inputs,
+            &BatchConfig {
+                isolate: true,
+                isolate_binary: Some(script.clone()),
+                retry: RetryPolicy::with_retries(1, 7),
+                jobs,
+                ..BatchConfig::default()
+            },
+        )
+    };
+    let seq = run(1);
+    let par = run(4);
+    assert_eq!(seq.totals.isolated_crashes, 2, "1 retry = 2 attempts on the dying child");
+    assert_eq!(seq.totals.isolated_crashes, par.totals.isolated_crashes);
+    assert_eq!(seq.totals.retries, par.totals.retries);
+    assert_eq!(seq.quarantine, par.quarantine);
+    assert_eq!(strip_times(&seq.to_json()), strip_times(&par.to_json()));
+}

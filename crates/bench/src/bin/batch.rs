@@ -1,18 +1,19 @@
-//! Cold-vs-warm batch differential: runs the `examples/` corpus twice
-//! through `circ_batch::run_batch` against the same fresh cache
-//! directory — the first run builds the persistent entailment and
-//! solver caches, the second warm-starts from them — and appends one
-//! JSON line to `BENCH_batch.json` with both wall times and cache
-//! counters.
+//! Cold-vs-warm-vs-resumed batch differential: runs the `examples/`
+//! corpus through `circ_batch::run_batch` three times — cold (building
+//! the persistent entailment and solver caches), warm (restarting from
+//! them), and resumed (replaying a journal written by the warm run) —
+//! and appends one JSON line to `BENCH_batch.json` with all three wall
+//! times and the cache counters.
 //!
 //! ```text
 //! cargo run --release -p circ-bench --bin batch [-- --jobs N]
 //! ```
 //!
-//! The process exits 1 if the warm run's verdicts differ from the
-//! cold run's in any way, or if warming did not strictly reduce
-//! entailment-cache misses — either would mean the persistence layer
-//! is changing or failing to do its one job.
+//! The process exits 1 if the warm or resumed run's verdicts differ
+//! from the cold run's in any way, if warming did not strictly reduce
+//! entailment-cache misses, or if the resumed run re-checked anything
+//! — any of these would mean the persistence or journal layer is
+//! changing or failing to do its one job.
 
 use circ_batch::{collect_inputs, run_batch, BatchConfig, BatchReport};
 use std::io::Write as _;
@@ -48,12 +49,19 @@ fn main() {
     let t0 = Instant::now();
     let cold = run_batch(&inputs, &cfg);
     let cold_time = t0.elapsed().as_secs_f64();
+    // The warm run also writes the journal the resumed run replays.
+    let journal = cache_dir.join("bench-journal.jsonl");
+    let warm_cfg = BatchConfig { journal: Some(journal.clone()), ..cfg.clone() };
     let t1 = Instant::now();
-    let warm = run_batch(&inputs, &cfg);
+    let warm = run_batch(&inputs, &warm_cfg);
     let warm_time = t1.elapsed().as_secs_f64();
+    let resumed_cfg = BatchConfig { resume: true, ..warm_cfg };
+    let t2 = Instant::now();
+    let resumed = run_batch(&inputs, &resumed_cfg);
+    let resumed_time = t2.elapsed().as_secs_f64();
     let _ = std::fs::remove_dir_all(&cache_dir);
 
-    for w in cold.warnings.iter().chain(&warm.warnings) {
+    for w in cold.warnings.iter().chain(&warm.warnings).chain(&resumed.warnings) {
         eprintln!("warning: {w}");
     }
 
@@ -63,11 +71,12 @@ fn main() {
     let line = format!(
         "{{\"bench\":\"batch\",\"files\":{},\"jobs\":{jobs},\
          \"cold_time_s\":{cold_time:.4},\"warm_time_s\":{warm_time:.4},\
+         \"resumed_time_s\":{resumed_time:.4},\
          \"cold_abs_misses\":{cold_misses},\"warm_abs_misses\":{warm_misses},\
          \"cold_abs_hit_rate\":{:.4},\"warm_abs_hit_rate\":{:.4},\
          \"cold_solver_misses\":{},\"warm_solver_misses\":{},\
          \"abs_entries\":{},\"solver_entries\":{},\
-         \"verdicts_match\":{}}}",
+         \"rows_resumed\":{},\"verdicts_match\":{}}}",
         inputs.len(),
         cold.totals.pipeline.abs.hit_rate(),
         warm.totals.pipeline.abs.hit_rate(),
@@ -75,7 +84,8 @@ fn main() {
         warm.totals.pipeline.solver.cache_misses,
         cache.abs_seeded,
         cache.solver_seeded,
-        verdicts(&cold) == verdicts(&warm),
+        resumed.totals.resumed,
+        verdicts(&cold) == verdicts(&warm) && verdicts(&cold) == verdicts(&resumed),
     );
     let out_path = "BENCH_batch.json";
     let mut f = std::fs::OpenOptions::new()
@@ -94,6 +104,18 @@ fn main() {
     if warm_misses >= cold_misses {
         eprintln!(
             "FAIL: warm run missed {warm_misses} times, cold {cold_misses} — cache not warming"
+        );
+        std::process::exit(1);
+    }
+    if verdicts(&cold) != verdicts(&resumed) {
+        eprintln!("FAIL: resumed verdicts differ from cold");
+        std::process::exit(1);
+    }
+    if resumed.totals.resumed as usize != inputs.len() {
+        eprintln!(
+            "FAIL: resumed run replayed {} of {} rows — journal not resuming",
+            resumed.totals.resumed,
+            inputs.len()
         );
         std::process::exit(1);
     }

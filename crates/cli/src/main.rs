@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! circ check <file.nesl> [--mode circ|omega] [--k N] [--jobs N] [--print-acfa]
-//!                        [--trace] [--stats] [--json] [--no-cache]
-//!                        [--timeout-secs N] [--mem-limit-mb N] [--cache-dir DIR]
+//!                        [--trace] [--stats] [--json] [--no-cache] [--row-json]
+//!                        [--timeout-secs N | --timeout-millis N]
+//!                        [--mem-limit-mb N | --mem-limit-bytes N] [--cache-dir DIR]
 //! circ batch <dir|manifest.json|file.nesl> [--mode circ|omega] [--k N] [--jobs N]
 //!                        [--json] [--no-cache] [--timeout-secs N]
 //!                        [--mem-limit-mb N] [--cache-dir DIR]
+//!                        [--journal FILE] [--resume] [--isolate] [--retries N]
 //! circ compile <file.nesl> [--dot]
 //! circ baselines <file.nesl>
 //! ```
@@ -19,6 +21,17 @@
 //! variables, budget exhaustion (3) dominates plain inconclusive (2).
 //! For `batch`, a compile error in any file (65) dominates budget
 //! exhaustion and inconclusive rows, and a race still dominates all.
+//!
+//! `batch` runs under crash-safe supervision: `--journal FILE` records
+//! every completed row, `--resume` replays journaled rows for
+//! unchanged inputs, SIGINT/SIGTERM drain the run gracefully (the
+//! partial report and cache files are still written; a second signal
+//! force-kills), `--isolate` re-execs this binary per file so one
+//! crashing input degrades to a single `internal-error` row, and
+//! `--retries N` re-runs transient internal errors with deterministic
+//! backoff. `--row-json` is the isolation protocol's child mode: check
+//! one file with batch-style budget carving and print the report row
+//! as one JSON line (exit code as above).
 
 use circ_core::{
     circ, circ_with_caches, AbsCache, AbsSeed, CircConfig, CircEvent, CircOutcome, Property,
@@ -54,11 +67,13 @@ fn print_help() {
     println!(
         "circ — race checking by context inference (PLDI 2004 reproduction)\n\n\
          USAGE:\n  circ check <file.nesl> [--mode circ|omega] [--asserts] [--k N] [--jobs N] [--print-acfa]\n\
-         \x20                        [--trace] [--stats] [--json] [--no-cache]\n\
-         \x20                        [--timeout-secs N] [--mem-limit-mb N] [--cache-dir DIR]\n\
+         \x20                        [--trace] [--stats] [--json] [--no-cache] [--row-json]\n\
+         \x20                        [--timeout-secs N | --timeout-millis N]\n\
+         \x20                        [--mem-limit-mb N | --mem-limit-bytes N] [--cache-dir DIR]\n\
          \x20 circ batch <dir|manifest.json|file.nesl> [--mode circ|omega] [--k N] [--jobs N]\n\
          \x20                        [--json] [--no-cache] [--timeout-secs N]\n\
          \x20                        [--mem-limit-mb N] [--cache-dir DIR]\n\
+         \x20                        [--journal FILE] [--resume] [--isolate] [--retries N]\n\
          \x20 circ compile <file.nesl> [--dot]\n\
          \x20 circ baselines <file.nesl>\n\n\
          The input file declares globals, `#race` variables, and one `thread`.\n\
@@ -80,7 +95,22 @@ fn print_help() {
          exit code 3; `--cache-dir DIR` persists the entailment and solver\n\
          caches across runs: loaded on start (a damaged file degrades to a\n\
          logged cold start), written back on exit. `--k N` (N >= 1) sets the\n\
-         initial thread-counter parameter."
+         initial thread-counter parameter.\n\n\
+         Crash safety (batch): `--journal FILE` appends every completed row to\n\
+         a JSONL journal keyed by a digest of the input bytes; `--resume`\n\
+         replays journaled rows for unchanged inputs and re-checks the rest\n\
+         (torn or stale journal lines degrade to re-checks). SIGINT/SIGTERM\n\
+         shut down gracefully: in-flight files drain at their next budget\n\
+         poll, the partial report and cache files are still written, and a\n\
+         second signal force-kills. `--isolate` checks each file in a child\n\
+         process (`circ check --row-json`) so a crash or OOM kill in one\n\
+         input becomes a single internal-error row carrying the child's\n\
+         stderr; `--retries N` re-runs transient internal errors up to N\n\
+         extra times with deterministic, budget-bounded backoff, and files\n\
+         that still fail are listed under `quarantine` in the report.\n\
+         `--timeout-millis` / `--mem-limit-bytes` are fine-grained budget\n\
+         variants (used by the isolation protocol to forward carved\n\
+         per-file slices)."
     );
 }
 
@@ -103,8 +133,31 @@ struct Parsed {
     no_cache: bool,
     jobs: usize,
     timeout_secs: Option<u64>,
+    timeout_millis: Option<u64>,
     mem_limit_mb: Option<u64>,
+    mem_limit_bytes: Option<u64>,
     cache_dir: Option<PathBuf>,
+    row_json: bool,
+    journal: Option<PathBuf>,
+    resume: bool,
+    isolate: bool,
+    retries: u32,
+}
+
+impl Parsed {
+    /// The effective wall-clock budget (`--timeout-secs` or its
+    /// millisecond-granularity variant; the parser rejects both at
+    /// once).
+    fn timeout(&self) -> Option<Duration> {
+        self.timeout_secs
+            .map(Duration::from_secs)
+            .or(self.timeout_millis.map(Duration::from_millis))
+    }
+
+    /// The effective memory ceiling in bytes.
+    fn mem_limit(&self) -> Option<u64> {
+        self.mem_limit_mb.map(|mb| mb * 1024 * 1024).or(self.mem_limit_bytes)
+    }
 }
 
 fn parse_flags(args: &[String]) -> Result<Parsed, String> {
@@ -121,8 +174,15 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
         no_cache: false,
         jobs: 1,
         timeout_secs: None,
+        timeout_millis: None,
         mem_limit_mb: None,
+        mem_limit_bytes: None,
         cache_dir: None,
+        row_json: false,
+        journal: None,
+        resume: false,
+        isolate: false,
+        retries: 0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -155,12 +215,38 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
                     v.parse().map_err(|_| format!("--timeout-secs expects a number, got `{v}`"))?,
                 );
             }
+            "--timeout-millis" => {
+                let v = it.next().ok_or("--timeout-millis expects a number")?;
+                parsed.timeout_millis = Some(
+                    v.parse()
+                        .map_err(|_| format!("--timeout-millis expects a number, got `{v}`"))?,
+                );
+            }
             "--mem-limit-mb" => {
                 let v = it.next().ok_or("--mem-limit-mb expects a number")?;
                 parsed.mem_limit_mb = Some(
                     v.parse().map_err(|_| format!("--mem-limit-mb expects a number, got `{v}`"))?,
                 );
             }
+            "--mem-limit-bytes" => {
+                let v = it.next().ok_or("--mem-limit-bytes expects a number")?;
+                parsed.mem_limit_bytes = Some(
+                    v.parse()
+                        .map_err(|_| format!("--mem-limit-bytes expects a number, got `{v}`"))?,
+                );
+            }
+            "--journal" => {
+                let v = it.next().ok_or("--journal expects a file path")?;
+                parsed.journal = Some(PathBuf::from(v));
+            }
+            "--retries" => {
+                let v = it.next().ok_or("--retries expects a number")?;
+                parsed.retries =
+                    v.parse().map_err(|_| format!("--retries expects a number, got `{v}`"))?;
+            }
+            "--resume" => parsed.resume = true,
+            "--isolate" => parsed.isolate = true,
+            "--row-json" => parsed.row_json = true,
             "--cache-dir" => {
                 let v = it.next().ok_or("--cache-dir expects a directory")?;
                 parsed.cache_dir = Some(PathBuf::from(v));
@@ -186,6 +272,21 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
     }
     if parsed.cache_dir.is_some() && parsed.no_cache {
         return Err("--cache-dir and --no-cache are contradictory (nothing to persist)".into());
+    }
+    if parsed.timeout_secs.is_some() && parsed.timeout_millis.is_some() {
+        return Err(
+            "--timeout-secs and --timeout-millis are two spellings of one budget — pass only one"
+                .into(),
+        );
+    }
+    if parsed.mem_limit_mb.is_some() && parsed.mem_limit_bytes.is_some() {
+        return Err(
+            "--mem-limit-mb and --mem-limit-bytes are two spellings of one budget — pass only one"
+                .into(),
+        );
+    }
+    if parsed.resume && parsed.journal.is_none() {
+        return Err("--resume needs --journal FILE (there is nothing to resume from)".into());
     }
     // `--json` selects the stats *format*; asking for a format is
     // asking for the stats.
@@ -225,6 +326,28 @@ fn cmd_check(args: &[String]) -> ExitCode {
             return usage();
         }
     };
+    if parsed.row_json {
+        // Isolation-protocol child mode: check one file exactly the
+        // way a batch worker would (same budget semantics, read-only
+        // cache seeding) and emit the report row as one JSON line on
+        // stdout — the supervising parent parses it back.
+        let cfg = circ_batch::BatchConfig {
+            omega: parsed.mode_omega,
+            initial_k: parsed.initial_k,
+            use_cache: !parsed.no_cache,
+            jobs: parsed.jobs,
+            timeout: parsed.timeout(),
+            mem_limit_bytes: parsed.mem_limit(),
+            cache_dir: parsed.cache_dir.clone(),
+            ..circ_batch::BatchConfig::default()
+        };
+        let (row, warnings) = circ_batch::check_single(Path::new(&parsed.source_path), &cfg);
+        for w in &warnings {
+            eprintln!("warning: {w}");
+        }
+        println!("{}", circ_batch::render_row_json(&row));
+        return ExitCode::from(row.verdict.exit_code());
+    }
     let compiled = match load(&parsed.source_path) {
         Ok(c) => c,
         Err(code) => return code,
@@ -239,8 +362,8 @@ fn cmd_check(args: &[String]) -> ExitCode {
         use_cache: !parsed.no_cache,
         property: if parsed.asserts { Property::Assertions } else { Property::Race },
         jobs: parsed.jobs,
-        timeout: parsed.timeout_secs.map(Duration::from_secs),
-        mem_limit_bytes: parsed.mem_limit_mb.map(|mb| mb * 1024 * 1024),
+        timeout: parsed.timeout(),
+        mem_limit_bytes: parsed.mem_limit(),
         ..CircConfig::default()
     };
     // With `--cache-dir`, warm-start from disk and share one cache
@@ -375,14 +498,40 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             return ExitCode::from(65);
         }
     };
+    let cancel = circ_governor::CancelToken::new();
+    // Graceful shutdown: first SIGINT/SIGTERM trips the batch's cancel
+    // token so in-flight files drain at their next budget poll and the
+    // partial report + caches still get written; the shim restores the
+    // default disposition, so a second signal force-kills. Failure to
+    // install (non-Unix, or a double install under test harnesses) is
+    // a warning, not an error — the batch just runs without it.
+    {
+        let token = cancel.clone();
+        if let Err(e) = sigshim::install(&[sigshim::SIGINT, sigshim::SIGTERM], move |sig| {
+            eprintln!("signal {sig}: draining batch (send again to force-kill)");
+            token.cancel();
+        }) {
+            eprintln!("warning: no graceful shutdown: {e}");
+        }
+    }
     let cfg = circ_batch::BatchConfig {
         omega: parsed.mode_omega,
         initial_k: parsed.initial_k,
         use_cache: !parsed.no_cache,
         jobs: parsed.jobs,
-        timeout: parsed.timeout_secs.map(Duration::from_secs),
-        mem_limit_bytes: parsed.mem_limit_mb.map(|mb| mb * 1024 * 1024),
+        timeout: parsed.timeout(),
+        mem_limit_bytes: parsed.mem_limit(),
         cache_dir: parsed.cache_dir.clone(),
+        journal: parsed.journal.clone(),
+        resume: parsed.resume,
+        isolate: parsed.isolate,
+        retry: if parsed.retries > 0 {
+            circ_governor::RetryPolicy::with_retries(parsed.retries, 0x5eed_c1bc)
+        } else {
+            circ_governor::RetryPolicy::none()
+        },
+        cancel,
+        ..circ_batch::BatchConfig::default()
     };
     let report = circ_batch::run_batch(&inputs, &cfg);
     for w in &report.warnings {
@@ -499,6 +648,47 @@ mod tests {
         assert_eq!(flags(&["m.nesl", "--k", "2"]).unwrap().initial_k, 2);
         // The default stays 1 — the paper's experiments start there.
         assert_eq!(flags(&["m.nesl"]).unwrap().initial_k, 1);
+    }
+
+    #[test]
+    fn fine_grained_budget_flags_parse_and_conflict_with_coarse_ones() {
+        let p = flags(&["m.nesl", "--timeout-millis", "250", "--mem-limit-bytes", "4096"]).unwrap();
+        assert_eq!(p.timeout(), Some(std::time::Duration::from_millis(250)));
+        assert_eq!(p.mem_limit(), Some(4096));
+        // The coarse spellings still resolve through the same helpers…
+        let p = flags(&["m.nesl", "--timeout-secs", "2", "--mem-limit-mb", "3"]).unwrap();
+        assert_eq!(p.timeout(), Some(std::time::Duration::from_secs(2)));
+        assert_eq!(p.mem_limit(), Some(3 * 1024 * 1024));
+        // …and mixing the two spellings of one budget is a usage error.
+        assert!(flags(&["m.nesl", "--timeout-secs", "2", "--timeout-millis", "9"]).is_err());
+        assert!(flags(&["m.nesl", "--mem-limit-mb", "1", "--mem-limit-bytes", "9"]).is_err());
+    }
+
+    #[test]
+    fn supervision_flags_parse() {
+        let p = flags(&[
+            "corpus",
+            "--journal",
+            "j.jsonl",
+            "--resume",
+            "--isolate",
+            "--retries",
+            "2",
+            "--row-json",
+        ])
+        .unwrap();
+        assert_eq!(p.journal.as_deref(), Some(std::path::Path::new("j.jsonl")));
+        assert!(p.resume && p.isolate && p.row_json);
+        assert_eq!(p.retries, 2);
+        assert!(flags(&["corpus", "--retries", "many"]).is_err());
+        assert!(flags(&["corpus", "--journal"]).is_err());
+    }
+
+    #[test]
+    fn resume_requires_a_journal() {
+        let err = flags(&["corpus", "--resume"]).unwrap_err();
+        assert!(err.contains("--journal"), "unhelpful message: {err}");
+        assert!(flags(&["corpus", "--resume", "--journal", "j.jsonl"]).is_ok());
     }
 
     #[test]

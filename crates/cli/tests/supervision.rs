@@ -1,0 +1,248 @@
+//! End-to-end crash-safety tests against the real `circ` binary:
+//! a SIGINT mid-batch must flush a valid partial report and journal,
+//! `--resume` must finish the run with the uninterrupted verdicts,
+//! `--row-json` must speak the isolation protocol, and a crashing
+//! isolated child must degrade to one `internal-error` row while its
+//! sibling rows match the clean baseline byte-for-byte.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn circ() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_circ"))
+}
+
+fn examples_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stdout_str(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// `(file, VERDICT)` pairs from a table-format report, ignoring times,
+/// details, and summary lines.
+fn table_verdicts(table: &str) -> Vec<(String, String)> {
+    table
+        .lines()
+        .filter_map(|l| {
+            let mut cols = l.split_whitespace();
+            let file = cols.next()?;
+            let verdict = cols.next()?;
+            file.ends_with(".nesl").then(|| (file.to_string(), verdict.to_string()))
+        })
+        .collect()
+}
+
+/// Zeroes every `"time...":<number>` value in a JSON report (same
+/// scanner as `tests/determinism.rs`).
+fn strip_times(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some(ix) = rest.find("\"time") {
+        let Some(key_len) = rest[ix + 1..].find('"') else { break };
+        let key_end = ix + 1 + key_len + 1;
+        let Some(colon) = rest[key_end..].find(':') else { break };
+        let val_start = key_end + colon + 1;
+        let val_len = rest[val_start..].find([',', '}']).unwrap_or(rest.len() - val_start);
+        out.push_str(&rest[..val_start]);
+        out.push('0');
+        rest = &rest[val_start + val_len..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Splits the `"rows":[...]` array of a JSON report into its row
+/// objects (none of which nest arrays, so brace depth suffices).
+fn report_rows(json: &str) -> Vec<String> {
+    let start = json.find("\"rows\":[").expect("report has no rows array") + "\"rows\":[".len();
+    let mut rows = Vec::new();
+    let mut depth = 0usize;
+    let mut row_start = None;
+    for (i, c) in json[start..].char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    row_start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    rows.push(json[start + row_start.unwrap()..=start + i].to_string());
+                }
+            }
+            ']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    rows
+}
+
+#[test]
+fn resume_without_journal_is_a_usage_error() {
+    let out = circ().args(["batch", "x", "--resume"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(64));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--journal"));
+}
+
+#[test]
+fn row_json_child_mode_prints_one_parseable_row() {
+    let file = examples_dir().join("test_and_set.nesl");
+    let out = circ()
+        .args(["check", file.to_str().unwrap(), "--row-json"])
+        .args(["--timeout-millis", "60000", "--mem-limit-bytes", "268435456"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = stdout_str(&out);
+    let row = circ_batch::parse_row_json(stdout.trim()).expect("child row must parse");
+    assert_eq!(row.verdict, circ_batch::Verdict::Safe);
+    assert_eq!(row.file, file.to_str().unwrap());
+}
+
+/// Generates `n` distinct-content copies of `test_and_set.nesl` so the
+/// batch takes long enough to interrupt and every file has its own
+/// journal digest.
+fn write_corpus(dir: &Path, n: usize) {
+    let src = std::fs::read_to_string(examples_dir().join("test_and_set.nesl")).unwrap();
+    for i in 0..n {
+        std::fs::write(dir.join(format!("copy_{i:03}.nesl")), format!("{src}\n// copy {i}\n"))
+            .unwrap();
+    }
+}
+
+#[test]
+fn sigint_flushes_partial_report_and_resume_matches_uninterrupted() {
+    const N: usize = 150;
+    let dir = tmp("sigint-corpus");
+    let corpus = dir.join("files");
+    std::fs::create_dir_all(&corpus).unwrap();
+    write_corpus(&corpus, N);
+    let journal = dir.join("journal.jsonl");
+    let corpus_arg = corpus.to_str().unwrap();
+
+    let baseline = circ().args(["batch", corpus_arg, "--jobs", "0"]).output().unwrap();
+    assert_eq!(baseline.status.code(), Some(0));
+
+    let mut child = circ()
+        .args(["batch", corpus_arg, "--jobs", "1", "--journal", journal.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Wait until at least two rows hit the journal, then deliver a real
+    // SIGINT — the graceful-shutdown path the signal handler wires up.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let journaled = std::fs::read_to_string(&journal).map(|s| s.lines().count()).unwrap_or(0);
+        if journaled >= 2 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "journal never got two rows");
+        assert!(
+            child.try_wait().unwrap().is_none(),
+            "batch finished before it could be interrupted — corpus too small"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let kill = Command::new("kill").args(["-INT", &child.id().to_string()]).status().unwrap();
+    assert!(kill.success());
+    let out = child.wait_with_output().unwrap();
+
+    // Drained, not crashed: budget-exhausted exit, full row table
+    // flushed, and every journal line intact.
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("draining batch"));
+    let rows = table_verdicts(&stdout_str(&out));
+    assert_eq!(rows.len(), N, "partial report must still list every input");
+    assert!(rows.iter().any(|(_, v)| v == "BUDGET-EXHAUSTED"), "nothing was interrupted");
+    let journal_text = std::fs::read_to_string(&journal).unwrap();
+    let journaled = journal_text.lines().count();
+    assert!((2..N).contains(&journaled), "journal has {journaled} of {N} rows");
+    for line in journal_text.lines() {
+        circ_batch::journal::parse_line(line).expect("flushed journal line must parse");
+    }
+
+    let resumed = circ()
+        .args(["batch", corpus_arg, "--jobs", "0", "--json"])
+        .args(["--journal", journal.to_str().unwrap(), "--resume"])
+        .output()
+        .unwrap();
+    assert_eq!(resumed.status.code(), Some(0));
+    let resumed_json = stdout_str(&resumed);
+    assert!(
+        resumed_json.contains(&format!("\"resumed\":{journaled}")),
+        "every journaled row must replay on resume"
+    );
+    // The interrupted-then-resumed run lands on the uninterrupted
+    // run's verdicts exactly.
+    let resumed_rows: Vec<(String, String)> = report_rows(&resumed_json)
+        .iter()
+        .map(|r| {
+            let row = circ_batch::parse_row_json(r).unwrap();
+            (row.file.clone(), row.verdict.name().to_uppercase())
+        })
+        .collect();
+    assert_eq!(resumed_rows, table_verdicts(&stdout_str(&baseline)));
+}
+
+#[test]
+fn isolated_crash_degrades_one_row_and_siblings_match_baseline() {
+    use std::os::unix::fs::PermissionsExt;
+    let dir = tmp("isolate-crash");
+    // A stand-in child binary: abort (SIGABRT) on the racy example,
+    // delegate to the real binary for everything else.
+    let shim = dir.join("crashy-circ.sh");
+    std::fs::write(
+        &shim,
+        format!(
+            "#!/bin/sh\ncase \"$2\" in\n  *unprotected*) echo boom-stderr >&2; kill -ABRT $$;;\nesac\nexec {} \"$@\"\n",
+            env!("CARGO_BIN_EXE_circ")
+        ),
+    )
+    .unwrap();
+    std::fs::set_permissions(&shim, std::fs::Permissions::from_mode(0o755)).unwrap();
+
+    let examples = examples_dir();
+    let clean =
+        circ().args(["batch", examples.to_str().unwrap(), "--json", "--isolate"]).output().unwrap();
+    assert_eq!(clean.status.code(), Some(1), "racy example must dominate the clean run");
+    let crashed = circ()
+        .args(["batch", examples.to_str().unwrap(), "--json", "--isolate"])
+        .env("CIRC_ISOLATE_BIN", &shim)
+        .output()
+        .unwrap();
+    // The crash degrades to internal-error (exit 2): no race row
+    // survives to dominate.
+    assert_eq!(crashed.status.code(), Some(2));
+
+    let clean_rows = report_rows(&stdout_str(&clean));
+    let crashed_rows = report_rows(&stdout_str(&crashed));
+    assert_eq!(clean_rows.len(), crashed_rows.len());
+    let mut crashes = 0;
+    for (c, k) in clean_rows.iter().zip(&crashed_rows) {
+        if k.contains("\"verdict\":\"internal-error\"") {
+            crashes += 1;
+            assert!(k.contains("unprotected"), "only the aborting child may degrade");
+            assert!(k.contains("signal 6"), "detail must name the fatal signal: {k}");
+            assert!(k.contains("boom-stderr"), "detail must carry child stderr: {k}");
+        } else {
+            assert_eq!(strip_times(c), strip_times(k), "sibling row changed under a crash");
+        }
+    }
+    assert_eq!(crashes, 1);
+    assert!(stdout_str(&crashed).contains("\"quarantine\":["), "crashing file must be quarantined");
+}

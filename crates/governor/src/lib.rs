@@ -287,7 +287,6 @@ const SALT_SOLVER: u64 = 0x736f_6c76_6572_3a31; // "solver:1"
 #[cfg_attr(not(feature = "inject"), allow(dead_code))]
 const SALT_TASK: u64 = 0x7461_736b_3a32_3232; // "task:222"
 
-#[cfg_attr(not(feature = "inject"), allow(dead_code))]
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -339,6 +338,22 @@ impl FaultPlan {
                 injected: AtomicU64::new(0),
             })),
         }
+    }
+
+    /// A copy of this plan with the same rates, the seed xor'd with
+    /// `salt`, and fresh per-site event counters. This is how a batch
+    /// supervisor derives *per-file, per-attempt* schedules from one
+    /// template plan: seeding with `file_digest ^ attempt` makes each
+    /// file's schedule a pure function of its content, independent of
+    /// scheduling order — which is what keeps fault-heavy batch runs
+    /// jobs-invariant — while still giving retry attempts genuinely
+    /// different (but replayable) schedules. An inert plan stays
+    /// inert.
+    pub fn reseeded(&self, salt: u64) -> FaultPlan {
+        if self.inner.is_none() {
+            return FaultPlan::inert();
+        }
+        self.rebuild(|s| s.seed ^= salt)
     }
 
     /// Make the solver answer `Unknown` for `per_mille`‰ of queries.
@@ -435,6 +450,75 @@ struct FaultSpec {
     stall: Option<Duration>,
 }
 
+/// A deterministic, budget-aware retry schedule for *transient*
+/// failures (contained panics, isolated-child crashes, injected
+/// faults). The policy is a pure function of `(seed, key, attempt)`,
+/// so a batch replays the same backoffs regardless of worker
+/// scheduling; keying by the input's content digest keeps the
+/// schedule independent of file order.
+///
+/// Backoff for attempt `a` (1-based; attempt 1 is the original try)
+/// is a seeded draw from `[0, base · 2^(a−1)]`, additionally capped
+/// at a quarter of the unit's *remaining* budget — a file with 200 ms
+/// left never sleeps 500 ms before its last try, and a file with no
+/// budget left retries immediately or not at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` = never retry).
+    pub max_attempts: u32,
+    /// Seed for the backoff jitter stream.
+    pub seed: u64,
+    /// Base backoff; attempt `a`'s cap is `base · 2^(a−1)`.
+    pub base_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// The do-nothing policy: one attempt, no retries.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, seed: 0, base_backoff: Duration::ZERO }
+    }
+
+    /// A policy allowing `retries` retries (so `retries + 1` total
+    /// attempts) with the default 25 ms base backoff.
+    pub fn with_retries(retries: u32, seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            seed,
+            base_backoff: Duration::from_millis(25),
+        }
+    }
+
+    /// Whether another attempt is allowed after `attempt` (1-based)
+    /// attempts have already run.
+    pub fn should_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_attempts
+    }
+
+    /// The deterministic backoff to sleep before attempt
+    /// `attempt + 1`, given that attempt `attempt` just failed.
+    /// `remaining` is the unit's unspent wall-clock budget (`None` =
+    /// unbounded).
+    pub fn backoff(&self, key: u64, attempt: u32, remaining: Option<Duration>) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let mut cap = self.base_backoff.saturating_mul(1 << exp);
+        if let Some(remaining) = remaining {
+            cap = cap.min(remaining / 4);
+        }
+        let cap_ms = cap.as_millis() as u64;
+        if cap_ms == 0 {
+            return Duration::ZERO;
+        }
+        let draw = splitmix64(self.seed ^ key ^ u64::from(attempt).wrapping_mul(0x9E37_79B9));
+        Duration::from_millis(draw % (cap_ms + 1))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,6 +602,52 @@ mod tests {
         assert_eq!(panic_message(&"boom"), "boom");
         assert_eq!(panic_message(&"boom".to_string()), "boom");
         assert_eq!(panic_message(&42u32), "non-string panic payload");
+    }
+
+    #[test]
+    fn retry_policy_bounds_attempts_and_backoffs() {
+        let none = RetryPolicy::none();
+        assert!(!none.should_retry(1));
+        assert_eq!(none.backoff(1, 1, None), Duration::ZERO);
+
+        let p = RetryPolicy::with_retries(2, 42);
+        assert_eq!(p.max_attempts, 3);
+        assert!(p.should_retry(1));
+        assert!(p.should_retry(2));
+        assert!(!p.should_retry(3));
+
+        // Deterministic: same (seed, key, attempt) ⇒ same backoff;
+        // different keys draw independently.
+        assert_eq!(p.backoff(7, 1, None), p.backoff(7, 1, None));
+        // Bounded by the exponential cap.
+        for attempt in 1..=4u32 {
+            let cap = p.base_backoff * (1 << (attempt - 1));
+            assert!(p.backoff(7, attempt, None) <= cap, "attempt {attempt} exceeded cap");
+        }
+        // Budget-aware: a quarter of the remaining budget caps the draw.
+        let tight = Duration::from_millis(8);
+        assert!(p.backoff(7, 4, Some(tight)) <= tight / 4);
+        assert_eq!(p.backoff(7, 4, Some(Duration::ZERO)), Duration::ZERO);
+    }
+
+    #[test]
+    fn reseeded_plans_are_independent_but_replayable() {
+        assert!(FaultPlan::inert().reseeded(99).inner.is_none(), "inert must stay inert");
+        let template = FaultPlan::seeded(5).with_task_panic(500);
+        let schedule =
+            |plan: &FaultPlan| -> Vec<bool> { (0..32).map(|_| plan.task_panic()).collect() };
+        #[cfg(feature = "inject")]
+        {
+            let a1 = schedule(&template.reseeded(1));
+            let a1_again = schedule(&template.reseeded(1));
+            assert_eq!(a1, a1_again, "same salt must replay exactly");
+            let a2 = schedule(&template.reseeded(2));
+            assert_ne!(a1, a2, "different salts should diverge");
+        }
+        #[cfg(not(feature = "inject"))]
+        {
+            assert!(schedule(&template.reseeded(1)).iter().all(|&x| !x));
+        }
     }
 
     #[test]

@@ -281,6 +281,18 @@ pub struct BatchTotals {
     pub budget_exhausted: u64,
     /// Files whose source failed to compile.
     pub compile_errors: u64,
+    /// Extra attempts spent re-running transient failures (sum of
+    /// per-file retry counts; 0 without a retry policy).
+    pub retries: u64,
+    /// Isolated child processes that crashed (signal, abort, or an
+    /// unreadable row); only non-zero under `--isolate`.
+    pub isolated_crashes: u64,
+    /// Rows replayed from the journal instead of re-checked
+    /// (`--resume` only).
+    pub resumed: u64,
+    /// Rows drained by a graceful shutdown before completing; these
+    /// are never journaled, so a `--resume` run re-checks them.
+    pub cancelled: u64,
     /// Summed pipeline counters across all checked files.
     pub pipeline: PipelineStats,
 }
@@ -291,20 +303,28 @@ impl BatchTotals {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"files\":{},\"safe\":{},\"races\":{},\"inconclusive\":{},\
-             \"budget_exhausted\":{},\"compile_errors\":{},\"pipeline\":{}}}",
+             \"budget_exhausted\":{},\"compile_errors\":{},\
+             \"retries\":{},\"isolated_crashes\":{},\"resumed\":{},\"cancelled\":{},\
+             \"pipeline\":{}}}",
             self.files,
             self.safe,
             self.races,
             self.inconclusive,
             self.budget_exhausted,
             self.compile_errors,
+            self.retries,
+            self.isolated_crashes,
+            self.resumed,
+            self.cancelled,
             self.pipeline.to_json(),
         )
     }
 
-    /// Renders a short human-readable summary line.
+    /// Renders a short human-readable summary line. Supervision
+    /// counters (retries, crashes, resumed, cancelled) only appear
+    /// when non-zero, so ordinary runs keep the familiar one-liner.
     pub fn render_summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} file(s): {} safe, {} race(s), {} inconclusive, {} budget-exhausted, \
              {} compile error(s)",
             self.files,
@@ -313,7 +333,24 @@ impl BatchTotals {
             self.inconclusive,
             self.budget_exhausted,
             self.compile_errors,
-        )
+        );
+        if self.resumed > 0 {
+            s.push_str(&format!("; {} resumed from journal", self.resumed));
+        }
+        if self.cancelled > 0 {
+            s.push_str(&format!("; {} cancelled", self.cancelled));
+        }
+        if self.retries > 0 {
+            s.push_str(&format!(
+                "; {} retr{}",
+                self.retries,
+                if self.retries == 1 { "y" } else { "ies" }
+            ));
+        }
+        if self.isolated_crashes > 0 {
+            s.push_str(&format!("; {} isolated crash(es)", self.isolated_crashes));
+        }
+        s
     }
 }
 
@@ -387,7 +424,19 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(j.contains("\"files\":3"));
         assert!(j.contains("\"pipeline\":{"));
+        assert!(j.contains("\"retries\":0"));
+        assert!(j.contains("\"isolated_crashes\":0"));
+        assert!(j.contains("\"resumed\":0"));
+        assert!(j.contains("\"cancelled\":0"));
         assert!(t.render_summary().contains("3 file(s)"));
+        // Supervision counters stay out of the human summary at zero
+        // and show up once non-zero.
+        assert!(!t.render_summary().contains("resumed"));
+        let busy = BatchTotals { resumed: 2, retries: 1, cancelled: 3, ..t };
+        let s = busy.render_summary();
+        assert!(s.contains("2 resumed from journal"), "{s}");
+        assert!(s.contains("3 cancelled"), "{s}");
+        assert!(s.contains("1 retry"), "{s}");
     }
 
     #[test]

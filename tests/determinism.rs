@@ -185,6 +185,89 @@ fn batch_report_is_jobs_invariant_modulo_wall_times() {
     assert_ne!(seq_json, seq.to_json(), "no time keys were stripped — scanner is stale");
 }
 
+// ---- crash-safety determinism ----
+
+/// Interrupting a batch and resuming it must land on exactly the
+/// uninterrupted run's verdicts: the journal replays the files that
+/// finished before the interrupt, the rest are re-checked, and the
+/// deterministic pipeline makes the re-checks indistinguishable from
+/// the originals.
+#[test]
+fn interrupted_then_resumed_batch_matches_uninterrupted() {
+    let inputs = circ_batch::collect_inputs(&examples_dir()).unwrap();
+    assert!(inputs.len() >= 3, "need a corpus big enough to interrupt mid-run");
+    let journal = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join("determinism-interrupt-journal.jsonl");
+    let _ = std::fs::remove_file(&journal);
+
+    let baseline = circ_batch::run_batch(&inputs, &circ_batch::BatchConfig::default());
+
+    // "Interrupt" deterministically: trip the cancel token after two
+    // completions, exactly what the SIGINT handler does mid-run.
+    let interrupted = circ_batch::run_batch(
+        &inputs,
+        &circ_batch::BatchConfig {
+            journal: Some(journal.clone()),
+            cancel_after: Some(2),
+            jobs: 1,
+            ..circ_batch::BatchConfig::default()
+        },
+    );
+    assert_eq!(interrupted.exit, 3, "a drained run exits as budget-exhausted");
+    let cancelled = interrupted.rows.iter().filter(|r| r.cancelled).count();
+    assert!(cancelled > 0, "nothing was actually interrupted");
+    assert_eq!(interrupted.totals.cancelled, cancelled as u64);
+
+    let resumed = circ_batch::run_batch(
+        &inputs,
+        &circ_batch::BatchConfig {
+            journal: Some(journal.clone()),
+            resume: true,
+            ..circ_batch::BatchConfig::default()
+        },
+    );
+    assert_eq!(resumed.totals.resumed, 2, "the two journaled rows must replay");
+    let essence = |r: &circ_batch::BatchReport| {
+        r.rows
+            .iter()
+            .map(|row| (row.file.clone(), row.verdict, row.detail.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(essence(&baseline), essence(&resumed), "resume changed a verdict");
+    assert_eq!(baseline.exit, resumed.exit);
+}
+
+/// Replaying an untouched journal is byte-stable: a second resume over
+/// the same inputs renders the identical report, wall-times included,
+/// because every row now comes verbatim from the journal.
+#[test]
+fn journal_replay_is_byte_stable() {
+    let inputs = circ_batch::collect_inputs(&examples_dir()).unwrap();
+    let journal = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join("determinism-replay-journal.jsonl");
+    let _ = std::fs::remove_file(&journal);
+    let cfg = circ_batch::BatchConfig {
+        journal: Some(journal.clone()),
+        resume: true,
+        ..circ_batch::BatchConfig::default()
+    };
+    // First resume over a missing journal degrades to a cold run that
+    // writes the journal; the next two replay it end to end.
+    let first = circ_batch::run_batch(&inputs, &cfg);
+    let second = circ_batch::run_batch(&inputs, &cfg);
+    let third = circ_batch::run_batch(&inputs, &cfg);
+    assert_eq!(second.totals.resumed as usize, inputs.len());
+    assert_eq!(second.to_json(), third.to_json(), "journal replay is not byte-stable");
+    // Replayed rows reproduce the journaled originals byte-for-byte —
+    // wall-times included, because `time_s` round-trips through the
+    // journal's fixed 6-decimal rendering. (The report *totals* are
+    // allowed to differ: they count how many rows were resumed.)
+    let rows = |r: &circ_batch::BatchReport| {
+        r.rows.iter().map(circ_batch::render_row_json).collect::<Vec<_>>()
+    };
+    assert_eq!(rows(&first), rows(&second), "replay changed a row");
+}
+
 #[test]
 fn warm_batch_matches_cold_verdicts_with_fewer_misses() {
     let inputs = circ_batch::collect_inputs(&examples_dir()).unwrap();

@@ -1,0 +1,174 @@
+//! Minimal self-pipe signal shim (vendored — the build environment
+//! has no registry access, so this stands in for `signal-hook` /
+//! `ctrlc`).
+//!
+//! [`install`] registers a handler for a set of POSIX signals and
+//! spawns one watcher thread. The handler itself does only
+//! async-signal-safe work — it restores the default disposition for
+//! the signal that fired (so a *second* SIGINT terminates the process
+//! immediately, the conventional escape hatch from a wedged graceful
+//! shutdown) and writes one byte into a pre-opened pipe. The watcher
+//! thread blocks on the read end and runs the caller's callback in a
+//! perfectly ordinary thread context, where it may take locks, trip a
+//! `CancelToken`, log, or allocate.
+//!
+//! The shim deliberately uses `signal(2)` rather than `sigaction(2)`:
+//! glibc's `signal` provides BSD semantics (the handler stays
+//! installed, interrupted syscalls restart), and avoiding
+//! `struct sigaction` keeps the FFI surface to three trivially-typed
+//! libc symbols with no platform-specific struct layouts.
+//!
+//! Non-Unix targets get a stub [`install`] that reports
+//! "unsupported"; callers degrade to running without graceful
+//! shutdown.
+
+#![warn(missing_docs)]
+
+/// SIGINT (interactive interrupt, Ctrl-C). Linux numbering.
+pub const SIGINT: i32 = 2;
+/// SIGTERM (polite termination request). Linux numbering.
+pub const SIGTERM: i32 = 15;
+/// SIGUSR1 (user-defined; used by the shim's own tests). Linux
+/// numbering.
+pub const SIGUSR1: i32 = 10;
+
+#[cfg(unix)]
+mod imp {
+    use std::io::Read;
+    use std::os::fd::AsRawFd;
+    use std::sync::atomic::{AtomicI32, Ordering};
+    use std::sync::Mutex;
+
+    /// `SIG_DFL`, the default disposition.
+    const SIG_DFL: usize = 0;
+    /// `SIG_ERR`, `signal(2)`'s failure return.
+    const SIG_ERR: usize = usize::MAX;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn write(fd: i32, buf: *const core::ffi::c_void, count: usize) -> isize;
+    }
+
+    /// Write end of the self-pipe, as a raw fd the handler can reach.
+    /// `-1` until [`super::install`] runs.
+    static PIPE_WR: AtomicI32 = AtomicI32::new(-1);
+    /// Serializes installation (one watcher thread per process).
+    static INSTALLED: Mutex<bool> = Mutex::new(false);
+
+    /// The signal handler: async-signal-safe only. Restores the
+    /// default disposition for `sig` (second delivery kills the
+    /// process) and pokes the self-pipe with the signal number.
+    extern "C" fn on_signal(sig: i32) {
+        unsafe {
+            signal(sig, SIG_DFL);
+        }
+        let fd = PIPE_WR.load(Ordering::SeqCst);
+        if fd >= 0 {
+            let byte = [sig as u8];
+            // A full pipe or closed read end is ignorable: the
+            // watcher has either already been woken or is gone.
+            unsafe {
+                write(fd, byte.as_ptr().cast(), 1);
+            }
+        }
+    }
+
+    pub fn install(signals: &[i32], callback: impl Fn(i32) + Send + 'static) -> Result<(), String> {
+        let mut installed = INSTALLED.lock().unwrap_or_else(|e| e.into_inner());
+        if *installed {
+            return Err("signal shim already installed in this process".into());
+        }
+        let (mut reader, writer) = std::io::pipe().map_err(|e| format!("cannot open pipe: {e}"))?;
+        PIPE_WR.store(writer.as_raw_fd(), Ordering::SeqCst);
+        // The write end must outlive every future signal delivery.
+        std::mem::forget(writer);
+        for &sig in signals {
+            let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+            let prev = unsafe { signal(sig, handler) };
+            if prev == SIG_ERR {
+                return Err(format!("cannot install handler for signal {sig}"));
+            }
+        }
+        std::thread::Builder::new()
+            .name("sigshim-watcher".into())
+            .spawn(move || {
+                let mut byte = [0u8; 1];
+                while reader.read_exact(&mut byte).is_ok() {
+                    callback(i32::from(byte[0]));
+                }
+            })
+            .map_err(|e| format!("cannot spawn watcher thread: {e}"))?;
+        *installed = true;
+        Ok(())
+    }
+
+    /// Sends `sig` to the current process (test helper).
+    pub fn raise(sig: i32) {
+        extern "C" {
+            fn raise(sig: i32) -> i32;
+        }
+        unsafe {
+            raise(sig);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install(
+        _signals: &[i32],
+        _callback: impl Fn(i32) + Send + 'static,
+    ) -> Result<(), String> {
+        Err("signal shim is only supported on Unix targets".into())
+    }
+
+    /// No-op on non-Unix targets.
+    pub fn raise(_sig: i32) {}
+}
+
+/// Installs `callback` as the process-wide handler for `signals`.
+///
+/// The callback runs on a dedicated watcher thread (not in
+/// signal-handler context), once per delivered signal, receiving the
+/// signal number. After the first delivery of a given signal its
+/// disposition reverts to the default, so a repeated SIGINT
+/// force-kills instead of queueing another graceful shutdown.
+///
+/// May be called once per process; later calls return an error, as
+/// does installation on non-Unix targets.
+pub fn install(signals: &[i32], callback: impl Fn(i32) + Send + 'static) -> Result<(), String> {
+    imp::install(signals, callback)
+}
+
+/// Sends `sig` to the current process. Exposed for tests that need to
+/// exercise a real delivery without shelling out to `kill`.
+pub fn raise(sig: i32) {
+    imp::raise(sig)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicI32, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn delivers_signal_number_to_callback_on_watcher_thread() {
+        let seen = Arc::new(AtomicI32::new(0));
+        let seen2 = seen.clone();
+        install(&[SIGUSR1], move |sig| {
+            seen2.store(sig, Ordering::SeqCst);
+        })
+        .expect("first install succeeds");
+        // A second install must refuse rather than double-register.
+        assert!(install(&[SIGUSR1], |_| {}).is_err());
+
+        raise(SIGUSR1);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while seen.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(seen.load(Ordering::SeqCst), SIGUSR1, "callback never saw the signal");
+    }
+}
