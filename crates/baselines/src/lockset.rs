@@ -39,6 +39,9 @@ pub struct EraserReport {
     pub accesses: usize,
     /// Schedules executed.
     pub runs: usize,
+    /// Set when the program could not be executed (malformed for the
+    /// concrete semantics); no schedule ran.
+    pub diagnostic: Option<String>,
 }
 
 impl EraserReport {
@@ -72,6 +75,10 @@ pub fn eraser(
     for run_ix in 0..runs {
         report.runs += 1;
         let run = random_run(program, n_threads, max_steps, seed_base + run_ix);
+        if let Some(diag) = run.diagnostic {
+            report.diagnostic = Some(diag);
+            break;
+        }
         for &(t, eid, _) in &run.steps {
             let edge = cfa.edge(eid);
             let held: BTreeSet<u32> = if cfa.is_atomic(edge.src) || cfa.is_atomic(edge.dst) {

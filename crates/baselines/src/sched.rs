@@ -14,6 +14,10 @@ pub struct RunRecord {
     pub race_positions: Vec<usize>,
     /// The final state.
     pub final_state: ConcreteState,
+    /// Set when the program is malformed for concrete execution
+    /// (e.g. `nondet()` in an assume guard): no steps were taken and
+    /// this message says why.
+    pub diagnostic: Option<String>,
 }
 
 /// Executes up to `max_steps` random steps of an `n_threads`
@@ -22,6 +26,14 @@ pub struct RunRecord {
 /// truth).
 pub fn random_run(program: &MtProgram, n_threads: usize, max_steps: usize, seed: u64) -> RunRecord {
     let interp = Interp::new(program.clone(), n_threads);
+    if let Some(diag) = interp.malformed() {
+        return RunRecord {
+            steps: Vec::new(),
+            race_positions: Vec::new(),
+            final_state: interp.initial(),
+            diagnostic: Some(diag),
+        };
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut s = interp.initial();
     let mut steps = Vec::new();
@@ -39,7 +51,7 @@ pub fn random_run(program: &MtProgram, n_threads: usize, max_steps: usize, seed:
         steps.push((t, e, nondet));
         s = interp.step(&s, SchedChoice { thread: t, edge: e, nondet });
     }
-    RunRecord { steps, race_positions, final_state: s }
+    RunRecord { steps, race_positions, final_state: s, diagnostic: None }
 }
 
 #[cfg(test)]
@@ -58,6 +70,22 @@ mod tests {
         let c = random_run(&p, 3, 200, 43);
         // different seed: almost surely a different schedule
         assert_ne!(a.steps, c.steps);
+    }
+
+    #[test]
+    fn malformed_program_yields_diagnostic_not_panic() {
+        use circ_ir::{BoolExpr, CfaBuilder, Expr, Op};
+        let mut b = CfaBuilder::new("bad");
+        let x = b.global("x");
+        let l1 = b.fresh_loc();
+        b.edge(b.entry(), Op::assume(BoolExpr::eq(Expr::Nondet, Expr::var(x))), l1);
+        let cfa = b.build();
+        let x = cfa.var_by_name("x").unwrap();
+        let p = MtProgram::new(cfa, x);
+        let run = random_run(&p, 2, 100, 0);
+        assert!(run.steps.is_empty());
+        let diag = run.diagnostic.expect("malformed program must be diagnosed");
+        assert!(diag.contains("nondet() in assume guard"), "{diag}");
     }
 
     #[test]

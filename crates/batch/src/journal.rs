@@ -32,8 +32,9 @@ use std::time::Duration;
 /// incompatible change so old journals degrade to re-checks instead of
 /// misparsing.
 pub const JOURNAL_TAG: &str = "circ-batch";
-/// Current journal line format version.
-pub const JOURNAL_VERSION: u64 = 1;
+/// Current journal line format version. v2 added the `config`
+/// fingerprint field; v1 lines (no fingerprint) degrade to re-checks.
+pub const JOURNAL_VERSION: u64 = 2;
 
 /// Content digest of a file's bytes (FNV-1a 64, shared with the cache
 /// snapshot checksums).
@@ -41,12 +42,36 @@ pub fn digest_bytes(bytes: &[u8]) -> u64 {
     circ_smt::persist::fnv1a64(bytes)
 }
 
+/// Fingerprint of the batch configuration knobs that change what a
+/// check *means*: a journaled row is only replayable when the resumed
+/// run would have produced it. Identical input bytes checked under a
+/// different `--k`, `--omega`, cache policy, or budget are a different
+/// check, so `--resume` must re-run them, not replay them.
+pub fn config_fingerprint(
+    omega: bool,
+    initial_k: u32,
+    use_cache: bool,
+    timeout: Option<Duration>,
+    mem_limit_bytes: Option<u64>,
+) -> u64 {
+    let timeout_ms = timeout.map(|t| t.as_millis().to_string()).unwrap_or_else(|| "-".into());
+    let mem = mem_limit_bytes.map(|m| m.to_string()).unwrap_or_else(|| "-".into());
+    let text = format!(
+        "batch-config omega={omega} k={initial_k} cache={use_cache} \
+         timeout_ms={timeout_ms} mem_bytes={mem}"
+    );
+    circ_smt::persist::fnv1a64(text.as_bytes())
+}
+
 /// One replayable journal entry: the digest of the input bytes it was
-/// computed from, plus the completed row.
+/// computed from, the fingerprint of the configuration it was checked
+/// under, plus the completed row.
 #[derive(Debug, Clone)]
 pub struct JournalEntry {
     /// FNV-1a digest of the checked file's bytes.
     pub digest: u64,
+    /// [`config_fingerprint`] of the run that produced the row.
+    pub config: u64,
     /// The completed row (verdict, detail, wall time, counters).
     pub row: FileRow,
 }
@@ -54,9 +79,10 @@ pub struct JournalEntry {
 /// Renders one journal line (with trailing newline) for a completed
 /// row. The row's wire fields round-trip exactly: integers verbatim,
 /// floats through the same `{:.6}` formatting the report uses.
-pub fn render_line(row: &FileRow, digest: u64) -> String {
+pub fn render_line(row: &FileRow, digest: u64, config: u64) -> String {
     format!(
         "{{\"journal\":\"{JOURNAL_TAG}\",\"v\":{JOURNAL_VERSION},\"digest\":\"{digest:016x}\",\
+         \"config\":\"{config:016x}\",\
          \"file\":\"{}\",\"verdict\":\"{}\",\"detail\":\"{}\",\"retries\":{},\
          \"time_s\":{:.6},\"pipeline\":{}}}\n",
         crate::json_escape(&row.file),
@@ -86,6 +112,8 @@ pub fn parse_line(line: &str) -> Result<JournalEntry, String> {
     }
     let digest = u64::from_str_radix(str_field("digest")?, 16)
         .map_err(|_| "bad digest field".to_string())?;
+    let config = u64::from_str_radix(str_field("config")?, 16)
+        .map_err(|_| "bad config field".to_string())?;
     let verdict_name = str_field("verdict")?;
     let verdict =
         Verdict::from_name(verdict_name).ok_or(format!("unknown verdict `{verdict_name}`"))?;
@@ -97,6 +125,7 @@ pub fn parse_line(line: &str) -> Result<JournalEntry, String> {
     let pipeline = pipeline_from_json(v.get("pipeline").ok_or("missing `pipeline`")?)?;
     Ok(JournalEntry {
         digest,
+        config,
         row: FileRow {
             file: str_field("file")?.to_string(),
             verdict,
@@ -145,6 +174,8 @@ pub fn pipeline_from_json(v: &Value) -> Result<PipelineStats, String> {
         collapse_iterations: u("collapse_iterations")?,
         refine_rounds: u("refine_rounds")?,
         k_increments: u("k_increments")?,
+        preds_seeded: u("preds_seeded")?,
+        refine_rounds_saved: u("refine_rounds_saved")?,
         mem_charged_bytes: u("mem_charged_bytes")?,
         budget_polls: u("budget_polls")?,
         faults_injected: u("faults_injected")?,
@@ -191,9 +222,10 @@ impl Journal {
         })
     }
 
-    /// Appends one completed row keyed by `digest`.
-    pub fn append(&self, row: &FileRow, digest: u64) -> std::io::Result<()> {
-        let line = render_line(row, digest);
+    /// Appends one completed row keyed by `digest`, stamped with the
+    /// run's configuration fingerprint.
+    pub fn append(&self, row: &FileRow, digest: u64, config: u64) -> std::io::Result<()> {
+        let line = render_line(row, digest, config);
         let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
         f.write_all(line.as_bytes())?;
         f.flush()
@@ -204,7 +236,12 @@ impl Journal {
 /// *last* entry for that digest, plus one warning per line that could
 /// not be used. A missing file is an empty (but noted) journal; every
 /// unusable line means only that its file gets re-checked.
-pub fn load(path: &Path) -> (HashMap<u64, JournalEntry>, Vec<String>) {
+///
+/// Rows recorded under a configuration fingerprint other than
+/// `expected_config` are degraded to warnings, not replayed: the same
+/// bytes checked under a different `--k`/`--omega`/budget are a
+/// different check, and resuming must re-run them.
+pub fn load(path: &Path, expected_config: u64) -> (HashMap<u64, JournalEntry>, Vec<String>) {
     let mut entries = HashMap::new();
     let mut warnings = Vec::new();
     let bytes = match fs::read(path) {
@@ -223,6 +260,18 @@ pub fn load(path: &Path) -> (HashMap<u64, JournalEntry>, Vec<String>) {
             continue;
         }
         match parse_line(line) {
+            Ok(entry) if entry.config != expected_config => {
+                // A mismatched row must also shadow any earlier match
+                // for the same digest: the *last* check of those bytes
+                // was under a different config, so trust nothing.
+                entries.remove(&entry.digest);
+                warnings.push(format!(
+                    "journal `{}` line {}: row was checked under a different configuration; \
+                     that file will be re-checked",
+                    path.display(),
+                    ix + 1
+                ));
+            }
             Ok(entry) => {
                 entries.insert(entry.digest, entry);
             }
@@ -267,14 +316,17 @@ mod tests {
         }
     }
 
+    const CFG: u64 = 0x0123_4567_89ab_cdef;
+
     #[test]
     fn lines_round_trip_byte_stably() {
         let row = sample_row();
-        let line = render_line(&row, 0xdead_beef_0042_0007);
+        let line = render_line(&row, 0xdead_beef_0042_0007, CFG);
         assert!(line.ends_with('\n'));
         assert_eq!(line.matches('\n').count(), 1, "one line per entry");
         let entry = parse_line(line.trim_end()).unwrap();
         assert_eq!(entry.digest, 0xdead_beef_0042_0007);
+        assert_eq!(entry.config, CFG);
         assert_eq!(entry.row.file, row.file);
         assert_eq!(entry.row.verdict, row.verdict);
         assert_eq!(entry.row.detail, row.detail);
@@ -282,7 +334,7 @@ mod tests {
         assert_eq!(entry.row.pipeline, row.pipeline, "counters must round-trip exactly");
         // Render-of-parse is byte-identical: the property the resumed
         // report's byte-stability rests on.
-        assert_eq!(render_line(&entry.row, entry.digest), line);
+        assert_eq!(render_line(&entry.row, entry.digest, entry.config), line);
     }
 
     #[test]
@@ -294,11 +346,11 @@ mod tests {
 
         let j = Journal::create(&path).unwrap();
         let mut row = sample_row();
-        j.append(&row, 1).unwrap();
+        j.append(&row, 1, CFG).unwrap();
         row.verdict = Verdict::Safe;
         row.detail = "1 race variable(s) race-free".into();
-        j.append(&row, 1).unwrap(); // same digest: last wins
-        j.append(&row, 2).unwrap();
+        j.append(&row, 1, CFG).unwrap(); // same digest: last wins
+        j.append(&row, 2, CFG).unwrap();
         drop(j);
 
         // Tear the tail: simulate a crash mid-append.
@@ -308,20 +360,64 @@ mod tests {
         bytes.extend_from_slice(b"\n{\"not\":\"a journal line\"}\n");
         fs::write(&path, &bytes).unwrap();
 
-        let (entries, warnings) = load(&path);
+        let (entries, warnings) = load(&path, CFG);
         assert_eq!(entries.len(), 1, "torn digest-2 line must drop out");
         assert_eq!(entries[&1].row.verdict, Verdict::Safe, "last entry for digest 1 wins");
         assert_eq!(warnings.len(), 2, "torn line + wrong-tag line: {warnings:?}");
         assert!(warnings.iter().all(|w| w.contains("re-checked")), "{warnings:?}");
 
-        let (none, warnings) = load(&dir.join("missing.journal"));
+        let (none, warnings) = load(&dir.join("missing.journal"), CFG);
         assert!(none.is_empty());
         assert_eq!(warnings.len(), 1);
     }
 
     #[test]
+    fn config_mismatch_degrades_to_recheck() {
+        let dir = std::env::temp_dir().join(format!("circ-journal-cfg-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.journal");
+
+        let j = Journal::create(&path).unwrap();
+        let row = sample_row();
+        j.append(&row, 1, CFG).unwrap();
+        j.append(&row, 2, CFG ^ 1).unwrap(); // foreign config
+        j.append(&row, 3, CFG).unwrap();
+        j.append(&row, 3, CFG ^ 1).unwrap(); // last check of digest 3 was foreign
+        drop(j);
+
+        let (entries, warnings) = load(&path, CFG);
+        assert!(entries.contains_key(&1));
+        assert!(!entries.contains_key(&2), "foreign-config row must not replay");
+        assert!(!entries.contains_key(&3), "a later foreign check shadows the earlier match");
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(warnings.iter().all(|w| w.contains("re-checked")), "{warnings:?}");
+
+        // Resuming under the *other* config sees the mirror image.
+        let (entries, _) = load(&path, CFG ^ 1);
+        assert!(!entries.contains_key(&1));
+        assert!(entries.contains_key(&2));
+        assert!(entries.contains_key(&3));
+    }
+
+    #[test]
+    fn config_fingerprint_separates_knobs() {
+        let base = config_fingerprint(false, 1, true, None, None);
+        assert_eq!(base, config_fingerprint(false, 1, true, None, None), "deterministic");
+        assert_ne!(base, config_fingerprint(true, 1, true, None, None), "omega");
+        assert_ne!(base, config_fingerprint(false, 2, true, None, None), "initial k");
+        assert_ne!(base, config_fingerprint(false, 1, false, None, None), "cache policy");
+        assert_ne!(
+            base,
+            config_fingerprint(false, 1, true, Some(Duration::from_secs(5)), None),
+            "timeout"
+        );
+        assert_ne!(base, config_fingerprint(false, 1, true, None, Some(1 << 20)), "mem limit");
+    }
+
+    #[test]
     fn version_skew_is_rejected_not_misread() {
-        let line = render_line(&sample_row(), 7).replace("\"v\":1", "\"v\":2");
+        let line = render_line(&sample_row(), 7, CFG).replace("\"v\":2", "\"v\":3");
         let err = parse_line(line.trim_end()).unwrap_err();
         assert!(err.contains("version"), "{err}");
     }

@@ -70,12 +70,13 @@ pub mod journal;
 mod mjson;
 
 use circ_core::{
-    circ_with_caches, AbsCache, AbsSeed, CircConfig, CircOutcome, SolverPersist, UnknownReason,
+    circ_with_caches, pred_store, AbsCache, AbsSeed, CircConfig, CircOutcome, PredStore,
+    SolverPersist, UnknownReason,
 };
 use circ_governor::{
     carve_mem_limit, carve_timeout, panic_message, CancelToken, FaultPlan, RetryPolicy,
 };
-use circ_ir::MtProgram;
+use circ_ir::{structural_digest, MtProgram};
 use circ_par::Pool;
 use circ_smt::{Formula, SatResult};
 use circ_stats::{BatchTotals, PipelineStats};
@@ -90,6 +91,8 @@ use std::time::{Duration, Instant};
 pub const ABS_CACHE_FILE: &str = "abs.cache";
 /// File name of the solver-cache snapshot inside `--cache-dir`.
 pub const SOLVER_CACHE_FILE: &str = "solver.cache";
+/// File name of the predicate-store snapshot inside `--cache-dir`.
+pub const PRED_STORE_FILE: &str = "preds.store";
 
 /// Configuration for one batch run.
 #[derive(Debug, Clone)]
@@ -114,6 +117,11 @@ pub struct BatchConfig {
     /// loaded on start (cold start if absent or damaged) and written
     /// back on completion.
     pub cache_dir: Option<PathBuf>,
+    /// Seed each check's predicates and `k` from [`PRED_STORE_FILE`]
+    /// inside `cache_dir`, and record what each check discovered back
+    /// into it. Only effective with a cache directory (and
+    /// `use_cache`); on by default, `--no-pred-store` turns it off.
+    pub pred_store: bool,
     /// Path of the crash-safety journal ([`journal`]). `None` runs
     /// without one. A non-resume run truncates any existing file.
     pub journal: Option<PathBuf>,
@@ -155,6 +163,7 @@ impl Default for BatchConfig {
             timeout: None,
             mem_limit_bytes: None,
             cache_dir: None,
+            pred_store: true,
             journal: None,
             resume: false,
             isolate: false,
@@ -299,6 +308,11 @@ pub struct CacheSummary {
     /// Solver entries written back (seed plus learned, minus
     /// non-persistable `Unknown` answers).
     pub solver_saved: usize,
+    /// Predicate-store entries loaded as the warm seed (0 when the
+    /// store is disabled).
+    pub preds_seeded: usize,
+    /// Predicate-store entries written back (seed plus learned).
+    pub preds_saved: usize,
 }
 
 /// The aggregate result of [`run_batch`].
@@ -408,12 +422,15 @@ impl BatchReport {
             None => s.push_str("null"),
             Some(c) => s.push_str(&format!(
                 "{{\"dir\":\"{}\",\"abs_seeded\":{},\"solver_seeded\":{},\
-                 \"abs_saved\":{},\"solver_saved\":{}}}",
+                 \"abs_saved\":{},\"solver_saved\":{},\
+                 \"preds_seeded\":{},\"preds_saved\":{}}}",
                 json_escape(&c.dir),
                 c.abs_seeded,
                 c.solver_seeded,
                 c.abs_saved,
                 c.solver_saved,
+                c.preds_seeded,
+                c.preds_saved,
             )),
         }
         s.push_str(&format!(",\"exit\":{}}}", self.exit));
@@ -613,8 +630,10 @@ pub fn save_caches(
 /// all against an isolated seeded cache so counters are independent
 /// of which worker ran it. Budget-exhausted and cancelled outcomes
 /// keep the partial pipeline counters sealed up to that point.
-/// Returns the row plus the file's cache for sequential post-run
+/// Returns the row, the file's cache, and the predicate-store entries
+/// the file's checks discovered — both for sequential post-run
 /// merging.
+#[allow(clippy::too_many_arguments)]
 fn check_file(
     path: &Path,
     config: &BatchConfig,
@@ -622,8 +641,9 @@ fn check_file(
     file_mem: Option<u64>,
     abs_seed: &AbsSeed,
     persist: &SolverPersist,
+    pred_seed: Option<&PredStore>,
     faults: &FaultPlan,
-) -> (FileRow, AbsCache) {
+) -> (FileRow, AbsCache, PredStore) {
     let start = Instant::now();
     let file = path.display().to_string();
     let row = |verdict: Verdict, detail: String, pipeline: PipelineStats, start: Instant| {
@@ -637,20 +657,20 @@ fn check_file(
         Err(e) => {
             let r =
                 row(Verdict::CompileError, format!("cannot read: {e}"), Default::default(), start);
-            return (r, AbsCache::disabled());
+            return (r, AbsCache::disabled(), PredStore::new());
         }
     };
     let compiled = match circ_frontend::compile(&src) {
         Ok(c) => c,
         Err(e) => {
             let r = row(Verdict::CompileError, e.to_string(), Default::default(), start);
-            return (r, AbsCache::disabled());
+            return (r, AbsCache::disabled(), PredStore::new());
         }
     };
     if compiled.race_vars.is_empty() {
         let detail = "no `#race` directive — nothing to check".to_string();
         let r = row(Verdict::CompileError, detail, Default::default(), start);
-        return (r, AbsCache::disabled());
+        return (r, AbsCache::disabled(), PredStore::new());
     }
     let n_vars = compiled.race_vars.len();
     let cache = if config.use_cache { AbsCache::with_seed(abs_seed) } else { AbsCache::disabled() };
@@ -665,6 +685,11 @@ fn check_file(
         faults: faults.clone(),
         ..CircConfig::default()
     };
+    // Keyed by the *structural* digest of the lowered automaton plus a
+    // per-race-variable config fingerprint — computed from the base
+    // config, before seeding, so warm runs rebuild the recorded key.
+    let cfa_digest = structural_digest(&compiled.cfa);
+    let mut learned = PredStore::new();
     let mut verdict = Verdict::Safe;
     let mut detail = String::new();
     let mut pipeline = PipelineStats::default();
@@ -672,8 +697,30 @@ fn check_file(
     for &var in &compiled.race_vars {
         let program = MtProgram::new(compiled.cfa.clone(), var);
         let vname = compiled.cfa.var_name(var).to_string();
-        let outcome = circ_with_caches(&program, &cfg, &cache, persist);
-        pipeline.add(&outcome.stats().pipeline);
+        let config_fp = pred_store::config_fingerprint(
+            cfg.initial_k,
+            cfg.omega_mode,
+            cfg.minimize,
+            &cfg.initial_preds,
+            &format!("race v{}", var.index()),
+        );
+        let mut var_cfg = cfg.clone();
+        let prior =
+            pred_seed.and_then(|s| pred_store::seed_config(s, cfa_digest, config_fp, &mut var_cfg));
+        let outcome = circ_with_caches(&program, &var_cfg, &cache, persist);
+        let mut run_stats = outcome.stats().pipeline.clone();
+        if let Some(prior_rounds) = prior {
+            run_stats.preds_seeded = var_cfg.initial_preds.len() as u64;
+            run_stats.refine_rounds_saved = prior_rounds.saturating_sub(run_stats.refine_rounds);
+        }
+        pipeline.add(&run_stats);
+        pred_store::record_outcome(
+            &mut learned,
+            cfa_digest,
+            config_fp,
+            &outcome,
+            prior.unwrap_or(0),
+        );
         let (v, d) = match outcome {
             CircOutcome::Safe(_) => (Verdict::Safe, String::new()),
             CircOutcome::Unsafe(r) => (
@@ -713,7 +760,7 @@ fn check_file(
     }
     let mut r = row(verdict, detail, pipeline, start);
     r.cancelled = cancelled;
-    (r, cache)
+    (r, cache, learned)
 }
 
 /// Checks one file exactly as an in-process batch worker would — the
@@ -726,7 +773,7 @@ fn check_file(
 /// child never writes cache files (the parent would race it).
 pub fn check_single(path: &Path, config: &BatchConfig) -> (FileRow, Vec<String>) {
     let cache_dir = if config.use_cache { config.cache_dir.as_deref() } else { None };
-    let (abs_seed, solver_seed, warnings) = match cache_dir {
+    let (abs_seed, solver_seed, mut warnings) = match cache_dir {
         Some(dir) => {
             let loaded = load_caches(dir);
             (loaded.abs_seed, loaded.solver_seed, loaded.warnings)
@@ -738,18 +785,45 @@ pub fn check_single(path: &Path, config: &BatchConfig) -> (FileRow, Vec<String>)
     } else {
         SolverPersist::inert()
     };
+    let pred_seed = load_pred_seed(config, cache_dir, &mut warnings);
     let key = content_key(path);
     let faults = config.faults.reseeded(key ^ 1);
-    let (row, _cache) = check_file(
+    let (row, _cache, _learned) = check_file(
         path,
         config,
         config.timeout,
         config.mem_limit_bytes,
         &abs_seed,
         &persist,
+        pred_seed.as_ref(),
         &faults,
     );
     (row, warnings)
+}
+
+/// Loads the predicate-store seed for a run: `Some(store)` when the
+/// store is enabled and a cache directory is active (an empty store on
+/// a cold start or after logged damage), `None` when disabled. A
+/// damaged file degrades to a warning plus a cold start, exactly like
+/// the cache snapshots.
+fn load_pred_seed(
+    config: &BatchConfig,
+    cache_dir: Option<&Path>,
+    warnings: &mut Vec<String>,
+) -> Option<PredStore> {
+    if !config.pred_store {
+        return None;
+    }
+    let dir = cache_dir?;
+    let path = dir.join(PRED_STORE_FILE);
+    match pred_store::load_pred_store(&path) {
+        Ok(Some(store)) => Some(store),
+        Ok(None) => Some(PredStore::new()),
+        Err(e) => {
+            warnings.push(format!("ignoring predicate store `{}`: {e}", path.display()));
+            Some(PredStore::new())
+        }
+    }
 }
 
 /// The deterministic per-file key used to reseed fault plans and draw
@@ -781,7 +855,11 @@ struct Supervisor<'a> {
     file_mem: Option<u64>,
     abs_seed: &'a AbsSeed,
     persist: &'a SolverPersist,
+    pred_seed: Option<&'a PredStore>,
     journal: Option<&'a journal::Journal>,
+    /// Configuration fingerprint stamped on every journal line (and
+    /// required of replayed ones).
+    journal_config: u64,
     /// Files that completed a real check (drives `cancel_after`).
     completed: &'a AtomicUsize,
     /// Journal lines that failed to write (reported once, at the end).
@@ -791,20 +869,20 @@ struct Supervisor<'a> {
 impl Supervisor<'_> {
     /// Runs one file to a final row: replay, drain, or check with
     /// retries — then journal the result.
-    fn supervise(&self, task: &FileTask) -> (FileRow, AbsCache) {
+    fn supervise(&self, task: &FileTask) -> (FileRow, AbsCache, PredStore) {
         let file = task.path.display().to_string();
         if let Some(entry) = &task.replay {
             let mut row = entry.row.clone();
             row.file = file;
             row.resumed = true;
-            return (row, AbsCache::disabled());
+            return (row, AbsCache::disabled(), PredStore::new());
         }
         let start = Instant::now();
         if self.config.cancel.is_cancelled() {
             let mut row =
                 FileRow::new(file, Verdict::BudgetExhausted, "cancelled before start".to_string());
             row.cancelled = true;
-            return (row, AbsCache::disabled());
+            return (row, AbsCache::disabled(), PredStore::new());
         }
         let key = task.digest.unwrap_or_else(|| content_key(&task.path));
         let mut retries: u64 = 0;
@@ -812,7 +890,8 @@ impl Supervisor<'_> {
         let mut attempt: u32 = 1;
         loop {
             let remaining = self.file_timeout.map(|t| t.saturating_sub(start.elapsed()));
-            let (mut row, cache) = self.attempt(&task.path, remaining, key, attempt, &mut crashes);
+            let (mut row, cache, learned) =
+                self.attempt(&task.path, remaining, key, attempt, &mut crashes);
             let out_of_budget = remaining.is_some_and(|r| r.is_zero());
             if row.verdict == Verdict::InternalError
                 && self.config.retry.should_retry(attempt)
@@ -831,7 +910,7 @@ impl Supervisor<'_> {
             if let (Some(journal), Some(digest)) = (self.journal, task.digest) {
                 // Cancelled rows are deliberately not journaled: their
                 // absence is what makes `--resume` re-check them.
-                if !row.cancelled && journal.append(&row, digest).is_err() {
+                if !row.cancelled && journal.append(&row, digest, self.journal_config).is_err() {
                     self.append_failures.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -839,7 +918,7 @@ impl Supervisor<'_> {
             if self.config.cancel_after.is_some_and(|limit| done >= limit) {
                 self.config.cancel.cancel();
             }
-            return (row, cache);
+            return (row, cache, learned);
         }
     }
 
@@ -853,9 +932,13 @@ impl Supervisor<'_> {
         key: u64,
         attempt: u32,
         crashes: &mut u64,
-    ) -> (FileRow, AbsCache) {
+    ) -> (FileRow, AbsCache, PredStore) {
         if self.config.isolate {
-            return (self.isolated(path, attempt_timeout, crashes), AbsCache::disabled());
+            return (
+                self.isolated(path, attempt_timeout, crashes),
+                AbsCache::disabled(),
+                PredStore::new(),
+            );
         }
         let faults = self.config.faults.reseeded(key ^ u64::from(attempt));
         match catch_unwind(AssertUnwindSafe(|| {
@@ -866,6 +949,7 @@ impl Supervisor<'_> {
                 self.file_mem,
                 self.abs_seed,
                 self.persist,
+                self.pred_seed,
                 &faults,
             )
         })) {
@@ -876,7 +960,7 @@ impl Supervisor<'_> {
                     Verdict::InternalError,
                     format!("contained worker panic: {}", panic_message(payload.as_ref())),
                 );
-                (row, AbsCache::disabled())
+                (row, AbsCache::disabled(), PredStore::new())
             }
         }
     }
@@ -910,6 +994,9 @@ impl Supervisor<'_> {
             cmd.arg("--no-cache");
         } else if let Some(dir) = &self.config.cache_dir {
             cmd.arg("--cache-dir").arg(dir);
+        }
+        if !self.config.pred_store {
+            cmd.arg("--no-pred-store");
         }
         if let Some(t) = attempt_timeout {
             cmd.arg("--timeout-millis").arg(t.as_millis().to_string());
@@ -1011,14 +1098,24 @@ pub fn run_batch(inputs: &[PathBuf], config: &BatchConfig) -> BatchReport {
     } else {
         SolverPersist::inert()
     };
+    let pred_seed = load_pred_seed(config, cache_dir, &mut warnings);
+    let preds_seeded = pred_seed.as_ref().map_or(0, PredStore::len);
 
     // Journal replay map (resume) and writer. Opening the writer
     // truncates on a fresh run: stale entries from a previous corpus
-    // must not survive for a later `--resume` to trust.
+    // must not survive for a later `--resume` to trust. Rows are only
+    // replayable under the configuration that produced them.
+    let journal_config = journal::config_fingerprint(
+        config.omega,
+        config.initial_k,
+        config.use_cache,
+        config.timeout,
+        config.mem_limit_bytes,
+    );
     let mut replayed = std::collections::HashMap::new();
     if config.resume {
         if let Some(jpath) = &config.journal {
-            let (map, journal_warnings) = journal::load(jpath);
+            let (map, journal_warnings) = journal::load(jpath, journal_config);
             warnings.extend(journal_warnings);
             replayed = map;
         }
@@ -1058,7 +1155,9 @@ pub fn run_batch(inputs: &[PathBuf], config: &BatchConfig) -> BatchReport {
         file_mem: carve_mem_limit(config.mem_limit_bytes, n),
         abs_seed: &abs_seed,
         persist: &persist,
+        pred_seed: pred_seed.as_ref(),
         journal: journal_out.as_ref(),
+        journal_config,
         completed: &completed,
         append_failures: &append_failures,
     };
@@ -1067,11 +1166,13 @@ pub fn run_batch(inputs: &[PathBuf], config: &BatchConfig) -> BatchReport {
 
     let mut rows = Vec::with_capacity(n);
     let mut caches = Vec::with_capacity(n);
+    let mut learned_stores = Vec::with_capacity(n);
     for (path, result) in inputs.iter().zip(results) {
         match result {
-            Ok((row, cache)) => {
+            Ok((row, cache, learned)) => {
                 rows.push(row);
                 caches.push(cache);
+                learned_stores.push(learned);
             }
             Err(e) => {
                 // Last-resort containment: a panic that escaped the
@@ -1082,6 +1183,7 @@ pub fn run_batch(inputs: &[PathBuf], config: &BatchConfig) -> BatchReport {
                     e.message,
                 ));
                 caches.push(AbsCache::disabled());
+                learned_stores.push(PredStore::new());
             }
         }
     }
@@ -1131,12 +1233,28 @@ pub fn run_batch(inputs: &[PathBuf], config: &BatchConfig) -> BatchReport {
         let snapshot = master.snapshot();
         let (abs_saved, solver_saved, save_warnings) = save_caches(dir, &snapshot, &persist);
         warnings.extend(save_warnings);
+        let preds_saved = match pred_seed {
+            Some(seed) => {
+                let mut master = seed;
+                for learned in learned_stores {
+                    master.absorb(learned);
+                }
+                let path = dir.join(PRED_STORE_FILE);
+                if let Err(e) = pred_store::save_pred_store(&path, &master) {
+                    warnings.push(format!("cannot save `{}`: {e}", path.display()));
+                }
+                master.len()
+            }
+            None => 0,
+        };
         CacheSummary {
             dir: dir.display().to_string(),
             abs_seeded,
             solver_seeded,
             abs_saved,
             solver_saved,
+            preds_seeded,
+            preds_saved,
         }
     });
 

@@ -14,6 +14,13 @@
 //! entailment-cache misses, or if the resumed run re-checked anything
 //! — any of these would mean the persistence or journal layer is
 //! changing or failing to do its one job.
+//!
+//! The cold run also populates the predicate store (`preds.store`),
+//! which the warm run seeds from; a `{"bench":"pred-store",...}` row
+//! comparing cold-vs-warm refinement rounds and wall time (with the
+//! verdict-essence equality check) is appended to `BENCH_table1.json`.
+//! The process exits 1 if seeding did not strictly reduce total
+//! refinement rounds or changed any row's verdict essence.
 
 use circ_batch::{collect_inputs, run_batch, BatchConfig, BatchReport};
 use std::io::Write as _;
@@ -24,19 +31,30 @@ fn verdicts(report: &BatchReport) -> Vec<(String, &'static str)> {
     report.rows.iter().map(|r| (r.file.clone(), r.verdict.name())).collect()
 }
 
+/// The verdict essence of a report: per row, everything except wall
+/// times and counters. Predicate-store seeding must leave this
+/// byte-identical — it may only make runs faster.
+fn essence(report: &BatchReport) -> Vec<(String, &'static str, String)> {
+    report.rows.iter().map(|r| (r.file.clone(), r.verdict.name(), r.detail.clone())).collect()
+}
+
 fn main() {
     let mut jobs = 1usize;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--jobs" => {
-                jobs = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| panic!("--jobs expects a number"));
+            "--jobs" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => jobs = n,
+                _ => {
+                    eprintln!("--jobs expects a number (usage: batch [--jobs N])");
+                    std::process::exit(64);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}` (usage: batch [--jobs N])");
+                std::process::exit(64);
             }
-            other => panic!("unknown flag `{other}`"),
         }
     }
 
@@ -116,6 +134,44 @@ fn main() {
             "FAIL: resumed run replayed {} of {} rows — journal not resuming",
             resumed.totals.resumed,
             inputs.len()
+        );
+        std::process::exit(1);
+    }
+
+    // ---- predicate-store differential ---------------------------------
+    // The cold run populated `preds.store`; the warm run re-checked the
+    // same corpus seeded from it. Seeding must cut refinement rounds
+    // while leaving every row's verdict essence byte-identical.
+    let cold_refine = cold.totals.pipeline.refine_rounds;
+    let warm_refine = warm.totals.pipeline.refine_rounds;
+    let essence_match = essence(&cold) == essence(&warm);
+    let pred_line = format!(
+        "{{\"bench\":\"pred-store\",\"files\":{},\"jobs\":{jobs},\
+         \"cold_time_s\":{cold_time:.4},\"warm_time_s\":{warm_time:.4},\
+         \"cold_refine_rounds\":{cold_refine},\"warm_refine_rounds\":{warm_refine},\
+         \"preds_seeded\":{},\"refine_rounds_saved\":{},\
+         \"essence_match\":{essence_match}}}",
+        inputs.len(),
+        warm.totals.pipeline.preds_seeded,
+        warm.totals.pipeline.refine_rounds_saved,
+    );
+    let table1_path = "BENCH_table1.json";
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(table1_path)
+        .expect("open BENCH_table1.json");
+    writeln!(f, "{pred_line}").expect("append BENCH_table1.json");
+    println!("{pred_line}");
+    println!("appended to {table1_path}");
+
+    if !essence_match {
+        eprintln!("FAIL: predicate-store seeding changed a row's verdict essence");
+        std::process::exit(1);
+    }
+    if warm_refine >= cold_refine {
+        eprintln!(
+            "FAIL: warm run refined {warm_refine} rounds, cold {cold_refine} — store not seeding"
         );
         std::process::exit(1);
     }

@@ -34,10 +34,10 @@
 //! as one JSON line (exit code as above).
 
 use circ_core::{
-    circ, circ_with_caches, AbsCache, AbsSeed, CircConfig, CircEvent, CircOutcome, Property,
-    SolverPersist,
+    circ, circ_with_caches, pred_store, AbsCache, AbsSeed, CircConfig, CircEvent, CircOutcome,
+    PredStore, Property, SolverPersist,
 };
-use circ_ir::{dot, Cfa, MtProgram};
+use circ_ir::{dot, structural_digest, Cfa, MtProgram};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -70,9 +70,11 @@ fn print_help() {
          \x20                        [--trace] [--stats] [--json] [--no-cache] [--row-json]\n\
          \x20                        [--timeout-secs N | --timeout-millis N]\n\
          \x20                        [--mem-limit-mb N | --mem-limit-bytes N] [--cache-dir DIR]\n\
+         \x20                        [--pred-store | --no-pred-store]\n\
          \x20 circ batch <dir|manifest.json|file.nesl> [--mode circ|omega] [--k N] [--jobs N]\n\
          \x20                        [--json] [--no-cache] [--timeout-secs N]\n\
          \x20                        [--mem-limit-mb N] [--cache-dir DIR]\n\
+         \x20                        [--pred-store | --no-pred-store]\n\
          \x20                        [--journal FILE] [--resume] [--isolate] [--retries N]\n\
          \x20 circ compile <file.nesl> [--dot]\n\
          \x20 circ baselines <file.nesl>\n\n\
@@ -96,6 +98,16 @@ fn print_help() {
          caches across runs: loaded on start (a damaged file degrades to a\n\
          logged cold start), written back on exit. `--k N` (N >= 1) sets the\n\
          initial thread-counter parameter.\n\n\
+         Incremental re-checking: with `--cache-dir`, each check's discovered\n\
+         predicate set and final k are persisted to a predicate store\n\
+         (preds.store) keyed by a structural digest of the lowered automaton\n\
+         plus a config fingerprint, and future checks of the same program are\n\
+         seeded from it — skipping rediscovery while still running the full\n\
+         algorithm (stale seeds degrade to ordinary refinement; verdicts are\n\
+         never replayed). On by default with a cache dir; `--no-pred-store`\n\
+         disables it, `--pred-store` asserts it (usage error without\n\
+         `--cache-dir`). `--stats` reports `preds seeded` and\n\
+         `refine rounds saved`.\n\n\
          Crash safety (batch): `--journal FILE` appends every completed row to\n\
          a JSONL journal keyed by a digest of the input bytes; `--resume`\n\
          replays journaled rows for unchanged inputs and re-checks the rest\n\
@@ -137,6 +149,10 @@ struct Parsed {
     mem_limit_mb: Option<u64>,
     mem_limit_bytes: Option<u64>,
     cache_dir: Option<PathBuf>,
+    /// Tri-state: `--pred-store` forces on (usage error without a
+    /// cache dir), `--no-pred-store` forces off, unset follows the
+    /// default (on whenever `--cache-dir` is set).
+    pred_store: Option<bool>,
     row_json: bool,
     journal: Option<PathBuf>,
     resume: bool,
@@ -178,6 +194,7 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
         mem_limit_mb: None,
         mem_limit_bytes: None,
         cache_dir: None,
+        pred_store: None,
         row_json: false,
         journal: None,
         resume: false,
@@ -251,6 +268,18 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
                 let v = it.next().ok_or("--cache-dir expects a directory")?;
                 parsed.cache_dir = Some(PathBuf::from(v));
             }
+            "--pred-store" => {
+                if parsed.pred_store == Some(false) {
+                    return Err("--pred-store and --no-pred-store are contradictory".into());
+                }
+                parsed.pred_store = Some(true);
+            }
+            "--no-pred-store" => {
+                if parsed.pred_store == Some(true) {
+                    return Err("--pred-store and --no-pred-store are contradictory".into());
+                }
+                parsed.pred_store = Some(false);
+            }
             "--asserts" => parsed.asserts = true,
             "--print-acfa" => parsed.print_acfa = true,
             "--trace" => parsed.trace = true,
@@ -272,6 +301,9 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
     }
     if parsed.cache_dir.is_some() && parsed.no_cache {
         return Err("--cache-dir and --no-cache are contradictory (nothing to persist)".into());
+    }
+    if parsed.pred_store == Some(true) && parsed.cache_dir.is_none() {
+        return Err("--pred-store needs --cache-dir DIR (the store lives there)".into());
     }
     if parsed.timeout_secs.is_some() && parsed.timeout_millis.is_some() {
         return Err(
@@ -339,6 +371,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
             timeout: parsed.timeout(),
             mem_limit_bytes: parsed.mem_limit(),
             cache_dir: parsed.cache_dir.clone(),
+            pred_store: parsed.pred_store.unwrap_or(true),
             ..circ_batch::BatchConfig::default()
         };
         let (row, warnings) = circ_batch::check_single(Path::new(&parsed.source_path), &cfg);
@@ -381,6 +414,24 @@ fn cmd_check(args: &[String]) -> ExitCode {
         None => (AbsSeed::empty(), SolverPersist::inert()),
     };
     let shared_cache = parsed.cache_dir.as_ref().map(|_| AbsCache::with_seed(&abs_seed));
+    // Predicate store: with a cache dir (unless --no-pred-store), seed
+    // each variable's check from what previous runs discovered for the
+    // same automaton and config, and record what this run learns.
+    let mut preds_store: Option<PredStore> = match &parsed.cache_dir {
+        Some(dir) if parsed.pred_store.unwrap_or(true) => {
+            let path = dir.join(circ_batch::PRED_STORE_FILE);
+            match pred_store::load_pred_store(&path) {
+                Ok(Some(store)) => Some(store),
+                Ok(None) => Some(PredStore::new()),
+                Err(e) => {
+                    eprintln!("warning: ignoring predicate store `{}`: {e}", path.display());
+                    Some(PredStore::new())
+                }
+            }
+        }
+        _ => None,
+    };
+    let cfa_digest = structural_digest(&compiled.cfa);
     // 1 (race) dominates everything; 3 (budget exhausted) dominates 2
     // (plain inconclusive); 0 only survives if every variable is safe.
     let mut worst: u8 = 0;
@@ -392,11 +443,32 @@ fn cmd_check(args: &[String]) -> ExitCode {
     for &var in &vars {
         let program = MtProgram::new(compiled.cfa.clone(), var);
         let vname = compiled.cfa.var_name(var).to_string();
+        let property_tag =
+            if parsed.asserts { "asserts".to_string() } else { format!("race v{}", var.index()) };
+        let config_fp = pred_store::config_fingerprint(
+            cfg.initial_k,
+            cfg.omega_mode,
+            cfg.minimize,
+            &cfg.initial_preds,
+            &property_tag,
+        );
+        let mut var_cfg = cfg.clone();
+        let prior = preds_store
+            .as_ref()
+            .and_then(|s| pred_store::seed_config(s, cfa_digest, config_fp, &mut var_cfg));
         let outcome = match &shared_cache {
-            Some(cache) => circ_with_caches(&program, &cfg, cache, &persist),
-            None => circ(&program, &cfg),
+            Some(cache) => circ_with_caches(&program, &var_cfg, cache, &persist),
+            None => circ(&program, &var_cfg),
         };
-        let run_stats = outcome.stats().clone();
+        let mut run_stats = outcome.stats().clone();
+        if let Some(prior_rounds) = prior {
+            run_stats.pipeline.preds_seeded = var_cfg.initial_preds.len() as u64;
+            run_stats.pipeline.refine_rounds_saved =
+                prior_rounds.saturating_sub(run_stats.pipeline.refine_rounds);
+        }
+        if let Some(store) = preds_store.as_mut() {
+            pred_store::record_outcome(store, cfa_digest, config_fp, &outcome, prior.unwrap_or(0));
+        }
         if parsed.trace {
             for e in &outcome.log().events {
                 match e {
@@ -480,6 +552,12 @@ fn cmd_check(args: &[String]) -> ExitCode {
             eprintln!("warning: {w}");
         }
     }
+    if let (Some(dir), Some(store)) = (&parsed.cache_dir, &preds_store) {
+        let path = dir.join(circ_batch::PRED_STORE_FILE);
+        if let Err(e) = pred_store::save_pred_store(&path, store) {
+            eprintln!("warning: cannot save `{}`: {e}", path.display());
+        }
+    }
     ExitCode::from(worst)
 }
 
@@ -522,6 +600,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         timeout: parsed.timeout(),
         mem_limit_bytes: parsed.mem_limit(),
         cache_dir: parsed.cache_dir.clone(),
+        pred_store: parsed.pred_store.unwrap_or(true),
         journal: parsed.journal.clone(),
         resume: parsed.resume,
         isolate: parsed.isolate,
@@ -689,6 +768,23 @@ mod tests {
         let err = flags(&["corpus", "--resume"]).unwrap_err();
         assert!(err.contains("--journal"), "unhelpful message: {err}");
         assert!(flags(&["corpus", "--resume", "--journal", "j.jsonl"]).is_ok());
+    }
+
+    #[test]
+    fn pred_store_flags_parse_and_conflict() {
+        // Default: unset (resolved to "on with a cache dir" downstream).
+        assert_eq!(flags(&["m.nesl"]).unwrap().pred_store, None);
+        let p = flags(&["m.nesl", "--cache-dir", "d", "--pred-store"]).unwrap();
+        assert_eq!(p.pred_store, Some(true));
+        let p = flags(&["m.nesl", "--cache-dir", "d", "--no-pred-store"]).unwrap();
+        assert_eq!(p.pred_store, Some(false));
+        // Forcing the store on without a place to put it is a usage
+        // error; forcing it off without a cache dir is a no-op.
+        let err = flags(&["m.nesl", "--pred-store"]).unwrap_err();
+        assert!(err.contains("--cache-dir"), "unhelpful message: {err}");
+        assert!(flags(&["m.nesl", "--no-pred-store"]).is_ok());
+        assert!(flags(&["m.nesl", "--cache-dir", "d", "--pred-store", "--no-pred-store"]).is_err());
+        assert!(flags(&["m.nesl", "--cache-dir", "d", "--no-pred-store", "--pred-store"]).is_err());
     }
 
     #[test]

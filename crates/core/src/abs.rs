@@ -163,10 +163,12 @@ impl AbsCtx {
     pub fn initial_cube(&self) -> Cube {
         let mut c = Cube::top(self.preds.len());
         for i in self.preds.indices() {
-            // nondet cannot occur in predicates; eval on the all-zero
-            // state decides each one.
-            let val = self.preds.pred(i).eval(&|_| 0);
-            c.set(i, val);
+            // Refinement never mines nondet into predicates, so eval
+            // on the all-zero state decides each one; if a nondet pred
+            // ever appeared, leaving it undecided (top) stays sound.
+            if let Some(val) = self.preds.pred(i).eval(&|_| 0) {
+                c.set(i, val);
+            }
         }
         c
     }

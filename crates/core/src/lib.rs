@@ -40,6 +40,7 @@ mod arg;
 mod cache;
 mod circ;
 pub mod persist;
+pub mod pred_store;
 mod preds;
 mod reach;
 mod refine;
@@ -54,6 +55,7 @@ pub use cache::{AbsCache, AbsSeed};
 pub use circ_governor::{Budget, CancelToken, Exhausted, FaultPlan};
 pub use circ_smt::{PersistError, SolverPersist};
 pub use circ_stats::{AbsCounters, PipelineStats, SolverCounters};
+pub use pred_store::{PredStore, StoredPreds};
 pub use preds::PredSet;
 pub use reach::{
     reach_and_build, AbsState, AbstractCex, AbstractError, AbstractRace, Property, ReachError,

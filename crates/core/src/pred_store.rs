@@ -1,0 +1,512 @@
+//! The persistent predicate store behind incremental re-checking.
+//!
+//! CIRC's dominant cost on fresh input is CEGAR warm-up: the refine
+//! loop re-discovers the same predicate set run after run. Following
+//! the "abstractions from proofs" observation, the discovered set *is*
+//! the reusable artifact — so this module persists, per check, the
+//! final predicate set and counter parameter `k` into a versioned,
+//! checksummed file under the cache directory, and seeds
+//! [`CircConfig::initial_preds`]/[`CircConfig::initial_k`] from it on
+//! re-check. Verdicts are never stored and never replayed: a seeded
+//! run executes the full algorithm and falls back to ordinary
+//! refinement whenever the seeds no longer suffice, so staleness costs
+//! time, never soundness.
+//!
+//! # Keying
+//!
+//! Entries are keyed by the pair
+//!
+//! * **structural digest** of the lowered CFA
+//!   ([`circ_ir::structural_digest`]): alpha-renamed (variables enter
+//!   as table indices plus global/local kind, never as names) and
+//!   location-order-canonical — *not* a hash of the input bytes, so a
+//!   re-saved or reformatted file that lowers to the same automaton
+//!   still hits; and
+//! * **config fingerprint** ([`config_fingerprint`]): `initial_k`,
+//!   `omega_mode`, `minimize`, any externally supplied seed
+//!   predicates, and the checked property — everything that steers
+//!   which predicates a run would discover.
+//!
+//! # Wire format
+//!
+//! The file reuses the checksummed envelope of [`circ_smt::persist`]
+//! (kind `circ-pred-store`, `format=1`; any incompatible change bumps
+//! the kind's format and old files degrade to a logged cold start).
+//! One line per entry:
+//!
+//! ```text
+//! P <cfa-digest> <config-fp> <k> <rounds> <n> <pred>*n
+//! ```
+//!
+//! with predicates in a prefix token encoding over variable indices
+//! (`I n` literal, `V i` variable, `N` nondet, `+ - *` binary nodes;
+//! a predicate is `<cmp> <lhs> <rhs>`).
+
+use crate::circ::{CircConfig, CircOutcome};
+use circ_ir::{BinOp, CmpOp, Expr, Pred, Var};
+use circ_smt::persist::{fnv1a64, parse_cache_file, render_cache_file, write_atomic, Tokens};
+use circ_smt::PersistError;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const STORE_KIND: &str = "circ-pred-store";
+
+/// Hostile-input guards: real entries are tiny.
+const MAX_PREDS: usize = 100_000;
+const MAX_EXPR_DEPTH: u32 = 64;
+
+/// One stored check result: the discovered predicate set, the final
+/// counter parameter, and the refinement rounds it cost to discover
+/// from a cold start (the baseline for `refine_rounds_saved`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredPreds {
+    /// The discovered predicates, in discovery order.
+    pub preds: Vec<Pred>,
+    /// The final counter parameter `k`.
+    pub k: u32,
+    /// Cumulative cold-start discovery cost in refinement rounds.
+    pub rounds: u64,
+}
+
+/// The in-memory predicate store: `(cfa digest, config fingerprint)`
+/// → stored entry. Deterministically ordered, so its rendering is
+/// byte-stable.
+#[derive(Debug, Clone, Default)]
+pub struct PredStore {
+    entries: BTreeMap<(u64, u64), StoredPreds>,
+}
+
+impl PredStore {
+    /// An empty store.
+    pub fn new() -> PredStore {
+        PredStore::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry for a `(cfa digest, config fingerprint)` key, if any.
+    pub fn lookup(&self, cfa_digest: u64, config_fp: u64) -> Option<&StoredPreds> {
+        self.entries.get(&(cfa_digest, config_fp))
+    }
+
+    /// Inserts or replaces the entry for a key.
+    pub fn record(&mut self, cfa_digest: u64, config_fp: u64, entry: StoredPreds) {
+        self.entries.insert((cfa_digest, config_fp), entry);
+    }
+
+    /// Merges another store into this one (later wins), used by the
+    /// batch supervisor's deterministic input-order merge.
+    pub fn absorb(&mut self, other: PredStore) {
+        self.entries.extend(other.entries);
+    }
+}
+
+/// Fingerprint of everything besides the program that steers predicate
+/// discovery: the base `initial_k`, the ω mode, minimization, any
+/// externally supplied seed predicates, and a tag naming the checked
+/// property (e.g. `race v0`). Compute it from the configuration
+/// *before* store seeding is applied, so warm runs rebuild the same
+/// key they were recorded under.
+pub fn config_fingerprint(
+    initial_k: u32,
+    omega_mode: bool,
+    minimize: bool,
+    seed_preds: &[Pred],
+    property: &str,
+) -> u64 {
+    let mut s = format!(
+        "k={initial_k} omega={} minimize={} property={property} seeds={}",
+        omega_mode as u8,
+        minimize as u8,
+        seed_preds.len()
+    );
+    for p in seed_preds {
+        s.push(' ');
+        push_pred(&mut s, p);
+    }
+    fnv1a64(s.as_bytes())
+}
+
+/// Applies the store entry for `key` (if any) to `config`, seeding
+/// `initial_preds` and `initial_k`. Returns the entry's recorded
+/// discovery cost when seeded; `None` on a store miss. Seeds are
+/// *appended* to any preds the config already carries (the fingerprint
+/// covered those, so the key still matches).
+pub fn seed_config(
+    store: &PredStore,
+    cfa_digest: u64,
+    config_fp: u64,
+    config: &mut CircConfig,
+) -> Option<u64> {
+    let entry = store.lookup(cfa_digest, config_fp)?;
+    config.initial_preds.extend(entry.preds.iter().cloned());
+    config.initial_k = config.initial_k.max(entry.k);
+    Some(entry.rounds)
+}
+
+/// Records a completed check into the store. Safe and unsafe outcomes
+/// both carry their discovered predicate set and final `k`; unknown
+/// outcomes record nothing (there is no converged set to reuse).
+/// `prior_rounds` is the seeded entry's recorded cost (0 on a cold
+/// run), so the stored cost stays the cumulative cold-start cost.
+pub fn record_outcome(
+    store: &mut PredStore,
+    cfa_digest: u64,
+    config_fp: u64,
+    outcome: &CircOutcome,
+    prior_rounds: u64,
+) {
+    let (preds, k, run_rounds) = match outcome {
+        CircOutcome::Safe(r) => (&r.preds, r.k, r.stats.pipeline.refine_rounds),
+        CircOutcome::Unsafe(r) => (&r.preds, r.k, r.stats.pipeline.refine_rounds),
+        CircOutcome::Unknown(_) => return,
+    };
+    store.record(
+        cfa_digest,
+        config_fp,
+        StoredPreds { preds: preds.clone(), k, rounds: prior_rounds + run_rounds },
+    );
+}
+
+fn push_expr(out: &mut String, e: &Expr) {
+    match e {
+        Expr::Int(n) => {
+            out.push_str("I ");
+            out.push_str(&n.to_string());
+        }
+        Expr::Var(v) => {
+            out.push_str("V ");
+            out.push_str(&v.index().to_string());
+        }
+        Expr::Nondet => out.push('N'),
+        Expr::Bin(op, a, b) => {
+            out.push(match op {
+                BinOp::Add => '+',
+                BinOp::Sub => '-',
+                BinOp::Mul => '*',
+            });
+            out.push(' ');
+            push_expr(out, a);
+            out.push(' ');
+            push_expr(out, b);
+        }
+    }
+}
+
+fn parse_expr(toks: &mut Tokens<'_>, depth: u32) -> Result<Expr, PersistError> {
+    if depth > MAX_EXPR_DEPTH {
+        return Err(PersistError::Format("expression nesting too deep".into()));
+    }
+    match toks.next()? {
+        "I" => Ok(Expr::Int(toks.next_int()?)),
+        "V" => Ok(Expr::Var(Var::from_raw(toks.next_int()?))),
+        "N" => Ok(Expr::Nondet),
+        tag @ ("+" | "-" | "*") => {
+            let op = match tag {
+                "+" => BinOp::Add,
+                "-" => BinOp::Sub,
+                _ => BinOp::Mul,
+            };
+            let a = parse_expr(toks, depth + 1)?;
+            let b = parse_expr(toks, depth + 1)?;
+            Ok(Expr::Bin(op, Box::new(a), Box::new(b)))
+        }
+        other => Err(PersistError::Format(format!("bad expression tag {other:?}"))),
+    }
+}
+
+fn push_pred(out: &mut String, p: &Pred) {
+    out.push_str(match p.op {
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    });
+    out.push(' ');
+    push_expr(out, &p.lhs);
+    out.push(' ');
+    push_expr(out, &p.rhs);
+}
+
+fn parse_pred(toks: &mut Tokens<'_>) -> Result<Pred, PersistError> {
+    let op = match toks.next()? {
+        "=" => CmpOp::Eq,
+        "!=" => CmpOp::Ne,
+        "<" => CmpOp::Lt,
+        "<=" => CmpOp::Le,
+        ">" => CmpOp::Gt,
+        ">=" => CmpOp::Ge,
+        other => return Err(PersistError::Format(format!("bad comparison tag {other:?}"))),
+    };
+    let lhs = parse_expr(toks, 0)?;
+    let rhs = parse_expr(toks, 0)?;
+    Ok(Pred::new(lhs, op, rhs))
+}
+
+/// Serializes a store to the versioned wire format.
+pub fn render_pred_store(store: &PredStore) -> String {
+    let mut lines = Vec::with_capacity(store.entries.len());
+    for ((digest, config_fp), entry) in &store.entries {
+        let mut line = format!(
+            "P {digest:016x} {config_fp:016x} {} {} {}",
+            entry.k,
+            entry.rounds,
+            entry.preds.len()
+        );
+        for p in &entry.preds {
+            line.push(' ');
+            push_pred(&mut line, p);
+        }
+        lines.push(line);
+    }
+    render_cache_file(STORE_KIND, lines)
+}
+
+/// Parses a store file rendered by [`render_pred_store`].
+pub fn parse_pred_store(text: &str) -> Result<PredStore, PersistError> {
+    let lines = parse_cache_file(STORE_KIND, text)?;
+    let mut store = PredStore::new();
+    for line in lines {
+        let mut toks = Tokens::new(line);
+        match toks.next()? {
+            "P" => {
+                let digest = u64::from_str_radix(toks.next()?, 16)
+                    .map_err(|_| PersistError::Format("bad digest field".into()))?;
+                let config_fp = u64::from_str_radix(toks.next()?, 16)
+                    .map_err(|_| PersistError::Format("bad fingerprint field".into()))?;
+                let k: u32 = toks.next_int()?;
+                let rounds: u64 = toks.next_int()?;
+                let n: usize = toks.next_int()?;
+                if n > MAX_PREDS {
+                    return Err(PersistError::Format("predicate count out of range".into()));
+                }
+                let mut preds = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    preds.push(parse_pred(&mut toks)?);
+                }
+                store.record(digest, config_fp, StoredPreds { preds, k, rounds });
+            }
+            other => return Err(PersistError::Format(format!("bad entry tag {other:?}"))),
+        }
+        toks.finish()?;
+    }
+    Ok(store)
+}
+
+/// Loads a predicate-store file. A missing file is `Ok(None)` (a fresh
+/// cache dir is not an anomaly); anything else unreadable or invalid
+/// is an error for the caller to log before cold-starting.
+pub fn load_pred_store(path: &Path) -> Result<Option<PredStore>, PersistError> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(PersistError::Io(e)),
+    };
+    parse_pred_store(&text).map(Some)
+}
+
+/// Saves a store to `path` (atomic same-directory temp-file +
+/// rename, the same crash discipline as the cache snapshots).
+pub fn save_pred_store(path: &Path, store: &PredStore) -> io::Result<()> {
+    write_atomic(path, &render_pred_store(store))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circ_ir::{figure1_cfa, structural_digest};
+
+    fn v(i: u32) -> Expr {
+        Expr::var(Var::from_raw(i))
+    }
+
+    fn populated_store() -> PredStore {
+        let mut store = PredStore::new();
+        store.record(
+            0xdead_beef_0000_0001,
+            0x0123_4567_89ab_cdef,
+            StoredPreds {
+                preds: vec![
+                    Pred::eq(v(0), Expr::int(0)),
+                    Pred::new(v(1) + Expr::int(3) * v(2), CmpOp::Le, Expr::int(-7)),
+                    Pred::new(v(0) - v(1), CmpOp::Ne, Expr::Nondet),
+                ],
+                k: 3,
+                rounds: 31,
+            },
+        );
+        store.record(
+            0xdead_beef_0000_0002,
+            0xffff_0000_ffff_0000,
+            StoredPreds { preds: Vec::new(), k: 1, rounds: 0 },
+        );
+        store
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_every_entry() {
+        let store = populated_store();
+        let text = render_pred_store(&store);
+        let back = parse_pred_store(&text).unwrap();
+        assert_eq!(store.entries, back.entries);
+        // Canonical rendering: save(load(save(x))) == save(x).
+        assert_eq!(render_pred_store(&back), text);
+    }
+
+    #[test]
+    fn every_bit_flip_and_truncation_is_rejected() {
+        let text = render_pred_store(&populated_store());
+        let bytes = text.as_bytes();
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.to_vec();
+            mutated[i] ^= 0x01;
+            let Ok(s) = String::from_utf8(mutated) else { continue };
+            assert!(parse_pred_store(&s).is_err(), "flip at byte {i} accepted");
+        }
+        for i in 0..text.len() {
+            if !text.is_char_boundary(i) {
+                continue;
+            }
+            assert!(parse_pred_store(&text[..i]).is_err(), "prefix of {i} bytes accepted");
+        }
+        assert!(parse_pred_store(&text.replace("format=1", "format=2")).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_miss() {
+        let path = std::env::temp_dir().join("circ_pred_store_does_not_exist.store");
+        let _ = fs::remove_file(&path);
+        assert!(load_pred_store(&path).unwrap().is_none());
+    }
+
+    #[test]
+    fn save_load_round_trips_through_disk() {
+        let path = std::env::temp_dir().join("circ_pred_store_unit.store");
+        let _ = fs::remove_file(&path);
+        let store = populated_store();
+        save_pred_store(&path, &store).unwrap();
+        let loaded = load_pred_store(&path).unwrap().unwrap();
+        assert_eq!(store.entries, loaded.entries);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_separates_configs() {
+        let base = config_fingerprint(1, true, true, &[], "race v0");
+        assert_ne!(base, config_fingerprint(2, true, true, &[], "race v0"), "k matters");
+        assert_ne!(base, config_fingerprint(1, false, true, &[], "race v0"), "omega matters");
+        assert_ne!(base, config_fingerprint(1, true, false, &[], "race v0"), "minimize matters");
+        assert_ne!(base, config_fingerprint(1, true, true, &[], "race v1"), "property matters");
+        let seeded = config_fingerprint(1, true, true, &[Pred::eq(v(0), Expr::int(0))], "race v0");
+        assert_ne!(base, seeded, "seed preds matter");
+        assert_eq!(base, config_fingerprint(1, true, true, &[], "race v0"), "stable");
+    }
+
+    #[test]
+    fn seed_config_applies_entry_and_misses_cleanly() {
+        let cfa = figure1_cfa();
+        let digest = structural_digest(&cfa);
+        let mut store = PredStore::new();
+        let entry = StoredPreds {
+            preds: vec![Pred::eq(v(1), Expr::int(0)), Pred::eq(v(2), Expr::int(0))],
+            k: 2,
+            rounds: 9,
+        };
+        store.record(digest, 42, entry.clone());
+
+        let mut config = CircConfig::omega();
+        assert_eq!(seed_config(&store, digest, 7, &mut config), None, "wrong fp is a miss");
+        assert!(config.initial_preds.is_empty());
+
+        let rounds = seed_config(&store, digest, 42, &mut config);
+        assert_eq!(rounds, Some(9));
+        assert_eq!(config.initial_preds, entry.preds);
+        assert_eq!(config.initial_k, 2);
+    }
+
+    #[test]
+    fn record_outcome_skips_unknown_and_accumulates_rounds() {
+        use crate::circ::{circ, CircConfig, CircOutcome};
+        use circ_ir::MtProgram;
+        let cfa = figure1_cfa();
+        let x = cfa.var_by_name("x").unwrap();
+        let digest = structural_digest(&cfa);
+        let program = MtProgram::new(cfa, x);
+        let outcome = circ(&program, &CircConfig::omega());
+        assert!(matches!(outcome, CircOutcome::Safe(_)));
+        let run_rounds = outcome.stats().pipeline.refine_rounds;
+        assert!(run_rounds > 0, "figure 1 needs refinement from cold");
+
+        let mut store = PredStore::new();
+        record_outcome(&mut store, digest, 42, &outcome, 0);
+        let entry = store.lookup(digest, 42).expect("safe outcome must be recorded").clone();
+        assert_eq!(entry.rounds, run_rounds);
+        assert!(!entry.preds.is_empty());
+
+        // A warm re-record accumulates on top of the prior cost.
+        record_outcome(&mut store, digest, 42, &outcome, entry.rounds);
+        assert_eq!(store.lookup(digest, 42).unwrap().rounds, run_rounds * 2);
+    }
+
+    #[test]
+    fn seeded_rerun_skips_refinement_with_same_essence() {
+        use crate::circ::{circ, CircConfig, CircOutcome};
+        use circ_ir::MtProgram;
+        let cfa = figure1_cfa();
+        let x = cfa.var_by_name("x").unwrap();
+        let digest = structural_digest(&cfa);
+        let program = MtProgram::new(cfa, x);
+
+        let cold = circ(&program, &CircConfig::omega());
+        let CircOutcome::Safe(cold_report) = &cold else { panic!("figure 1 is safe") };
+        let mut store = PredStore::new();
+        record_outcome(&mut store, digest, 42, &cold, 0);
+
+        let mut warm_config = CircConfig::omega();
+        let prior = seed_config(&store, digest, 42, &mut warm_config).unwrap();
+        let warm = circ(&program, &warm_config);
+        let CircOutcome::Safe(warm_report) = &warm else { panic!("seeded run stays safe") };
+        assert!(
+            warm.stats().pipeline.refine_rounds < cold.stats().pipeline.refine_rounds,
+            "warm run must refine strictly less (warm {} vs cold {})",
+            warm.stats().pipeline.refine_rounds,
+            cold.stats().pipeline.refine_rounds,
+        );
+        assert!(prior >= warm.stats().pipeline.refine_rounds);
+        assert_eq!(warm_report.preds, cold_report.preds, "same final predicate set");
+        assert_eq!(warm_report.k, cold_report.k, "same final k");
+    }
+
+    #[test]
+    fn stale_seeds_fall_back_to_refinement() {
+        use crate::circ::{circ, CircConfig, CircOutcome};
+        use circ_ir::MtProgram;
+        let cfa = figure1_cfa();
+        let x = cfa.var_by_name("x").unwrap();
+        let program = MtProgram::new(cfa, x);
+
+        // Useless seeds for this program: refinement must still
+        // converge to the same verdict as a cold run.
+        let mut config = CircConfig::omega();
+        config.initial_preds =
+            vec![Pred::eq(v(0), Expr::int(99)), Pred::new(v(1), CmpOp::Ge, Expr::int(5))];
+        let seeded = circ(&program, &config);
+        let cold = circ(&program, &CircConfig::omega());
+        match (&seeded, &cold) {
+            (CircOutcome::Safe(_), CircOutcome::Safe(_)) => {}
+            other => panic!("verdict must survive stale seeds: {other:?}"),
+        }
+    }
+}

@@ -120,26 +120,24 @@ impl Expr {
         }
     }
 
-    /// Evaluates a nondet-free expression under `lookup`, using
-    /// wrapping `i64` arithmetic.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the expression contains [`Expr::Nondet`]; the
-    /// interpreter resolves nondeterminism before evaluation.
-    pub fn eval(&self, lookup: &impl Fn(Var) -> i64) -> i64 {
+    /// Evaluates the expression under `lookup`, using wrapping `i64`
+    /// arithmetic. Returns `None` if the expression contains
+    /// [`Expr::Nondet`] — an unresolved havoc has no single value; the
+    /// interpreter resolves nondeterminism before evaluation, and
+    /// callers outside it must treat `None` as "cannot decide".
+    pub fn eval(&self, lookup: &impl Fn(Var) -> i64) -> Option<i64> {
         match self {
-            Expr::Int(n) => *n,
-            Expr::Var(v) => lookup(*v),
+            Expr::Int(n) => Some(*n),
+            Expr::Var(v) => Some(lookup(*v)),
             Expr::Bin(op, a, b) => {
-                let (a, b) = (a.eval(lookup), b.eval(lookup));
-                match op {
+                let (a, b) = (a.eval(lookup)?, b.eval(lookup)?);
+                Some(match op {
                     BinOp::Add => a.wrapping_add(b),
                     BinOp::Sub => a.wrapping_sub(b),
                     BinOp::Mul => a.wrapping_mul(b),
-                }
+                })
             }
-            Expr::Nondet => panic!("cannot evaluate nondet expression"),
+            Expr::Nondet => None,
         }
     }
 }
@@ -287,9 +285,10 @@ impl Pred {
         Pred::new(self.lhs.subst(v, repl), self.op, self.rhs.subst(v, repl))
     }
 
-    /// Evaluates the predicate on a concrete state.
-    pub fn eval(&self, lookup: &impl Fn(Var) -> i64) -> bool {
-        self.op.eval(self.lhs.eval(lookup), self.rhs.eval(lookup))
+    /// Evaluates the predicate on a concrete state; `None` if either
+    /// side contains [`Expr::Nondet`].
+    pub fn eval(&self, lookup: &impl Fn(Var) -> i64) -> Option<bool> {
+        Some(self.op.eval(self.lhs.eval(lookup)?, self.rhs.eval(lookup)?))
     }
 
     /// A canonical form that identifies `a = b` with `b = a` (and the
@@ -467,14 +466,26 @@ impl BoolExpr {
         }
     }
 
-    /// Evaluates the expression on a concrete state.
-    pub fn eval(&self, lookup: &impl Fn(Var) -> i64) -> bool {
+    /// Evaluates the expression on a concrete state; `None` if any
+    /// atom contains [`Expr::Nondet`] (strict — short-circuiting is
+    /// not attempted, so the result is independent of operand order).
+    pub fn eval(&self, lookup: &impl Fn(Var) -> i64) -> Option<bool> {
         match self {
-            BoolExpr::Const(b) => *b,
+            BoolExpr::Const(b) => Some(*b),
             BoolExpr::Atom(p) => p.eval(lookup),
-            BoolExpr::Not(a) => !a.eval(lookup),
-            BoolExpr::And(a, b) => a.eval(lookup) && b.eval(lookup),
-            BoolExpr::Or(a, b) => a.eval(lookup) || b.eval(lookup),
+            BoolExpr::Not(a) => Some(!a.eval(lookup)?),
+            BoolExpr::And(a, b) => Some(a.eval(lookup)? && b.eval(lookup)?),
+            BoolExpr::Or(a, b) => Some(a.eval(lookup)? || b.eval(lookup)?),
+        }
+    }
+
+    /// True if any atom of the expression contains [`Expr::Nondet`].
+    pub fn has_nondet(&self) -> bool {
+        match self {
+            BoolExpr::Const(_) => false,
+            BoolExpr::Atom(p) => p.lhs.has_nondet() || p.rhs.has_nondet(),
+            BoolExpr::Not(a) => a.has_nondet(),
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => a.has_nondet() || b.has_nondet(),
         }
     }
 }
@@ -510,7 +521,19 @@ mod tests {
     fn expr_eval_arithmetic() {
         let e = (Expr::var(v(0)) + Expr::int(3)) * Expr::int(2);
         let val = e.eval(&|_| 5);
-        assert_eq!(val, 16);
+        assert_eq!(val, Some(16));
+    }
+
+    #[test]
+    fn eval_of_nondet_is_none_not_panic() {
+        let e = Expr::Nondet + Expr::int(1);
+        assert_eq!(e.eval(&|_| 0), None);
+        let p = Pred::new(Expr::Nondet, CmpOp::Eq, Expr::int(0));
+        assert_eq!(p.eval(&|_| 0), None);
+        let b = BoolExpr::tru().and(BoolExpr::atom(p));
+        assert_eq!(b.eval(&|_| 0), None);
+        assert!(b.has_nondet());
+        assert!(!BoolExpr::tru().has_nondet());
     }
 
     #[test]
@@ -526,7 +549,7 @@ mod tests {
     fn expr_subst_replaces_only_target() {
         let e = Expr::var(v(0)) + Expr::var(v(1));
         let s = e.subst(v(0), &Expr::int(7));
-        assert_eq!(s.eval(&|_| 1), 8);
+        assert_eq!(s.eval(&|_| 1), Some(8));
     }
 
     #[test]
@@ -549,8 +572,8 @@ mod tests {
     #[test]
     fn pred_negate_eval() {
         let p = Pred::new(Expr::var(v(0)), CmpOp::Lt, Expr::int(5));
-        assert!(p.eval(&|_| 3));
-        assert!(!p.negate().eval(&|_| 3));
+        assert_eq!(p.eval(&|_| 3), Some(true));
+        assert_eq!(p.negate().eval(&|_| 3), Some(false));
     }
 
     #[test]
@@ -569,7 +592,7 @@ mod tests {
             .and(BoolExpr::lt(Expr::var(v(1)), Expr::int(10)).not());
         // v0 = 1, v1 = 12: (1=1) && !(12<10) = true
         let val = e.eval(&|x| if x == v(0) { 1 } else { 12 });
-        assert!(val);
+        assert_eq!(val, Some(true));
     }
 
     #[test]

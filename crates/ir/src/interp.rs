@@ -148,9 +148,13 @@ impl Interp {
     }
 
     /// All `(thread, edge)` pairs executable from `s`. Edges whose
-    /// assume predicate is false are filtered out; edges whose
-    /// expression contains `nondet()` are always enabled (some value
-    /// works).
+    /// assume predicate is false are filtered out; assignment edges
+    /// whose expression contains `nondet()` are always enabled (some
+    /// value works). A `nondet()` inside an *assume guard* is
+    /// malformed — such programs are rejected by the frontend and by
+    /// [`Interp::malformed`] — and its edge is treated as disabled
+    /// rather than panicking, so exploration of a hand-built malformed
+    /// automaton degrades instead of crashing.
     pub fn enabled(&self, s: &ConcreteState) -> Vec<(ThreadId, EdgeId)> {
         let cfa = self.program.cfa();
         let mut out = Vec::new();
@@ -158,13 +162,7 @@ impl Interp {
             for &e in cfa.out_edges(s.pc(t)) {
                 let edge = cfa.edge(e);
                 let ok = match &edge.op {
-                    Op::Assume(p) => {
-                        assert!(
-                            !p.atoms().iter().any(|a| a.lhs.has_nondet() || a.rhs.has_nondet()),
-                            "nondet in assume is not supported"
-                        );
-                        p.eval(&|v| s.read(cfa, t, v))
-                    }
+                    Op::Assume(p) => p.eval(&|v| s.read(cfa, t, v)).unwrap_or(false),
                     Op::Assign(_, _) => true,
                 };
                 if ok {
@@ -173,6 +171,21 @@ impl Interp {
             }
         }
         out
+    }
+
+    /// A diagnostic if the program is malformed for concrete
+    /// execution: some assume guard contains `nondet()`, which no
+    /// scheduling choice can decide. The frontend never produces such
+    /// automata; drivers over hand-built CFAs call this up front so a
+    /// malformed program surfaces as a message, not a panic.
+    pub fn malformed(&self) -> Option<String> {
+        let cfa = self.program.cfa();
+        cfa.edges().iter().enumerate().find_map(|(ix, edge)| match &edge.op {
+            Op::Assume(p) if p.has_nondet() => {
+                Some(format!("edge e{ix} ({} -> {}): nondet() in assume guard", edge.src, edge.dst))
+            }
+            _ => None,
+        })
     }
 
     /// Executes one enabled move, returning the successor state.
@@ -188,7 +201,10 @@ impl Interp {
         let mut next = s.clone();
         match &edge.op {
             Op::Assume(p) => {
-                assert!(p.eval(&|v| s.read(cfa, t, v)), "assume edge not enabled");
+                // `None` (nondet in the guard) is "not enabled": such an
+                // edge is never handed out by `enabled`, so reaching it
+                // here is a caller contract violation either way.
+                assert!(p.eval(&|v| s.read(cfa, t, v)).unwrap_or(false), "assume edge not enabled");
             }
             Op::Assign(v, e) => {
                 let val = eval_with_nondet(e, &|v| s.read(cfa, t, v), choice.nondet);
@@ -423,5 +439,30 @@ mod tests {
         let (t, e) = interp.enabled(&s)[0];
         let s2 = interp.step(&s, SchedChoice { thread: t, edge: e, nondet: 42 });
         assert_eq!(s2.read(p.cfa(), t, x), 42);
+    }
+
+    #[test]
+    fn nondet_in_assume_degrades_instead_of_panicking() {
+        // A malformed hand-built automaton: the guard cannot be
+        // decided. `enabled` must not panic, and `malformed` names the
+        // offending edge.
+        let mut b = CfaBuilder::new("bad");
+        let _x = b.global("x");
+        let l0 = b.entry();
+        let l1 = b.fresh_loc();
+        b.edge(l0, Op::assume(BoolExpr::eq(Expr::Nondet, Expr::int(0))), l1);
+        let cfa = b.build();
+        let x = cfa.var_by_name("x").unwrap();
+        let p = MtProgram::new(cfa, x);
+        let interp = Interp::new(p, 2);
+        let diag = interp.malformed().expect("must be flagged malformed");
+        assert!(diag.contains("nondet() in assume guard"), "{diag}");
+        assert!(interp.enabled(&interp.initial()).is_empty());
+        assert!(interp.explore_bounded(1_000, &[]).is_none());
+    }
+
+    #[test]
+    fn wellformed_programs_are_not_malformed() {
+        assert!(Interp::new(fig1_program(), 2).malformed().is_none());
     }
 }

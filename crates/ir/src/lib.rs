@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod cfa;
+pub mod digest;
 pub mod dot;
 mod expr;
 pub mod interp;
@@ -47,6 +48,7 @@ mod program;
 pub use cfa::{
     figure1_cfa, AccessKind, Cfa, CfaBuilder, Edge, EdgeId, Loc, Op, Var, VarInfo, VarKind,
 };
+pub use digest::{structural_digest, structural_rendering};
 pub use expr::{BinOp, BoolExpr, CmpOp, Expr, Pred};
 pub use interp::{ConcreteState, Interp, RaceWitness, SchedChoice};
 pub use program::{MtProgram, ThreadId};

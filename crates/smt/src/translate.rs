@@ -173,7 +173,7 @@ mod tests {
         let p = Pred::new(Expr::var(x), CmpOp::Lt, Expr::var(y) + Expr::int(1));
         let a = atom_of_pred(&p, &mut ident).unwrap();
         for (xv, yv) in [(0i64, 0i64), (1, 0), (0, 5), (3, 3)] {
-            let ir_val = p.eval(&|v| if v == x { xv } else { yv });
+            let ir_val = p.eval(&|v| if v == x { xv } else { yv }).unwrap();
             let smt_val = a.eval(&|s| if s == SVar(0) { xv } else { yv });
             assert_eq!(ir_val, smt_val, "disagree at ({xv},{yv})");
         }

@@ -136,6 +136,13 @@ pub struct PipelineStats {
     pub refine_rounds: u64,
     /// Times the counter parameter `k` was incremented.
     pub k_increments: u64,
+    /// Predicates seeded from the persistent predicate store before
+    /// the run started (0 on a cold run or with the store disabled).
+    pub preds_seeded: u64,
+    /// Refinement rounds the store seeding avoided: the recorded
+    /// discovery cost of the seeded predicate set minus the rounds
+    /// this run still had to spend (floored at zero).
+    pub refine_rounds_saved: u64,
     /// Approximate bytes charged against the memory budget (ARG
     /// nodes plus solver formula-cache growth); tracked even when no
     /// ceiling is configured.
@@ -164,6 +171,8 @@ impl PipelineStats {
         self.collapse_iterations += other.collapse_iterations;
         self.refine_rounds += other.refine_rounds;
         self.k_increments += other.k_increments;
+        self.preds_seeded += other.preds_seeded;
+        self.refine_rounds_saved += other.refine_rounds_saved;
         self.mem_charged_bytes += other.mem_charged_bytes;
         self.budget_polls += other.budget_polls;
         self.faults_injected += other.faults_injected;
@@ -185,6 +194,8 @@ impl PipelineStats {
         row("collapse iterations", self.collapse_iterations.to_string());
         row("refine rounds", self.refine_rounds.to_string());
         row("k increments", self.k_increments.to_string());
+        row("preds seeded", self.preds_seeded.to_string());
+        row("refine rounds saved", self.refine_rounds_saved.to_string());
         row("abs entailment queries", self.abs.queries.to_string());
         row(
             "abs cache hits/misses",
@@ -226,6 +237,7 @@ impl PipelineStats {
              \"sim_checks\":{},\"sim_edge_pairs\":{},\
              \"collapse_runs\":{},\"collapse_iterations\":{},\
              \"refine_rounds\":{},\"k_increments\":{},\
+             \"preds_seeded\":{},\"refine_rounds_saved\":{},\
              \"abs_queries\":{},\"abs_cache_hits\":{},\"abs_cache_misses\":{},\
              \"abs_hit_rate\":{},\
              \"solver_queries\":{},\"solver_cache_hits\":{},\
@@ -243,6 +255,8 @@ impl PipelineStats {
             self.collapse_iterations,
             self.refine_rounds,
             self.k_increments,
+            self.preds_seeded,
+            self.refine_rounds_saved,
             self.abs.queries,
             self.abs.cache_hits,
             self.abs.cache_misses,
@@ -413,6 +427,8 @@ mod tests {
         assert!(j.contains("\"mem_charged_bytes\":0"));
         assert!(j.contains("\"budget_polls\":0"));
         assert!(j.contains("\"faults_injected\":0"));
+        assert!(j.contains("\"preds_seeded\":0"));
+        assert!(j.contains("\"refine_rounds_saved\":0"));
     }
 
     #[test]

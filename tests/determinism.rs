@@ -268,6 +268,151 @@ fn journal_replay_is_byte_stable() {
     assert_eq!(rows(&first), rows(&second), "replay changed a row");
 }
 
+/// A journal written under one configuration must never seed a resume
+/// under another: the journal rows carry a config fingerprint, and a
+/// resume with a different `--k` (or `--omega`, budget, …) degrades
+/// every mismatched row to a re-check. The re-checked report must be
+/// indistinguishable from a fresh uninterrupted run under the *new*
+/// configuration — resuming is an optimization, never a way to smuggle
+/// stale verdicts across a config change.
+#[test]
+fn resume_under_different_config_rechecks_every_row() {
+    let inputs = circ_batch::collect_inputs(&examples_dir()).unwrap();
+    assert!(inputs.len() >= 3, "need a corpus big enough to interrupt mid-run");
+    let journal = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join("determinism-config-skew-journal.jsonl");
+    let _ = std::fs::remove_file(&journal);
+
+    // Interrupt a journaled run under the default configuration so the
+    // journal holds rows checked with `initial_k = 1`.
+    let interrupted = circ_batch::run_batch(
+        &inputs,
+        &circ_batch::BatchConfig {
+            journal: Some(journal.clone()),
+            cancel_after: Some(2),
+            jobs: 1,
+            ..circ_batch::BatchConfig::default()
+        },
+    );
+    assert_eq!(interrupted.exit, 3, "a drained run exits as budget-exhausted");
+    assert!(journal.exists(), "the interrupted run must have journaled its completions");
+
+    // Resume under a different configuration: every journaled row's
+    // fingerprint mismatches, so nothing may replay.
+    let skewed = circ_batch::BatchConfig {
+        journal: Some(journal.clone()),
+        resume: true,
+        initial_k: 3,
+        ..circ_batch::BatchConfig::default()
+    };
+    let resumed = circ_batch::run_batch(&inputs, &skewed);
+    assert_eq!(
+        resumed.totals.resumed, 0,
+        "rows journaled under another configuration must never replay"
+    );
+    assert!(
+        resumed.warnings.iter().any(|w| w.contains("different configuration")),
+        "the degradation must be explained in the warnings: {:?}",
+        resumed.warnings
+    );
+
+    // And the re-checked report matches a fresh run under the new
+    // configuration, row for row.
+    let fresh = circ_batch::run_batch(
+        &inputs,
+        &circ_batch::BatchConfig { initial_k: 3, ..circ_batch::BatchConfig::default() },
+    );
+    let essence = |r: &circ_batch::BatchReport| {
+        r.rows
+            .iter()
+            .map(|row| (row.file.clone(), row.verdict, row.detail.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(essence(&fresh), essence(&resumed), "config skew leaked a stale verdict");
+    assert_eq!(fresh.exit, resumed.exit);
+}
+
+/// The predicate store makes warm re-checks cheaper without touching
+/// verdicts, and its counters (`preds_seeded`, `refine_rounds_saved`)
+/// are as jobs-invariant as every other statistic: two warm runs over
+/// identical store snapshots render the same rows and totals at
+/// `--jobs 1` and `--jobs 4`, modulo wall times.
+#[test]
+fn pred_store_seeding_cuts_rounds_and_stays_jobs_invariant() {
+    let inputs = circ_batch::collect_inputs(&examples_dir()).unwrap();
+    let tmp = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let dir_a = tmp.join("determinism-pred-store-a");
+    let dir_b = tmp.join("determinism-pred-store-b");
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+
+    // Cold run populates the caches and the predicate store in `dir_a`.
+    let cfg = |dir: &std::path::Path, jobs: usize| circ_batch::BatchConfig {
+        cache_dir: Some(dir.to_path_buf()),
+        jobs,
+        ..circ_batch::BatchConfig::default()
+    };
+    let cold = circ_batch::run_batch(&inputs, &cfg(&dir_a, 1));
+    assert_eq!(cold.totals.pipeline.preds_seeded, 0, "nothing to seed from on a cold start");
+    assert_eq!(cold.totals.pipeline.refine_rounds_saved, 0);
+    let saved = cold.cache.as_ref().expect("cache dir was set").preds_saved;
+    assert!(saved > 0, "the cold run must record what it discovered");
+
+    // Snapshot the cache directory so both warm runs seed from the
+    // *same* store bytes (a warm run re-saves the store, so running
+    // twice against one directory would compare different snapshots).
+    std::fs::create_dir_all(&dir_b).unwrap();
+    for entry in std::fs::read_dir(&dir_a).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dir_b.join(entry.file_name())).unwrap();
+    }
+
+    let warm_seq = circ_batch::run_batch(&inputs, &cfg(&dir_a, 1));
+    let warm_par = circ_batch::run_batch(&inputs, &cfg(&dir_b, 4));
+
+    // Seeding engaged and paid off.
+    assert!(warm_seq.totals.pipeline.preds_seeded > 0, "store did not seed");
+    assert!(
+        warm_seq.totals.pipeline.refine_rounds < cold.totals.pipeline.refine_rounds,
+        "seeding must cut refinement rounds (warm {} vs cold {})",
+        warm_seq.totals.pipeline.refine_rounds,
+        cold.totals.pipeline.refine_rounds
+    );
+
+    // ... without touching any verdict.
+    let essence = |r: &circ_batch::BatchReport| {
+        r.rows
+            .iter()
+            .map(|row| (row.file.clone(), row.verdict, row.detail.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(essence(&cold), essence(&warm_seq), "seeding changed a verdict");
+    assert_eq!(cold.exit, warm_seq.exit);
+
+    // Jobs-invariance: identical snapshot in, identical rows and
+    // counters out (the cache summary differs only in its `dir` path,
+    // so compare rows and totals rather than the whole report).
+    let rows = |r: &circ_batch::BatchReport| {
+        r.rows.iter().map(|row| strip_times(&circ_batch::render_row_json(row))).collect::<Vec<_>>()
+    };
+    assert_eq!(rows(&warm_seq), rows(&warm_par), "jobs=4 changed a warm row");
+    let totals = |r: &circ_batch::BatchReport| {
+        let mut p = r.totals.pipeline.clone();
+        p.phases = Default::default();
+        p
+    };
+    assert_eq!(
+        totals(&warm_seq),
+        totals(&warm_par),
+        "jobs=4 changed the seeded-run statistics counters"
+    );
+    assert_eq!(warm_seq.totals.pipeline.preds_seeded, warm_par.totals.pipeline.preds_seeded);
+    assert_eq!(
+        warm_seq.totals.pipeline.refine_rounds_saved,
+        warm_par.totals.pipeline.refine_rounds_saved
+    );
+}
+
 #[test]
 fn warm_batch_matches_cold_verdicts_with_fewer_misses() {
     let inputs = circ_batch::collect_inputs(&examples_dir()).unwrap();
