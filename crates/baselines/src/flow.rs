@@ -41,11 +41,18 @@ impl FlowReport {
 }
 
 /// Is this edge "inside" an atomic section for protection purposes?
-/// An access is protected when the edge starts at an atomic location
-/// or enters one (the first operation of an `atomic` block executes
-/// while the thread is still at the non-atomic entry).
+/// Decided against the concrete semantics (`Interp::race`, §4.1): the
+/// race condition is evaluated at thread *locations*, and a thread
+/// about to execute `e` sits at `e.src` — so only an atomic source
+/// protects the access. An edge *entering* an atomic section executes
+/// while the thread is still at its non-atomic source, where a second
+/// thread can hold a conflicting pending access (the frontend lowers
+/// `atomic { … }` with a dedicated skip edge so every body access
+/// starts atomic, but hand-built CFAs do place accesses on entering
+/// edges — `figure1_cfa`'s `old := state`). Counting `e.dst` here
+/// would under-report, which is unsound for a safety pre-filter.
 fn edge_atomic(cfa: &Cfa, e: &Edge) -> bool {
-    cfa.is_atomic(e.src) || cfa.is_atomic(e.dst)
+    cfa.is_atomic(e.src)
 }
 
 /// Runs the flow-based analysis on a thread template. A global is
@@ -128,6 +135,26 @@ mod tests {
         b.edge(b.entry(), Op::assign(l, Expr::var(l) + Expr::int(1)), l1);
         let cfa = b.build();
         assert!(flow_check(&cfa).findings.is_empty());
+    }
+
+    #[test]
+    fn entering_edge_access_is_not_protected() {
+        // A write on the edge *entering* an atomic section executes
+        // while the thread still sits at the non-atomic source
+        // location (`Interp::race` judges protection at pcs), so two
+        // threads can both hold the pending write there — a real race
+        // the checker must flag to stay sound-for-safety.
+        let mut b = CfaBuilder::new("enter");
+        let g = b.global("g");
+        let l1 = b.fresh_loc();
+        let l2 = b.fresh_loc();
+        b.edge(b.entry(), Op::skip(), l1);
+        b.edge(l1, Op::assign(g, Expr::var(g) + Expr::int(1)), l2);
+        b.mark_atomic(l2);
+        b.edge(l2, Op::skip(), b.entry());
+        let cfa = b.build();
+        let g = cfa.var_by_name("g").unwrap();
+        assert!(flow_check(&cfa).flags(g), "entering-edge write must be flagged");
     }
 
     #[test]

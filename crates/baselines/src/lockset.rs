@@ -73,19 +73,24 @@ pub fn eraser(
     let mut states: BTreeMap<Var, VarState> = BTreeMap::new();
 
     for run_ix in 0..runs {
-        report.runs += 1;
         let run = random_run(program, n_threads, max_steps, seed_base + run_ix);
         if let Some(diag) = run.diagnostic {
+            // A malformed program executed zero monitored steps: record
+            // the diagnostic without counting the aborted schedule.
             report.diagnostic = Some(diag);
             break;
         }
+        report.runs += 1;
         for &(t, eid, _) in &run.steps {
             let edge = cfa.edge(eid);
-            let held: BTreeSet<u32> = if cfa.is_atomic(edge.src) || cfa.is_atomic(edge.dst) {
-                [ATOMIC_LOCK].into()
-            } else {
-                BTreeSet::new()
-            };
+            // The atomic "lock" is held for an access iff the edge
+            // *starts* at an atomic location: the concrete semantics
+            // (`Interp::race`) judges protection at the source pc, so
+            // an access on an edge entering an atomic section still
+            // executes unprotected. Crediting the destination would
+            // under-report — unsound for a pre-filter.
+            let held: BTreeSet<u32> =
+                if cfa.is_atomic(edge.src) { [ATOMIC_LOCK].into() } else { BTreeSet::new() };
             let mut accesses: Vec<(Var, bool)> = Vec::new();
             for r in edge.op.reads() {
                 if cfa.is_global(r) {
@@ -170,6 +175,46 @@ mod tests {
         let report = eraser(&p, 3, 400, 10, 3);
         assert!(!report.flags(g), "consistently atomic accesses stay clean");
         assert!(matches!(report.states.get(&g), Some(VarState::SharedModified)));
+    }
+
+    #[test]
+    fn entering_edge_access_runs_unprotected() {
+        // The only write to g sits on the edge entering the atomic
+        // section; per the concrete semantics it executes while the
+        // thread is still at the non-atomic source, so Eraser must see
+        // an empty held set there and flag g once it is shared.
+        let mut b = CfaBuilder::new("enter");
+        let g = b.global("g");
+        let l1 = b.fresh_loc();
+        let l2 = b.fresh_loc();
+        b.edge(b.entry(), Op::skip(), l1);
+        b.edge(l1, Op::assign(g, Expr::var(g) + Expr::int(1)), l2);
+        b.mark_atomic(l2);
+        b.edge(l2, Op::skip(), b.entry());
+        let cfa = b.build();
+        let g = cfa.var_by_name("g").unwrap();
+        let p = MtProgram::new(cfa, g);
+        let report = eraser(&p, 3, 400, 10, 5);
+        assert!(report.flags(g), "unprotected entering-edge write must be flagged");
+    }
+
+    #[test]
+    fn malformed_program_counts_zero_runs() {
+        use circ_ir::{BoolExpr, Expr as E};
+        // nondet() in an assume guard makes the program unexecutable:
+        // the diagnostic must be surfaced without counting a schedule
+        // that monitored zero steps.
+        let mut b = CfaBuilder::new("bad");
+        let x = b.global("x");
+        let l1 = b.fresh_loc();
+        b.edge(b.entry(), Op::assume(BoolExpr::eq(E::Nondet, E::var(x))), l1);
+        let cfa = b.build();
+        let x = cfa.var_by_name("x").unwrap();
+        let p = MtProgram::new(cfa, x);
+        let report = eraser(&p, 2, 100, 5, 0);
+        assert!(report.diagnostic.is_some());
+        assert_eq!(report.runs, 0, "an aborted schedule was never monitored");
+        assert_eq!(report.accesses, 0);
     }
 
     #[test]

@@ -5,12 +5,15 @@ use circ_ir::{ConcreteState, EdgeId, Interp, MtProgram, SchedChoice, ThreadId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// One executed step plus whether the pre-state exhibited a race.
+/// One executed schedule plus which visited states exhibited a race.
 #[derive(Debug, Clone)]
 pub struct RunRecord {
     /// The executed schedule.
     pub steps: Vec<(ThreadId, EdgeId, i64)>,
-    /// States where the §4.1 race condition held (step index).
+    /// States where the §4.1 race condition held. Position `p` is the
+    /// state after `p` executed steps: `0` is the initial state and
+    /// `steps.len()` the final one — every visited state is checked
+    /// exactly once, including the state after the last step.
     pub race_positions: Vec<usize>,
     /// The final state.
     pub final_state: ConcreteState,
@@ -38,9 +41,15 @@ pub fn random_run(program: &MtProgram, n_threads: usize, max_steps: usize, seed:
     let mut s = interp.initial();
     let mut steps = Vec::new();
     let mut race_positions = Vec::new();
-    for pos in 0..max_steps {
+    loop {
+        // Check before deciding whether to stop, so the state reached
+        // by the final step (budget exhausted or deadlock) is covered
+        // too — a race first reachable there must not be dropped.
         if interp.race(&s).is_some() {
-            race_positions.push(pos);
+            race_positions.push(steps.len());
+        }
+        if steps.len() >= max_steps {
+            break;
         }
         let enabled = interp.enabled(&s);
         if enabled.is_empty() {
@@ -86,6 +95,29 @@ mod tests {
         assert!(run.steps.is_empty());
         let diag = run.diagnostic.expect("malformed program must be diagnosed");
         assert!(diag.contains("nondet() in assume guard"), "{diag}");
+    }
+
+    #[test]
+    fn race_in_final_state_is_reported() {
+        use circ_ir::{CfaBuilder, Expr, Op};
+        // g is written only from l1; with max_steps = 2 the one racy
+        // state (both threads at l1, writes pending) is the state
+        // *after* the last executed step. A loop that only tests
+        // pre-step states silently drops it.
+        let mut b = CfaBuilder::new("tail");
+        let g = b.global("g");
+        let l1 = b.fresh_loc();
+        let l2 = b.fresh_loc();
+        b.edge(b.entry(), Op::skip(), l1);
+        b.edge(l1, Op::assign(g, Expr::int(1)), l2);
+        let cfa = b.build();
+        let g = cfa.var_by_name("g").unwrap();
+        let p = MtProgram::new(cfa, g);
+        let hit = (0..64).any(|seed| {
+            let run = random_run(&p, 2, 2, seed);
+            run.steps.len() == 2 && run.race_positions == vec![2]
+        });
+        assert!(hit, "some 2-step schedule must end in the race state and report it");
     }
 
     #[test]

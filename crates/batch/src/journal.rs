@@ -32,9 +32,10 @@ use std::time::Duration;
 /// incompatible change so old journals degrade to re-checks instead of
 /// misparsing.
 pub const JOURNAL_TAG: &str = "circ-batch";
-/// Current journal line format version. v2 added the `config`
-/// fingerprint field; v1 lines (no fingerprint) degrade to re-checks.
-pub const JOURNAL_VERSION: u64 = 2;
+/// Current journal line format version. v3 added the `stage`
+/// attribution field and the triage pipeline counters; v2 added the
+/// `config` fingerprint field. Older lines degrade to re-checks.
+pub const JOURNAL_VERSION: u64 = 3;
 
 /// Content digest of a file's bytes (FNV-1a 64, shared with the cache
 /// snapshot checksums).
@@ -53,12 +54,13 @@ pub fn config_fingerprint(
     use_cache: bool,
     timeout: Option<Duration>,
     mem_limit_bytes: Option<u64>,
+    triage: bool,
 ) -> u64 {
     let timeout_ms = timeout.map(|t| t.as_millis().to_string()).unwrap_or_else(|| "-".into());
     let mem = mem_limit_bytes.map(|m| m.to_string()).unwrap_or_else(|| "-".into());
     let text = format!(
         "batch-config omega={omega} k={initial_k} cache={use_cache} \
-         timeout_ms={timeout_ms} mem_bytes={mem}"
+         timeout_ms={timeout_ms} mem_bytes={mem} triage={triage}"
     );
     circ_smt::persist::fnv1a64(text.as_bytes())
 }
@@ -83,11 +85,12 @@ pub fn render_line(row: &FileRow, digest: u64, config: u64) -> String {
     format!(
         "{{\"journal\":\"{JOURNAL_TAG}\",\"v\":{JOURNAL_VERSION},\"digest\":\"{digest:016x}\",\
          \"config\":\"{config:016x}\",\
-         \"file\":\"{}\",\"verdict\":\"{}\",\"detail\":\"{}\",\"retries\":{},\
+         \"file\":\"{}\",\"verdict\":\"{}\",\"detail\":\"{}\",\"stage\":\"{}\",\"retries\":{},\
          \"time_s\":{:.6},\"pipeline\":{}}}\n",
         crate::json_escape(&row.file),
         row.verdict.name(),
         crate::json_escape(&row.detail),
+        crate::json_escape(&row.stage),
         row.retries,
         row.time_s,
         row.pipeline.to_json(),
@@ -130,6 +133,7 @@ pub fn parse_line(line: &str) -> Result<JournalEntry, String> {
             file: str_field("file")?.to_string(),
             verdict,
             detail: str_field("detail")?.to_string(),
+            stage: str_field("stage")?.to_string(),
             time_s,
             pipeline,
             retries: u64_field("retries")?,
@@ -179,6 +183,9 @@ pub fn pipeline_from_json(v: &Value) -> Result<PipelineStats, String> {
         mem_charged_bytes: u("mem_charged_bytes")?,
         budget_polls: u("budget_polls")?,
         faults_injected: u("faults_injected")?,
+        triage_stage0_decided: u("triage_stage0_decided")?,
+        triage_stage1_decided: u("triage_stage1_decided")?,
+        triage_fallthrough: u("triage_fallthrough")?,
         phases: PhaseTimes {
             reach: d("time_reach_s")?,
             sim: d("time_sim_s")?,
@@ -294,6 +301,7 @@ mod tests {
             file: "dir/a \"quoted\".nesl".into(),
             verdict: Verdict::Race,
             detail: "race on x: 2 threads, 7 steps".into(),
+            stage: "sched+circ".into(),
             time_s: 0.037125,
             pipeline: PipelineStats {
                 outer_rounds: 3,
@@ -330,6 +338,7 @@ mod tests {
         assert_eq!(entry.row.file, row.file);
         assert_eq!(entry.row.verdict, row.verdict);
         assert_eq!(entry.row.detail, row.detail);
+        assert_eq!(entry.row.stage, "sched+circ");
         assert_eq!(entry.row.retries, 2);
         assert_eq!(entry.row.pipeline, row.pipeline, "counters must round-trip exactly");
         // Render-of-parse is byte-identical: the property the resumed
@@ -402,22 +411,27 @@ mod tests {
 
     #[test]
     fn config_fingerprint_separates_knobs() {
-        let base = config_fingerprint(false, 1, true, None, None);
-        assert_eq!(base, config_fingerprint(false, 1, true, None, None), "deterministic");
-        assert_ne!(base, config_fingerprint(true, 1, true, None, None), "omega");
-        assert_ne!(base, config_fingerprint(false, 2, true, None, None), "initial k");
-        assert_ne!(base, config_fingerprint(false, 1, false, None, None), "cache policy");
+        let base = config_fingerprint(false, 1, true, None, None, false);
+        assert_eq!(base, config_fingerprint(false, 1, true, None, None, false), "deterministic");
+        assert_ne!(base, config_fingerprint(true, 1, true, None, None, false), "omega");
+        assert_ne!(base, config_fingerprint(false, 2, true, None, None, false), "initial k");
+        assert_ne!(base, config_fingerprint(false, 1, false, None, None, false), "cache policy");
         assert_ne!(
             base,
-            config_fingerprint(false, 1, true, Some(Duration::from_secs(5)), None),
+            config_fingerprint(false, 1, true, Some(Duration::from_secs(5)), None, false),
             "timeout"
         );
-        assert_ne!(base, config_fingerprint(false, 1, true, None, Some(1 << 20)), "mem limit");
+        assert_ne!(
+            base,
+            config_fingerprint(false, 1, true, None, Some(1 << 20), false),
+            "mem limit"
+        );
+        assert_ne!(base, config_fingerprint(false, 1, true, None, None, true), "triage");
     }
 
     #[test]
     fn version_skew_is_rejected_not_misread() {
-        let line = render_line(&sample_row(), 7, CFG).replace("\"v\":2", "\"v\":3");
+        let line = render_line(&sample_row(), 7, CFG).replace("\"v\":3", "\"v\":4");
         let err = parse_line(line.trim_end()).unwrap_err();
         assert!(err.contains("version"), "{err}");
     }

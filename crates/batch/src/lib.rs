@@ -80,6 +80,7 @@ use circ_ir::{structural_digest, MtProgram};
 use circ_par::Pool;
 use circ_smt::{Formula, SatResult};
 use circ_stats::{BatchTotals, PipelineStats};
+use circ_triage::{TriageConfig, TriageDecision};
 use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -151,6 +152,13 @@ pub struct BatchConfig {
     /// Reseeded per file and per attempt from the content digest, so
     /// injection is independent of scheduling.
     pub faults: FaultPlan,
+    /// Run the tiered triage pipeline in front of the engine: a race
+    /// variable the sound flow pre-filter clears is Safe without a
+    /// CIRC run, one a bounded random schedule convicts (with a
+    /// replay-validated witness) is a race without a CIRC run, and
+    /// only the residue reaches the full engine. Off by default
+    /// (`--triage` enables it); verdicts are identical either way.
+    pub triage: bool,
 }
 
 impl Default for BatchConfig {
@@ -172,6 +180,7 @@ impl Default for BatchConfig {
             cancel: CancelToken::new(),
             cancel_after: None,
             faults: FaultPlan::inert(),
+            triage: false,
         }
     }
 }
@@ -260,6 +269,12 @@ pub struct FileRow {
     /// Human detail: the racy variable and schedule size, the
     /// give-up reason, or the compile error.
     pub detail: String,
+    /// Stage attribution: which pipeline stage decided each race
+    /// variable, `+`-joined in variable order (`flow` = triage
+    /// stage 0, `sched` = triage stage 1, `circ` = the full engine).
+    /// `-` for rows that never reached a checker (compile errors,
+    /// drained rows).
+    pub stage: String,
     /// Wall clock for the whole file including retries (stripped by
     /// the determinism comparison; every wall-time key starts with
     /// `time`). Replayed rows keep the journaled value.
@@ -284,6 +299,7 @@ impl FileRow {
             file,
             verdict,
             detail,
+            stage: "-".to_string(),
             time_s: 0.0,
             pipeline: PipelineStats::default(),
             retries: 0,
@@ -361,11 +377,12 @@ pub(crate) fn json_escape(s: &str) -> String {
 /// cold one it reproduces.
 pub fn render_row_json(row: &FileRow) -> String {
     format!(
-        "{{\"file\":\"{}\",\"verdict\":\"{}\",\"detail\":\"{}\",\"exit\":{},\
+        "{{\"file\":\"{}\",\"verdict\":\"{}\",\"detail\":\"{}\",\"stage\":\"{}\",\"exit\":{},\
          \"time_s\":{:.6},\"pipeline\":{}}}",
         json_escape(&row.file),
         row.verdict.name(),
         json_escape(&row.detail),
+        json_escape(&row.stage),
         row.verdict.exit_code(),
         row.time_s,
         row.pipeline.to_json(),
@@ -391,6 +408,7 @@ pub fn parse_row_json(line: &str) -> Result<FileRow, String> {
     let pipeline = journal::pipeline_from_json(v.get("pipeline").ok_or("missing `pipeline`")?)?;
     let mut row =
         FileRow::new(str_field("file")?.to_string(), verdict, str_field("detail")?.to_string());
+    row.stage = str_field("stage")?.to_string();
     row.time_s = time_s;
     row.pipeline = pipeline;
     Ok(row)
@@ -443,9 +461,10 @@ impl BatchReport {
         let mut s = String::new();
         for row in &self.rows {
             s.push_str(&format!(
-                "{:<width$}  {:<16}  {:>8.2}s  {}\n",
+                "{:<width$}  {:<16}  {:<10}  {:>8.2}s  {}\n",
                 row.file,
                 row.verdict.name().to_uppercase(),
+                row.stage,
                 row.time_s,
                 row.detail,
             ));
@@ -694,9 +713,43 @@ fn check_file(
     let mut detail = String::new();
     let mut pipeline = PipelineStats::default();
     let mut cancelled = false;
+    let mut stages: Vec<&'static str> = Vec::with_capacity(n_vars);
     for &var in &compiled.race_vars {
         let program = MtProgram::new(compiled.cfa.clone(), var);
         let vname = compiled.cfa.var_name(var).to_string();
+        if config.triage {
+            // Cheap stages first: each can decide in one direction
+            // only (stage 0 Safe, stage 1 Unsafe), so a decided
+            // variable gets the same verdict the engine would have
+            // produced — minus the engine run.
+            match circ_triage::triage(&program, &TriageConfig::default()) {
+                TriageDecision::Stage0Safe => {
+                    pipeline.triage_stage0_decided += 1;
+                    stages.push("flow");
+                    continue; // verdict stays at the Safe floor
+                }
+                TriageDecision::Stage1Race(w) => {
+                    pipeline.triage_stage1_decided += 1;
+                    stages.push("sched");
+                    let d = format!(
+                        "race on {vname}: {} threads, {} steps",
+                        w.n_threads,
+                        w.steps.len()
+                    );
+                    if Verdict::Race.rank() > verdict.rank() {
+                        verdict = Verdict::Race;
+                        detail = d;
+                    }
+                    continue;
+                }
+                TriageDecision::Fallthrough => {
+                    pipeline.triage_fallthrough += 1;
+                    stages.push("circ");
+                }
+            }
+        } else {
+            stages.push("circ");
+        }
         let config_fp = pred_store::config_fingerprint(
             cfg.initial_k,
             cfg.omega_mode,
@@ -759,6 +812,7 @@ fn check_file(
         detail = format!("{n_vars} race variable(s) race-free");
     }
     let mut r = row(verdict, detail, pipeline, start);
+    r.stage = stages.join("+");
     r.cancelled = cancelled;
     (r, cache, learned)
 }
@@ -998,6 +1052,9 @@ impl Supervisor<'_> {
         if !self.config.pred_store {
             cmd.arg("--no-pred-store");
         }
+        if self.config.triage {
+            cmd.arg("--triage");
+        }
         if let Some(t) = attempt_timeout {
             cmd.arg("--timeout-millis").arg(t.as_millis().to_string());
         }
@@ -1111,6 +1168,7 @@ pub fn run_batch(inputs: &[PathBuf], config: &BatchConfig) -> BatchReport {
         config.use_cache,
         config.timeout,
         config.mem_limit_bytes,
+        config.triage,
     );
     let mut replayed = std::collections::HashMap::new();
     if config.resume {

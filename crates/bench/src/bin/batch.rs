@@ -21,6 +21,14 @@
 //! verdict-essence equality check) is appended to `BENCH_table1.json`.
 //! The process exits 1 if seeding did not strictly reduce total
 //! refinement rounds or changed any row's verdict essence.
+//!
+//! Finally, a fourth run repeats the cold configuration with
+//! `--triage`: the cheap stages must decide some variables (strictly
+//! fewer CIRC invocations than the one-per-race-variable full run)
+//! while every row's verdict stays identical. The differential is
+//! appended as a `{"bench":"triage",...}` row to `BENCH_table1.json`,
+//! and the process exits 1 if triage changed a verdict or failed to
+//! absorb any engine runs.
 
 use circ_batch::{collect_inputs, run_batch, BatchConfig, BatchReport};
 use std::io::Write as _;
@@ -172,6 +180,63 @@ fn main() {
     if warm_refine >= cold_refine {
         eprintln!(
             "FAIL: warm run refined {warm_refine} rounds, cold {cold_refine} — store not seeding"
+        );
+        std::process::exit(1);
+    }
+
+    // ---- triage differential ------------------------------------------
+    // Re-run the cold configuration (fresh caches) with the tiered
+    // triage pipeline in front of the engine. The stage counters
+    // partition the corpus's race variables, so the full run's CIRC
+    // invocation count is their sum and the triaged run's is the
+    // fallthrough count alone.
+    let triage_dir = std::env::temp_dir().join(format!("circ-bench-triage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&triage_dir);
+    let triage_cfg = BatchConfig {
+        jobs,
+        cache_dir: Some(triage_dir.clone()),
+        triage: true,
+        ..BatchConfig::default()
+    };
+    let t3 = Instant::now();
+    let triaged = run_batch(&inputs, &triage_cfg);
+    let triage_time = t3.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&triage_dir);
+    for w in &triaged.warnings {
+        eprintln!("warning: {w}");
+    }
+
+    let stage0 = triaged.totals.pipeline.triage_stage0_decided;
+    let stage1 = triaged.totals.pipeline.triage_stage1_decided;
+    let fallthrough = triaged.totals.pipeline.triage_fallthrough;
+    let race_vars = stage0 + stage1 + fallthrough;
+    let verdicts_match = verdicts(&cold) == verdicts(&triaged);
+    let triage_line = format!(
+        "{{\"bench\":\"triage\",\"files\":{},\"jobs\":{jobs},\
+         \"full_time_s\":{cold_time:.4},\"triage_time_s\":{triage_time:.4},\
+         \"race_vars\":{race_vars},\"full_circ_invocations\":{race_vars},\
+         \"triage_circ_invocations\":{fallthrough},\
+         \"stage0_decided\":{stage0},\"stage1_decided\":{stage1},\
+         \"fallthrough\":{fallthrough},\"verdicts_match\":{verdicts_match}}}",
+        inputs.len(),
+    );
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(table1_path)
+        .expect("open BENCH_table1.json");
+    writeln!(f, "{triage_line}").expect("append BENCH_table1.json");
+    println!("{triage_line}");
+    println!("appended to {table1_path}");
+
+    if !verdicts_match {
+        eprintln!("FAIL: triage changed a verdict");
+        std::process::exit(1);
+    }
+    if fallthrough >= race_vars {
+        eprintln!(
+            "FAIL: triage fell through on all {race_vars} race variables — \
+             the cheap stages decided nothing"
         );
         std::process::exit(1);
     }

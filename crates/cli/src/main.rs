@@ -70,11 +70,11 @@ fn print_help() {
          \x20                        [--trace] [--stats] [--json] [--no-cache] [--row-json]\n\
          \x20                        [--timeout-secs N | --timeout-millis N]\n\
          \x20                        [--mem-limit-mb N | --mem-limit-bytes N] [--cache-dir DIR]\n\
-         \x20                        [--pred-store | --no-pred-store]\n\
+         \x20                        [--pred-store | --no-pred-store] [--triage | --no-triage]\n\
          \x20 circ batch <dir|manifest.json|file.nesl> [--mode circ|omega] [--k N] [--jobs N]\n\
          \x20                        [--json] [--no-cache] [--timeout-secs N]\n\
          \x20                        [--mem-limit-mb N] [--cache-dir DIR]\n\
-         \x20                        [--pred-store | --no-pred-store]\n\
+         \x20                        [--pred-store | --no-pred-store] [--triage | --no-triage]\n\
          \x20                        [--journal FILE] [--resume] [--isolate] [--retries N]\n\
          \x20 circ compile <file.nesl> [--dot]\n\
          \x20 circ baselines <file.nesl>\n\n\
@@ -108,6 +108,16 @@ fn print_help() {
          disables it, `--pred-store` asserts it (usage error without\n\
          `--cache-dir`). `--stats` reports `preds seeded` and\n\
          `refine rounds saved`.\n\n\
+         Tiered triage: `--triage` runs two cheap stages before the engine.\n\
+         Stage 0 (flow) certifies a race variable SAFE when the sound static\n\
+         flow check draws zero findings for it; stage 1 (sched) certifies\n\
+         RACE when a bounded, seeded random schedule reaches a race state —\n\
+         the concrete trace is replay-validated before it is trusted.\n\
+         Everything else falls through to full CIRC, so verdicts are\n\
+         identical with or without `--triage`; only the number of engine\n\
+         runs changes. Batch rows carry a `stage` attribution column\n\
+         (flow/sched/circ) and the stats gain `triage_*` counters.\n\
+         `--no-triage` forces every variable to stage 2 (the default).\n\n\
          Crash safety (batch): `--journal FILE` appends every completed row to\n\
          a JSONL journal keyed by a digest of the input bytes; `--resume`\n\
          replays journaled rows for unchanged inputs and re-checks the rest\n\
@@ -153,6 +163,10 @@ struct Parsed {
     /// cache dir), `--no-pred-store` forces off, unset follows the
     /// default (on whenever `--cache-dir` is set).
     pred_store: Option<bool>,
+    /// Tri-state: `--triage` runs the cheap-stage pipeline in front
+    /// of the engine, `--no-triage` forces every variable straight to
+    /// stage 2 (full CIRC), unset follows the default (off).
+    triage: Option<bool>,
     row_json: bool,
     journal: Option<PathBuf>,
     resume: bool,
@@ -195,6 +209,7 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
         mem_limit_bytes: None,
         cache_dir: None,
         pred_store: None,
+        triage: None,
         row_json: false,
         journal: None,
         resume: false,
@@ -280,6 +295,18 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
                 }
                 parsed.pred_store = Some(false);
             }
+            "--triage" => {
+                if parsed.triage == Some(false) {
+                    return Err("--triage and --no-triage are contradictory".into());
+                }
+                parsed.triage = Some(true);
+            }
+            "--no-triage" => {
+                if parsed.triage == Some(true) {
+                    return Err("--triage and --no-triage are contradictory".into());
+                }
+                parsed.triage = Some(false);
+            }
             "--asserts" => parsed.asserts = true,
             "--print-acfa" => parsed.print_acfa = true,
             "--trace" => parsed.trace = true,
@@ -304,6 +331,11 @@ fn parse_flags(args: &[String]) -> Result<Parsed, String> {
     }
     if parsed.pred_store == Some(true) && parsed.cache_dir.is_none() {
         return Err("--pred-store needs --cache-dir DIR (the store lives there)".into());
+    }
+    if parsed.triage == Some(true) && parsed.asserts {
+        return Err("--triage and --asserts are contradictory (the cheap stages decide the race \
+             property only)"
+            .into());
     }
     if parsed.timeout_secs.is_some() && parsed.timeout_millis.is_some() {
         return Err(
@@ -372,6 +404,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
             mem_limit_bytes: parsed.mem_limit(),
             cache_dir: parsed.cache_dir.clone(),
             pred_store: parsed.pred_store.unwrap_or(true),
+            triage: parsed.triage.unwrap_or(false),
             ..circ_batch::BatchConfig::default()
         };
         let (row, warnings) = circ_batch::check_single(Path::new(&parsed.source_path), &cfg);
@@ -443,6 +476,36 @@ fn cmd_check(args: &[String]) -> ExitCode {
     for &var in &vars {
         let program = MtProgram::new(compiled.cfa.clone(), var);
         let vname = compiled.cfa.var_name(var).to_string();
+        if parsed.triage.unwrap_or(false) {
+            match circ_triage::triage(&program, &circ_triage::TriageConfig::default()) {
+                circ_triage::TriageDecision::Stage0Safe => {
+                    println!(
+                        "{vname}: SAFE — race-free for any number of threads \
+                         (triage stage 0: every access is atomic)"
+                    );
+                    continue;
+                }
+                circ_triage::TriageDecision::Stage1Race(w) => {
+                    println!(
+                        "{vname}: RACE — {} threads, {} steps \
+                         (triage stage 1: random schedule, replay validated)",
+                        w.n_threads,
+                        w.steps.len()
+                    );
+                    for (i, (tid, eid, _)) in w.steps.iter().enumerate() {
+                        let op = named(&compiled.cfa, format!("{}", compiled.cfa.edge(*eid).op));
+                        println!("  {i:>3}. T{tid}  {op}");
+                    }
+                    worst = 1;
+                    continue;
+                }
+                circ_triage::TriageDecision::Fallthrough => {
+                    if parsed.trace {
+                        eprintln!("[{vname}] triage: undecided, running full CIRC");
+                    }
+                }
+            }
+        }
         let property_tag =
             if parsed.asserts { "asserts".to_string() } else { format!("race v{}", var.index()) };
         let config_fp = pred_store::config_fingerprint(
@@ -601,6 +664,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         mem_limit_bytes: parsed.mem_limit(),
         cache_dir: parsed.cache_dir.clone(),
         pred_store: parsed.pred_store.unwrap_or(true),
+        triage: parsed.triage.unwrap_or(false),
         journal: parsed.journal.clone(),
         resume: parsed.resume,
         isolate: parsed.isolate,
@@ -785,6 +849,20 @@ mod tests {
         assert!(flags(&["m.nesl", "--no-pred-store"]).is_ok());
         assert!(flags(&["m.nesl", "--cache-dir", "d", "--pred-store", "--no-pred-store"]).is_err());
         assert!(flags(&["m.nesl", "--cache-dir", "d", "--no-pred-store", "--pred-store"]).is_err());
+    }
+
+    #[test]
+    fn triage_flags_parse_and_conflict() {
+        // Default: unset (resolved to "off" downstream).
+        assert_eq!(flags(&["m.nesl"]).unwrap().triage, None);
+        assert_eq!(flags(&["m.nesl", "--triage"]).unwrap().triage, Some(true));
+        assert_eq!(flags(&["m.nesl", "--no-triage"]).unwrap().triage, Some(false));
+        assert!(flags(&["m.nesl", "--triage", "--no-triage"]).is_err());
+        assert!(flags(&["m.nesl", "--no-triage", "--triage"]).is_err());
+        // The cheap stages decide the race property only.
+        let err = flags(&["m.nesl", "--triage", "--asserts"]).unwrap_err();
+        assert!(err.contains("--asserts"), "unhelpful message: {err}");
+        assert!(flags(&["m.nesl", "--no-triage", "--asserts"]).is_ok());
     }
 
     #[test]

@@ -152,6 +152,17 @@ pub struct PipelineStats {
     /// Faults fired by the injection harness (always 0 outside
     /// `inject` builds).
     pub faults_injected: u64,
+    /// Race variables the triage pipeline certified Safe at stage 0
+    /// (flow check drew zero findings; no CIRC run happened).
+    pub triage_stage0_decided: u64,
+    /// Race variables the triage pipeline certified Unsafe at stage 1
+    /// (a bounded random schedule produced a replayable race witness;
+    /// no CIRC run happened).
+    pub triage_stage1_decided: u64,
+    /// Race variables neither cheap stage could decide, handed to the
+    /// full CIRC engine. With triage off every variable counts here
+    /// as 0 (the counters only move under `--triage`).
+    pub triage_fallthrough: u64,
     /// Per-phase wall-clock spans.
     pub phases: PhaseTimes,
 }
@@ -176,6 +187,9 @@ impl PipelineStats {
         self.mem_charged_bytes += other.mem_charged_bytes;
         self.budget_polls += other.budget_polls;
         self.faults_injected += other.faults_injected;
+        self.triage_stage0_decided += other.triage_stage0_decided;
+        self.triage_stage1_decided += other.triage_stage1_decided;
+        self.triage_fallthrough += other.triage_fallthrough;
         self.phases.add(&other.phases);
     }
 
@@ -220,6 +234,9 @@ impl PipelineStats {
         row("mem charged (bytes)", self.mem_charged_bytes.to_string());
         row("budget polls", self.budget_polls.to_string());
         row("faults injected", self.faults_injected.to_string());
+        row("triage stage-0 decided", self.triage_stage0_decided.to_string());
+        row("triage stage-1 decided", self.triage_stage1_decided.to_string());
+        row("triage fallthrough", self.triage_fallthrough.to_string());
         row("time: reach", format!("{:.2?}", self.phases.reach));
         row("time: sim", format!("{:.2?}", self.phases.sim));
         row("time: collapse", format!("{:.2?}", self.phases.collapse));
@@ -244,6 +261,8 @@ impl PipelineStats {
              \"solver_cache_misses\":{},\"solver_hit_rate\":{},\
              \"theory_rounds\":{},\
              \"mem_charged_bytes\":{},\"budget_polls\":{},\"faults_injected\":{},\
+             \"triage_stage0_decided\":{},\"triage_stage1_decided\":{},\
+             \"triage_fallthrough\":{},\
              \"time_reach_s\":{},\"time_sim_s\":{},\"time_collapse_s\":{},\
              \"time_refine_s\":{},\"time_omega_s\":{}}}",
             self.outer_rounds,
@@ -269,6 +288,9 @@ impl PipelineStats {
             self.mem_charged_bytes,
             self.budget_polls,
             self.faults_injected,
+            self.triage_stage0_decided,
+            self.triage_stage1_decided,
+            self.triage_fallthrough,
             json_f64(self.phases.reach.as_secs_f64()),
             json_f64(self.phases.sim.as_secs_f64()),
             json_f64(self.phases.collapse.as_secs_f64()),
@@ -429,6 +451,29 @@ mod tests {
         assert!(j.contains("\"faults_injected\":0"));
         assert!(j.contains("\"preds_seeded\":0"));
         assert!(j.contains("\"refine_rounds_saved\":0"));
+        assert!(j.contains("\"triage_stage0_decided\":0"));
+        assert!(j.contains("\"triage_stage1_decided\":0"));
+        assert!(j.contains("\"triage_fallthrough\":0"));
+    }
+
+    #[test]
+    fn triage_counters_accumulate() {
+        let mut a = PipelineStats {
+            triage_stage0_decided: 1,
+            triage_stage1_decided: 2,
+            triage_fallthrough: 3,
+            ..Default::default()
+        };
+        a.add(&PipelineStats {
+            triage_stage0_decided: 4,
+            triage_fallthrough: 1,
+            ..Default::default()
+        });
+        assert_eq!(a.triage_stage0_decided, 5);
+        assert_eq!(a.triage_stage1_decided, 2);
+        assert_eq!(a.triage_fallthrough, 4);
+        let t = a.render_table();
+        assert!(t.contains("triage stage-0 decided"), "{t}");
     }
 
     #[test]

@@ -413,6 +413,52 @@ fn pred_store_seeding_cuts_rounds_and_stays_jobs_invariant() {
     );
 }
 
+/// The tiered triage pipeline is a pure function of each program (its
+/// schedules come from fixed seeds), so a `--triage` batch report —
+/// rows, stage attributions, and the three triage counters — must be
+/// byte-identical at any `--jobs`, and the counters must partition
+/// the corpus's race variables exactly.
+#[test]
+fn triage_batch_is_jobs_invariant_and_counters_partition() {
+    let inputs = circ_batch::collect_inputs(&examples_dir()).unwrap();
+    let base = circ_batch::BatchConfig { triage: true, ..circ_batch::BatchConfig::default() };
+    let seq = circ_batch::run_batch(&inputs, &circ_batch::BatchConfig { jobs: 1, ..base.clone() });
+    let par = circ_batch::run_batch(&inputs, &circ_batch::BatchConfig { jobs: 4, ..base.clone() });
+    assert_eq!(seq.exit, par.exit);
+    let (seq_json, par_json) = (strip_times(&seq.to_json()), strip_times(&par.to_json()));
+    assert_eq!(seq_json, par_json, "jobs=4 changed the triage batch report bytes");
+
+    // The stage counters partition the race variables: every variable
+    // is decided by exactly one tier, and the attribution column
+    // agrees with the counters row by row.
+    let p = &seq.totals.pipeline;
+    let race_vars: u64 = seq
+        .rows
+        .iter()
+        .flat_map(|r| r.stage.split('+'))
+        .filter(|s| !s.is_empty() && *s != "-")
+        .count() as u64;
+    assert_eq!(
+        p.triage_stage0_decided + p.triage_stage1_decided + p.triage_fallthrough,
+        race_vars,
+        "triage counters must partition the corpus's race variables"
+    );
+    let count = |tier: &str| {
+        seq.rows.iter().flat_map(|r| r.stage.split('+')).filter(|s| *s == tier).count() as u64
+    };
+    assert_eq!(count("flow"), p.triage_stage0_decided);
+    assert_eq!(count("sched"), p.triage_stage1_decided);
+    assert_eq!(count("circ"), p.triage_fallthrough);
+
+    // And triage never changes a verdict relative to the full run.
+    let full = circ_batch::run_batch(&inputs, &circ_batch::BatchConfig::default());
+    let verdicts = |r: &circ_batch::BatchReport| {
+        r.rows.iter().map(|row| (row.file.clone(), row.verdict)).collect::<Vec<_>>()
+    };
+    assert_eq!(verdicts(&full), verdicts(&seq), "triage changed a verdict");
+    assert_eq!(full.exit, seq.exit);
+}
+
 #[test]
 fn warm_batch_matches_cold_verdicts_with_fewer_misses() {
     let inputs = circ_batch::collect_inputs(&examples_dir()).unwrap();

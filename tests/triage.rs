@@ -1,0 +1,207 @@
+//! Corpus-wide soundness gates for the tiered triage pipeline.
+//!
+//! Every program the repo ships — the Table 1 models, the `examples/`
+//! NesL corpus, and handwritten edge cases — goes through
+//! `circ_triage::triage`, and each cheap-stage decision is re-proved
+//! by an independent oracle:
+//!
+//! * a stage-0 `Safe` must survive exhaustive bounded concrete
+//!   exploration (2 and 3 threads) *and* agree with the full CIRC
+//!   engine, and
+//! * a stage-1 `Race` witness must replay step-by-step to a genuine
+//!   race of the concrete semantics.
+//!
+//! The entering-edge programs additionally cross-validate the
+//! source-pc protection semantics against `circ_explicit`'s counter
+//! abstraction (Algorithm 6), which models atomicity independently:
+//! an access on an edge *entering* an atomic section is unprotected,
+//! and a flow/lockset heuristic that credits the destination location
+//! would wrongly certify it — exactly the pre-fix bug these tests pin.
+
+use circ_baselines::flow_check;
+use circ_core::{circ, CircConfig};
+use circ_explicit::{race_error, verify, FiniteThread, Transition, Verdict};
+use circ_ir::{CfaBuilder, Expr, Interp, MtProgram, Op};
+use circ_triage::{replay_witness, triage, TriageConfig, TriageDecision};
+
+/// Re-proves one triage decision with independent oracles. Returns
+/// the stage name so callers can assert corpus coverage.
+fn gate(name: &str, program: &MtProgram) -> &'static str {
+    match triage(program, &TriageConfig::default()) {
+        TriageDecision::Stage0Safe => {
+            // The certificate claims race freedom for ANY thread
+            // count; exhaustive bounded exploration at 2 and 3
+            // threads must find nothing.
+            for n in [2usize, 3] {
+                let interp = Interp::new(program.clone(), n);
+                assert!(
+                    interp.explore_bounded(150_000, &[]).is_none(),
+                    "{name}: stage 0 said Safe but {n}-thread exploration races"
+                );
+            }
+            // ... and the full engine must agree.
+            assert!(
+                circ(program, &CircConfig::omega()).is_safe(),
+                "{name}: stage 0 said Safe but CIRC disagrees"
+            );
+            "flow"
+        }
+        TriageDecision::Stage1Race(w) => {
+            // The witness must replay to a genuine race on the race
+            // variable — the concrete semantics is the ground truth.
+            let witness = replay_witness(program, &w)
+                .unwrap_or_else(|e| panic!("{name}: stage-1 witness does not replay: {e}"));
+            assert_eq!(
+                witness.var,
+                program.race_var(),
+                "{name}: stage-1 witness races the wrong variable"
+            );
+            "sched"
+        }
+        TriageDecision::Fallthrough => "circ",
+    }
+}
+
+#[test]
+fn table1_models_pass_the_soundness_gates() {
+    for m in circ_nesc::models() {
+        let stage = gate(m.name, &m.program());
+        // A cheap stage may never contradict the model's known
+        // verdict: stage 0 only on safe models, stage 1 only on racy
+        // ones. (Fallthrough is always allowed.)
+        match stage {
+            "flow" => assert!(m.expected_safe, "{}: stage 0 certified a racy model", m.name),
+            "sched" => assert!(!m.expected_safe, "{}: stage 1 raced a safe model", m.name),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn examples_corpus_passes_the_gates_and_exercises_every_stage() {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples");
+    let mut stages = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "nesl"))
+        .collect();
+    entries.sort();
+    assert!(entries.len() >= 4, "examples corpus went missing");
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(&path).unwrap();
+        let compiled = circ_frontend::compile(&src).expect("examples must compile");
+        for &var in &compiled.race_vars {
+            let program = MtProgram::new(compiled.cfa.clone(), var);
+            stages.push(gate(&name, &program));
+        }
+    }
+    // The shipped corpus is the CI smoke corpus: it must keep at
+    // least one program per tier or the smoke test goes blind.
+    for want in ["flow", "sched", "circ"] {
+        assert!(
+            stages.contains(&want),
+            "no example decided at tier {want:?} — corpus lost its coverage (got {stages:?})"
+        );
+    }
+}
+
+// ---- entering-edge cross-validation against circ_explicit ----
+
+/// One thread of the entering-edge shape, CFA form:
+/// `entry --skip--> l1 --[g := 1]--> l2(atomic) --skip--> entry`.
+/// The write sits on the edge *entering* the atomic section, so it is
+/// unprotected: two threads at `l1` race.
+fn entering_edge_program() -> MtProgram {
+    let mut b = CfaBuilder::new("entering");
+    let g = b.global("g");
+    let l1 = b.fresh_loc();
+    let l2 = b.fresh_loc();
+    b.edge(b.entry(), Op::skip(), l1);
+    b.edge(l1, Op::assign(g, Expr::int(1)), l2);
+    b.mark_atomic(l2);
+    b.edge(l2, Op::skip(), b.entry());
+    let cfa = b.build();
+    let g = cfa.var_by_name("g").unwrap();
+    MtProgram::new(cfa, g)
+}
+
+/// The same machine in the explicit crate's counter abstraction:
+/// pcs `0 → 1 → 2(atomic) → 0`, the `1 → 2` move writing global 0.
+fn entering_edge_finite() -> FiniteThread {
+    let mut t = FiniteThread::new(3, vec![2]);
+    t.add(Transition::new(0, 1));
+    t.add(Transition::new(1, 2).update(0, 1));
+    t.add(Transition::new(2, 0));
+    t.mark_atomic(2);
+    t
+}
+
+/// The protected variant of both machines: the access edge *leaves*
+/// an atomic location, so the pending write is invisible to the race
+/// predicate and the program is safe for any thread count.
+fn protected_program() -> MtProgram {
+    let mut b = CfaBuilder::new("protected");
+    let g = b.global("g");
+    let l1 = b.fresh_loc();
+    let l2 = b.fresh_loc();
+    b.edge(b.entry(), Op::skip(), l1);
+    b.mark_atomic(l1);
+    b.edge(l1, Op::assign(g, Expr::int(1)), l2);
+    b.edge(l2, Op::skip(), b.entry());
+    let cfa = b.build();
+    let g = cfa.var_by_name("g").unwrap();
+    MtProgram::new(cfa, g)
+}
+
+fn protected_finite() -> FiniteThread {
+    let mut t = FiniteThread::new(3, vec![2]);
+    t.add(Transition::new(0, 1));
+    t.add(Transition::new(1, 2).update(0, 1));
+    t.add(Transition::new(2, 0));
+    t.mark_atomic(1);
+    t
+}
+
+/// Pins the source-pc protection semantics: Algorithm 6's explicit
+/// counter abstraction — which shares no code with the flow checker —
+/// calls the entering-edge machine racy, so `flow_check` crediting
+/// the edge *destination* (the pre-fix heuristic) would certify a
+/// program the ground truth refutes.
+#[test]
+fn entering_edge_access_races_under_both_semantics() {
+    let t = entering_edge_finite();
+    let err = race_error(&t, 0);
+    let v = verify(&t, &err, 8, 100_000);
+    assert!(matches!(v, Verdict::Unsafe { .. }), "explicit oracle must race: {v:?}");
+
+    let program = entering_edge_program();
+    assert!(
+        flow_check(program.cfa()).flags(program.race_var()),
+        "flow must flag the entering-edge write (dst-credit would miss it)"
+    );
+    assert!(
+        !matches!(triage(&program, &TriageConfig::default()), TriageDecision::Stage0Safe),
+        "stage 0 must not certify the entering-edge race"
+    );
+}
+
+/// ... and the protected twin is safe under both semantics, so the
+/// fix did not overshoot into flagging genuinely atomic accesses.
+#[test]
+fn leaving_edge_access_is_safe_under_both_semantics() {
+    let t = protected_finite();
+    let err = race_error(&t, 0);
+    let v = verify(&t, &err, 8, 100_000);
+    assert!(matches!(v, Verdict::Safe { .. }), "explicit oracle must prove safety: {v:?}");
+
+    let program = protected_program();
+    assert!(
+        !flow_check(program.cfa()).flags(program.race_var()),
+        "flow must not flag an access leaving an atomic location"
+    );
+    let stage = gate("protected", &program);
+    assert_eq!(stage, "flow", "the protected twin is exactly a stage-0 certificate");
+}
