@@ -67,7 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod journal;
-mod mjson;
+pub mod mjson;
 
 use circ_core::{
     circ_with_caches, pred_store, AbsCache, AbsSeed, CircConfig, CircOutcome, PredStore,
@@ -352,8 +352,10 @@ pub struct BatchReport {
     pub warnings: Vec<String>,
 }
 
-/// Escapes a string for embedding in a JSON literal.
-pub(crate) fn json_escape(s: &str) -> String {
+/// Escapes a string for embedding in a JSON literal — the exact
+/// escaping every renderer in this workspace uses, exported so the
+/// serve protocol layer produces wire lines [`mjson`] reads back.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -387,6 +389,15 @@ pub fn render_row_json(row: &FileRow) -> String {
         row.time_s,
         row.pipeline.to_json(),
     )
+}
+
+/// The worst-wins exit code for a set of rows — the dominance
+/// [`run_batch`] applies to a report and `circ serve` applies to a
+/// request's rows, shared so the two can never disagree: race >
+/// compile error > budget exhaustion > internal error > inconclusive
+/// > safe. An empty slice is a clean 0.
+pub fn worst_exit(rows: &[FileRow]) -> u8 {
+    rows.iter().map(|r| r.verdict).max_by_key(|v| v.rank()).map(Verdict::exit_code).unwrap_or(0)
 }
 
 /// Parses a row printed by a `--row-json` child back into a
@@ -645,54 +656,63 @@ pub fn save_caches(
     (snapshot.len(), solver_saved, warnings)
 }
 
-/// Checks one file: compile, then worst-wins over its race variables,
-/// all against an isolated seeded cache so counters are independent
-/// of which worker ran it. Budget-exhausted and cancelled outcomes
-/// keep the partial pipeline counters sealed up to that point.
-/// Returns the row, the file's cache, and the predicate-store entries
-/// the file's checks discovered — both for sequential post-run
-/// merging.
-#[allow(clippy::too_many_arguments)]
-fn check_file(
-    path: &Path,
-    config: &BatchConfig,
-    file_timeout: Option<Duration>,
-    file_mem: Option<u64>,
-    abs_seed: &AbsSeed,
-    persist: &SolverPersist,
-    pred_seed: Option<&PredStore>,
-    faults: &FaultPlan,
-) -> (FileRow, AbsCache, PredStore) {
+/// Everything one source-level check needs from its surroundings: the
+/// batch configuration, this unit's budget slice, the caches to run
+/// against, and the (already reseeded) fault plan for this attempt.
+/// [`run_batch`] builds one per file attempt and `circ serve` builds
+/// one per request unit, so batch rows and serve rows come out of the
+/// same code path by construction.
+pub struct CheckCtx<'a> {
+    /// Batch-level options (mode, `k`, cache policy, triage, cancel).
+    pub config: &'a BatchConfig,
+    /// Wall-clock slice for this unit, carved further across its race
+    /// variables.
+    pub file_timeout: Option<Duration>,
+    /// Accounted-memory slice for this unit.
+    pub file_mem: Option<u64>,
+    /// Entailment cache the check runs against: an isolated seeded
+    /// cache for jobs-invariant per-file counters (batch) or a shared
+    /// warm master (serve) — per-run counters are deltas either way.
+    pub cache: &'a AbsCache,
+    /// Solver-answer store shared across the run.
+    pub persist: &'a SolverPersist,
+    /// Predicate-store seed to warm-start refinement from.
+    pub pred_seed: Option<&'a PredStore>,
+    /// Fault plan for this attempt (reseeded by the caller from the
+    /// content digest, so injection stays scheduling-independent).
+    pub faults: &'a FaultPlan,
+}
+
+/// Checks one named source text: compile, then worst-wins over its
+/// race variables against the caches in `ctx`. Budget-exhausted and
+/// cancelled outcomes keep the partial pipeline counters sealed up to
+/// that point. Returns the row plus the predicate-store entries the
+/// check discovered, for sequential post-run merging.
+pub fn check_source(name: &str, src: &str, ctx: &CheckCtx) -> (FileRow, PredStore) {
     let start = Instant::now();
-    let file = path.display().to_string();
+    let config = ctx.config;
     let row = |verdict: Verdict, detail: String, pipeline: PipelineStats, start: Instant| {
-        let mut r = FileRow::new(file.clone(), verdict, detail);
+        let mut r = FileRow::new(name.to_string(), verdict, detail);
         r.time_s = start.elapsed().as_secs_f64();
         r.pipeline = pipeline;
         r
     };
-    let src = match fs::read_to_string(path) {
-        Ok(s) => s,
-        Err(e) => {
-            let r =
-                row(Verdict::CompileError, format!("cannot read: {e}"), Default::default(), start);
-            return (r, AbsCache::disabled(), PredStore::new());
-        }
-    };
-    let compiled = match circ_frontend::compile(&src) {
+    let compiled = match circ_frontend::compile(src) {
         Ok(c) => c,
         Err(e) => {
             let r = row(Verdict::CompileError, e.to_string(), Default::default(), start);
-            return (r, AbsCache::disabled(), PredStore::new());
+            return (r, PredStore::new());
         }
     };
     if compiled.race_vars.is_empty() {
         let detail = "no `#race` directive — nothing to check".to_string();
         let r = row(Verdict::CompileError, detail, Default::default(), start);
-        return (r, AbsCache::disabled(), PredStore::new());
+        return (r, PredStore::new());
     }
     let n_vars = compiled.race_vars.len();
-    let cache = if config.use_cache { AbsCache::with_seed(abs_seed) } else { AbsCache::disabled() };
+    let cache = ctx.cache;
+    let (file_timeout, file_mem) = (ctx.file_timeout, ctx.file_mem);
+    let (persist, pred_seed, faults) = (ctx.persist, ctx.pred_seed, ctx.faults);
     let cfg = CircConfig {
         omega_mode: config.omega,
         initial_k: config.initial_k,
@@ -760,7 +780,7 @@ fn check_file(
         let mut var_cfg = cfg.clone();
         let prior =
             pred_seed.and_then(|s| pred_store::seed_config(s, cfa_digest, config_fp, &mut var_cfg));
-        let outcome = circ_with_caches(&program, &var_cfg, &cache, persist);
+        let outcome = circ_with_caches(&program, &var_cfg, cache, persist);
         let mut run_stats = outcome.stats().pipeline.clone();
         if let Some(prior_rounds) = prior {
             run_stats.preds_seeded = var_cfg.initial_preds.len() as u64;
@@ -814,7 +834,40 @@ fn check_file(
     let mut r = row(verdict, detail, pipeline, start);
     r.stage = stages.join("+");
     r.cancelled = cancelled;
-    (r, cache, learned)
+    (r, learned)
+}
+
+/// Checks one file: read it, then run [`check_source`] against an
+/// isolated cache seeded from the shared warm start, so per-file
+/// statistics are independent of which worker ran it. Returns the
+/// row, the file's cache, and the learned predicate-store entries —
+/// both for sequential post-run merging.
+#[allow(clippy::too_many_arguments)]
+fn check_file(
+    path: &Path,
+    config: &BatchConfig,
+    file_timeout: Option<Duration>,
+    file_mem: Option<u64>,
+    abs_seed: &AbsSeed,
+    persist: &SolverPersist,
+    pred_seed: Option<&PredStore>,
+    faults: &FaultPlan,
+) -> (FileRow, AbsCache, PredStore) {
+    let start = Instant::now();
+    let file = path.display().to_string();
+    let src = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            let mut r = FileRow::new(file, Verdict::CompileError, format!("cannot read: {e}"));
+            r.time_s = start.elapsed().as_secs_f64();
+            return (r, AbsCache::disabled(), PredStore::new());
+        }
+    };
+    let cache = if config.use_cache { AbsCache::with_seed(abs_seed) } else { AbsCache::disabled() };
+    let ctx =
+        CheckCtx { config, file_timeout, file_mem, cache: &cache, persist, pred_seed, faults };
+    let (row, learned) = check_source(&file, &src, &ctx);
+    (row, cache, learned)
 }
 
 /// Checks one file exactly as an in-process batch worker would — the
@@ -1272,12 +1325,7 @@ pub fn run_batch(inputs: &[PathBuf], config: &BatchConfig) -> BatchReport {
         .filter(|r| r.verdict == Verdict::InternalError)
         .map(|r| r.file.clone())
         .collect();
-    let exit = rows
-        .iter()
-        .map(|r| r.verdict)
-        .max_by_key(|v| v.rank())
-        .map(Verdict::exit_code)
-        .unwrap_or(0);
+    let exit = worst_exit(&rows);
 
     // Merge and save sequentially in input order — scheduling never
     // touches the persisted state, so warm files are reproducible.

@@ -9,6 +9,12 @@
 //!                        [--json] [--no-cache] [--timeout-secs N]
 //!                        [--mem-limit-mb N] [--cache-dir DIR]
 //!                        [--journal FILE] [--resume] [--isolate] [--retries N]
+//! circ serve --socket PATH | --port N [--jobs N] [--max-inflight N]
+//!                        [--queue-depth N] [--timeout-secs N] [--mem-limit-mb N]
+//!                        [--cache-dir DIR] [--no-cache] [--mode circ|omega] [--k N]
+//!                        [--pred-store | --no-pred-store] [--triage | --no-triage]
+//!                        [--retries N]
+//! circ client --socket PATH | --port N [--stats] [--health] [paths...]
 //! circ compile <file.nesl> [--dot]
 //! circ baselines <file.nesl>
 //! ```
@@ -21,6 +27,10 @@
 //! variables, budget exhaustion (3) dominates plain inconclusive (2).
 //! For `batch`, a compile error in any file (65) dominates budget
 //! exhaustion and inconclusive rows, and a race still dominates all.
+//! `serve` exits 3 after a clean drain and 74 when it cannot bind its
+//! socket or port; `client` exits with the worst `exit` field across
+//! its check responses, 75 when the service shed a request
+//! (overloaded or shutting down), and 74 when it cannot connect.
 //!
 //! `batch` runs under crash-safe supervision: `--journal FILE` records
 //! every completed row, `--resume` replays journaled rows for
@@ -50,6 +60,8 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "check" => cmd_check(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "client" => cmd_client(&args[1..]),
         "compile" => cmd_compile(&args[1..]),
         "baselines" => cmd_baselines(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -76,6 +88,11 @@ fn print_help() {
          \x20                        [--mem-limit-mb N] [--cache-dir DIR]\n\
          \x20                        [--pred-store | --no-pred-store] [--triage | --no-triage]\n\
          \x20                        [--journal FILE] [--resume] [--isolate] [--retries N]\n\
+         \x20 circ serve --socket PATH | --port N [--jobs N] [--max-inflight N] [--queue-depth N]\n\
+         \x20                        [--timeout-secs N] [--mem-limit-mb N] [--cache-dir DIR]\n\
+         \x20                        [--no-cache] [--mode circ|omega] [--k N] [--retries N]\n\
+         \x20                        [--pred-store | --no-pred-store] [--triage | --no-triage]\n\
+         \x20 circ client --socket PATH | --port N [--stats] [--health] [paths...]\n\
          \x20 circ compile <file.nesl> [--dot]\n\
          \x20 circ baselines <file.nesl>\n\n\
          The input file declares globals, `#race` variables, and one `thread`.\n\
@@ -132,7 +149,22 @@ fn print_help() {
          that still fail are listed under `quarantine` in the report.\n\
          `--timeout-millis` / `--mem-limit-bytes` are fine-grained budget\n\
          variants (used by the isolation protocol to forward carved\n\
-         per-file slices)."
+         per-file slices).\n\n\
+         Service mode: `serve` keeps one process resident with warm caches\n\
+         behind a line-delimited JSON protocol (one request object per line\n\
+         in, one response per line out) on a unix socket or localhost TCP\n\
+         port. Requests: {{\"op\":\"check\",\"source\":...|\"path\":...}},\n\
+         {{\"op\":\"stats\"}}, {{\"op\":\"health\"}}. `--max-inflight` bounds\n\
+         concurrent checks, `--queue-depth` bounds waiters, and anything\n\
+         beyond both is shed with a structured `overloaded` response; the\n\
+         `--timeout-secs` / `--mem-limit-mb` envelope is carved per admitted\n\
+         request. SIGINT/SIGTERM drain gracefully (in-flight requests finish\n\
+         or degrade to cancelled rows, queued ones get `shutting-down`,\n\
+         caches flush, exit 3); SIGHUP flushes the caches without draining.\n\
+         A stale socket file left by a crash is detected by a connect probe\n\
+         and reclaimed; a live one is refused with exit 74. `client` submits\n\
+         server-side paths (or `--stats` / `--health` probes) and exits\n\
+         worst-wins across the responses."
     );
 }
 
@@ -688,6 +720,404 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     ExitCode::from(report.exit)
 }
 
+/// Parsed flags for `serve` and `client` — a separate, smaller parser
+/// because the service speaks in addresses and capacities, not input
+/// files.
+#[derive(Debug)]
+struct ServeFlags {
+    socket: Option<PathBuf>,
+    port: Option<u16>,
+    jobs: usize,
+    max_inflight: usize,
+    queue_depth: usize,
+    timeout_secs: Option<u64>,
+    timeout_millis: Option<u64>,
+    mem_limit_mb: Option<u64>,
+    mem_limit_bytes: Option<u64>,
+    cache_dir: Option<PathBuf>,
+    no_cache: bool,
+    mode_omega: bool,
+    initial_k: u32,
+    pred_store: Option<bool>,
+    triage: Option<bool>,
+    retries: u32,
+    stats: bool,
+    health: bool,
+    paths: Vec<String>,
+}
+
+fn parse_serve_flags(args: &[String]) -> Result<ServeFlags, String> {
+    let mut f = ServeFlags {
+        socket: None,
+        port: None,
+        jobs: 1,
+        max_inflight: 2,
+        queue_depth: 16,
+        timeout_secs: None,
+        timeout_millis: None,
+        mem_limit_mb: None,
+        mem_limit_bytes: None,
+        cache_dir: None,
+        no_cache: false,
+        mode_omega: true,
+        initial_k: 1,
+        pred_store: None,
+        triage: None,
+        retries: 0,
+        stats: false,
+        health: false,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => {
+                let v = it.next().ok_or("--socket expects a path")?;
+                f.socket = Some(PathBuf::from(v));
+            }
+            "--port" => {
+                let v = it.next().ok_or("--port expects a number")?;
+                f.port =
+                    Some(v.parse().map_err(|_| format!("--port expects a number, got `{v}`"))?);
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs expects a number")?;
+                f.jobs = v.parse().map_err(|_| format!("--jobs expects a number, got `{v}`"))?;
+            }
+            "--max-inflight" => {
+                let v = it.next().ok_or("--max-inflight expects a number")?;
+                f.max_inflight =
+                    v.parse().map_err(|_| format!("--max-inflight expects a number, got `{v}`"))?;
+                if f.max_inflight == 0 {
+                    return Err("--max-inflight must be at least 1".into());
+                }
+            }
+            "--queue-depth" => {
+                let v = it.next().ok_or("--queue-depth expects a number")?;
+                f.queue_depth =
+                    v.parse().map_err(|_| format!("--queue-depth expects a number, got `{v}`"))?;
+            }
+            "--timeout-secs" => {
+                let v = it.next().ok_or("--timeout-secs expects a number")?;
+                f.timeout_secs = Some(
+                    v.parse().map_err(|_| format!("--timeout-secs expects a number, got `{v}`"))?,
+                );
+            }
+            "--timeout-millis" => {
+                let v = it.next().ok_or("--timeout-millis expects a number")?;
+                f.timeout_millis = Some(
+                    v.parse()
+                        .map_err(|_| format!("--timeout-millis expects a number, got `{v}`"))?,
+                );
+            }
+            "--mem-limit-mb" => {
+                let v = it.next().ok_or("--mem-limit-mb expects a number")?;
+                f.mem_limit_mb = Some(
+                    v.parse().map_err(|_| format!("--mem-limit-mb expects a number, got `{v}`"))?,
+                );
+            }
+            "--mem-limit-bytes" => {
+                let v = it.next().ok_or("--mem-limit-bytes expects a number")?;
+                f.mem_limit_bytes = Some(
+                    v.parse()
+                        .map_err(|_| format!("--mem-limit-bytes expects a number, got `{v}`"))?,
+                );
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir expects a directory")?;
+                f.cache_dir = Some(PathBuf::from(v));
+            }
+            "--mode" => match it.next().map(String::as_str) {
+                Some("circ") => f.mode_omega = false,
+                Some("omega") => f.mode_omega = true,
+                other => return Err(format!("--mode expects circ|omega, got {other:?}")),
+            },
+            "--k" => {
+                let v = it.next().ok_or("--k expects a number")?;
+                f.initial_k = v.parse().map_err(|_| format!("--k expects a number, got `{v}`"))?;
+                if f.initial_k == 0 {
+                    return Err("--k must be at least 1 (0 context threads is not a valid counter abstraction)".into());
+                }
+            }
+            "--retries" => {
+                let v = it.next().ok_or("--retries expects a number")?;
+                f.retries =
+                    v.parse().map_err(|_| format!("--retries expects a number, got `{v}`"))?;
+            }
+            "--pred-store" => {
+                if f.pred_store == Some(false) {
+                    return Err("--pred-store and --no-pred-store are contradictory".into());
+                }
+                f.pred_store = Some(true);
+            }
+            "--no-pred-store" => {
+                if f.pred_store == Some(true) {
+                    return Err("--pred-store and --no-pred-store are contradictory".into());
+                }
+                f.pred_store = Some(false);
+            }
+            "--triage" => {
+                if f.triage == Some(false) {
+                    return Err("--triage and --no-triage are contradictory".into());
+                }
+                f.triage = Some(true);
+            }
+            "--no-triage" => {
+                if f.triage == Some(true) {
+                    return Err("--triage and --no-triage are contradictory".into());
+                }
+                f.triage = Some(false);
+            }
+            "--no-cache" => f.no_cache = true,
+            "--stats" => f.stats = true,
+            "--health" => f.health = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => f.paths.push(path.to_string()),
+        }
+    }
+    match (&f.socket, f.port) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "--socket and --port are two addresses for one listener — pass only one".into()
+            );
+        }
+        (None, None) => return Err("pass --socket PATH or --port N".into()),
+        _ => {}
+    }
+    if f.cache_dir.is_some() && f.no_cache {
+        return Err("--cache-dir and --no-cache are contradictory (nothing to persist)".into());
+    }
+    if f.pred_store == Some(true) && f.cache_dir.is_none() {
+        return Err("--pred-store needs --cache-dir DIR (the store lives there)".into());
+    }
+    if f.timeout_secs.is_some() && f.timeout_millis.is_some() {
+        return Err(
+            "--timeout-secs and --timeout-millis are two spellings of one budget — pass only one"
+                .into(),
+        );
+    }
+    if f.mem_limit_mb.is_some() && f.mem_limit_bytes.is_some() {
+        return Err(
+            "--mem-limit-mb and --mem-limit-bytes are two spellings of one budget — pass only one"
+                .into(),
+        );
+    }
+    Ok(f)
+}
+
+impl ServeFlags {
+    fn bind_to(&self) -> circ_serve::BindTo {
+        match (&self.socket, self.port) {
+            (Some(path), _) => circ_serve::BindTo::Socket(path.clone()),
+            (None, Some(port)) => circ_serve::BindTo::Port(port),
+            (None, None) => unreachable!("parser requires one address"),
+        }
+    }
+
+    fn timeout(&self) -> Option<Duration> {
+        self.timeout_secs
+            .map(Duration::from_secs)
+            .or(self.timeout_millis.map(Duration::from_millis))
+    }
+
+    fn mem_limit(&self) -> Option<u64> {
+        self.mem_limit_mb.map(|mb| mb * 1024 * 1024).or(self.mem_limit_bytes)
+    }
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let flags = match parse_serve_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    if flags.stats || flags.health || !flags.paths.is_empty() {
+        eprintln!("`serve` takes no paths or probe flags (those belong to `client`)");
+        return usage();
+    }
+    let cancel = circ_governor::CancelToken::new();
+    let flush = circ_serve::FlushTrigger::new();
+    // SIGINT/SIGTERM drain the service (one-shot: a second signal
+    // force-kills); SIGHUP flushes the warm caches to --cache-dir
+    // without draining, and stays installed so it works repeatedly.
+    {
+        let token = cancel.clone();
+        let latch = flush.clone();
+        if let Err(e) = sigshim::install_mixed(
+            &[sigshim::SIGINT, sigshim::SIGTERM],
+            &[sigshim::SIGHUP],
+            move |sig| {
+                if sig == sigshim::SIGHUP {
+                    latch.set();
+                } else {
+                    eprintln!("signal {sig}: draining service (send again to force-kill)");
+                    token.cancel();
+                }
+            },
+        ) {
+            eprintln!("warning: no graceful shutdown: {e}");
+        }
+    }
+    let config = circ_serve::ServeConfig {
+        bind: flags.bind_to(),
+        jobs: flags.jobs,
+        max_inflight: flags.max_inflight,
+        queue_depth: flags.queue_depth,
+        envelope: circ_governor::Envelope {
+            timeout: flags.timeout(),
+            mem_limit_bytes: flags.mem_limit(),
+        },
+        omega: flags.mode_omega,
+        initial_k: flags.initial_k,
+        use_cache: !flags.no_cache,
+        pred_store: flags.pred_store.unwrap_or(true),
+        triage: flags.triage.unwrap_or(false),
+        cache_dir: flags.cache_dir.clone(),
+        retry: if flags.retries > 0 {
+            circ_governor::RetryPolicy::with_retries(flags.retries, 0x5eed_c1bc)
+        } else {
+            circ_governor::RetryPolicy::none()
+        },
+        cancel,
+        flush,
+        ..circ_serve::ServeConfig::default()
+    };
+    match circ_serve::serve(config) {
+        Ok(code) => ExitCode::from(code),
+        Err(e) => {
+            eprintln!("circ serve: {e}");
+            ExitCode::from(74)
+        }
+    }
+}
+
+/// A client connection over either transport.
+enum ClientConn {
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+    Tcp(std::net::TcpStream),
+}
+
+impl ClientConn {
+    fn connect(flags: &ServeFlags) -> Result<ClientConn, String> {
+        match (&flags.socket, flags.port) {
+            (Some(path), _) => {
+                #[cfg(unix)]
+                {
+                    std::os::unix::net::UnixStream::connect(path)
+                        .map(ClientConn::Unix)
+                        .map_err(|e| format!("cannot connect to `{}`: {e}", path.display()))
+                }
+                #[cfg(not(unix))]
+                {
+                    Err(format!(
+                        "unix sockets are not supported on this platform (`{}`); use --port",
+                        path.display()
+                    ))
+                }
+            }
+            (None, Some(port)) => std::net::TcpStream::connect(("127.0.0.1", port))
+                .map(ClientConn::Tcp)
+                .map_err(|e| format!("cannot connect to 127.0.0.1:{port}: {e}")),
+            (None, None) => unreachable!("parser requires one address"),
+        }
+    }
+
+    fn roundtrip(&mut self, request: &str) -> Result<String, String> {
+        use std::io::{BufRead, BufReader, Write};
+        let (mut w, r): (Box<dyn Write>, Box<dyn std::io::Read>) = match self {
+            #[cfg(unix)]
+            ClientConn::Unix(s) => (
+                Box::new(s.try_clone().map_err(|e| e.to_string())?),
+                Box::new(s.try_clone().map_err(|e| e.to_string())?),
+            ),
+            ClientConn::Tcp(s) => (
+                Box::new(s.try_clone().map_err(|e| e.to_string())?),
+                Box::new(s.try_clone().map_err(|e| e.to_string())?),
+            ),
+        };
+        writeln!(w, "{request}").map_err(|e| format!("cannot send request: {e}"))?;
+        w.flush().map_err(|e| format!("cannot send request: {e}"))?;
+        let mut line = String::new();
+        BufReader::new(r).read_line(&mut line).map_err(|e| format!("cannot read response: {e}"))?;
+        if line.trim().is_empty() {
+            return Err("connection closed before a response arrived".into());
+        }
+        Ok(line.trim_end().to_string())
+    }
+}
+
+fn cmd_client(args: &[String]) -> ExitCode {
+    let flags = match parse_serve_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    if !flags.stats && !flags.health && flags.paths.is_empty() {
+        eprintln!("`client` needs at least one path to check, or --stats / --health");
+        return usage();
+    }
+    let mut conn = match ClientConn::connect(&flags) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("circ client: {e}");
+            return ExitCode::from(74);
+        }
+    };
+    let mut requests = Vec::new();
+    if flags.health {
+        requests.push("{\"op\":\"health\"}".to_string());
+    }
+    if flags.stats {
+        requests.push("{\"op\":\"stats\"}".to_string());
+    }
+    for path in &flags.paths {
+        requests
+            .push(format!("{{\"op\":\"check\",\"path\":\"{}\"}}", circ_batch::json_escape(path)));
+    }
+    // Worst-wins across responses, mirroring batch: check responses
+    // carry the server's own worst-wins `exit`; shed requests
+    // (overloaded / shutting-down) map to EX_TEMPFAIL.
+    let mut worst: u8 = 0;
+    for request in &requests {
+        let line = match conn.roundtrip(request) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("circ client: {e}");
+                return ExitCode::from(74);
+            }
+        };
+        println!("{line}");
+        use circ_batch::mjson::{self, Value};
+        let code = match mjson::parse(&line) {
+            Ok(v) => {
+                if v.get("ok") == Some(&Value::Bool(true)) {
+                    v.get("exit").and_then(Value::as_u64).unwrap_or(0) as u8
+                } else {
+                    match v.get("error").and_then(Value::as_str) {
+                        Some("overloaded") | Some("shutting-down") => 75,
+                        Some("bad-request") => 64,
+                        _ => 2,
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("circ client: unparseable response: {e}");
+                2
+            }
+        };
+        // The verdict exit ranks don't apply across response kinds;
+        // plain max keeps 75 (shed) above every verdict code except
+        // none — shed work is retryable, so callers must see it.
+        worst = worst.max(code);
+    }
+    ExitCode::from(worst)
+}
+
 fn cmd_compile(args: &[String]) -> ExitCode {
     let parsed = match parse_flags(args) {
         Ok(p) => p,
@@ -863,6 +1293,27 @@ mod tests {
         let err = flags(&["m.nesl", "--triage", "--asserts"]).unwrap_err();
         assert!(err.contains("--asserts"), "unhelpful message: {err}");
         assert!(flags(&["m.nesl", "--no-triage", "--asserts"]).is_ok());
+    }
+
+    #[test]
+    fn serve_flags_require_exactly_one_address() {
+        let sflags = |args: &[&str]| {
+            super::parse_serve_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        };
+        assert!(sflags(&[]).unwrap_err().contains("--socket PATH or --port N"));
+        assert!(sflags(&["--socket", "s", "--port", "9"]).unwrap_err().contains("only one"));
+        let f = sflags(&["--socket", "/tmp/c.sock", "--max-inflight", "4", "--queue-depth", "8"])
+            .unwrap();
+        assert_eq!(f.socket.as_deref(), Some(std::path::Path::new("/tmp/c.sock")));
+        assert_eq!((f.max_inflight, f.queue_depth), (4, 8));
+        let f = sflags(&["--port", "7777", "--stats", "a.nesl", "b.nesl"]).unwrap();
+        assert_eq!(f.port, Some(7777));
+        assert!(f.stats && !f.health);
+        assert_eq!(f.paths, vec!["a.nesl", "b.nesl"]);
+        assert!(sflags(&["--port", "9", "--max-inflight", "0"]).is_err());
+        assert!(sflags(&["--port", "9", "--cache-dir", "d", "--no-cache"]).is_err());
+        assert!(sflags(&["--port", "9", "--pred-store"]).is_err());
+        assert!(sflags(&["--port", "9", "--k", "0"]).is_err());
     }
 
     #[test]

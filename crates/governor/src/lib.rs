@@ -237,6 +237,40 @@ pub fn carve_mem_limit(total: Option<u64>, n: usize) -> Option<u64> {
     total.map(|m| m / n)
 }
 
+/// A service-wide resource envelope from which an admission
+/// controller carves per-request budgets.
+///
+/// The two axes carve differently because they exhaust differently:
+///
+/// * **wall clock** is granted whole — concurrent requests each get
+///   the full per-request deadline because their wall-clock slices
+///   run on independent clocks (request B's seconds tick whether or
+///   not request A is still running, so dividing by concurrency
+///   would punish a request for its neighbors' mere existence);
+/// * **accounted memory** is divided by the concurrency ceiling —
+///   the slices coexist in one address space, so only
+///   `total / max_inflight` per request keeps the service's total
+///   charge bounded by the envelope no matter what mix of requests
+///   is in flight.
+///
+/// `None` on either axis stays unbounded, exactly like the
+/// [`carve_timeout`] / [`carve_mem_limit`] primitives this composes.
+#[derive(Debug, Clone, Default)]
+pub struct Envelope {
+    /// Wall-clock deadline granted to each admitted request.
+    pub timeout: Option<Duration>,
+    /// Total accounted-memory ceiling across all in-flight requests.
+    pub mem_limit_bytes: Option<u64>,
+}
+
+impl Envelope {
+    /// The per-request `(deadline, memory ceiling)` slice when up to
+    /// `max_inflight` requests may run concurrently.
+    pub fn carve(&self, max_inflight: usize) -> (Option<Duration>, Option<u64>) {
+        (self.timeout, carve_mem_limit(self.mem_limit_bytes, max_inflight))
+    }
+}
+
 /// Extract a human-readable message from a panic payload (the `Box`
 /// returned by [`std::panic::catch_unwind`]). Recognizes the two
 /// payload types `panic!` actually produces.
@@ -537,6 +571,18 @@ mod tests {
         assert_eq!(carve_mem_limit(Some(64), 0), Some(64));
         // A budget too small to slice yields honest near-zero slices.
         assert_eq!(carve_mem_limit(Some(3), 4), Some(0));
+    }
+
+    #[test]
+    fn envelope_carves_memory_but_not_wall_clock() {
+        let env =
+            Envelope { timeout: Some(Duration::from_secs(30)), mem_limit_bytes: Some(1 << 30) };
+        let (t, m) = env.carve(4);
+        assert_eq!(t, Some(Duration::from_secs(30)), "deadlines are per-request clocks");
+        assert_eq!(m, Some(1 << 28), "memory slices coexist and must sum to the envelope");
+        // Unbounded axes stay unbounded; degenerate concurrency is safe.
+        let (t, m) = Envelope::default().carve(0);
+        assert_eq!((t, m), (None, None));
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! The admission controller: a bounded concurrency gate with a
+//! bounded wait queue in front of it.
+//!
+//! Every check request must acquire a [`Permit`] before it may touch
+//! the checking pipeline. At most `max_inflight` permits exist at
+//! once; up to `queue_depth` further requests may *wait* for one
+//! (backpressure); anything beyond that is rejected immediately with
+//! [`Rejected::Overloaded`] — the service sheds load rather than
+//! queueing unboundedly or letting concurrent requests blow through
+//! the memory envelope. A graceful drain ([`Admission::drain`]) wakes
+//! every queued waiter with [`Rejected::ShuttingDown`] and refuses
+//! new admissions while in-flight permits run to completion.
+//!
+//! The whole controller is one mutex plus one condvar: admission
+//! decisions are request-granularity, so contention is irrelevant,
+//! and a single lock makes the `(inflight, queued)` pair the queue
+//!-depth reports can never be torn.
+
+use std::sync::{Condvar, Mutex};
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejected {
+    /// The concurrency gate and the wait queue are both full.
+    Overloaded {
+        /// Requests holding permits when the rejection was decided.
+        inflight: usize,
+        /// Requests waiting for a permit at that moment.
+        queued: usize,
+    },
+    /// The service is draining; no new work is admitted.
+    ShuttingDown,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Permits currently held.
+    inflight: usize,
+    /// Threads blocked in [`Admission::admit`] waiting for a permit.
+    queued: usize,
+    /// Connection threads busy handling any request (admitted or
+    /// not), including writing its response. Graceful drain waits on
+    /// this too, so the process never exits under a half-written
+    /// response line.
+    responding: usize,
+    /// Set once by [`Admission::drain`]; never cleared.
+    draining: bool,
+}
+
+/// The admission controller. See the module docs.
+#[derive(Debug)]
+pub struct Admission {
+    state: Mutex<State>,
+    wake: Condvar,
+    max_inflight: usize,
+    queue_depth: usize,
+}
+
+/// An admitted request's slot; releasing it (drop) wakes one waiter.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.admission.lock();
+        st.inflight -= 1;
+        self.admission.wake.notify_all();
+    }
+}
+
+/// A connection thread's "busy with a request" marker, held from
+/// parse to response flush. Only [`Admission::await_idle`] looks at
+/// it.
+#[derive(Debug)]
+pub struct ResponseGuard<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for ResponseGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.admission.lock();
+        st.responding -= 1;
+        self.admission.wake.notify_all();
+    }
+}
+
+impl Admission {
+    /// A controller admitting up to `max_inflight` concurrent
+    /// requests (floored at 1) with up to `queue_depth` waiters.
+    pub fn new(max_inflight: usize, queue_depth: usize) -> Admission {
+        Admission {
+            state: Mutex::new(State::default()),
+            wake: Condvar::new(),
+            max_inflight: max_inflight.max(1),
+            queue_depth,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The concurrency ceiling this controller enforces.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Acquire a permit: immediately if a slot is free, after a
+    /// bounded wait if the queue has room, otherwise `Err`. Blocks
+    /// only in the queued case; a drain wakes every waiter with
+    /// [`Rejected::ShuttingDown`].
+    pub fn admit(&self) -> Result<Permit<'_>, Rejected> {
+        let mut st = self.lock();
+        if st.draining {
+            return Err(Rejected::ShuttingDown);
+        }
+        if st.inflight < self.max_inflight {
+            st.inflight += 1;
+            return Ok(Permit { admission: self });
+        }
+        if st.queued >= self.queue_depth {
+            return Err(Rejected::Overloaded { inflight: st.inflight, queued: st.queued });
+        }
+        st.queued += 1;
+        loop {
+            st = self.wake.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+            if st.draining {
+                st.queued -= 1;
+                self.wake.notify_all();
+                return Err(Rejected::ShuttingDown);
+            }
+            if st.inflight < self.max_inflight {
+                st.queued -= 1;
+                st.inflight += 1;
+                return Ok(Permit { admission: self });
+            }
+        }
+    }
+
+    /// Mark a connection thread busy with one request (through its
+    /// response write).
+    pub fn begin_response(&self) -> ResponseGuard<'_> {
+        let mut st = self.lock();
+        st.responding += 1;
+        ResponseGuard { admission: self }
+    }
+
+    /// Stop admitting, wake every queued waiter into a
+    /// `ShuttingDown` rejection. Idempotent.
+    pub fn drain(&self) {
+        let mut st = self.lock();
+        st.draining = true;
+        self.wake.notify_all();
+    }
+
+    /// `(inflight, queued, draining)` — read together under the one
+    /// lock, so the pair is never torn.
+    pub fn depths(&self) -> (usize, usize, bool) {
+        let st = self.lock();
+        (st.inflight, st.queued, st.draining)
+    }
+
+    /// Block until no permit is held, no waiter is queued, and no
+    /// connection thread is mid-response. Call after [`drain`]
+    /// (new admissions are refused, so the wait is monotone).
+    ///
+    /// [`drain`]: Admission::drain
+    pub fn await_idle(&self) {
+        let mut st = self.lock();
+        while st.inflight > 0 || st.queued > 0 || st.responding > 0 {
+            st = self.wake.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn admits_up_to_capacity_then_rejects_overloaded() {
+        let adm = Admission::new(2, 0);
+        let p1 = adm.admit().expect("slot 1");
+        let p2 = adm.admit().expect("slot 2");
+        match adm.admit() {
+            Err(Rejected::Overloaded { inflight, queued }) => {
+                assert_eq!((inflight, queued), (2, 0));
+            }
+            other => panic!("expected overload, got {other:?}"),
+        }
+        drop(p1);
+        let _p3 = adm.admit().expect("released slot is reusable");
+        drop(p2);
+    }
+
+    #[test]
+    fn queued_waiter_gets_the_released_slot() {
+        let adm = Arc::new(Admission::new(1, 1));
+        let p = adm.admit().expect("slot");
+        let adm2 = Arc::clone(&adm);
+        let waiter = std::thread::spawn(move || adm2.admit().map(|_| ()));
+        // Wait until the waiter is actually queued, then release.
+        while adm.depths().1 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Queue is now full: the next request is shed, not queued.
+        assert!(matches!(adm.admit(), Err(Rejected::Overloaded { queued: 1, .. })));
+        drop(p);
+        assert_eq!(waiter.join().unwrap(), Ok(()), "waiter must get the freed slot");
+    }
+
+    #[test]
+    fn drain_wakes_waiters_and_refuses_new_work() {
+        let adm = Arc::new(Admission::new(1, 4));
+        let p = adm.admit().expect("slot");
+        let adm2 = Arc::clone(&adm);
+        let waiter = std::thread::spawn(move || adm2.admit().map(|_| ()));
+        while adm.depths().1 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        adm.drain();
+        assert_eq!(waiter.join().unwrap(), Err(Rejected::ShuttingDown));
+        assert_eq!(adm.admit().unwrap_err(), Rejected::ShuttingDown);
+        // In-flight work still finishes; await_idle returns once the
+        // last permit drops.
+        let adm3 = Arc::clone(&adm);
+        let idle = std::thread::spawn(move || adm3.await_idle());
+        drop(p);
+        idle.join().unwrap();
+        assert_eq!(adm.depths(), (0, 0, true));
+    }
+
+    #[test]
+    fn await_idle_waits_for_response_writers_too() {
+        let adm = Arc::new(Admission::new(1, 0));
+        let guard = adm.begin_response();
+        adm.drain();
+        let adm2 = Arc::clone(&adm);
+        let idle = std::thread::spawn(move || adm2.await_idle());
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!idle.is_finished(), "idle must wait for the response writer");
+        drop(guard);
+        idle.join().unwrap();
+    }
+}

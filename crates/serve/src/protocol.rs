@@ -1,0 +1,232 @@
+//! The serve wire protocol: line-delimited JSON, one request object
+//! per line in, one response object per line out, over a unix-domain
+//! socket or a localhost TCP connection.
+//!
+//! Requests (`op` selects the operation; `id`, if present, is echoed
+//! verbatim in the response so clients can pipeline):
+//!
+//! ```text
+//! {"op":"check","source":"<NesL text>","name":"<label>","id":7}
+//! {"op":"check","path":"<file.nesl | dir | manifest.json>"}
+//! {"op":"stats"}
+//! {"op":"health"}
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! {"ok":true,"id":7,"rows":[<batch row>...],"exit":N,"time_s":...}
+//! {"ok":true,"stats":{...}}   {"ok":true,"health":{...}}
+//! {"ok":false,"error":"overloaded"|"shutting-down"|"bad-request","detail":"..."}
+//! ```
+//!
+//! The `rows` array elements are byte-identical to `circ batch`'s
+//! report rows ([`circ_batch::render_row_json`]) — the soundness gate
+//! diffing serve verdicts against batch verdicts depends on the two
+//! sharing one renderer. Everything here parses with the same
+//! damage-rejecting [`circ_batch::mjson`] reader the supervision
+//! layer trusts across crash boundaries.
+
+use circ_batch::mjson::{self, Value};
+use circ_batch::{json_escape, render_row_json, FileRow};
+
+/// What a `check` request asks the service to check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckInput {
+    /// Inline NesL source with a display label.
+    Source {
+        /// Label used as the row's `file` field (`"<inline>"` when
+        /// the request carried none).
+        name: String,
+        /// The program text.
+        source: String,
+    },
+    /// A server-side path: a `.nesl` file, a directory of them, or a
+    /// `.json` manifest — the same work-list semantics as
+    /// `circ batch`.
+    Path(String),
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run a check and respond with batch rows.
+    Check {
+        /// The client's `id`, rendered back verbatim (JSON literal).
+        id: Option<String>,
+        /// What to check.
+        input: CheckInput,
+    },
+    /// Service counters, queue depths, cache sizes, uptime.
+    Stats {
+        /// Echoed request id.
+        id: Option<String>,
+    },
+    /// Cheap liveness probe.
+    Health {
+        /// Echoed request id.
+        id: Option<String>,
+    },
+}
+
+/// Re-renders a parsed `id` value as the JSON literal to echo.
+/// Strings and numbers are accepted; anything else is a bad request
+/// (an object id would make response framing ambiguous).
+fn id_literal(v: &Value) -> Result<String, String> {
+    match v {
+        Value::Str(s) => Ok(format!("\"{}\"", json_escape(s))),
+        Value::Num(raw) => Ok(raw.clone()),
+        _ => Err("`id` must be a string or number".into()),
+    }
+}
+
+/// Parses one request line. Every defect — unparseable JSON, a
+/// missing or unknown `op`, a `check` without exactly one input —
+/// is an `Err` the server answers with a `bad-request` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = mjson::parse(line.trim()).map_err(|e| format!("unparseable request: {e}"))?;
+    let id = match v.get("id") {
+        None => None,
+        Some(idv) => Some(id_literal(idv)?),
+    };
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing string `op` (expected check|stats|health)".to_string())?;
+    match op {
+        "stats" => Ok(Request::Stats { id }),
+        "health" => Ok(Request::Health { id }),
+        "check" => {
+            let source = v.get("source").map(|s| {
+                s.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "`source` must be a string".to_string())
+            });
+            let path = v.get("path").map(|p| {
+                p.as_str().map(str::to_string).ok_or_else(|| "`path` must be a string".to_string())
+            });
+            match (source, path) {
+                (Some(source), None) => {
+                    let name = match v.get("name") {
+                        None => "<inline>".to_string(),
+                        Some(n) => n
+                            .as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "`name` must be a string".to_string())?,
+                    };
+                    Ok(Request::Check { id, input: CheckInput::Source { name, source: source? } })
+                }
+                (None, Some(path)) => Ok(Request::Check { id, input: CheckInput::Path(path?) }),
+                (None, None) => Err("check needs `source` or `path`".into()),
+                (Some(_), Some(_)) => Err("check takes `source` or `path`, not both".into()),
+            }
+        }
+        other => Err(format!("unknown op `{other}` (expected check|stats|health)")),
+    }
+}
+
+/// The `"id":<literal>,` fragment, or nothing when the request had no
+/// id.
+fn id_fragment(id: Option<&str>) -> String {
+    match id {
+        Some(lit) => format!("\"id\":{lit},"),
+        None => String::new(),
+    }
+}
+
+/// Renders a successful check response: batch rows, the worst-wins
+/// exit code the same corpus would produce under `circ batch`, and
+/// the request's wall time.
+pub fn render_check_response(id: Option<&str>, rows: &[FileRow], exit: u8, time_s: f64) -> String {
+    let mut s = format!("{{\"ok\":true,{}\"rows\":[", id_fragment(id));
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&render_row_json(row));
+    }
+    s.push_str(&format!("],\"exit\":{exit},\"time_s\":{time_s:.6}}}"));
+    s
+}
+
+/// Renders a successful non-check response with one payload object
+/// under `key` (`stats` or `health`). `payload_json` must already be
+/// a JSON object.
+pub fn render_payload_response(id: Option<&str>, key: &str, payload_json: &str) -> String {
+    format!("{{\"ok\":true,{}\"{key}\":{payload_json}}}", id_fragment(id))
+}
+
+/// A structured error response: `kind` is one of the stable strings
+/// `overloaded`, `shutting-down`, `bad-request`, `internal-error`.
+pub fn render_error(id: Option<&str>, kind: &str, detail: &str) -> String {
+    format!(
+        "{{\"ok\":false,{}\"error\":\"{kind}\",\"detail\":\"{}\"}}",
+        id_fragment(id),
+        json_escape(detail)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_ops_and_echoes_ids() {
+        assert_eq!(parse_request("{\"op\":\"stats\"}"), Ok(Request::Stats { id: None }));
+        assert_eq!(
+            parse_request("{\"op\":\"health\",\"id\":7}"),
+            Ok(Request::Health { id: Some("7".into()) })
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"check\",\"source\":\"global int x;\",\"id\":\"a\"}"),
+            Ok(Request::Check {
+                id: Some("\"a\"".into()),
+                input: CheckInput::Source {
+                    name: "<inline>".into(),
+                    source: "global int x;".into()
+                }
+            })
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"check\",\"path\":\"examples/\"}"),
+            Ok(Request::Check { id: None, input: CheckInput::Path("examples/".into()) })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "not json",
+            "{\"op\":\"launch-missiles\"}",
+            "{\"source\":\"x\"}",
+            "{\"op\":\"check\"}",
+            "{\"op\":\"check\",\"source\":\"a\",\"path\":\"b\"}",
+            "{\"op\":\"check\",\"source\":1}",
+            "{\"op\":\"check\",\"path\":{}}",
+            "{\"op\":\"check\",\"source\":\"x\",\"name\":3}",
+            "{\"op\":\"stats\",\"id\":[1]}",
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn responses_render_as_single_parseable_lines() {
+        use circ_batch::Verdict;
+        let row = FileRow::new("a.nesl".into(), Verdict::Safe, "1 race variable(s)".into());
+        for line in [
+            render_check_response(Some("42"), &[row], 0, 0.25),
+            render_payload_response(None, "health", "{\"uptime_s\":1.000000}"),
+            render_error(Some("\"x\""), "overloaded", "queue full (2 in flight, 4 queued)"),
+        ] {
+            assert!(!line.contains('\n'), "{line}");
+            let v = mjson::parse(&line).expect(&line);
+            assert!(v.get("ok").is_some(), "{line}");
+        }
+        let err = render_error(None, "bad-request", "why \"quoted\"");
+        let v = mjson::parse(&err).unwrap();
+        assert_eq!(v.get("error").and_then(Value::as_str), Some("bad-request"));
+        assert_eq!(v.get("detail").and_then(Value::as_str), Some("why \"quoted\""));
+    }
+}

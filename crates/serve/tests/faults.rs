@@ -1,0 +1,130 @@
+//! Serve-loop containment under seeded fault injection (`--features
+//! inject`): an injected worker panic only ever degrades the affected
+//! response to `internal-error` — it never flips a verdict and never
+//! kills the server — and a transient fault that clears on the retry
+//! lands back on the clean verdict, visible as `totals.retries` in
+//! the stats payload.
+#![cfg(all(unix, feature = "inject"))]
+
+use circ_batch::mjson::{self, Value};
+use circ_governor::{FaultPlan, RetryPolicy};
+use circ_serve::{serve, BindTo, ServeConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const SAFE_READER: &str = "global int config;\n#race config;\n\
+    thread reader { local int s; loop { s = config; if (s > 0) { skip; } } }\n";
+
+const RACY: &str = "global int data;\n#race data;\n\
+    thread writer { loop { data = data + 1; } }\n";
+
+fn short_socket_path(tag: &str) -> PathBuf {
+    // Unix socket paths are limited to ~108 bytes; CARGO_TARGET_TMPDIR
+    // can exceed that, so fall back to /tmp with a pid-unique name.
+    std::env::temp_dir().join(format!("circ-serve-inj-{}-{tag}.sock", std::process::id()))
+}
+
+struct Server {
+    socket: PathBuf,
+    cancel: circ_governor::CancelToken,
+    thread: Option<std::thread::JoinHandle<Result<u8, circ_serve::ServeError>>>,
+}
+
+impl Server {
+    fn start(mut config: ServeConfig, tag: &str) -> Server {
+        let socket = short_socket_path(tag);
+        let _ = std::fs::remove_file(&socket);
+        config.bind = BindTo::Socket(socket.clone());
+        let cancel = config.cancel.clone();
+        let thread = std::thread::spawn(move || serve(config));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while UnixStream::connect(&socket).is_err() {
+            assert!(Instant::now() < deadline, "server never came up on {}", socket.display());
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Server { socket, cancel, thread: Some(thread) }
+    }
+
+    fn roundtrip(&self, request: &str) -> Value {
+        let mut conn = UnixStream::connect(&self.socket).expect("connect");
+        writeln!(conn, "{request}").expect("write request");
+        let mut line = String::new();
+        BufReader::new(conn).read_line(&mut line).expect("read response");
+        mjson::parse(line.trim()).unwrap_or_else(|e| panic!("bad response `{line}`: {e}"))
+    }
+
+    fn stop(mut self) -> u8 {
+        self.cancel.cancel();
+        self.thread.take().expect("running").join().expect("serve thread").expect("clean drain")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.cancel.cancel();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+fn sole_verdict(resp: &Value) -> String {
+    let Some(Value::Arr(rows)) = resp.get("rows") else {
+        panic!("no rows in {resp:?}");
+    };
+    assert_eq!(rows.len(), 1, "{resp:?}");
+    rows[0].get("verdict").and_then(Value::as_str).expect("verdict").to_string()
+}
+
+/// Scans injection seeds until both containment shapes have been
+/// observed through the live service: (a) a contained panic (counted
+/// in `panics_contained`, the server still answering afterwards) and
+/// (b) a transient fault recovered by the retry loop (`totals.retries`
+/// > 0 with every verdict still clean). At every seed, every response
+/// is clean-or-degraded — never a flipped verdict — and the drain
+/// still exits 3.
+#[test]
+fn injected_panics_only_degrade_and_retries_recover_the_clean_verdict() {
+    let mut contained = false;
+    let mut recovered = false;
+    for seed in 0..64u64 {
+        let config = ServeConfig {
+            faults: FaultPlan::seeded(seed).with_task_panic(60),
+            retry: RetryPolicy::with_retries(3, seed),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config, &format!("s{seed}"));
+        let mut all_clean = true;
+        for (src, clean) in [(SAFE_READER, "safe"), (RACY, "race")] {
+            let resp = server.roundtrip(&format!(
+                "{{\"op\":\"check\",\"source\":\"{}\"}}",
+                circ_batch::json_escape(src)
+            ));
+            assert_eq!(resp.get("ok"), Some(&Value::Bool(true)), "seed {seed}: {resp:?}");
+            let v = sole_verdict(&resp);
+            assert!(
+                v == clean || v == "internal-error",
+                "seed {seed}: verdict flipped {clean} -> {v}"
+            );
+            all_clean &= v == clean;
+        }
+        // The server survives whatever the injection did to the
+        // workers, and its counters say what happened.
+        let stats = server.roundtrip("{\"op\":\"stats\"}");
+        let service = stats.get("stats").and_then(|s| s.get("service")).expect("service block");
+        let panics = service.get("panics_contained").and_then(Value::as_u64).unwrap();
+        let retries =
+            service.get("totals").and_then(|t| t.get("retries")).and_then(Value::as_u64).unwrap();
+        contained |= panics > 0;
+        recovered |= retries > 0 && all_clean;
+        assert_eq!(server.stop(), 3, "seed {seed}: drain must still exit 3");
+        if contained && recovered {
+            return;
+        }
+    }
+    assert!(contained, "no seed in 0..64 injected a contained panic");
+    assert!(recovered, "no seed in 0..64 produced a retry-recoverable transient fault");
+}

@@ -390,6 +390,88 @@ impl BatchTotals {
     }
 }
 
+/// One internally consistent view of a running `circ serve` process:
+/// request-level outcomes plus the [`BatchTotals`] roll-up of every
+/// row the service has produced. Obtained from
+/// [`ServiceStats::snapshot`], which copies the whole struct under a
+/// single lock — a `stats` response can never observe, say, a `files`
+/// total that includes a row whose verdict count is still missing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    /// Request lines handled, any operation (including rejected ones).
+    pub requests: u64,
+    /// Check requests that ran to a normal response.
+    pub checks: u64,
+    /// Check requests shed with an `overloaded` response because the
+    /// admission queue was full.
+    pub overloaded: u64,
+    /// Check requests rejected with a `shutting-down` response during
+    /// a graceful drain.
+    pub shed_shutting_down: u64,
+    /// Request lines that failed to parse or validate.
+    pub bad_requests: u64,
+    /// Panics contained at the request boundary (the request got an
+    /// `internal-error` row or response; the server kept running).
+    pub panics_contained: u64,
+    /// Per-row roll-up summed across all completed check requests —
+    /// the same shape a batch report's `totals` block carries.
+    pub totals: BatchTotals,
+}
+
+impl ServiceSnapshot {
+    /// Renders the snapshot as one JSON object on a single line.
+    /// Keys are stable; the serve protocol embeds this verbatim.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\":{},\"checks\":{},\"overloaded\":{},\
+             \"shed_shutting_down\":{},\"bad_requests\":{},\
+             \"panics_contained\":{},\"totals\":{}}}",
+            self.requests,
+            self.checks,
+            self.overloaded,
+            self.shed_shutting_down,
+            self.bad_requests,
+            self.panics_contained,
+            self.totals.to_json(),
+        )
+    }
+}
+
+/// Shared, thread-safe service counters for `circ serve`.
+///
+/// Every mutation and every read goes through **one** mutex: updates
+/// are applied as a single closure under the lock, and
+/// [`ServiceStats::snapshot`] clones the entire state under the same
+/// lock. The alternative — per-counter atomics — would let a reader
+/// interleave between two `fetch_add`s and report torn totals (a
+/// request counted in `checks` but not yet in `totals.files`). The
+/// counters move at request granularity, so one uncontended lock is
+/// far below the noise floor of an actual check.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    inner: std::sync::Mutex<ServiceSnapshot>,
+}
+
+impl ServiceStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> ServiceStats {
+        ServiceStats::default()
+    }
+
+    /// Applies one atomic update: `f` runs under the snapshot lock,
+    /// so all the counters it touches move together or not at all as
+    /// far as any concurrent [`ServiceStats::snapshot`] can observe.
+    pub fn apply(&self, f: impl FnOnce(&mut ServiceSnapshot)) {
+        let mut guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut guard);
+    }
+
+    /// An internally consistent copy of the current counters.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+}
+
 fn hit_rate(hits: u64, misses: u64) -> f64 {
     let total = hits + misses;
     if total == 0 {
@@ -498,6 +580,97 @@ mod tests {
         assert!(s.contains("2 resumed from journal"), "{s}");
         assert!(s.contains("3 cancelled"), "{s}");
         assert!(s.contains("1 retry"), "{s}");
+    }
+
+    #[test]
+    fn service_snapshot_json_nests_totals() {
+        let stats = ServiceStats::new();
+        stats.apply(|s| {
+            s.requests = 5;
+            s.checks = 3;
+            s.overloaded = 1;
+            s.bad_requests = 1;
+            s.totals.files = 4;
+            s.totals.safe = 3;
+            s.totals.races = 1;
+        });
+        let j = stats.snapshot().to_json();
+        assert!(!j.contains('\n'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"requests\":5"), "{j}");
+        assert!(j.contains("\"overloaded\":1"), "{j}");
+        assert!(j.contains("\"shed_shutting_down\":0"), "{j}");
+        assert!(j.contains("\"totals\":{\"files\":4"), "{j}");
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_torn_totals() {
+        // Writers move several counters in one `apply`; the invariants
+        // `safe + races == files` and `files == 2 · checks` hold after
+        // every update, so any snapshot violating them can only come
+        // from tearing — exactly what the single lock must prevent.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let stats = Arc::new(ServiceStats::new());
+        let done = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let stats = Arc::clone(&stats);
+                let done = Arc::clone(&done);
+                scope.spawn(move || {
+                    while !done.load(Ordering::Relaxed) {
+                        let s = stats.snapshot();
+                        assert_eq!(
+                            s.totals.safe + s.totals.races,
+                            s.totals.files,
+                            "torn snapshot: verdict counts out of sync with files"
+                        );
+                        assert_eq!(
+                            s.totals.files,
+                            2 * s.checks,
+                            "torn snapshot: files out of sync with checks"
+                        );
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let stats = Arc::clone(&stats);
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        stats.apply(|s| {
+                            s.requests += 1;
+                            s.checks += 1;
+                            s.totals.files += 2;
+                            // Alternate so both verdict counters move.
+                            if i % 2 == 0 {
+                                s.totals.safe += 2;
+                            } else {
+                                s.totals.safe += 1;
+                                s.totals.races += 1;
+                            }
+                        });
+                    }
+                });
+            }
+            // Writer scopes join before `done` flips? No — flip it
+            // from the main thread once all writers are spawned and
+            // joined via an inner scope would deadlock the readers.
+            // Instead: spawn a watchdog that flips `done` when the
+            // writers' full quota is visible.
+            let stats_w = Arc::clone(&stats);
+            let done_w = Arc::clone(&done);
+            scope.spawn(move || loop {
+                if stats_w.snapshot().checks == 4 * 500 {
+                    done_w.store(true, Ordering::Relaxed);
+                    break;
+                }
+                std::thread::yield_now();
+            });
+        });
+        let final_snap = stats.snapshot();
+        assert_eq!(final_snap.requests, 2000);
+        assert_eq!(final_snap.totals.files, 4000);
+        assert_eq!(final_snap.totals.safe + final_snap.totals.races, 4000);
     }
 
     #[test]

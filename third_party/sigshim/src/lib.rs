@@ -24,6 +24,9 @@
 
 #![warn(missing_docs)]
 
+/// SIGHUP (terminal hangup; daemons conventionally reuse it as a
+/// "reload/flush now" request). Linux numbering.
+pub const SIGHUP: i32 = 1;
 /// SIGINT (interactive interrupt, Ctrl-C). Linux numbering.
 pub const SIGINT: i32 = 2;
 /// SIGTERM (polite termination request). Linux numbering.
@@ -36,7 +39,7 @@ pub const SIGUSR1: i32 = 10;
 mod imp {
     use std::io::Read;
     use std::os::fd::AsRawFd;
-    use std::sync::atomic::{AtomicI32, Ordering};
+    use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
     use std::sync::Mutex;
 
     /// `SIG_DFL`, the default disposition.
@@ -52,15 +55,24 @@ mod imp {
     /// Write end of the self-pipe, as a raw fd the handler can reach.
     /// `-1` until [`super::install`] runs.
     static PIPE_WR: AtomicI32 = AtomicI32::new(-1);
+    /// Bitmask of signal numbers whose handler stays installed across
+    /// deliveries (set before the handlers are registered, read by the
+    /// async-signal-safe handler — an atomic load is fine there).
+    static PERSISTENT_MASK: AtomicU64 = AtomicU64::new(0);
     /// Serializes installation (one watcher thread per process).
     static INSTALLED: Mutex<bool> = Mutex::new(false);
 
-    /// The signal handler: async-signal-safe only. Restores the
-    /// default disposition for `sig` (second delivery kills the
-    /// process) and pokes the self-pipe with the signal number.
+    /// The signal handler: async-signal-safe only. For one-shot
+    /// signals it restores the default disposition (second delivery
+    /// kills the process); persistent signals keep the handler. Then
+    /// it pokes the self-pipe with the signal number.
     extern "C" fn on_signal(sig: i32) {
-        unsafe {
-            signal(sig, SIG_DFL);
+        let persistent =
+            (0..64).contains(&sig) && PERSISTENT_MASK.load(Ordering::SeqCst) & (1u64 << sig) != 0;
+        if !persistent {
+            unsafe {
+                signal(sig, SIG_DFL);
+            }
         }
         let fd = PIPE_WR.load(Ordering::SeqCst);
         if fd >= 0 {
@@ -73,16 +85,28 @@ mod imp {
         }
     }
 
-    pub fn install(signals: &[i32], callback: impl Fn(i32) + Send + 'static) -> Result<(), String> {
+    pub fn install_mixed(
+        oneshot: &[i32],
+        persistent: &[i32],
+        callback: impl Fn(i32) + Send + 'static,
+    ) -> Result<(), String> {
         let mut installed = INSTALLED.lock().unwrap_or_else(|e| e.into_inner());
         if *installed {
             return Err("signal shim already installed in this process".into());
         }
+        let mut mask = 0u64;
+        for &sig in persistent {
+            if !(0..64).contains(&sig) {
+                return Err(format!("signal {sig} out of range for persistent install"));
+            }
+            mask |= 1u64 << sig;
+        }
+        PERSISTENT_MASK.store(mask, Ordering::SeqCst);
         let (mut reader, writer) = std::io::pipe().map_err(|e| format!("cannot open pipe: {e}"))?;
         PIPE_WR.store(writer.as_raw_fd(), Ordering::SeqCst);
         // The write end must outlive every future signal delivery.
         std::mem::forget(writer);
-        for &sig in signals {
+        for &sig in oneshot.iter().chain(persistent) {
             let handler = on_signal as extern "C" fn(i32) as *const () as usize;
             let prev = unsafe { signal(sig, handler) };
             if prev == SIG_ERR {
@@ -115,8 +139,9 @@ mod imp {
 
 #[cfg(not(unix))]
 mod imp {
-    pub fn install(
-        _signals: &[i32],
+    pub fn install_mixed(
+        _oneshot: &[i32],
+        _persistent: &[i32],
         _callback: impl Fn(i32) + Send + 'static,
     ) -> Result<(), String> {
         Err("signal shim is only supported on Unix targets".into())
@@ -137,7 +162,24 @@ mod imp {
 /// May be called once per process; later calls return an error, as
 /// does installation on non-Unix targets.
 pub fn install(signals: &[i32], callback: impl Fn(i32) + Send + 'static) -> Result<(), String> {
-    imp::install(signals, callback)
+    imp::install_mixed(signals, &[], callback)
+}
+
+/// Like [`install`], but signals in `persistent` keep their handler
+/// across deliveries instead of reverting to the default disposition.
+///
+/// The split matches the two jobs a daemon gives its signals: `oneshot`
+/// for shutdown requests (SIGINT/SIGTERM — the first delivery starts a
+/// graceful drain, the second force-kills through the restored
+/// default), `persistent` for repeatable control requests (SIGHUP as
+/// "flush caches now" — the process must survive any number of them).
+/// Same once-per-process restriction as [`install`].
+pub fn install_mixed(
+    oneshot: &[i32],
+    persistent: &[i32],
+    callback: impl Fn(i32) + Send + 'static,
+) -> Result<(), String> {
+    imp::install_mixed(oneshot, persistent, callback)
 }
 
 /// Sends `sig` to the current process. Exposed for tests that need to
@@ -155,20 +197,33 @@ mod tests {
 
     #[test]
     fn delivers_signal_number_to_callback_on_watcher_thread() {
+        // SIGUSR1 is installed *persistent* here: a one-shot install
+        // would revert to the default disposition after the first
+        // delivery, and a second raise would kill the test process —
+        // so surviving the second raise below is itself the assertion
+        // that persistence works.
+        let count = Arc::new(AtomicI32::new(0));
         let seen = Arc::new(AtomicI32::new(0));
-        let seen2 = seen.clone();
-        install(&[SIGUSR1], move |sig| {
+        let (count2, seen2) = (count.clone(), seen.clone());
+        install_mixed(&[], &[SIGUSR1], move |sig| {
             seen2.store(sig, Ordering::SeqCst);
+            count2.fetch_add(1, Ordering::SeqCst);
         })
         .expect("first install succeeds");
         // A second install must refuse rather than double-register.
         assert!(install(&[SIGUSR1], |_| {}).is_err());
 
+        let wait_for = |n: i32| {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while count.load(Ordering::SeqCst) < n && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        };
         raise(SIGUSR1);
-        let deadline = Instant::now() + Duration::from_secs(5);
-        while seen.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(5));
-        }
+        wait_for(1);
         assert_eq!(seen.load(Ordering::SeqCst), SIGUSR1, "callback never saw the signal");
+        raise(SIGUSR1);
+        wait_for(2);
+        assert_eq!(count.load(Ordering::SeqCst), 2, "persistent handler must keep delivering");
     }
 }
