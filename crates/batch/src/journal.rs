@@ -23,7 +23,6 @@ use crate::{FileRow, Verdict};
 use circ_stats::{AbsCounters, PhaseTimes, PipelineStats, SolverCounters};
 use std::collections::HashMap;
 use std::fs;
-use std::io::Write;
 use std::path::Path;
 use std::sync::Mutex;
 use std::time::Duration;
@@ -32,10 +31,12 @@ use std::time::Duration;
 /// incompatible change so old journals degrade to re-checks instead of
 /// misparsing.
 pub const JOURNAL_TAG: &str = "circ-batch";
-/// Current journal line format version. v3 added the `stage`
-/// attribution field and the triage pipeline counters; v2 added the
-/// `config` fingerprint field. Older lines degrade to re-checks.
-pub const JOURNAL_VERSION: u64 = 3;
+/// Current journal line format version. v4 added the storage-layer
+/// counters (`store_recoveries`/`flush_errors`) to the embedded
+/// pipeline block; v3 added the `stage` attribution field and the
+/// triage pipeline counters; v2 added the `config` fingerprint field.
+/// Older lines degrade to re-checks.
+pub const JOURNAL_VERSION: u64 = 4;
 
 /// Content digest of a file's bytes (FNV-1a 64, shared with the cache
 /// snapshot checksums).
@@ -186,6 +187,8 @@ pub fn pipeline_from_json(v: &Value) -> Result<PipelineStats, String> {
         triage_stage0_decided: u("triage_stage0_decided")?,
         triage_stage1_decided: u("triage_stage1_decided")?,
         triage_fallthrough: u("triage_fallthrough")?,
+        store_recoveries: u("store_recoveries")?,
+        flush_errors: u("flush_errors")?,
         phases: PhaseTimes {
             reach: d("time_reach_s")?,
             sim: d("time_sim_s")?,
@@ -205,6 +208,7 @@ pub fn pipeline_from_json(v: &Value) -> Result<PipelineStats, String> {
 #[derive(Debug)]
 pub struct Journal {
     file: Mutex<fs::File>,
+    io: circ_store::Store,
 }
 
 impl Journal {
@@ -212,30 +216,45 @@ impl Journal {
     /// non-resume run must not leave stale entries for `--resume` to
     /// trust later).
     pub fn create(path: &Path) -> std::io::Result<Journal> {
+        Journal::create_in(&circ_store::Store::real(), path)
+    }
+
+    /// [`Journal::create`] through an explicit storage handle, so the
+    /// torture harness can fail appends deterministically.
+    pub fn create_in(io: &circ_store::Store, path: &Path) -> std::io::Result<Journal> {
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             fs::create_dir_all(parent)?;
         }
-        Ok(Journal { file: Mutex::new(fs::File::create(path)?) })
+        Ok(Journal { file: Mutex::new(fs::File::create(path)?), io: io.clone() })
     }
 
     /// Opens an existing journal for appending (the `--resume` path);
     /// creates it if missing.
     pub fn open_append(path: &Path) -> std::io::Result<Journal> {
+        Journal::open_append_in(&circ_store::Store::real(), path)
+    }
+
+    /// [`Journal::open_append`] through an explicit storage handle.
+    pub fn open_append_in(io: &circ_store::Store, path: &Path) -> std::io::Result<Journal> {
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             fs::create_dir_all(parent)?;
         }
         Ok(Journal {
             file: Mutex::new(fs::OpenOptions::new().create(true).append(true).open(path)?),
+            io: io.clone(),
         })
     }
 
     /// Appends one completed row keyed by `digest`, stamped with the
-    /// run's configuration fingerprint.
+    /// run's configuration fingerprint. One write-and-flush per line
+    /// through the storage layer: concurrent workers interleave
+    /// lines, never bytes, and an injected append fault tears at most
+    /// this one line (which a later `--resume` degrades to a
+    /// re-check).
     pub fn append(&self, row: &FileRow, digest: u64, config: u64) -> std::io::Result<()> {
         let line = render_line(row, digest, config);
         let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
-        f.write_all(line.as_bytes())?;
-        f.flush()
+        self.io.append_line(&mut f, &line)
     }
 }
 
@@ -431,7 +450,7 @@ mod tests {
 
     #[test]
     fn version_skew_is_rejected_not_misread() {
-        let line = render_line(&sample_row(), 7, CFG).replace("\"v\":3", "\"v\":4");
+        let line = render_line(&sample_row(), 7, CFG).replace("\"v\":4", "\"v\":5");
         let err = parse_line(line.trim_end()).unwrap_err();
         assert!(err.contains("version"), "{err}");
     }

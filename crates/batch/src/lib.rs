@@ -78,9 +78,10 @@ use circ_governor::{
 };
 use circ_ir::{structural_digest, MtProgram};
 use circ_par::Pool;
-use circ_smt::{Formula, SatResult};
+use circ_smt::{Atom, Formula, SatResult};
 use circ_stats::{BatchTotals, PipelineStats};
 use circ_triage::{TriageConfig, TriageDecision};
+use std::collections::BTreeMap;
 use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -607,6 +608,9 @@ pub struct LoadedCaches {
     pub solver_seed: Vec<(Formula, SatResult)>,
     /// One message per damaged file that was ignored.
     pub warnings: Vec<String>,
+    /// How many damaged artifacts degraded to a cold start (each one
+    /// also has a warning). Feeds the `store_recoveries` counter.
+    pub recovered: u64,
 }
 
 /// Loads both cache files, degrading each to an empty (cold) seed
@@ -614,46 +618,159 @@ pub struct LoadedCaches {
 /// checksum, or does not parse. A genuinely missing file is a silent
 /// cold start.
 pub fn load_caches(dir: &Path) -> LoadedCaches {
+    load_caches_in(&circ_store::Store::real(), dir)
+}
+
+/// [`load_caches`] through an explicit storage handle, so torture
+/// runs can fail or truncate the reads deterministically. Does not
+/// sweep stale staging files — the run driver does that once, before
+/// any load (see [`run_batch`]), so worker-side loads stay read-only.
+pub fn load_caches_in(io: &circ_store::Store, dir: &Path) -> LoadedCaches {
     let mut warnings = Vec::new();
+    let mut recovered = 0u64;
     let abs_path = dir.join(ABS_CACHE_FILE);
-    let abs_seed = match circ_core::persist::load_abs_cache(&abs_path) {
+    let abs_seed = match circ_core::persist::load_abs_cache_in(io, &abs_path) {
         Ok(Some(seed)) => seed,
         Ok(None) => AbsSeed::empty(),
         Err(e) => {
             warnings.push(format!("ignoring cache `{}`: {e}", abs_path.display()));
+            recovered += 1;
             AbsSeed::empty()
         }
     };
     let solver_path = dir.join(SOLVER_CACHE_FILE);
-    let solver_seed = match circ_smt::persist::load_solver_cache(&solver_path) {
+    let solver_seed = match circ_smt::persist::load_solver_cache_in(io, &solver_path) {
         Ok(Some(entries)) => entries,
         Ok(None) => Vec::new(),
         Err(e) => {
             warnings.push(format!("ignoring cache `{}`: {e}", solver_path.display()));
+            recovered += 1;
             Vec::new()
         }
     };
-    LoadedCaches { abs_seed, solver_seed, warnings }
+    LoadedCaches { abs_seed, solver_seed, warnings, recovered }
 }
 
-/// Writes both cache files (atomically, via a temp-file rename) and
-/// returns `(abs_saved, solver_saved, warnings)`. The solver count
-/// excludes `Unknown` answers, which are never persisted.
-pub fn save_caches(
+/// Outcome of one locked merge-flush of a cache directory.
+pub struct FlushOutcome {
+    /// Entries in the merged entailment cache on disk after the flush.
+    pub abs_saved: usize,
+    /// Entries in the merged solver cache (`Unknown` is never persisted).
+    pub solver_saved: usize,
+    /// Entries in the merged predicate store (0 when the store is off).
+    pub preds_saved: usize,
+    /// Failed persistence steps: lock acquisition or artifact writes.
+    /// Feeds the `flush_errors` counter; each failure also warns.
+    pub flush_errors: u64,
+    /// One message per failed step, phrased so the reader knows the
+    /// previous on-disk snapshot is still intact.
+    pub warnings: Vec<String>,
+}
+
+/// Merges `disk` and `ours` entry-wise, ours winning on key
+/// collisions. Both sides key by canonical LIA atoms and the solver
+/// is deterministic, so colliding values are identical anyway; the
+/// union only ever *adds* warm-start coverage.
+fn merge_abs_seeds(disk: &AbsSeed, ours: &AbsSeed) -> AbsSeed {
+    let mut entails: BTreeMap<(Vec<Atom>, Atom), bool> = BTreeMap::new();
+    let mut sat: BTreeMap<Vec<Atom>, bool> = BTreeMap::new();
+    for (key, result) in disk.entails_entries().iter().chain(ours.entails_entries()) {
+        entails.insert(key.clone(), *result);
+    }
+    for (key, result) in disk.sat_entries().iter().chain(ours.sat_entries()) {
+        sat.insert(key.clone(), *result);
+    }
+    AbsSeed::from_entries(entails.into_iter().collect(), sat.into_iter().collect())
+}
+
+/// Flushes the run's learned state to `dir` under the directory's
+/// advisory lock: re-reads whatever is on disk *now*, merges our
+/// entries in (read-merge-write), and rewrites each artifact with a
+/// durable atomic write. The lock closes the window in which two
+/// processes sharing `--cache-dir` would otherwise clobber each
+/// other's learning — concurrent runs compose instead.
+///
+/// Every failure degrades, never corrupts: if the lock cannot be
+/// taken, nothing is written; if an individual write fails (ENOSPC,
+/// injected crash point), the rename never happened, so the previous
+/// snapshot of that artifact is intact. Both paths warn and count
+/// into [`FlushOutcome::flush_errors`]. A *damaged* on-disk artifact
+/// found during the re-read is simply replaced by our complete
+/// snapshot — that is the recovery, not an error.
+pub fn flush_caches_in(
+    io: &circ_store::Store,
     dir: &Path,
     snapshot: &AbsSeed,
     persist: &SolverPersist,
-) -> (usize, usize, Vec<String>) {
-    let mut warnings = Vec::new();
-    if let Err(e) = circ_core::persist::save_abs_cache(&dir.join(ABS_CACHE_FILE), snapshot) {
-        warnings.push(format!("cannot save `{}`: {e}", dir.join(ABS_CACHE_FILE).display()));
+    preds: Option<&PredStore>,
+) -> FlushOutcome {
+    let mut out = FlushOutcome {
+        abs_saved: 0,
+        solver_saved: 0,
+        preds_saved: 0,
+        flush_errors: 0,
+        warnings: Vec::new(),
+    };
+    let _lock = match io.lock_dir(dir) {
+        Ok(lock) => lock,
+        Err(e) => {
+            out.flush_errors += 1;
+            out.warnings.push(format!(
+                "cannot lock cache dir `{}`: {e}; skipping persist (previous snapshot intact)",
+                dir.display()
+            ));
+            return out;
+        }
+    };
+    let save = |path: &Path, text: &str, out: &mut FlushOutcome| match io.write_atomic(path, text) {
+        Ok(()) => true,
+        Err(e) => {
+            out.flush_errors += 1;
+            out.warnings
+                .push(format!("cannot save `{}`: {e}; previous snapshot intact", path.display()));
+            false
+        }
+    };
+
+    let abs_path = dir.join(ABS_CACHE_FILE);
+    let disk_abs = circ_core::persist::load_abs_cache_in(io, &abs_path)
+        .ok()
+        .flatten()
+        .unwrap_or_else(AbsSeed::empty);
+    let merged_abs = merge_abs_seeds(&disk_abs, snapshot);
+    if save(&abs_path, &circ_core::persist::render_abs_cache(&merged_abs), &mut out) {
+        out.abs_saved = merged_abs.len();
     }
-    if let Err(e) = circ_smt::persist::save_solver_cache(&dir.join(SOLVER_CACHE_FILE), persist) {
-        warnings.push(format!("cannot save `{}`: {e}", dir.join(SOLVER_CACHE_FILE).display()));
+
+    let solver_path = dir.join(SOLVER_CACHE_FILE);
+    let disk_solver = circ_smt::persist::load_solver_cache_in(io, &solver_path)
+        .ok()
+        .flatten()
+        .unwrap_or_default();
+    // Ours first: `merged_entries` is first-wins per formula, and the
+    // solver is deterministic, so the order only breaks ties between
+    // identical values.
+    let merged_solver = SolverPersist::with_seed(persist.merged_entries());
+    merged_solver.absorb(disk_solver);
+    let merged_solver_entries = merged_solver.merged_entries();
+    if save(&solver_path, &circ_smt::persist::render_solver_cache(&merged_solver_entries), &mut out)
+    {
+        out.solver_saved =
+            merged_solver_entries.iter().filter(|(_, r)| !matches!(r, SatResult::Unknown)).count();
     }
-    let solver_saved =
-        persist.merged_entries().iter().filter(|(_, r)| !matches!(r, SatResult::Unknown)).count();
-    (snapshot.len(), solver_saved, warnings)
+
+    if let Some(ours) = preds {
+        let path = dir.join(PRED_STORE_FILE);
+        let mut merged =
+            pred_store::load_pred_store_in(io, &path).ok().flatten().unwrap_or_default();
+        // `absorb` is later-wins, so absorbing *ours* into the disk
+        // store gives our fresher outcome counts precedence.
+        merged.absorb(ours.clone());
+        if save(&path, &pred_store::render_pred_store(&merged), &mut out) {
+            out.preds_saved = merged.len();
+        }
+    }
+    out
 }
 
 /// Everything one source-level check needs from its surroundings: the
@@ -879,10 +996,11 @@ fn check_file(
 /// construction. Learned cache entries are discarded — an isolated
 /// child never writes cache files (the parent would race it).
 pub fn check_single(path: &Path, config: &BatchConfig) -> (FileRow, Vec<String>) {
+    let io = circ_store::Store::with_faults(&config.faults);
     let cache_dir = if config.use_cache { config.cache_dir.as_deref() } else { None };
     let (abs_seed, solver_seed, mut warnings) = match cache_dir {
         Some(dir) => {
-            let loaded = load_caches(dir);
+            let loaded = load_caches_in(&io, dir);
             (loaded.abs_seed, loaded.solver_seed, loaded.warnings)
         }
         None => (AbsSeed::empty(), Vec::new(), Vec::new()),
@@ -892,7 +1010,10 @@ pub fn check_single(path: &Path, config: &BatchConfig) -> (FileRow, Vec<String>)
     } else {
         SolverPersist::inert()
     };
-    let pred_seed = load_pred_seed(config, cache_dir, &mut warnings);
+    // The isolated child never persists, so recovery bookkeeping stays
+    // with the parent driver (keeps per-row counters jobs-invariant).
+    let mut recovered = 0u64;
+    let pred_seed = load_pred_seed(&io, config, cache_dir, &mut warnings, &mut recovered);
     let key = content_key(path);
     let faults = config.faults.reseeded(key ^ 1);
     let (row, _cache, _learned) = check_file(
@@ -914,20 +1035,23 @@ pub fn check_single(path: &Path, config: &BatchConfig) -> (FileRow, Vec<String>)
 /// damaged file degrades to a warning plus a cold start, exactly like
 /// the cache snapshots.
 fn load_pred_seed(
+    io: &circ_store::Store,
     config: &BatchConfig,
     cache_dir: Option<&Path>,
     warnings: &mut Vec<String>,
+    recovered: &mut u64,
 ) -> Option<PredStore> {
     if !config.pred_store {
         return None;
     }
     let dir = cache_dir?;
     let path = dir.join(PRED_STORE_FILE);
-    match pred_store::load_pred_store(&path) {
+    match pred_store::load_pred_store_in(io, &path) {
         Ok(Some(store)) => Some(store),
         Ok(None) => Some(PredStore::new()),
         Err(e) => {
             warnings.push(format!("ignoring predicate store `{}`: {e}", path.display()));
+            *recovered += 1;
             Some(PredStore::new())
         }
     }
@@ -1191,11 +1315,21 @@ fn describe_status(status: &std::process::ExitStatus) -> String {
 /// and cache files. Cache files are written even on non-zero exits —
 /// a racy corpus still warms the cache.
 pub fn run_batch(inputs: &[PathBuf], config: &BatchConfig) -> BatchReport {
+    let io = circ_store::Store::with_faults(&config.faults);
     let cache_dir = if config.use_cache { config.cache_dir.as_deref() } else { None };
+    // All storage recovery and flush accounting happens here in the
+    // driver — loads before the pool starts, the flush after it
+    // drains — so both counters are invariant under `jobs`.
+    let mut store_recoveries = 0u64;
     let (abs_seed, solver_seed, mut warnings) = match cache_dir {
         Some(dir) => {
-            let loaded = load_caches(dir);
-            (loaded.abs_seed, loaded.solver_seed, loaded.warnings)
+            let (swept, sweep_warnings) = io.sweep_stale_tmps(dir);
+            store_recoveries += swept;
+            let loaded = load_caches_in(&io, dir);
+            store_recoveries += loaded.recovered;
+            let mut w = sweep_warnings;
+            w.extend(loaded.warnings);
+            (loaded.abs_seed, loaded.solver_seed, w)
         }
         None => (AbsSeed::empty(), Vec::new(), Vec::new()),
     };
@@ -1208,7 +1342,7 @@ pub fn run_batch(inputs: &[PathBuf], config: &BatchConfig) -> BatchReport {
     } else {
         SolverPersist::inert()
     };
-    let pred_seed = load_pred_seed(config, cache_dir, &mut warnings);
+    let pred_seed = load_pred_seed(&io, config, cache_dir, &mut warnings, &mut store_recoveries);
     let preds_seeded = pred_seed.as_ref().map_or(0, PredStore::len);
 
     // Journal replay map (resume) and writer. Opening the writer
@@ -1241,9 +1375,9 @@ pub fn run_batch(inputs: &[PathBuf], config: &BatchConfig) -> BatchReport {
         .collect();
     let journal_out = config.journal.as_ref().and_then(|path| {
         let opened = if config.resume {
-            journal::Journal::open_append(path)
+            journal::Journal::open_append_in(&io, path)
         } else {
-            journal::Journal::create(path)
+            journal::Journal::create_in(&io, path)
         };
         match opened {
             Ok(j) => Some(j),
@@ -1331,38 +1465,35 @@ pub fn run_batch(inputs: &[PathBuf], config: &BatchConfig) -> BatchReport {
     // touches the persisted state, so warm files are reproducible.
     // (Under --isolate the children learn into their own memory and
     // are discarded; the save then round-trips the seed unchanged.)
+    let mut flush_errors = append_failures.load(Ordering::Relaxed) as u64;
     let cache = cache_dir.map(|dir| {
         let master = AbsCache::with_seed(&abs_seed);
         for file_cache in &caches {
             master.absorb(file_cache);
         }
         let snapshot = master.snapshot();
-        let (abs_saved, solver_saved, save_warnings) = save_caches(dir, &snapshot, &persist);
-        warnings.extend(save_warnings);
-        let preds_saved = match pred_seed {
-            Some(seed) => {
-                let mut master = seed;
-                for learned in learned_stores {
-                    master.absorb(learned);
-                }
-                let path = dir.join(PRED_STORE_FILE);
-                if let Err(e) = pred_store::save_pred_store(&path, &master) {
-                    warnings.push(format!("cannot save `{}`: {e}", path.display()));
-                }
-                master.len()
+        let pred_master = pred_seed.map(|seed| {
+            let mut master = seed;
+            for learned in learned_stores {
+                master.absorb(learned);
             }
-            None => 0,
-        };
+            master
+        });
+        let outcome = flush_caches_in(&io, dir, &snapshot, &persist, pred_master.as_ref());
+        warnings.extend(outcome.warnings);
+        flush_errors += outcome.flush_errors;
         CacheSummary {
             dir: dir.display().to_string(),
             abs_seeded,
             solver_seeded,
-            abs_saved,
-            solver_saved,
+            abs_saved: outcome.abs_saved,
+            solver_saved: outcome.solver_saved,
             preds_seeded,
-            preds_saved,
+            preds_saved: outcome.preds_saved,
         }
     });
+    totals.pipeline.store_recoveries += store_recoveries;
+    totals.pipeline.flush_errors += flush_errors;
 
     BatchReport { rows, totals, quarantine, cache, exit, warnings }
 }

@@ -1,0 +1,191 @@
+//! The crash-point torture harness (`--features inject`): enumerate
+//! every [`IoFaultPoint`] against a full batch run over a small
+//! corpus and assert the storage contract end to end —
+//!
+//! * the crashed run's *verdicts* are byte-identical to an
+//!   undisturbed reference (storage faults cost warm-start time,
+//!   never answers);
+//! * the recovery run over the same cache directory again matches the
+//!   reference and leaves no staging litter behind;
+//! * the `store_recoveries` / `flush_errors` counters are invariant
+//!   under `jobs`, because all storage I/O happens in the driver.
+
+#![cfg(feature = "inject")]
+
+use circ_batch::{collect_inputs, run_batch, BatchConfig, BatchReport};
+use circ_governor::{FaultPlan, IoFaultPoint};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const SAFE_SRC: &str = "global int x;\n#race x;\nthread t { loop { atomic { x = x + 1; } } }\n";
+const RACY_SRC: &str = "global int y;\n#race y;\nthread t { loop { y = y + 1; } }\n";
+
+fn corpus(name: &str) -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    for i in 0..4 {
+        let body = if i == 2 { RACY_SRC.to_string() } else { format!("{SAFE_SRC}// {i}\n") };
+        fs::write(dir.join(format!("t{i}.nesl")), body).unwrap();
+    }
+    collect_inputs(&dir).unwrap()
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(cache_dir: &Path, faults: FaultPlan, jobs: usize) -> BatchConfig {
+    BatchConfig {
+        cache_dir: Some(cache_dir.to_path_buf()),
+        journal: Some(cache_dir.join("run.journal")),
+        jobs,
+        faults,
+        ..BatchConfig::default()
+    }
+}
+
+/// The part of a report a storage fault must never change: every
+/// row's file, verdict, detail, and stage, in input order.
+fn verdict_essence(report: &BatchReport) -> String {
+    report
+        .rows
+        .iter()
+        .map(|r| format!("{}\t{:?}\t{}\t{}\n", r.file, r.verdict, r.detail, r.stage))
+        .collect()
+}
+
+/// Copies the persisted artifacts of `src` into a fresh directory so
+/// two runs can start from identical warm state.
+fn clone_dir(src: &Path, name: &str) -> PathBuf {
+    let dst = fresh_dir(name);
+    for entry in fs::read_dir(src).unwrap().flatten() {
+        let from = entry.path();
+        if from.is_file() {
+            fs::copy(&from, dst.join(entry.file_name())).unwrap();
+        }
+    }
+    dst
+}
+
+fn tmp_litter(dir: &Path) -> Vec<String> {
+    fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(circ_store::TMP_SUFFIX))
+        .collect()
+}
+
+/// One crash point at a time, across the full batch lifecycle: warm
+/// load → pool run with journaling → locked merge-flush. Whatever the
+/// crash leaves behind, the crashed run and the recovery run must
+/// both reproduce the reference verdicts exactly.
+#[test]
+fn every_crash_point_recovers_warm_or_cold_with_identical_verdicts() {
+    let inputs = corpus("torture-corpus");
+
+    // Reference: an undisturbed cold run, then a warm run to pre-seed
+    // the cache directory every torture case starts from.
+    let seed_dir = fresh_dir("torture-seed");
+    let reference = run_batch(&inputs, &config(&seed_dir, FaultPlan::inert(), 1));
+    assert!(reference.warnings.is_empty(), "{:?}", reference.warnings);
+    let essence = verdict_essence(&reference);
+    let warm = run_batch(&inputs, &config(&seed_dir, FaultPlan::inert(), 1));
+    assert_eq!(verdict_essence(&warm), essence, "warm reference diverged");
+
+    for point in IoFaultPoint::ALL {
+        let dir = clone_dir(&seed_dir, &format!("torture-{}", point.name()));
+        let plan = FaultPlan::seeded(21).with_io_fault(point, 0);
+
+        let crashed = run_batch(&inputs, &config(&dir, plan, 1));
+        assert_eq!(
+            verdict_essence(&crashed),
+            essence,
+            "{}: crashed run changed a verdict",
+            point.name()
+        );
+        let observed = crashed.totals.pipeline.store_recoveries
+            + crashed.totals.pipeline.flush_errors
+            + u64::from(!crashed.warnings.is_empty());
+        assert!(observed > 0, "{}: the armed fault was never observed", point.name());
+
+        let recovery = run_batch(&inputs, &config(&dir, FaultPlan::inert(), 1));
+        assert_eq!(
+            verdict_essence(&recovery),
+            essence,
+            "{}: recovery run changed a verdict",
+            point.name()
+        );
+        assert_eq!(recovery.totals.pipeline.flush_errors, 0, "{}", point.name());
+        assert_eq!(tmp_litter(&dir), Vec::<String>::new(), "{}", point.name());
+
+        // And the directory is fully healed: one more clean run sees
+        // no anomalies at all.
+        let healed = run_batch(&inputs, &config(&dir, FaultPlan::inert(), 1));
+        assert_eq!(verdict_essence(&healed), essence, "{}", point.name());
+        assert_eq!(healed.totals.pipeline.store_recoveries, 0, "{}", point.name());
+        assert!(healed.warnings.is_empty(), "{}: {:?}", point.name(), healed.warnings);
+    }
+}
+
+/// The storage counters come from the driver, not the workers, so
+/// `jobs = 1` and `jobs = 4` must report identical values for the
+/// same crash point over identical starting state.
+#[test]
+fn storage_counters_are_jobs_invariant_under_injection() {
+    let inputs = corpus("torture-jobs-corpus");
+    let seed_dir = fresh_dir("torture-jobs-seed");
+    run_batch(&inputs, &config(&seed_dir, FaultPlan::inert(), 1));
+
+    for point in IoFaultPoint::ALL {
+        let d1 = clone_dir(&seed_dir, &format!("torture-j1-{}", point.name()));
+        let d4 = clone_dir(&seed_dir, &format!("torture-j4-{}", point.name()));
+        let r1 = run_batch(&inputs, &config(&d1, FaultPlan::seeded(21).with_io_fault(point, 0), 1));
+        let r4 = run_batch(&inputs, &config(&d4, FaultPlan::seeded(21).with_io_fault(point, 0), 4));
+        assert_eq!(
+            (r1.totals.pipeline.store_recoveries, r1.totals.pipeline.flush_errors),
+            (r4.totals.pipeline.store_recoveries, r4.totals.pipeline.flush_errors),
+            "{}: storage counters depend on jobs",
+            point.name()
+        );
+    }
+}
+
+/// Sticky disk-full across the whole flush: every artifact write
+/// fails, each with a warning naming the intact previous snapshot,
+/// and the prior on-disk state survives byte-for-byte.
+#[test]
+fn enospc_during_flush_degrades_to_logged_no_persist() {
+    let inputs = corpus("torture-enospc-corpus");
+    let dir = fresh_dir("torture-enospc");
+    run_batch(&inputs, &config(&dir, FaultPlan::inert(), 1));
+    let before: Vec<(String, String)> = ["abs.cache", "solver.cache", "preds.store"]
+        .iter()
+        .map(|n| (n.to_string(), fs::read_to_string(dir.join(n)).unwrap()))
+        .collect();
+
+    // Arm NoSpace from the fourth write event on: the four journal
+    // appends (one per corpus file) come first, then the flush's
+    // three artifact writes all hit the full disk.
+    let crashed = run_batch(
+        &inputs,
+        &config(&dir, FaultPlan::seeded(21).with_io_fault(IoFaultPoint::NoSpace, 4), 1),
+    );
+    assert!(crashed.totals.pipeline.flush_errors > 0);
+    assert!(
+        crashed.warnings.iter().any(|w| w.contains("previous snapshot intact")),
+        "{:?}",
+        crashed.warnings
+    );
+    for (name, text) in before {
+        assert_eq!(
+            fs::read_to_string(dir.join(&name)).unwrap(),
+            text,
+            "{name}: previous snapshot was not left intact"
+        );
+    }
+}

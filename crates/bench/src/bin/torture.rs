@@ -1,0 +1,197 @@
+//! Crash-point torture over a real corpus, as a CLI for CI smoke and
+//! manual soak runs: enumerate every [`IoFaultPoint`] against a full
+//! batch run and verify that the crashed run and the recovery run
+//! both reproduce the undisturbed verdicts, with no staging litter
+//! left behind. `--enospc` instead runs the sticky disk-full
+//! scenario and prints the degrade warnings for CI to grep.
+//!
+//! Usage: `torture <corpus-dir> [--enospc] [--jobs N]`
+//!
+//! Requires `--features inject`; without it the fault plan is
+//! compiled out and there is nothing to torture, so the bin exits 1
+//! with an explanation rather than silently passing.
+
+#[cfg(feature = "inject")]
+fn main() -> std::process::ExitCode {
+    inject::run()
+}
+
+#[cfg(not(feature = "inject"))]
+fn main() -> std::process::ExitCode {
+    eprintln!("torture: built without `--features inject`; the crash points are compiled out");
+    std::process::ExitCode::FAILURE
+}
+
+#[cfg(feature = "inject")]
+mod inject {
+    use circ_batch::{collect_inputs, run_batch, BatchConfig, BatchReport};
+    use circ_governor::{FaultPlan, IoFaultPoint};
+    use std::fs;
+    use std::path::{Path, PathBuf};
+    use std::process::ExitCode;
+
+    fn verdict_essence(report: &BatchReport) -> String {
+        report
+            .rows
+            .iter()
+            .map(|r| format!("{}\t{:?}\t{}\t{}\n", r.file, r.verdict, r.detail, r.stage))
+            .collect()
+    }
+
+    fn fresh_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("circ-torture-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn clone_dir(src: &Path, name: &str) -> PathBuf {
+        let dst = fresh_dir(name);
+        for entry in fs::read_dir(src).unwrap().flatten() {
+            let from = entry.path();
+            if from.is_file() {
+                fs::copy(&from, dst.join(entry.file_name())).unwrap();
+            }
+        }
+        dst
+    }
+
+    fn config(cache_dir: &Path, faults: FaultPlan, jobs: usize) -> BatchConfig {
+        BatchConfig {
+            cache_dir: Some(cache_dir.to_path_buf()),
+            journal: Some(cache_dir.join("run.journal")),
+            jobs,
+            faults,
+            ..BatchConfig::default()
+        }
+    }
+
+    fn tmp_litter(dir: &Path) -> Vec<String> {
+        fs::read_dir(dir)
+            .unwrap()
+            .flatten()
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.ends_with(circ_store::TMP_SUFFIX))
+            .collect()
+    }
+
+    pub fn run() -> ExitCode {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut corpus = None;
+        let mut enospc = false;
+        let mut jobs = 1usize;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--enospc" => enospc = true,
+                "--jobs" => {
+                    jobs = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("torture: --jobs needs a number");
+                        std::process::exit(2);
+                    })
+                }
+                other => corpus = Some(other.to_string()),
+            }
+        }
+        let Some(corpus) = corpus else {
+            eprintln!("usage: torture <corpus-dir> [--enospc] [--jobs N]");
+            return ExitCode::from(2);
+        };
+        let inputs = match collect_inputs(Path::new(&corpus)) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("torture: {e}");
+                return ExitCode::from(2);
+            }
+        };
+
+        // The undisturbed reference, and a warm seed directory every
+        // torture case clones its starting state from.
+        let seed_dir = fresh_dir("seed");
+        let reference = run_batch(&inputs, &config(&seed_dir, FaultPlan::inert(), jobs));
+        let essence = verdict_essence(&reference);
+        println!(
+            "torture: reference over {} file(s): {} safe, {} race(s)",
+            reference.totals.files, reference.totals.safe, reference.totals.races
+        );
+
+        if enospc {
+            return run_enospc(&inputs, &seed_dir, jobs);
+        }
+
+        let mut failed = false;
+        for point in IoFaultPoint::ALL {
+            let dir = clone_dir(&seed_dir, point.name());
+            let crashed = run_batch(
+                &inputs,
+                &config(&dir, FaultPlan::seeded(21).with_io_fault(point, 0), jobs),
+            );
+            let recovery = run_batch(&inputs, &config(&dir, FaultPlan::inert(), jobs));
+            let litter = tmp_litter(&dir);
+            let crashed_ok = verdict_essence(&crashed) == essence;
+            let recovery_ok = verdict_essence(&recovery) == essence && litter.is_empty();
+            println!(
+                "torture: point={:14} crashed_verdicts={} recovery={} recoveries={} flush_errors={}",
+                point.name(),
+                if crashed_ok { "identical" } else { "CHANGED" },
+                if recovery_ok { "clean" } else { "DIRTY" },
+                recovery.totals.pipeline.store_recoveries,
+                crashed.totals.pipeline.flush_errors,
+            );
+            failed |= !crashed_ok || !recovery_ok;
+        }
+        if failed {
+            eprintln!("torture: FAILED — some crash point changed a verdict or left litter");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "torture: all {} crash points recovered with identical verdicts",
+            IoFaultPoint::ALL.len()
+        );
+        ExitCode::SUCCESS
+    }
+
+    fn run_enospc(inputs: &[PathBuf], seed_dir: &Path, jobs: usize) -> ExitCode {
+        let dir = clone_dir(seed_dir, "enospc");
+        // Snapshot artifacts only: the journal is legitimately
+        // truncated by the fresh (non-resume) run.
+        let before: Vec<(String, String)> = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                e.path().is_file() && (name.ends_with(".cache") || name.ends_with(".store"))
+            })
+            .map(|e| {
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    fs::read_to_string(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        let crashed = run_batch(
+            inputs,
+            &config(&dir, FaultPlan::seeded(21).with_io_fault(IoFaultPoint::NoSpace, 0), jobs),
+        );
+        for w in &crashed.warnings {
+            println!("torture: warning: {w}");
+        }
+        let intact = before
+            .iter()
+            .all(|(name, text)| fs::read_to_string(dir.join(name)).ok().as_deref() == Some(text));
+        let essence_ok = verdict_essence(&crashed)
+            == verdict_essence(&run_batch(inputs, &config(seed_dir, FaultPlan::inert(), jobs)));
+        println!(
+            "torture: enospc verdicts={} previous_snapshots={} flush_errors={}",
+            if essence_ok { "identical" } else { "CHANGED" },
+            if intact { "intact" } else { "DAMAGED" },
+            crashed.totals.pipeline.flush_errors,
+        );
+        if intact && essence_ok && crashed.totals.pipeline.flush_errors > 0 {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("torture: FAILED — disk-full flush must degrade to a logged no-persist");
+            ExitCode::FAILURE
+        }
+    }
+}

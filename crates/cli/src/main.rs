@@ -468,9 +468,14 @@ fn cmd_check(args: &[String]) -> ExitCode {
     // across this invocation's race variables so the file written
     // back holds the union of what they learned. Without it, each
     // variable keeps its own per-run cache as before.
+    let io = circ_store::Store::real();
     let (abs_seed, persist) = match &parsed.cache_dir {
         Some(dir) => {
-            let loaded = circ_batch::load_caches(dir);
+            let (_, sweep_warnings) = io.sweep_stale_tmps(dir);
+            for w in &sweep_warnings {
+                eprintln!("warning: {w}");
+            }
+            let loaded = circ_batch::load_caches_in(&io, dir);
             for w in &loaded.warnings {
                 eprintln!("warning: {w}");
             }
@@ -642,15 +647,15 @@ fn cmd_check(args: &[String]) -> ExitCode {
         }
     }
     if let (Some(dir), Some(cache)) = (&parsed.cache_dir, &shared_cache) {
-        let (_, _, warnings) = circ_batch::save_caches(dir, &cache.snapshot(), &persist);
-        for w in &warnings {
+        let outcome = circ_batch::flush_caches_in(
+            &io,
+            dir,
+            &cache.snapshot(),
+            &persist,
+            preds_store.as_ref(),
+        );
+        for w in &outcome.warnings {
             eprintln!("warning: {w}");
-        }
-    }
-    if let (Some(dir), Some(store)) = (&parsed.cache_dir, &preds_store) {
-        let path = dir.join(circ_batch::PRED_STORE_FILE);
-        if let Err(e) = pred_store::save_pred_store(&path, store) {
-            eprintln!("warning: cannot save `{}`: {e}", path.display());
         }
     }
     ExitCode::from(worst)

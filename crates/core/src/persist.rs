@@ -20,10 +20,9 @@
 
 use crate::cache::AbsSeed;
 use circ_smt::persist::{
-    fnv1a64, parse_atom, parse_cache_file, push_atom, render_cache_file, write_atomic, Tokens,
+    fnv1a64, parse_atom, parse_cache_file, push_atom, render_cache_file, Tokens,
 };
 use circ_smt::{Atom, PersistError};
-use std::fs;
 use std::io;
 use std::path::Path;
 
@@ -117,7 +116,16 @@ pub fn parse_abs_cache(text: &str) -> Result<AbsSeed, PersistError> {
 /// fresh cache dir is not an anomaly); anything else unreadable or
 /// invalid is an error for the caller to log before cold-starting.
 pub fn load_abs_cache(path: &Path) -> Result<Option<AbsSeed>, PersistError> {
-    let text = match fs::read_to_string(path) {
+    load_abs_cache_in(&circ_store::Store::real(), path)
+}
+
+/// [`load_abs_cache`] through an explicit storage handle, so torture
+/// runs can fail or truncate the read deterministically.
+pub fn load_abs_cache_in(
+    store: &circ_store::Store,
+    path: &Path,
+) -> Result<Option<AbsSeed>, PersistError> {
+    let text = match store.read_to_string(path) {
         Ok(text) => text,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(PersistError::Io(e)),
@@ -125,9 +133,14 @@ pub fn load_abs_cache(path: &Path) -> Result<Option<AbsSeed>, PersistError> {
     parse_abs_cache(&text).map(Some)
 }
 
-/// Saves a seed to `path` (atomic write).
+/// Saves a seed to `path` (durable atomic write).
 pub fn save_abs_cache(path: &Path, seed: &AbsSeed) -> io::Result<()> {
-    write_atomic(path, &render_abs_cache(seed))
+    save_abs_cache_in(&circ_store::Store::real(), path, seed)
+}
+
+/// [`save_abs_cache`] through an explicit storage handle.
+pub fn save_abs_cache_in(store: &circ_store::Store, path: &Path, seed: &AbsSeed) -> io::Result<()> {
+    store.write_atomic(path, &render_abs_cache(seed))
 }
 
 /// A stable fingerprint of a rendered seed, used by benches to assert
@@ -141,6 +154,7 @@ mod tests {
     use super::*;
     use crate::cache::AbsCache;
     use circ_smt::{LinExpr, SVar};
+    use std::fs;
 
     fn x() -> LinExpr {
         LinExpr::var(SVar(0))

@@ -44,10 +44,9 @@
 
 use crate::circ::{CircConfig, CircOutcome};
 use circ_ir::{BinOp, CmpOp, Expr, Pred, Var};
-use circ_smt::persist::{fnv1a64, parse_cache_file, render_cache_file, write_atomic, Tokens};
+use circ_smt::persist::{fnv1a64, parse_cache_file, render_cache_file, Tokens};
 use circ_smt::PersistError;
 use std::collections::BTreeMap;
-use std::fs;
 use std::io;
 use std::path::Path;
 
@@ -309,7 +308,16 @@ pub fn parse_pred_store(text: &str) -> Result<PredStore, PersistError> {
 /// cache dir is not an anomaly); anything else unreadable or invalid
 /// is an error for the caller to log before cold-starting.
 pub fn load_pred_store(path: &Path) -> Result<Option<PredStore>, PersistError> {
-    let text = match fs::read_to_string(path) {
+    load_pred_store_in(&circ_store::Store::real(), path)
+}
+
+/// [`load_pred_store`] through an explicit storage handle, so torture
+/// runs can fail or truncate the read deterministically.
+pub fn load_pred_store_in(
+    io: &circ_store::Store,
+    path: &Path,
+) -> Result<Option<PredStore>, PersistError> {
+    let text = match io.read_to_string(path) {
         Ok(text) => text,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(PersistError::Io(e)),
@@ -317,16 +325,26 @@ pub fn load_pred_store(path: &Path) -> Result<Option<PredStore>, PersistError> {
     parse_pred_store(&text).map(Some)
 }
 
-/// Saves a store to `path` (atomic same-directory temp-file +
-/// rename, the same crash discipline as the cache snapshots).
+/// Saves a store to `path` (durable atomic write, the same crash
+/// discipline as the cache snapshots).
 pub fn save_pred_store(path: &Path, store: &PredStore) -> io::Result<()> {
-    write_atomic(path, &render_pred_store(store))
+    save_pred_store_in(&circ_store::Store::real(), path, store)
+}
+
+/// [`save_pred_store`] through an explicit storage handle.
+pub fn save_pred_store_in(
+    io: &circ_store::Store,
+    path: &Path,
+    store: &PredStore,
+) -> io::Result<()> {
+    io.write_atomic(path, &render_pred_store(store))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use circ_ir::{figure1_cfa, structural_digest};
+    use std::fs;
 
     fn v(i: u32) -> Expr {
         Expr::var(Var::from_raw(i))

@@ -290,10 +290,15 @@ struct FaultInner {
     solver_unknown_per_mille: u16,
     task_panic_per_mille: u16,
     stall: Option<Duration>,
+    /// Fail the `nth` occurrence of `point` (see [`IoFaultPoint`] for
+    /// which points are single-shot and which are sticky).
+    io_fault: Option<(IoFaultPoint, u64)>,
     #[cfg_attr(not(feature = "inject"), allow(dead_code))]
     solver_events: AtomicU64,
     #[cfg_attr(not(feature = "inject"), allow(dead_code))]
     task_events: AtomicU64,
+    #[cfg_attr(not(feature = "inject"), allow(dead_code))]
+    io_events: [AtomicU64; 8],
     #[cfg_attr(not(feature = "inject"), allow(dead_code))]
     stalled: AtomicBool,
     injected: AtomicU64,
@@ -321,6 +326,78 @@ const SALT_SOLVER: u64 = 0x736f_6c76_6572_3a31; // "solver:1"
 #[cfg_attr(not(feature = "inject"), allow(dead_code))]
 const SALT_TASK: u64 = 0x7461_736b_3a32_3232; // "task:222"
 
+/// The enumerated I/O crash/fault points of the storage layer
+/// (`circ-store`). Each names one primitive operation of the durable
+/// write protocol or its surroundings; a [`FaultPlan`] can be armed to
+/// fail exactly the *n*-th occurrence of one point, which is how the
+/// torture harness simulates a crash at every stage of a flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoFaultPoint {
+    /// Writing the temp file's bytes (fails after a partial write, so
+    /// a truncated `*.tmp` is left behind, as a real crash would).
+    TmpWrite,
+    /// `fsync` of the fully written temp file.
+    FileSync,
+    /// The atomic rename of temp over the destination.
+    Rename,
+    /// `fsync` of the parent directory after the rename.
+    DirSync,
+    /// Acquiring the cache directory's advisory lock.
+    LockAcquire,
+    /// Appending one line to the batch journal.
+    JournalAppend,
+    /// Disk-full: unlike the crash points above, this one is *sticky*
+    /// — every write-class operation from the armed occurrence onward
+    /// fails with a storage-full error, the way a full disk keeps
+    /// rejecting writes.
+    NoSpace,
+    /// Reading a snapshot back (fails after yielding a truncated
+    /// prefix, which the checksum envelope must reject).
+    Read,
+}
+
+impl IoFaultPoint {
+    /// Every point, in a stable order the torture harness enumerates.
+    pub const ALL: [IoFaultPoint; 8] = [
+        IoFaultPoint::TmpWrite,
+        IoFaultPoint::FileSync,
+        IoFaultPoint::Rename,
+        IoFaultPoint::DirSync,
+        IoFaultPoint::LockAcquire,
+        IoFaultPoint::JournalAppend,
+        IoFaultPoint::NoSpace,
+        IoFaultPoint::Read,
+    ];
+
+    /// Stable human-readable name (used in logs and harness output).
+    pub fn name(self) -> &'static str {
+        match self {
+            IoFaultPoint::TmpWrite => "tmp-write",
+            IoFaultPoint::FileSync => "file-sync",
+            IoFaultPoint::Rename => "rename",
+            IoFaultPoint::DirSync => "dir-sync",
+            IoFaultPoint::LockAcquire => "lock-acquire",
+            IoFaultPoint::JournalAppend => "journal-append",
+            IoFaultPoint::NoSpace => "no-space",
+            IoFaultPoint::Read => "read",
+        }
+    }
+
+    #[cfg_attr(not(feature = "inject"), allow(dead_code))]
+    fn ix(self) -> usize {
+        match self {
+            IoFaultPoint::TmpWrite => 0,
+            IoFaultPoint::FileSync => 1,
+            IoFaultPoint::Rename => 2,
+            IoFaultPoint::DirSync => 3,
+            IoFaultPoint::LockAcquire => 4,
+            IoFaultPoint::JournalAppend => 5,
+            IoFaultPoint::NoSpace => 6,
+            IoFaultPoint::Read => 7,
+        }
+    }
+}
+
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -343,8 +420,10 @@ impl FaultPlan {
                 solver_unknown_per_mille: 0,
                 task_panic_per_mille: 0,
                 stall: None,
+                io_fault: None,
                 solver_events: AtomicU64::new(0),
                 task_events: AtomicU64::new(0),
+                io_events: Default::default(),
                 stalled: AtomicBool::new(false),
                 injected: AtomicU64::new(0),
             })),
@@ -358,6 +437,7 @@ impl FaultPlan {
             solver_unknown_per_mille: old.map_or(0, |o| o.solver_unknown_per_mille),
             task_panic_per_mille: old.map_or(0, |o| o.task_panic_per_mille),
             stall: old.and_then(|o| o.stall),
+            io_fault: old.and_then(|o| o.io_fault),
         };
         f(&mut spec);
         FaultPlan {
@@ -366,8 +446,10 @@ impl FaultPlan {
                 solver_unknown_per_mille: spec.solver_unknown_per_mille.min(1000),
                 task_panic_per_mille: spec.task_panic_per_mille.min(1000),
                 stall: spec.stall,
+                io_fault: spec.io_fault,
                 solver_events: AtomicU64::new(0),
                 task_events: AtomicU64::new(0),
+                io_events: Default::default(),
                 stalled: AtomicBool::new(false),
                 injected: AtomicU64::new(0),
             })),
@@ -404,6 +486,14 @@ impl FaultPlan {
     /// blowing straight past its deadline between polls).
     pub fn with_stall(&self, dur: Duration) -> FaultPlan {
         self.rebuild(|s| s.stall = Some(dur))
+    }
+
+    /// Fail the `nth` (0-based) occurrence of I/O crash point `point`.
+    /// [`IoFaultPoint::NoSpace`] is sticky — it fails occurrence `nth`
+    /// and every write-class operation after it; the other points fire
+    /// exactly once, simulating a crash at that step.
+    pub fn with_io_fault(&self, point: IoFaultPoint, nth: u64) -> FaultPlan {
+        self.rebuild(|s| s.io_fault = Some((point, nth)))
     }
 
     #[cfg(feature = "inject")]
@@ -457,6 +547,35 @@ impl FaultPlan {
         }
     }
 
+    /// Should this occurrence of I/O crash point `point` fail? Always
+    /// `false` without the `inject` feature. Each point keeps its own
+    /// event counter, so "the `nth` rename" is well defined no matter
+    /// how many writes happen in between; the armed point fires at
+    /// exactly occurrence `nth` (or, for the sticky
+    /// [`IoFaultPoint::NoSpace`], at every occurrence from `nth` on).
+    #[must_use]
+    pub fn io_fail(&self, point: IoFaultPoint) -> bool {
+        #[cfg(feature = "inject")]
+        {
+            let Some(inner) = self.inner.as_deref() else { return false };
+            let Some((armed, nth)) = inner.io_fault else { return false };
+            if armed != point {
+                return false;
+            }
+            let i = inner.io_events[point.ix()].fetch_add(1, Ordering::Relaxed);
+            let hit = if armed == IoFaultPoint::NoSpace { i >= nth } else { i == nth };
+            if hit {
+                inner.injected.fetch_add(1, Ordering::Relaxed);
+            }
+            hit
+        }
+        #[cfg(not(feature = "inject"))]
+        {
+            let _ = point;
+            false
+        }
+    }
+
     /// Sleep for the configured stall duration, once per plan. No-op
     /// without the `inject` feature or when no stall is armed.
     pub fn maybe_stall(&self) {
@@ -482,6 +601,7 @@ struct FaultSpec {
     solver_unknown_per_mille: u16,
     task_panic_per_mille: u16,
     stall: Option<Duration>,
+    io_fault: Option<(IoFaultPoint, u64)>,
 }
 
 /// A deterministic, budget-aware retry schedule for *transient*

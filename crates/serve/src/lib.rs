@@ -48,8 +48,8 @@ use crate::admission::{Admission, Rejected};
 use crate::protocol::{parse_request, CheckInput, Request};
 use circ_batch::journal::digest_bytes;
 use circ_batch::{
-    check_source, collect_inputs, load_caches, save_caches, worst_exit, BatchConfig, CheckCtx,
-    FileRow, Verdict, PRED_STORE_FILE,
+    check_source, collect_inputs, flush_caches_in, load_caches_in, worst_exit, BatchConfig,
+    CheckCtx, FileRow, Verdict, PRED_STORE_FILE,
 };
 use circ_core::{pred_store, AbsCache, PredStore, SolverPersist};
 use circ_governor::{
@@ -353,6 +353,9 @@ struct ServerState {
     /// this lock and their learned entries are absorbed back under
     /// it, in unit order. `None` when the store is disabled.
     preds: Mutex<Option<PredStore>>,
+    /// Storage handle every cache load and flush goes through
+    /// (fault-injecting under the `inject` feature).
+    io: circ_store::Store,
     started: Instant,
 }
 
@@ -749,42 +752,53 @@ fn handle_conn(state: Arc<ServerState>, stream: Stream) {
     }
 }
 
-/// Flushes the warm caches and predicate store to `cache_dir`.
-/// Returns warnings (never fails the service).
+/// Flushes the warm caches and predicate store to `cache_dir` with
+/// one locked merge-flush (see [`circ_batch::flush_caches_in`]): a
+/// batch run or second server sharing the directory composes with us
+/// instead of being clobbered. Returns warnings (never fails the
+/// service — a failed flush leaves the previous on-disk snapshot
+/// intact and counts into the `flush_errors` stat).
 fn flush_caches(state: &ServerState) -> Vec<String> {
-    let mut warnings = Vec::new();
     if !state.config.use_cache {
-        return warnings;
+        return Vec::new();
     }
     let Some(dir) = &state.config.cache_dir else {
-        return warnings;
+        return Vec::new();
     };
     if let Err(e) = std::fs::create_dir_all(dir) {
-        warnings.push(format!("cannot create cache dir `{}`: {e}", dir.display()));
-        return warnings;
+        state.stats.apply(|s| s.totals.pipeline.flush_errors += 1);
+        return vec![format!("cannot create cache dir `{}`: {e}", dir.display())];
     }
-    let (_, _, save_warnings) = save_caches(dir, &state.cache.snapshot(), &state.persist);
-    warnings.extend(save_warnings);
+    // Hold the preds guard across the flush so the store we persist
+    // is consistent with the moment of the snapshot.
     let guard = state.preds.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-    if let Some(store) = guard.as_ref() {
-        let path = dir.join(PRED_STORE_FILE);
-        if let Err(e) = pred_store::save_pred_store(&path, store) {
-            warnings.push(format!("cannot save `{}`: {e}", path.display()));
-        }
+    let outcome =
+        flush_caches_in(&state.io, dir, &state.cache.snapshot(), &state.persist, guard.as_ref());
+    drop(guard);
+    if outcome.flush_errors > 0 {
+        state.stats.apply(|s| s.totals.pipeline.flush_errors += outcome.flush_errors);
     }
-    warnings
+    outcome.warnings
 }
 
 /// Builds the shared server state, warm-starting from `cache_dir`
 /// when one is configured. Load warnings are returned for stderr.
 fn build_state(config: ServeConfig) -> (Arc<ServerState>, Vec<String>) {
+    let io = circ_store::Store::with_faults(&config.faults);
     let mut warnings = Vec::new();
+    let mut recovered = 0u64;
     let cache_dir = if config.use_cache { config.cache_dir.as_deref() } else { None };
+    if let Some(dir) = cache_dir {
+        let (swept, sweep_warnings) = io.sweep_stale_tmps(dir);
+        recovered += swept;
+        warnings.extend(sweep_warnings);
+    }
     let (cache, persist) = if config.use_cache {
         match cache_dir {
             Some(dir) => {
-                let loaded = load_caches(dir);
+                let loaded = load_caches_in(&io, dir);
                 warnings.extend(loaded.warnings);
+                recovered += loaded.recovered;
                 (
                     AbsCache::with_seed(&loaded.abs_seed),
                     SolverPersist::with_seed(loaded.solver_seed),
@@ -801,12 +815,13 @@ fn build_state(config: ServeConfig) -> (Arc<ServerState>, Vec<String>) {
         let seed = match cache_dir {
             Some(dir) => {
                 let path = dir.join(PRED_STORE_FILE);
-                match pred_store::load_pred_store(&path) {
+                match pred_store::load_pred_store_in(&io, &path) {
                     Ok(Some(store)) => store,
                     Ok(None) => PredStore::new(),
                     Err(e) => {
                         warnings
                             .push(format!("ignoring predicate store `{}`: {e}", path.display()));
+                        recovered += 1;
                         PredStore::new()
                     }
                 }
@@ -824,9 +839,13 @@ fn build_state(config: ServeConfig) -> (Arc<ServerState>, Vec<String>) {
         cache,
         persist,
         preds: Mutex::new(preds),
+        io,
         started: Instant::now(),
         config,
     });
+    if recovered > 0 {
+        state.stats.apply(|s| s.totals.pipeline.store_recoveries += recovered);
+    }
     (state, warnings)
 }
 

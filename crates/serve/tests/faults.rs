@@ -82,8 +82,8 @@ fn sole_verdict(resp: &Value) -> String {
 /// Scans injection seeds until both containment shapes have been
 /// observed through the live service: (a) a contained panic (counted
 /// in `panics_contained`, the server still answering afterwards) and
-/// (b) a transient fault recovered by the retry loop (`totals.retries`
-/// > 0 with every verdict still clean). At every seed, every response
+/// (b) a transient fault recovered by the retry loop (nonzero
+/// `totals.retries` with every verdict still clean); every response
 /// is clean-or-degraded — never a flipped verdict — and the drain
 /// still exits 3.
 #[test]
@@ -127,4 +127,94 @@ fn injected_panics_only_degrade_and_retries_recover_the_clean_verdict() {
     }
     assert!(contained, "no seed in 0..64 injected a contained panic");
     assert!(recovered, "no seed in 0..64 produced a retry-recoverable transient fault");
+}
+
+/// A storage failure during the graceful drain's cache flush must not
+/// change the exit code (3, "drained") and must not cost any client a
+/// response — responses are written before the flush, and a failed
+/// flush degrades to a logged no-persist. Exercised at both flush
+/// crash points the drain can hit: the advisory lock and the artifact
+/// writes (sticky disk-full).
+#[test]
+fn drain_flush_failure_keeps_exit_code_and_drops_no_responses() {
+    use circ_governor::IoFaultPoint;
+    // (armed point, occurrence): the startup sweep takes the lock
+    // once (event 0), so the drain flush's lock is event 1; no write
+    // happens before the drain flush, so `NoSpace` fires from its
+    // first write event onward.
+    let cases = [(IoFaultPoint::NoSpace, 0, "enospc"), (IoFaultPoint::LockAcquire, 1, "lock")];
+    for (point, nth, tag) in cases {
+        let cache_dir = std::env::temp_dir()
+            .join(format!("circ-serve-drainflush-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        std::fs::create_dir_all(&cache_dir).unwrap();
+        let config = ServeConfig {
+            cache_dir: Some(cache_dir.clone()),
+            faults: FaultPlan::seeded(17).with_io_fault(point, nth),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config, &format!("drainflush-{tag}"));
+
+        // A completed request before the drain...
+        let resp = server.roundtrip(&format!(
+            "{{\"op\":\"check\",\"source\":\"{}\"}}",
+            circ_batch::json_escape(SAFE_READER)
+        ));
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(true)), "{tag}: {resp:?}");
+        assert_eq!(sole_verdict(&resp), "safe", "{tag}");
+
+        // ...and one in flight when the cancel lands. The drain must
+        // answer it — completed, or shed with a `shutting-down`
+        // error if the cancel won the admission race — but never
+        // leave the client hanging on a dead socket.
+        let socket = server.socket.clone();
+        let inflight = std::thread::spawn(move || {
+            let mut conn = UnixStream::connect(&socket).expect("connect");
+            writeln!(conn, "{{\"op\":\"check\",\"source\":\"{}\"}}", circ_batch::json_escape(RACY))
+                .expect("write request");
+            let mut line = String::new();
+            BufReader::new(conn).read_line(&mut line).expect("read response");
+            line
+        });
+        // Wait until the server has *parsed* the in-flight request
+        // (it counts into `requests` before admission), so the drain
+        // owes it a response. Each stats poll is itself a request:
+        // after `polls` polls the counter reads 1 (the earlier
+        // check) + polls + 1 once the in-flight line is in.
+        let mut polls = 0u64;
+        loop {
+            polls += 1;
+            let stats = server.roundtrip("{\"op\":\"stats\"}");
+            let requests = stats
+                .get("stats")
+                .and_then(|s| s.get("service"))
+                .and_then(|s| s.get("requests"))
+                .and_then(Value::as_u64)
+                .expect("requests counter");
+            if requests >= polls + 2 {
+                break;
+            }
+            assert!(polls < 2000, "{tag}: in-flight request never reached the server");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let exit = server.stop();
+        assert_eq!(exit, 3, "{tag}: a failed drain flush must not change the exit code");
+        let line = inflight.join().expect("in-flight request thread");
+        let resp =
+            mjson::parse(line.trim()).unwrap_or_else(|e| panic!("bad response `{line}`: {e}"));
+        if resp.get("ok") == Some(&Value::Bool(true)) {
+            assert_eq!(sole_verdict(&resp), "race", "{tag}: in-flight verdict degraded");
+        } else {
+            let err = resp.get("error").and_then(Value::as_str).unwrap_or_default();
+            assert_eq!(err, "shutting-down", "{tag}: unexpected error shape {resp:?}");
+        }
+
+        // The failed flush persisted nothing — and in particular left
+        // no torn artifact for the next process to trip over.
+        assert!(
+            !cache_dir.join("abs.cache").exists(),
+            "{tag}: a failed flush must not leave a (possibly torn) artifact"
+        );
+        let _ = std::fs::remove_dir_all(&cache_dir);
+    }
 }

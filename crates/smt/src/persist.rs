@@ -36,7 +36,6 @@ use crate::lia::Model;
 use crate::lin::{LinExpr, SVar};
 use crate::solver::{shard_ix, SatResult, SOLVER_SHARDS};
 use std::fmt;
-use std::fs;
 use std::io;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
@@ -356,19 +355,12 @@ pub fn parse_cache_file<'a>(kind: &str, text: &'a str) -> Result<Vec<&'a str>, P
     Ok(lines)
 }
 
-/// Writes `text` to `path` atomically (same-directory temp file +
-/// rename), so a concurrent reader never observes a torn file.
+/// Writes `text` to `path` atomically and durably (same-directory
+/// temp file, `fsync`, rename, directory `fsync` — see
+/// [`circ_store::write_atomic`]), so a concurrent reader never
+/// observes a torn file and a completed write survives a crash.
 pub fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            fs::create_dir_all(parent)?;
-        }
-    }
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp);
-    fs::write(&tmp, text)?;
-    fs::rename(&tmp, path)
+    circ_store::write_atomic(path, text)
 }
 
 const SOLVER_KIND: &str = "circ-solver-cache";
@@ -499,7 +491,16 @@ pub fn parse_solver_cache(text: &str) -> Result<Vec<(Formula, SatResult)>, Persi
 /// cache dir is not an anomaly); anything else unreadable or invalid
 /// is an error for the caller to log before cold-starting.
 pub fn load_solver_cache(path: &Path) -> Result<Option<Vec<(Formula, SatResult)>>, PersistError> {
-    let text = match fs::read_to_string(path) {
+    load_solver_cache_in(&circ_store::Store::real(), path)
+}
+
+/// [`load_solver_cache`] through an explicit storage handle, so
+/// torture runs can fail or truncate the read deterministically.
+pub fn load_solver_cache_in(
+    store: &circ_store::Store,
+    path: &Path,
+) -> Result<Option<Vec<(Formula, SatResult)>>, PersistError> {
+    let text = match store.read_to_string(path) {
         Ok(text) => text,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(PersistError::Io(e)),
@@ -507,15 +508,25 @@ pub fn load_solver_cache(path: &Path) -> Result<Option<Vec<(Formula, SatResult)>
     parse_solver_cache(&text).map(Some)
 }
 
-/// Saves a store's merged entries to `path` (atomic write).
+/// Saves a store's merged entries to `path` (durable atomic write).
 pub fn save_solver_cache(path: &Path, store: &SolverPersist) -> io::Result<()> {
-    write_atomic(path, &render_solver_cache(&store.merged_entries()))
+    save_solver_cache_in(&circ_store::Store::real(), path, store)
+}
+
+/// [`save_solver_cache`] through an explicit storage handle.
+pub fn save_solver_cache_in(
+    io: &circ_store::Store,
+    path: &Path,
+    store: &SolverPersist,
+) -> io::Result<()> {
+    io.write_atomic(path, &render_solver_cache(&store.merged_entries()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::solver::Solver;
+    use std::fs;
 
     fn x() -> LinExpr {
         LinExpr::var(SVar(0))

@@ -163,6 +163,16 @@ pub struct PipelineStats {
     /// full CIRC engine. With triage off every variable counts here
     /// as 0 (the counters only move under `--triage`).
     pub triage_fallthrough: u64,
+    /// Recovery actions the storage layer took while warm-starting:
+    /// stale `*.tmp` staging files swept plus damaged artifacts
+    /// (snapshots, predicate store) that degraded to a cold start.
+    /// Driver-level, so invariant under `--jobs`.
+    pub store_recoveries: u64,
+    /// Flush attempts that failed and degraded to a logged no-persist
+    /// (lock acquisition, snapshot writes, journal appends), leaving
+    /// the previous on-disk state intact. Driver-level, so invariant
+    /// under `--jobs`.
+    pub flush_errors: u64,
     /// Per-phase wall-clock spans.
     pub phases: PhaseTimes,
 }
@@ -190,6 +200,8 @@ impl PipelineStats {
         self.triage_stage0_decided += other.triage_stage0_decided;
         self.triage_stage1_decided += other.triage_stage1_decided;
         self.triage_fallthrough += other.triage_fallthrough;
+        self.store_recoveries += other.store_recoveries;
+        self.flush_errors += other.flush_errors;
         self.phases.add(&other.phases);
     }
 
@@ -237,6 +249,8 @@ impl PipelineStats {
         row("triage stage-0 decided", self.triage_stage0_decided.to_string());
         row("triage stage-1 decided", self.triage_stage1_decided.to_string());
         row("triage fallthrough", self.triage_fallthrough.to_string());
+        row("store recoveries", self.store_recoveries.to_string());
+        row("flush errors", self.flush_errors.to_string());
         row("time: reach", format!("{:.2?}", self.phases.reach));
         row("time: sim", format!("{:.2?}", self.phases.sim));
         row("time: collapse", format!("{:.2?}", self.phases.collapse));
@@ -263,6 +277,7 @@ impl PipelineStats {
              \"mem_charged_bytes\":{},\"budget_polls\":{},\"faults_injected\":{},\
              \"triage_stage0_decided\":{},\"triage_stage1_decided\":{},\
              \"triage_fallthrough\":{},\
+             \"store_recoveries\":{},\"flush_errors\":{},\
              \"time_reach_s\":{},\"time_sim_s\":{},\"time_collapse_s\":{},\
              \"time_refine_s\":{},\"time_omega_s\":{}}}",
             self.outer_rounds,
@@ -291,6 +306,8 @@ impl PipelineStats {
             self.triage_stage0_decided,
             self.triage_stage1_decided,
             self.triage_fallthrough,
+            self.store_recoveries,
+            self.flush_errors,
             json_f64(self.phases.reach.as_secs_f64()),
             json_f64(self.phases.sim.as_secs_f64()),
             json_f64(self.phases.collapse.as_secs_f64()),
@@ -536,6 +553,8 @@ mod tests {
         assert!(j.contains("\"triage_stage0_decided\":0"));
         assert!(j.contains("\"triage_stage1_decided\":0"));
         assert!(j.contains("\"triage_fallthrough\":0"));
+        assert!(j.contains("\"store_recoveries\":0"));
+        assert!(j.contains("\"flush_errors\":0"));
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Crash-point torture at the storage layer: arm every
+//! [`IoFaultPoint`] in turn against raw artifacts and assert the
+//! durability contract — after any single injected crash the artifact
+//! on disk is either the complete old snapshot or the complete new
+//! one, never a torn file, and the startup sweep restores a clean
+//! directory. Requires the `inject` cargo feature; without it every
+//! injection decision compiles to a constant `false` and there is
+//! nothing to torture.
+#![cfg(feature = "inject")]
+
+use circ_governor::{FaultPlan, IoFaultPoint};
+use circ_store::{Store, TMP_SUFFIX};
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("circ-store-torture-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const OLD: &str = "old snapshot line 1\nold snapshot line 2\n";
+const NEW: &str = "new snapshot line 1\nnew snapshot line 2\nnew snapshot line 3\n";
+
+/// Every crash point along the atomic-write protocol leaves either
+/// the complete old artifact or the complete new one, and after a
+/// sweep plus a retry the new snapshot is durably in place.
+#[test]
+fn every_write_crash_point_leaves_old_or_new_never_torn() {
+    let write_points = [
+        IoFaultPoint::TmpWrite,
+        IoFaultPoint::FileSync,
+        IoFaultPoint::Rename,
+        IoFaultPoint::DirSync,
+        IoFaultPoint::NoSpace,
+    ];
+    for point in write_points {
+        let dir = tmp_dir(point.name());
+        let path = dir.join("artifact.cache");
+        Store::real().write_atomic(&path, OLD).unwrap();
+
+        let store = Store::with_faults(&FaultPlan::seeded(11).with_io_fault(point, 0));
+        let err = store.write_atomic(&path, NEW).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{point:?}: {err}");
+
+        let on_disk = fs::read_to_string(&path).unwrap();
+        assert!(
+            on_disk == OLD || on_disk == NEW,
+            "{point:?}: torn artifact after crash: {on_disk:?}"
+        );
+
+        // Recovery: sweep whatever staging the crash left, then a
+        // clean retry must land the new snapshot durably.
+        let clean = Store::real();
+        let (_, warnings) = clean.sweep_stale_tmps(&dir);
+        assert!(
+            warnings.iter().all(|w| w.contains("stale staging file")),
+            "{point:?}: {warnings:?}"
+        );
+        clean.write_atomic(&path, NEW).unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), NEW, "{point:?}");
+        assert!(
+            !dir.join(format!("artifact.cache{TMP_SUFFIX}")).exists(),
+            "{point:?}: staging file survived recovery"
+        );
+    }
+}
+
+/// The crash is single-shot: armed at the *second* staging write, the
+/// first atomic write goes through untouched.
+#[test]
+fn nth_occurrence_arming_is_single_shot() {
+    let dir = tmp_dir("nth");
+    let path = dir.join("artifact.cache");
+    let store = Store::with_faults(&FaultPlan::seeded(3).with_io_fault(IoFaultPoint::TmpWrite, 1));
+    store.write_atomic(&path, OLD).unwrap();
+    assert_eq!(fs::read_to_string(&path).unwrap(), OLD);
+    store.write_atomic(&path, NEW).unwrap_err();
+    assert_eq!(fs::read_to_string(&path).unwrap(), OLD, "second write must not land");
+}
+
+/// Disk-full is sticky: once `NoSpace` fires, every later write fails
+/// too — a full disk does not heal between artifacts.
+#[test]
+fn no_space_is_sticky_across_writes() {
+    let dir = tmp_dir("enospc");
+    let store = Store::with_faults(&FaultPlan::seeded(5).with_io_fault(IoFaultPoint::NoSpace, 0));
+    for name in ["a.cache", "b.cache", "c.cache"] {
+        let err = store.write_atomic(&dir.join(name), NEW).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull, "{name}: {err}");
+    }
+}
+
+/// A truncated read returns a strict prefix — the shape a torn page
+/// gives a reader, which the checksum envelope upstream must reject.
+#[test]
+fn injected_read_yields_a_strict_prefix() {
+    let dir = tmp_dir("read");
+    let path = dir.join("artifact.cache");
+    Store::real().write_atomic(&path, OLD).unwrap();
+    let store = Store::with_faults(&FaultPlan::seeded(7).with_io_fault(IoFaultPoint::Read, 0));
+    let got = store.read_to_string(&path).unwrap();
+    assert!(got.len() < OLD.len(), "read was not truncated");
+    assert!(OLD.starts_with(&got), "truncated read is not a prefix: {got:?}");
+}
+
+/// A crash while acquiring the advisory lock surfaces as an error the
+/// flush path degrades to a logged no-persist.
+#[test]
+fn injected_lock_failure_surfaces_as_error() {
+    let dir = tmp_dir("lock");
+    let store =
+        Store::with_faults(&FaultPlan::seeded(9).with_io_fault(IoFaultPoint::LockAcquire, 0));
+    let err = store.lock_dir(&dir).unwrap_err();
+    assert!(err.to_string().contains("advisory lock"), "{err}");
+    // Single-shot: the retry (next process start) succeeds.
+    let _guard = store.lock_dir(&dir).unwrap();
+}
+
+/// A crashed append tears exactly one line mid-byte; earlier lines
+/// are untouched and later appends still go through.
+#[test]
+fn injected_append_tears_one_line_only() {
+    let dir = tmp_dir("append");
+    let path = dir.join("journal.jsonl");
+    let store =
+        Store::with_faults(&FaultPlan::seeded(13).with_io_fault(IoFaultPoint::JournalAppend, 1));
+    let mut file = fs::OpenOptions::new().create(true).append(true).open(&path).unwrap();
+    store.append_line(&mut file, "{\"row\":1}\n").unwrap();
+    store.append_line(&mut file, "{\"row\":2}\n").unwrap_err();
+    store.append_line(&mut file, "{\"row\":3}\n").unwrap();
+    let text = fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.first(), Some(&"{\"row\":1}"), "{text:?}");
+    assert!(text.contains("{\"row\":3}"), "append after the torn line must land: {text:?}");
+    assert!(!text.contains("{\"row\":2}"), "torn line must not be whole: {text:?}");
+}
